@@ -1,0 +1,83 @@
+//! Ablations over the design choices DESIGN.md calls out:
+//!
+//! * batch (clique-based) vs streaming (Algorithms 1–3) weak construction;
+//! * typed-summary semantics: implementation (Figure 7) vs literal
+//!   Definition 13;
+//! * sequential vs parallel clique scan.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rdfsum_core::{
+    parallel_weak_summary, streaming_typed_weak_summary, streaming_weak_summary, summarize_with,
+    SummarizeOptions, SummaryKind, TypedSemantics,
+};
+use rdfsum_workloads::BsbmConfig;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_builders(c: &mut Criterion) {
+    let g = rdfsum_workloads::generate_bsbm(&BsbmConfig::with_products(300));
+    let mut group = c.benchmark_group("ablation_weak_builders");
+    group.bench_function("batch", |b| {
+        b.iter(|| {
+            black_box(summarize_with(
+                &g,
+                SummaryKind::Weak,
+                SummarizeOptions::default(),
+            ))
+        })
+    });
+    group.bench_function("streaming", |b| {
+        b.iter(|| black_box(streaming_weak_summary(&g)))
+    });
+    for threads in [2usize, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("parallel", threads),
+            &threads,
+            |b, &t| b.iter(|| black_box(parallel_weak_summary(&g, t))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_typed_semantics(c: &mut Criterion) {
+    let g = rdfsum_workloads::generate_bsbm(&BsbmConfig::with_products(300));
+    let mut group = c.benchmark_group("ablation_typed_weak");
+    group.bench_function("implementation_semantics", |b| {
+        b.iter(|| {
+            black_box(summarize_with(
+                &g,
+                SummaryKind::TypedWeak,
+                SummarizeOptions {
+                    semantics: TypedSemantics::ImplementationFigure7,
+                    ..Default::default()
+                },
+            ))
+        })
+    });
+    group.bench_function("literal_def13_semantics", |b| {
+        b.iter(|| {
+            black_box(summarize_with(
+                &g,
+                SummaryKind::TypedWeak,
+                SummarizeOptions {
+                    semantics: TypedSemantics::LiteralDefinition13,
+                    ..Default::default()
+                },
+            ))
+        })
+    });
+    group.bench_function("streaming_type_first", |b| {
+        b.iter(|| black_box(streaming_typed_weak_summary(&g)))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    targets = bench_builders, bench_typed_semantics
+}
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! N-Triples load path throughput (the paper's §6 `COPY` + encode + split
+//! pipeline equivalent).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rdfsum_workloads::BsbmConfig;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_parse(c: &mut Criterion) {
+    let g = rdfsum_workloads::generate_bsbm(&BsbmConfig::with_products(100));
+    let text = rdf_io::write_graph(&g);
+    let n = g.len() as u64;
+
+    let mut group = c.benchmark_group("ntriples");
+    group.throughput(Throughput::Elements(n));
+    group.bench_function("parse_graph_10k", |b| {
+        b.iter(|| black_box(rdf_io::parse_graph(&text).unwrap()))
+    });
+    group.bench_function("write_graph_10k", |b| {
+        b.iter(|| black_box(rdf_io::write_graph(&g)))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    targets = bench_parse
+}
+criterion_main!(benches);

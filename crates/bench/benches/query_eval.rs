@@ -1,0 +1,104 @@
+//! Query evaluation and summary-based pruning: the "query-oriented" use of
+//! summaries — deciding emptiness on the summary instead of the graph.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rdf_query::{compile, sample_rbgp_queries, Evaluator, WorkloadConfig};
+use rdf_store::TripleStore;
+use rdfsum_core::{summarize, SummaryKind};
+use rdfsum_workloads::BsbmConfig;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_eval(c: &mut Criterion) {
+    let g = rdfsum_workloads::generate_bsbm(&BsbmConfig::with_products(300));
+    let store = TripleStore::new(g.clone());
+    let queries = sample_rbgp_queries(
+        &store,
+        &WorkloadConfig {
+            queries: 20,
+            patterns_per_query: 3,
+            seed: 0xBE,
+            ..Default::default()
+        },
+    );
+    let compiled: Vec<_> = queries
+        .iter()
+        .map(|q| compile(q, store.graph()).unwrap())
+        .collect();
+
+    let mut group = c.benchmark_group("query_eval");
+    group.bench_function("ask_20_queries_on_graph", |b| {
+        let ev = Evaluator::new(&store);
+        b.iter(|| {
+            for q in &compiled {
+                black_box(ev.ask(q));
+            }
+        })
+    });
+
+    // Same asks against the weak summary (the pruning path).
+    let w = summarize(&g, SummaryKind::Weak);
+    let w_store = TripleStore::new(w.graph.clone());
+    let w_compiled: Vec<_> = queries
+        .iter()
+        .map(|q| compile(q, w_store.graph()).unwrap())
+        .collect();
+    group.bench_function("ask_20_queries_on_weak_summary", |b| {
+        let ev = Evaluator::new(&w_store);
+        b.iter(|| {
+            for q in &w_compiled {
+                black_box(ev.ask(q));
+            }
+        })
+    });
+
+    // Complete answering: saturation vs reformulation.
+    let type_query = rdf_query::QuerySpec::new(
+        ["x"],
+        [(
+            rdf_query::SpecTerm::var("x"),
+            rdf_query::SpecTerm::iri(rdf_model::vocab::RDF_TYPE),
+            rdf_query::SpecTerm::iri(format!(
+                "{}ProductType0",
+                rdfsum_workloads::bsbm::INST_NS
+            )),
+        )],
+    );
+    group.bench_function("complete_answer_via_saturation", |b| {
+        b.iter(|| {
+            let sat = rdf_schema::saturate(&g);
+            let st = TripleStore::new(sat);
+            let cq = compile(&type_query, st.graph()).unwrap();
+            black_box(Evaluator::new(&st).ask(&cq))
+        })
+    });
+    group.bench_function("complete_answer_via_reformulation", |b| {
+        b.iter(|| {
+            black_box(rdf_query::ask_via_reformulation(
+                &store,
+                &type_query,
+                &rdf_query::ReformulateConfig::default(),
+            ))
+        })
+    });
+
+    group.bench_function("select_limit100", |b| {
+        let ev = Evaluator::new(&store);
+        b.iter(|| {
+            for q in &compiled {
+                black_box(ev.select_limit(q, 100));
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    targets = bench_eval
+}
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Saturation (G → G∞) cost, and the completeness shortcut of Props. 5/8:
+//! computing `W_{G∞}` by saturating the *summary* instead of the graph.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rdf_schema::saturate;
+use rdfsum_core::{summarize, SummaryKind};
+use rdfsum_workloads::{BsbmConfig, LubmConfig, SchemaRichness};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_saturation(c: &mut Criterion) {
+    let lubm = rdfsum_workloads::generate_lubm(&LubmConfig::with_universities(3));
+    let bsbm_full = rdfsum_workloads::generate_bsbm(&BsbmConfig {
+        products: 200,
+        schema: SchemaRichness::Full,
+        ..Default::default()
+    });
+    let mut group = c.benchmark_group("saturate");
+    group.throughput(Throughput::Elements(lubm.len() as u64));
+    group.bench_function("lubm_3u", |b| b.iter(|| black_box(saturate(&lubm))));
+    group.throughput(Throughput::Elements(bsbm_full.len() as u64));
+    group.bench_function("bsbm_full_schema_20k", |b| {
+        b.iter(|| black_box(saturate(&bsbm_full)))
+    });
+    group.finish();
+}
+
+fn bench_shortcut(c: &mut Criterion) {
+    // Prop. 5's payoff: Σ(G∞) via the summary is much cheaper than via G.
+    let lubm = rdfsum_workloads::generate_lubm(&LubmConfig::with_universities(3));
+    let mut group = c.benchmark_group("weak_summary_of_saturation");
+    group.bench_function("saturate_graph_then_summarize", |b| {
+        b.iter(|| black_box(summarize(&saturate(&lubm), SummaryKind::Weak)))
+    });
+    group.bench_function("summarize_saturate_summary_resummarize", |b| {
+        b.iter(|| {
+            let w = summarize(&lubm, SummaryKind::Weak);
+            black_box(summarize(&saturate(&w.graph), SummaryKind::Weak))
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    targets = bench_saturation, bench_shortcut
+}
+criterion_main!(benches);

@@ -1,0 +1,290 @@
+//! Node equivalence relations and the partitions they induce.
+//!
+//! §3.2 of the paper: from the property cliques we derive **weak**
+//! equivalence ≡W (shared non-empty source *or* target clique, closed
+//! transitively), **strong** equivalence ≡S (same source clique *and* same
+//! target clique), and **type** equivalence ≡T (same non-empty set of
+//! classes). Each relation partitions the data nodes of G; the quotient by
+//! that partition is the summary.
+
+use crate::cliques::{CliqueId, Cliques};
+use rdf_model::{FxHashMap, Graph, TermId};
+
+/// A partition of a node set: dense class indices plus member lists.
+#[derive(Clone, Debug, Default)]
+pub struct Partition {
+    /// Node → class index.
+    pub class_of: FxHashMap<TermId, usize>,
+    /// Class index → members (in first-seen order).
+    pub classes: Vec<Vec<TermId>>,
+}
+
+impl Partition {
+    /// Builds a partition from a `node → key` assignment, creating one
+    /// class per distinct key (dense, in first-seen order over `nodes`).
+    pub fn group_by<K: std::hash::Hash + Eq>(
+        nodes: &[TermId],
+        mut key: impl FnMut(TermId) -> K,
+    ) -> Self {
+        let mut key_class: FxHashMap<K, usize> = FxHashMap::default();
+        let mut p = Partition::default();
+        for &n in nodes {
+            let k = key(n);
+            let class = *key_class.entry(k).or_insert_with(|| {
+                p.classes.push(Vec::new());
+                p.classes.len() - 1
+            });
+            p.classes[class].push(n);
+            p.class_of.insert(n, class);
+        }
+        p
+    }
+
+    /// Number of classes.
+    pub fn len(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// True when the partition has no classes.
+    pub fn is_empty(&self) -> bool {
+        self.classes.is_empty()
+    }
+
+    /// Invariant check: classes are disjoint, non-empty, and cover exactly
+    /// the keys of `class_of`.
+    pub fn check_invariants(&self) -> bool {
+        let total: usize = self.classes.iter().map(Vec::len).sum();
+        total == self.class_of.len()
+            && self.classes.iter().all(|c| !c.is_empty())
+            && self
+                .classes
+                .iter()
+                .enumerate()
+                .all(|(i, c)| c.iter().all(|n| self.class_of.get(n) == Some(&i)))
+    }
+}
+
+/// The data nodes of `g` in deterministic (first-seen) order: subjects and
+/// objects of D_G, then subjects of T_G (§2.1's data-node definition).
+pub fn data_nodes_ordered(g: &Graph) -> Vec<TermId> {
+    let mut seen: FxHashMap<TermId, ()> = FxHashMap::default();
+    let mut out = Vec::new();
+    let push = |id: TermId, seen: &mut FxHashMap<TermId, ()>, out: &mut Vec<TermId>| {
+        if seen.insert(id, ()).is_none() {
+            out.push(id);
+        }
+    };
+    for t in g.data() {
+        push(t.s, &mut seen, &mut out);
+        push(t.o, &mut seen, &mut out);
+    }
+    for t in g.types() {
+        push(t.s, &mut seen, &mut out);
+    }
+    out
+}
+
+/// The clique signature of a node: `(TC(r), SC(r))` as optional clique ids.
+pub fn signature(cliques: &Cliques, node: TermId) -> (Option<CliqueId>, Option<CliqueId>) {
+    (cliques.tc(node), cliques.sc(node))
+}
+
+/// ≡W over `nodes`: the transitive closure of "shares a non-empty source
+/// or target clique". Computed as connected components of the bipartite
+/// clique graph: node r links SC(r) — TC(r); nodes with both cliques empty
+/// form one extra class (the `Nτ` class).
+///
+/// Passing the untyped data nodes together with untyped-scope cliques
+/// yields ≡UW (Definition 13, in the implementation semantics of §6.1).
+pub fn weak_partition(cliques: &Cliques, nodes: &[TermId]) -> Partition {
+    use crate::unionfind::UnionFind;
+    let ns = cliques.source_cliques.len();
+    let nt = cliques.target_cliques.len();
+    // Items: [0, ns) source cliques, [ns, ns+nt) target cliques,
+    // ns+nt = the τ bucket.
+    let mut uf = UnionFind::new(ns + nt + 1);
+    for &n in nodes {
+        if let (Some(tc), Some(sc)) = (cliques.tc(n), cliques.sc(n)) {
+            uf.union(sc, ns + tc);
+        }
+    }
+    let tau = ns + nt;
+    Partition::group_by(nodes, |n| match (cliques.sc(n), cliques.tc(n)) {
+        (Some(sc), _) => uf.find(sc),
+        (None, Some(tc)) => uf.find(ns + tc),
+        (None, None) => tau,
+    })
+}
+
+/// ≡S over `nodes`: same `(source clique, target clique)` pair
+/// (Definition 15). With untyped nodes and untyped-scope cliques this is
+/// ≡US (Definition 16).
+pub fn strong_partition(cliques: &Cliques, nodes: &[TermId]) -> Partition {
+    Partition::group_by(nodes, |n| signature(cliques, n))
+}
+
+/// The class set of every typed resource, sorted (canonical form).
+pub fn class_sets(g: &Graph) -> FxHashMap<TermId, Vec<TermId>> {
+    let mut sets: FxHashMap<TermId, Vec<TermId>> = FxHashMap::default();
+    for t in g.types() {
+        let v = sets.entry(t.s).or_default();
+        if !v.contains(&t.o) {
+            v.push(t.o);
+        }
+    }
+    for v in sets.values_mut() {
+        v.sort_unstable();
+    }
+    sets
+}
+
+/// ≡T over all data nodes (Definition 8): typed nodes grouped by identical
+/// class sets; each untyped node is its own class.
+pub fn type_partition(g: &Graph) -> Partition {
+    let sets = class_sets(g);
+    let nodes = data_nodes_ordered(g);
+    // Key: Some(class set) for typed, unique key per untyped node.
+    #[derive(Hash, PartialEq, Eq)]
+    enum Key {
+        Typed(Vec<TermId>),
+        Untyped(TermId),
+    }
+    Partition::group_by(&nodes, |n| match sets.get(&n) {
+        Some(cs) => Key::Typed(cs.clone()),
+        None => Key::Untyped(n),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cliques::CliqueScope;
+    use crate::fixtures::{exid, sample_graph};
+
+    fn class_ids(p: &Partition, g: &Graph, names: &[&str]) -> Vec<usize> {
+        names.iter().map(|n| p.class_of[&exid(g, n)]).collect()
+    }
+
+    /// §3.2: r1..r5 weakly equivalent; t1..t4; {a1, a2}; {e1, e2}; {c1};
+    /// r6 alone (τ class). Six classes total.
+    #[test]
+    fn weak_classes_of_sample() {
+        let g = sample_graph();
+        let cq = Cliques::compute(&g, CliqueScope::AllNodes);
+        let nodes = data_nodes_ordered(&g);
+        let p = weak_partition(&cq, &nodes);
+        assert!(p.check_invariants());
+        assert_eq!(p.len(), 6);
+        let rs = class_ids(&p, &g, &["r1", "r2", "r3", "r4", "r5"]);
+        assert!(rs.iter().all(|&c| c == rs[0]));
+        let ts = class_ids(&p, &g, &["t1", "t2", "t3", "t4"]);
+        assert!(ts.iter().all(|&c| c == ts[0]));
+        let aa = class_ids(&p, &g, &["a1", "a2"]);
+        assert_eq!(aa[0], aa[1]);
+        let ee = class_ids(&p, &g, &["e1", "e2"]);
+        assert_eq!(ee[0], ee[1]);
+        // All five groups distinct, and r6 separate.
+        let mut reps = vec![rs[0], ts[0], aa[0], ee[0]];
+        reps.push(p.class_of[&exid(&g, "c1")]);
+        reps.push(p.class_of[&exid(&g, "r6")]);
+        reps.sort_unstable();
+        reps.dedup();
+        assert_eq!(reps.len(), 6);
+    }
+
+    /// §3.2: "the resources r1, r2, r3, r5 are strongly related to each
+    /// other, as well as t1, t2, t3, t4" — and r4 is split off (9 classes).
+    #[test]
+    fn strong_classes_of_sample() {
+        let g = sample_graph();
+        let cq = Cliques::compute(&g, CliqueScope::AllNodes);
+        let nodes = data_nodes_ordered(&g);
+        let p = strong_partition(&cq, &nodes);
+        assert!(p.check_invariants());
+        // {r1,r2,r3,r5} {r4} {a1} {a2} {t1..t4} {e1} {e2} {c1} {r6}
+        assert_eq!(p.len(), 9);
+        let rs = class_ids(&p, &g, &["r1", "r2", "r3", "r5"]);
+        assert!(rs.iter().all(|&c| c == rs[0]));
+        assert_ne!(p.class_of[&exid(&g, "r4")], rs[0]);
+        assert_ne!(
+            p.class_of[&exid(&g, "a1")],
+            p.class_of[&exid(&g, "a2")]
+        );
+        assert_ne!(
+            p.class_of[&exid(&g, "e1")],
+            p.class_of[&exid(&g, "e2")]
+        );
+        let ts = class_ids(&p, &g, &["t1", "t2", "t3", "t4"]);
+        assert!(ts.iter().all(|&c| c == ts[0]));
+    }
+
+    /// Strong refines weak: every strong class is inside one weak class.
+    #[test]
+    fn strong_refines_weak() {
+        let g = sample_graph();
+        let cq = Cliques::compute(&g, CliqueScope::AllNodes);
+        let nodes = data_nodes_ordered(&g);
+        let w = weak_partition(&cq, &nodes);
+        let s = strong_partition(&cq, &nodes);
+        for class in &s.classes {
+            let weak_class = w.class_of[&class[0]];
+            assert!(class.iter().all(|n| w.class_of[n] == weak_class));
+        }
+        assert!(s.len() >= w.len());
+    }
+
+    /// ≡T groups r5 and r6 (both typed {Spec}); r1, r2 singletons; every
+    /// untyped node is its own class.
+    #[test]
+    fn type_classes_of_sample() {
+        let g = sample_graph();
+        let p = type_partition(&g);
+        assert!(p.check_invariants());
+        assert_eq!(
+            p.class_of[&exid(&g, "r5")],
+            p.class_of[&exid(&g, "r6")]
+        );
+        assert_ne!(
+            p.class_of[&exid(&g, "r1")],
+            p.class_of[&exid(&g, "r2")]
+        );
+        assert_ne!(
+            p.class_of[&exid(&g, "t1")],
+            p.class_of[&exid(&g, "t2")]
+        );
+        // 15 data nodes; r5+r6 merge ⇒ 14 classes.
+        assert_eq!(p.len(), 14);
+    }
+
+    #[test]
+    fn class_sets_sorted_and_deduped() {
+        let g = sample_graph();
+        let sets = class_sets(&g);
+        assert_eq!(sets.len(), 4); // r1, r2, r5, r6
+        let spec_set = &sets[&exid(&g, "r5")];
+        assert_eq!(spec_set, &sets[&exid(&g, "r6")]);
+        assert_eq!(spec_set.len(), 1);
+    }
+
+    #[test]
+    fn data_nodes_deterministic_order() {
+        let g = sample_graph();
+        let a = data_nodes_ordered(&g);
+        let b = data_nodes_ordered(&g);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 15);
+        // r6 (typed-only) is last: it only appears in T_G.
+        assert_eq!(*a.last().unwrap(), exid(&g, "r6"));
+    }
+
+    #[test]
+    fn group_by_dense_first_seen() {
+        let nodes = vec![TermId(5), TermId(7), TermId(5), TermId(9)];
+        let p = Partition::group_by(&nodes, |n| n.0 % 2);
+        // 5 → class 0 (odd), 7 → class 0, 9 → class 0… all odd! Use mod 4.
+        assert_eq!(p.len(), 1);
+        let p = Partition::group_by(&nodes, |n| n.0);
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.classes[0], vec![TermId(5), TermId(5)]);
+    }
+}

@@ -1,0 +1,286 @@
+//! # rdfsum-core — query-oriented RDF graph summaries
+//!
+//! A faithful Rust implementation of the summarization framework of
+//! *“Query-Oriented Summarization of RDF Graphs”* (Čebirić, Goasdoué,
+//! Manolescu): given an RDF graph `G = ⟨D_G, S_G, T_G⟩`, build an RDF graph
+//! `H_G` that is orders of magnitude smaller yet RBGP-*representative*
+//! (queries with answers on `G∞` have answers on `H∞_G`) and *accurate*.
+//!
+//! Four summaries are provided, all quotient graphs (Definition 9):
+//!
+//! | summary | equivalence | module |
+//! |---------|-------------|--------|
+//! | `W_G`  weak         | shared source/target clique, transitively (≡W) | [`weak`] |
+//! | `S_G`  strong       | same (source clique, target clique) pair (≡S)  | [`strong`] |
+//! | `TW_G` typed weak   | class sets first, ≡UW on untyped nodes          | [`typed`] |
+//! | `TS_G` typed strong | class sets first, ≡US on untyped nodes          | [`typed`] |
+//!
+//! plus the type-based summary `T_G` (Definition 12). Supporting machinery:
+//! property [`cliques`] (Definition 5), property [`distance`] (Definition
+//! 6), node [`equivalence`] partitions, the generic [`quotient`] operator,
+//! the paper's streaming Algorithms 1–3 ([`streaming`]), a parallel clique
+//! scan ([`parallel`]), summary [`iso`]morphism, and [`checks`] for the
+//! paper's formal properties (fixpoint, completeness, representativeness).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use rdfsum_core::{summarize, SummaryKind};
+//!
+//! let g = rdfsum_core::fixtures::sample_graph(); // the paper's Figure 2
+//! let w = summarize(&g, SummaryKind::Weak);
+//! assert_eq!(w.graph.data().len(), 6); // Prop. 4: one edge per property
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bisim;
+pub mod builder;
+pub mod checks;
+pub mod cliques;
+pub mod distance;
+pub mod equivalence;
+pub mod fixtures;
+pub mod incremental;
+pub mod inflate;
+pub mod iso;
+pub mod naming;
+pub mod parallel;
+pub mod quotient;
+pub mod report;
+pub mod saturated_cliques;
+pub mod streaming;
+pub mod strong;
+pub mod summary;
+pub mod typed;
+pub mod unionfind;
+pub mod weak;
+
+pub use bisim::{bisim_partition, bisim_summary, BisimDepth};
+pub use builder::{summarize, summarize_all, summarize_with, Strategy, SummarizeOptions};
+pub use checks::{
+    can_prune, check_representativeness, completeness_check, fixpoint_holds, CompletenessCheck,
+    RepresentativenessReport,
+};
+pub use cliques::{CliqueId, CliqueScope, Cliques};
+pub use equivalence::Partition;
+pub use incremental::IncrementalWeak;
+pub use inflate::{inflate, InflateConfig};
+pub use iso::summary_isomorphic;
+pub use parallel::{parallel_cliques, parallel_weak_summary};
+pub use report::{render_report, ReportOptions};
+pub use saturated_cliques::{fuse_cliques, saturated_clique, verify_lemma1};
+pub use streaming::{streaming_typed_weak_summary, streaming_weak_summary};
+pub use strong::strong_summary;
+pub use summary::{Summary, SummaryKind, SummaryStats};
+pub use typed::{type_summary, typed_strong_summary, typed_weak_summary, TypedSemantics};
+pub use weak::weak_summary;
+
+#[cfg(test)]
+mod proptests {
+    use super::{
+        check_representativeness, completeness_check, fixpoint_holds, parallel_weak_summary,
+        streaming_typed_weak_summary, streaming_weak_summary, strong_summary, summarize,
+        summary_isomorphic, typed_strong_summary, typed_weak_summary, weak_summary, SummaryKind,
+    };
+    use proptest::prelude::*;
+    use rdf_model::{vocab, Graph};
+
+    /// Builds a random graph from triple/type/schema fragments.
+    pub(crate) fn build_graph(
+        data: &[(u8, u8, u8)],
+        types: &[(u8, u8)],
+        sp: &[(u8, u8)],
+        dom: &[(u8, u8)],
+    ) -> Graph {
+        let mut g = Graph::new();
+        for (s, p, o) in data {
+            g.add_iri_triple(
+                &format!("http://x/n{s}"),
+                &format!("http://x/p{p}"),
+                &format!("http://x/n{o}"),
+            );
+        }
+        for (s, c) in types {
+            g.add_iri_triple(
+                &format!("http://x/n{s}"),
+                vocab::RDF_TYPE,
+                &format!("http://x/C{c}"),
+            );
+        }
+        for (a, b) in sp {
+            g.add_iri_triple(
+                &format!("http://x/p{a}"),
+                vocab::RDFS_SUBPROPERTYOF,
+                &format!("http://x/p{}", b.wrapping_add(4)),
+            );
+        }
+        for (p, c) in dom {
+            g.add_iri_triple(
+                &format!("http://x/p{p}"),
+                vocab::RDFS_DOMAIN,
+                &format!("http://x/C{c}"),
+            );
+        }
+        g
+    }
+
+    fn arb_graph() -> impl Strategy<Value = Graph> {
+        (
+            proptest::collection::vec((0u8..8, 0u8..4, 0u8..8), 1..24),
+            proptest::collection::vec((0u8..8, 0u8..3), 0..8),
+            proptest::collection::vec((0u8..4, 0u8..3), 0..3),
+            proptest::collection::vec((0u8..4, 0u8..3), 0..3),
+        )
+            .prop_map(|(d, t, sp, dom)| build_graph(&d, &t, &sp, &dom))
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// The quotient invariant holds for every summary kind on random
+        /// graphs.
+        #[test]
+        fn quotients_are_well_formed(g in arb_graph()) {
+            for kind in SummaryKind::ALL {
+                let s = summarize(&g, kind);
+                prop_assert!(crate::quotient::verify_quotient(&g, &s), "{kind}");
+                prop_assert!(s.check_correspondence_invariants());
+            }
+        }
+
+        /// Proposition 4 on random graphs: |D_W|_e = |D_G|⁰_p.
+        #[test]
+        fn prop4_unique_data_properties(g in arb_graph()) {
+            let s = weak_summary(&g);
+            prop_assert!(crate::weak::check_unique_data_properties(&g, &s));
+        }
+
+        /// Proposition 2 (fixpoint) for all kinds on random graphs.
+        #[test]
+        fn prop2_fixpoint(g in arb_graph()) {
+            for kind in SummaryKind::ALL {
+                prop_assert!(fixpoint_holds(&g, kind), "{kind}");
+            }
+        }
+
+        /// Propositions 5 and 8 (weak/strong completeness) on random
+        /// graphs with random ≺sp and domain constraints.
+        #[test]
+        fn prop5_prop8_completeness(g in arb_graph()) {
+            prop_assert!(completeness_check(&g, SummaryKind::Weak).holds);
+            prop_assert!(completeness_check(&g, SummaryKind::Strong).holds);
+        }
+
+        /// Streaming and batch weak builders agree on random graphs.
+        #[test]
+        fn streaming_equals_batch(g in arb_graph()) {
+            let a = weak_summary(&g);
+            let b = streaming_weak_summary(&g);
+            prop_assert!(summary_isomorphic(&a.graph, &b.graph));
+            let tw_a = typed_weak_summary(&g);
+            let tw_b = streaming_typed_weak_summary(&g);
+            prop_assert!(summary_isomorphic(&tw_a.graph, &tw_b.graph));
+        }
+
+        /// Parallel weak equals sequential weak on random graphs.
+        #[test]
+        fn parallel_equals_sequential(g in arb_graph()) {
+            let a = weak_summary(&g);
+            let b = parallel_weak_summary(&g, 4);
+            prop_assert!(summary_isomorphic(&a.graph, &b.graph));
+        }
+
+        /// The incremental weak summarizer matches the batch builder on
+        /// random graphs inserted in arbitrary (shuffled) orders.
+        #[test]
+        fn incremental_equals_batch(g in arb_graph(), shuffle_seed in 0u64..1000) {
+            use rdf_model::SplitMix64;
+            let mut triples: Vec<_> = g.iter().collect();
+            // Fisher–Yates with the deterministic RNG.
+            let mut rng = SplitMix64::new(shuffle_seed);
+            for i in (1..triples.len()).rev() {
+                triples.swap(i, rng.index(i + 1));
+            }
+            let mut inc = crate::incremental::IncrementalWeak::new();
+            for t in triples {
+                inc.insert(
+                    g.dict().decode(t.s).clone(),
+                    g.dict().decode(t.p).clone(),
+                    g.dict().decode(t.o).clone(),
+                ).unwrap();
+            }
+            let batch = weak_summary(&g);
+            prop_assert!(summary_isomorphic(&inc.summary().graph, &batch.graph));
+        }
+
+        /// Strong refines weak; typed strong refines typed weak.
+        #[test]
+        fn refinement_chains(g in arb_graph()) {
+            let w = weak_summary(&g);
+            let s = strong_summary(&g);
+            prop_assert!(s.n_summary_nodes() >= w.n_summary_nodes());
+            let tw = typed_weak_summary(&g);
+            let ts = typed_strong_summary(&g);
+            prop_assert!(ts.n_summary_nodes() >= tw.n_summary_nodes());
+            // Member-level refinement: strong classes sit inside weak ones.
+            for t in g.data() {
+                for n in [t.s, t.o] {
+                    let (Some(ws), Some(ss)) = (w.representative(n), s.representative(n)) else {
+                        prop_assert!(false, "unrepresented node");
+                        return Ok(());
+                    };
+                    // All strong-class members share the weak class.
+                    for &m in s.extent(ss) {
+                        prop_assert_eq!(w.representative(m), Some(ws));
+                    }
+                }
+            }
+        }
+
+        /// Lemma 1 on random graphs with random ≺sp constraints: the
+        /// C⁺-predicted clique fusion matches the cliques of G∞.
+        #[test]
+        fn lemma1_on_random_graphs(g in arb_graph()) {
+            let (src, tgt) = crate::saturated_cliques::verify_lemma1(&g);
+            prop_assert!(src.holds(), "source side");
+            prop_assert!(tgt.holds(), "target side");
+        }
+
+        /// Inverse-set witnesses: inflating a weak summary and
+        /// re-summarizing reproduces it (Prop. 3's accuracy, constructive).
+        #[test]
+        fn inflation_roundtrip(g in arb_graph(), seed in 0u64..100) {
+            let w = weak_summary(&g);
+            let cfg = crate::inflate::InflateConfig { seed, ..Default::default() };
+            prop_assert!(crate::inflate::reproduces_through_inflation(&w, &cfg));
+        }
+
+        /// Representativeness (Prop. 1) on sampled workloads over random
+        /// graphs, for all four summaries.
+        #[test]
+        fn prop1_representativeness(g in arb_graph(), seed in 0u64..1000) {
+            let store = rdf_store::TripleStore::new(g.clone());
+            let queries = rdf_query::sample_rbgp_queries(
+                &store,
+                &rdf_query::WorkloadConfig {
+                    queries: 8,
+                    patterns_per_query: 3,
+                    seed,
+                    ..Default::default()
+                },
+            );
+            for kind in SummaryKind::ALL {
+                let s = summarize(&g, kind);
+                let rep = check_representativeness(&g, &s, &queries);
+                prop_assert!(
+                    rep.all_held(),
+                    "violations for {}: {:?}",
+                    kind,
+                    rep.violations
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! Representation functions: minting URIs for summary nodes.
+//!
+//! §4.1 of the paper introduces `N`, "any injective function taking as
+//! input two sets of URIs (a set of target data properties and a set of
+//! source data properties) and returning a new URI", and §4.2 introduces
+//! `C`, which maps a non-empty class set to a URI and returns a fresh URI
+//! on every call for the empty set.
+//!
+//! Our `N` and `C` are *deterministic*: the minted URI embeds the sorted
+//! input URIs. Injectivity follows because `|` cannot occur inside an IRI
+//! (the IRIREF production forbids it, and our parser enforces that), so the
+//! joined string parses back unambiguously. Determinism is what lets the
+//! completeness tests compare `W_{G∞}` and `W_{(W_G)∞}` by plain graph
+//! equality — both sides name each node from the same property sets.
+
+use rdf_model::{Dictionary, TermId};
+
+/// Namespace prefix of all minted summary URIs.
+pub const SUMMARY_NS: &str = "urn:rdfsummary:";
+
+/// The URI of `Nτ`, the node representing all typed-only resources
+/// (TC = SC = ∅) in weak and strong summaries.
+pub fn n_tau_uri() -> String {
+    format!("{SUMMARY_NS}ntau")
+}
+
+fn join_sorted(dict: &Dictionary, ids: &[TermId]) -> String {
+    let mut uris: Vec<&str> = ids
+        .iter()
+        .map(|&id| {
+            dict.decode(id)
+                .as_iri()
+                .expect("property/class ids decode to IRIs")
+        })
+        .collect();
+    uris.sort_unstable();
+    uris.dedup();
+    uris.join("|")
+}
+
+/// `N(TC, SC)` — the URI representing nodes with incoming property set
+/// `tc` and outgoing property set `sc` (either may be empty; both empty
+/// yields [`n_tau_uri`]).
+pub fn n_uri(dict: &Dictionary, tc: &[TermId], sc: &[TermId]) -> String {
+    if tc.is_empty() && sc.is_empty() {
+        return n_tau_uri();
+    }
+    format!(
+        "{SUMMARY_NS}n?in={}&out={}",
+        join_sorted(dict, tc),
+        join_sorted(dict, sc)
+    )
+}
+
+/// `C(X)` for a non-empty class set `X`.
+///
+/// The paper's `C` returns a fresh URI for `C(∅)`; in our builders the
+/// empty case never reaches `C` (untyped nodes are handled by the untyped
+/// summarizers), so we require non-emptiness.
+pub fn c_uri(dict: &Dictionary, classes: &[TermId]) -> String {
+    assert!(!classes.is_empty(), "C(∅) must use fresh URIs, not c_uri");
+    format!("{SUMMARY_NS}c?types={}", join_sorted(dict, classes))
+}
+
+/// A short human-readable label for a minted summary URI, for DOT export
+/// and reports: keeps only the local names of the embedded URIs.
+///
+/// `urn:rdfsummary:n?in=…/reviewed|…/published&out=…/author` becomes
+/// `N[in=published,reviewed][out=author]`; class-set nodes become
+/// `C{Book}`; other URIs pass through unchanged.
+pub fn display_label(uri: &str) -> String {
+    fn locals(part: &str) -> String {
+        let mut names: Vec<&str> = part
+            .split('|')
+            .filter(|s| !s.is_empty())
+            .map(|u| {
+                u.rsplit(['/', '#', ':'])
+                    .next()
+                    .filter(|s| !s.is_empty())
+                    .unwrap_or(u)
+            })
+            .collect();
+        names.sort_unstable();
+        names.join(",")
+    }
+    if uri == n_tau_uri() {
+        return "Nτ".to_string();
+    }
+    if let Some(rest) = uri.strip_prefix(&format!("{SUMMARY_NS}n?in=")) {
+        if let Some((inp, outp)) = rest.split_once("&out=") {
+            let mut s = String::from("N");
+            if !inp.is_empty() {
+                s.push_str(&format!("[in={}]", locals(inp)));
+            }
+            if !outp.is_empty() {
+                s.push_str(&format!("[out={}]", locals(outp)));
+            }
+            return s;
+        }
+    }
+    if let Some(rest) = uri.strip_prefix(&format!("{SUMMARY_NS}c?types=")) {
+        return format!("C{{{}}}", locals(rest));
+    }
+    uri.to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdf_model::Term;
+
+    fn dict_with(uris: &[&str]) -> (Dictionary, Vec<TermId>) {
+        let mut d = Dictionary::new();
+        let ids = uris.iter().map(|u| d.encode(Term::iri(*u))).collect();
+        (d, ids)
+    }
+
+    #[test]
+    fn n_is_order_insensitive() {
+        let (d, ids) = dict_with(&["http://x/a", "http://x/b"]);
+        let u1 = n_uri(&d, &[], &[ids[0], ids[1]]);
+        let u2 = n_uri(&d, &[], &[ids[1], ids[0]]);
+        assert_eq!(u1, u2);
+    }
+
+    #[test]
+    fn n_distinguishes_sides() {
+        let (d, ids) = dict_with(&["http://x/a"]);
+        assert_ne!(n_uri(&d, &[ids[0]], &[]), n_uri(&d, &[], &[ids[0]]));
+    }
+
+    #[test]
+    fn n_empty_is_ntau() {
+        let (d, _) = dict_with(&[]);
+        assert_eq!(n_uri(&d, &[], &[]), n_tau_uri());
+    }
+
+    #[test]
+    fn n_injective_on_distinct_sets() {
+        let (d, ids) = dict_with(&["http://x/a", "http://x/b", "http://x/c"]);
+        let u1 = n_uri(&d, &[ids[0]], &[ids[1]]);
+        let u2 = n_uri(&d, &[ids[0]], &[ids[2]]);
+        let u3 = n_uri(&d, &[ids[0]], &[ids[1], ids[2]]);
+        assert_ne!(u1, u2);
+        assert_ne!(u1, u3);
+        assert_ne!(u2, u3);
+    }
+
+    #[test]
+    fn c_uri_deterministic() {
+        let (d, ids) = dict_with(&["http://x/Book", "http://x/Spec"]);
+        assert_eq!(c_uri(&d, &[ids[0], ids[1]]), c_uri(&d, &[ids[1], ids[0]]));
+    }
+
+    #[test]
+    #[should_panic(expected = "C(∅)")]
+    fn c_uri_rejects_empty() {
+        let (d, _) = dict_with(&[]);
+        c_uri(&d, &[]);
+    }
+
+    #[test]
+    fn labels_are_compact() {
+        let (d, ids) = dict_with(&[
+            "http://x/reviewed",
+            "http://x/published",
+            "http://x/author",
+        ]);
+        let uri = n_uri(&d, &[ids[0], ids[1]], &[ids[2]]);
+        assert_eq!(display_label(&uri), "N[in=published,reviewed][out=author]");
+        assert_eq!(display_label(&n_tau_uri()), "Nτ");
+        let c = c_uri(&d, &[ids[2]]);
+        assert_eq!(display_label(&c), "C{author}");
+        assert_eq!(display_label("http://plain/uri"), "http://plain/uri");
+    }
+
+    #[test]
+    fn duplicate_inputs_collapse() {
+        let (d, ids) = dict_with(&["http://x/a"]);
+        let u1 = n_uri(&d, &[], &[ids[0], ids[0]]);
+        let u2 = n_uri(&d, &[], &[ids[0]]);
+        assert_eq!(u1, u2);
+    }
+}

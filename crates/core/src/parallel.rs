@@ -1,0 +1,234 @@
+//! Parallel clique computation and weak summarization.
+//!
+//! The paper's future work: "improving scalability by leveraging a
+//! massively parallel platform such as Spark". Property-clique computation
+//! is embarrassingly parallel in the scan and cheap to combine: each worker
+//! scans a chunk of D_G and produces (a) property-pair union obligations
+//! from subjects/objects it saw entirely, and (b) its partial
+//! `resource → representative property` maps; the combiner unions pairs
+//! into one global union–find and reconciles cross-chunk resources. The
+//! result is bit-identical to the sequential [`Cliques`].
+
+use crate::cliques::{CliqueScope, Cliques};
+use crate::equivalence::{data_nodes_ordered, weak_partition};
+use crate::naming::n_uri;
+use crate::quotient::quotient_summary;
+use crate::summary::{Summary, SummaryKind};
+use crate::unionfind::UnionFind;
+use crate::weak::class_property_sets;
+use rdf_model::{FxHashMap, FxHashSet, Graph, TermId};
+
+/// Per-worker partial result of the clique scan.
+struct Partial {
+    /// First property seen per subject in this chunk.
+    subj_repr: FxHashMap<TermId, TermId>,
+    /// First property seen per object in this chunk.
+    obj_repr: FxHashMap<TermId, TermId>,
+    /// Property pairs that must share a source clique.
+    src_unions: Vec<(TermId, TermId)>,
+    /// Property pairs that must share a target clique.
+    tgt_unions: Vec<(TermId, TermId)>,
+}
+
+fn scan_chunk(chunk: &[rdf_model::Triple], typed: &FxHashSet<TermId>) -> Partial {
+    let mut p = Partial {
+        subj_repr: FxHashMap::default(),
+        obj_repr: FxHashMap::default(),
+        src_unions: Vec::new(),
+        tgt_unions: Vec::new(),
+    };
+    for t in chunk {
+        if !typed.contains(&t.s) {
+            match p.subj_repr.get(&t.s) {
+                Some(&q) if q != t.p => p.src_unions.push((q, t.p)),
+                Some(_) => {}
+                None => {
+                    p.subj_repr.insert(t.s, t.p);
+                }
+            }
+        }
+        if !typed.contains(&t.o) {
+            match p.obj_repr.get(&t.o) {
+                Some(&q) if q != t.p => p.tgt_unions.push((q, t.p)),
+                Some(_) => {}
+                None => {
+                    p.obj_repr.insert(t.o, t.p);
+                }
+            }
+        }
+    }
+    p
+}
+
+/// Computes [`Cliques`] using `threads` workers. Results are identical to
+/// [`Cliques::compute`].
+pub fn parallel_cliques(g: &Graph, scope: CliqueScope, threads: usize) -> Cliques {
+    let threads = threads.max(1);
+    let typed: FxHashSet<TermId> = match scope {
+        CliqueScope::AllNodes => FxHashSet::default(),
+        CliqueScope::UntypedOnly => g.typed_resources(),
+    };
+    let data = g.data();
+    let chunk_size = data.len().div_ceil(threads).max(1);
+
+    let partials: Vec<Partial> = std::thread::scope(|scope_| {
+        let typed = &typed;
+        let handles: Vec<_> = data
+            .chunks(chunk_size)
+            .map(|chunk| scope_.spawn(move || scan_chunk(chunk, typed)))
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    // ---- Combine ----
+    let mut prop_index: FxHashMap<TermId, usize> = FxHashMap::default();
+    let mut props: Vec<TermId> = Vec::new();
+    for t in data {
+        prop_index.entry(t.p).or_insert_with(|| {
+            props.push(t.p);
+            props.len() - 1
+        });
+    }
+    let n = props.len();
+    let mut src_uf = UnionFind::new(n);
+    let mut tgt_uf = UnionFind::new(n);
+    let mut subj_repr: FxHashMap<TermId, usize> = FxHashMap::default();
+    let mut obj_repr: FxHashMap<TermId, usize> = FxHashMap::default();
+    for part in &partials {
+        for &(a, b) in &part.src_unions {
+            src_uf.union(prop_index[&a], prop_index[&b]);
+        }
+        for &(a, b) in &part.tgt_unions {
+            tgt_uf.union(prop_index[&a], prop_index[&b]);
+        }
+        // Cross-chunk reconciliation: a resource seen in several chunks
+        // forces its chunk representatives into one clique.
+        for (&r, &p) in &part.subj_repr {
+            let pi = prop_index[&p];
+            match subj_repr.get(&r) {
+                Some(&q) => {
+                    src_uf.union(pi, q);
+                }
+                None => {
+                    subj_repr.insert(r, pi);
+                }
+            }
+        }
+        for (&r, &p) in &part.obj_repr {
+            let pi = prop_index[&p];
+            match obj_repr.get(&r) {
+                Some(&q) => {
+                    tgt_uf.union(pi, q);
+                }
+                None => {
+                    obj_repr.insert(r, pi);
+                }
+            }
+        }
+    }
+
+    let (src_assign, n_src) = src_uf.dense_components();
+    let (tgt_assign, n_tgt) = tgt_uf.dense_components();
+    let mut source_cliques: Vec<Vec<TermId>> = vec![Vec::new(); n_src];
+    let mut target_cliques: Vec<Vec<TermId>> = vec![Vec::new(); n_tgt];
+    let mut source_clique_of_property = FxHashMap::default();
+    let mut target_clique_of_property = FxHashMap::default();
+    for (i, &p) in props.iter().enumerate() {
+        source_cliques[src_assign[i]].push(p);
+        target_cliques[tgt_assign[i]].push(p);
+        source_clique_of_property.insert(p, src_assign[i]);
+        target_clique_of_property.insert(p, tgt_assign[i]);
+    }
+    for c in source_cliques.iter_mut().chain(target_cliques.iter_mut()) {
+        c.sort_unstable();
+    }
+    Cliques {
+        source_cliques,
+        target_cliques,
+        source_clique_of_property,
+        target_clique_of_property,
+        subject_clique: subj_repr
+            .into_iter()
+            .map(|(r, pi)| (r, src_assign[pi]))
+            .collect(),
+        object_clique: obj_repr
+            .into_iter()
+            .map(|(r, pi)| (r, tgt_assign[pi]))
+            .collect(),
+    }
+}
+
+/// The weak summary built with a parallel clique scan. Produces the same
+/// summary as [`crate::weak::weak_summary`].
+pub fn parallel_weak_summary(g: &Graph, threads: usize) -> Summary {
+    let cliques = parallel_cliques(g, CliqueScope::AllNodes, threads);
+    let nodes = data_nodes_ordered(g);
+    let partition = weak_partition(&cliques, &nodes);
+    quotient_summary(g, SummaryKind::Weak, &partition, |_, members| {
+        let (tc, sc) = class_property_sets(&cliques, members);
+        n_uri(g.dict(), &tc, &sc)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::sample_graph;
+    use rdf_io::write_graph;
+
+    fn canonical(g: &Graph) -> Vec<String> {
+        let mut v: Vec<String> = write_graph(g).lines().map(String::from).collect();
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn parallel_cliques_match_sequential() {
+        let g = sample_graph();
+        for threads in [1, 2, 3, 8] {
+            let par = parallel_cliques(&g, CliqueScope::AllNodes, threads);
+            let seq = Cliques::compute(&g, CliqueScope::AllNodes);
+            // Same clique families (compare as sorted sets of sorted vecs).
+            let norm = |cl: &Vec<Vec<TermId>>| {
+                let mut v = cl.clone();
+                v.sort();
+                v
+            };
+            assert_eq!(norm(&par.source_cliques), norm(&seq.source_cliques));
+            assert_eq!(norm(&par.target_cliques), norm(&seq.target_cliques));
+            assert!(par.check_partition_invariant(&g));
+        }
+    }
+
+    #[test]
+    fn parallel_weak_equals_sequential_weak() {
+        let g = sample_graph();
+        for threads in [1, 2, 4] {
+            let par = parallel_weak_summary(&g, threads);
+            let seq = crate::weak::weak_summary(&g);
+            assert_eq!(canonical(&par.graph), canonical(&seq.graph));
+        }
+    }
+
+    #[test]
+    fn untyped_scope_parallel() {
+        let g = sample_graph();
+        let par = parallel_cliques(&g, CliqueScope::UntypedOnly, 3);
+        let seq = Cliques::compute(&g, CliqueScope::UntypedOnly);
+        let norm = |cl: &Vec<Vec<TermId>>| {
+            let mut v = cl.clone();
+            v.sort();
+            v
+        };
+        assert_eq!(norm(&par.source_cliques), norm(&seq.source_cliques));
+        assert_eq!(norm(&par.target_cliques), norm(&seq.target_cliques));
+    }
+
+    #[test]
+    fn more_threads_than_triples() {
+        let mut g = Graph::new();
+        g.add_iri_triple("a", "p", "b");
+        let s = parallel_weak_summary(&g, 64);
+        assert_eq!(s.graph.data().len(), 1);
+    }
+}

@@ -1,0 +1,213 @@
+//! Generic quotient-graph construction — Definitions 4 and 9 of the paper.
+//!
+//! Given a graph `G` and a partition of its data nodes, the summary is the
+//! RDF graph with:
+//!
+//! * **SCH** — the same schema triples as `G` (copied verbatim);
+//! * **TYP+DAT** — one node per partition class, an edge
+//!   `n_{S1} --p--> n_{S2}` iff some `n1 ∈ S1`, `n2 ∈ S2` with
+//!   `n1 --p--> n2 ∈ G`, and a τ edge `n_S --τ--> c` iff some member of `S`
+//!   has type `c`. Class nodes and property URIs keep their identity.
+//!
+//! The summary graph gets its own dictionary; the `class_uri` callback
+//! provides the URI of each partition class (the paper's representation
+//! functions `N` / `C`).
+
+use crate::equivalence::Partition;
+use crate::summary::{Summary, SummaryKind};
+use rdf_model::{FxHashMap, Graph, Term, TermId, Triple};
+
+/// Builds the quotient summary of `g` under `partition`.
+///
+/// `partition` must cover every data node of `g` (subjects/objects of D_G
+/// and subjects of T_G); `class_uri(i, members)` must return a distinct URI
+/// per class `i`.
+///
+/// # Panics
+/// Panics (in debug builds) when the partition misses a data node.
+pub fn quotient_summary(
+    g: &Graph,
+    kind: SummaryKind,
+    partition: &Partition,
+    mut class_uri: impl FnMut(usize, &[TermId]) -> String,
+) -> Summary {
+    let mut h = Graph::new();
+
+    // H node per partition class.
+    let mut class_node: Vec<TermId> = Vec::with_capacity(partition.classes.len());
+    for (i, members) in partition.classes.iter().enumerate() {
+        let uri = class_uri(i, members);
+        class_node.push(h.dict_mut().encode(Term::iri(uri)));
+    }
+
+    // Cross-dictionary cache for constants that keep their identity:
+    // properties, class URIs, schema terms.
+    let mut xfer: FxHashMap<TermId, TermId> = FxHashMap::default();
+    let mut transfer = |id: TermId, g: &Graph, h: &mut Graph| -> TermId {
+        if let Some(&cached) = xfer.get(&id) {
+            return cached;
+        }
+        let hid = h.dict_mut().encode(g.dict().decode(id).clone());
+        xfer.insert(id, hid);
+        hid
+    };
+
+    // rd: G data node → H node.
+    let mut node_map: FxHashMap<TermId, TermId> = FxHashMap::default();
+    node_map.reserve(partition.class_of.len());
+    for (&n, &c) in &partition.class_of {
+        node_map.insert(n, class_node[c]);
+    }
+    let map = |id: TermId, node_map: &FxHashMap<TermId, TermId>| -> TermId {
+        debug_assert!(
+            node_map.contains_key(&id),
+            "partition must cover every data node"
+        );
+        node_map[&id]
+    };
+
+    // SCH: schema copied verbatim.
+    for t in g.schema() {
+        let s = transfer(t.s, g, &mut h);
+        let p = transfer(t.p, g, &mut h);
+        let o = transfer(t.o, g, &mut h);
+        h.insert_encoded(Triple::new(s, p, o));
+    }
+    // DAT: quotient of data triples.
+    for t in g.data() {
+        let s = map(t.s, &node_map);
+        let p = transfer(t.p, g, &mut h);
+        let o = map(t.o, &node_map);
+        h.insert_encoded(Triple::new(s, p, o));
+    }
+    // TYP: quotient of type triples; classes keep their URIs.
+    let tau = h.rdf_type();
+    for t in g.types() {
+        let s = map(t.s, &node_map);
+        let c = transfer(t.o, g, &mut h);
+        h.insert_encoded(Triple::new(s, tau, c));
+    }
+
+    Summary::new(kind, h, node_map)
+}
+
+/// Checks the defining property of a quotient (Definition 4): `H` has an
+/// edge `nS1 --a--> nS2` iff `G` has an edge `n1 --a--> n2` with
+/// `ni ∈ Si`. The "if" direction is guaranteed by construction; this
+/// verifies "only if" — every summary edge has at least one witness pair —
+/// plus full coverage of `G`'s data/type triples. Used by tests and
+/// property checks.
+pub fn verify_quotient(g: &Graph, summary: &Summary) -> bool {
+    // Every G data/type triple is represented in H.
+    let h = &summary.graph;
+    let witness_ok = g.data().iter().all(|t| {
+        let (Some(s), Some(o)) = (summary.representative(t.s), summary.representative(t.o))
+        else {
+            return false;
+        };
+        let Some(p) = h.dict().lookup(g.dict().decode(t.p)) else {
+            return false;
+        };
+        h.contains(Triple::new(s, p, o))
+    }) && g.types().iter().all(|t| {
+        let Some(s) = summary.representative(t.s) else {
+            return false;
+        };
+        let Some(c) = h.dict().lookup(g.dict().decode(t.o)) else {
+            return false;
+        };
+        h.contains(Triple::new(s, h.rdf_type(), c))
+    });
+    if !witness_ok {
+        return false;
+    }
+    // Every H data edge has a witness in G.
+    let mut g_edges: rdf_model::FxHashSet<(TermId, TermId, TermId)> = Default::default();
+    for t in g.data() {
+        let s = summary.representative(t.s).unwrap();
+        let o = summary.representative(t.o).unwrap();
+        let p = h.dict().lookup(g.dict().decode(t.p)).unwrap();
+        g_edges.insert((s, p, o));
+    }
+    let data_ok = h
+        .data()
+        .iter()
+        .all(|t| g_edges.contains(&(t.s, t.p, t.o)));
+    let mut g_types: rdf_model::FxHashSet<(TermId, TermId)> = Default::default();
+    for t in g.types() {
+        let s = summary.representative(t.s).unwrap();
+        let c = h.dict().lookup(g.dict().decode(t.o)).unwrap();
+        g_types.insert((s, c));
+    }
+    let type_ok = h.types().iter().all(|t| g_types.contains(&(t.s, t.o)));
+    // Schema copied verbatim (as terms).
+    let schema_ok = g.schema().len() == h.schema().len()
+        && g.schema().iter().all(|t| {
+            let (Some(s), Some(p), Some(o)) = (
+                h.dict().lookup(g.dict().decode(t.s)),
+                h.dict().lookup(g.dict().decode(t.p)),
+                h.dict().lookup(g.dict().decode(t.o)),
+            ) else {
+                return false;
+            };
+            h.contains(Triple::new(s, p, o))
+        });
+    data_ok && type_ok && schema_ok
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::equivalence::{data_nodes_ordered, Partition};
+    use crate::fixtures::sample_graph;
+
+    /// The identity partition gives a summary isomorphic to G itself.
+    #[test]
+    fn identity_partition_roundtrip() {
+        let g = sample_graph();
+        let nodes = data_nodes_ordered(&g);
+        let p = Partition::group_by(&nodes, |n| n);
+        let s = quotient_summary(&g, SummaryKind::Weak, &p, |i, _| format!("urn:q:{i}"));
+        assert_eq!(s.graph.data().len(), g.data().len());
+        assert_eq!(s.graph.types().len(), g.types().len());
+        assert!(verify_quotient(&g, &s));
+        assert!(s.check_correspondence_invariants());
+    }
+
+    /// Collapsing everything to one node keeps one edge per (p, τ-class).
+    #[test]
+    fn total_collapse() {
+        let g = sample_graph();
+        let nodes = data_nodes_ordered(&g);
+        let p = Partition::group_by(&nodes, |_| 0u8);
+        let s = quotient_summary(&g, SummaryKind::Weak, &p, |_, _| "urn:q:all".into());
+        // One node; self-loops for the 6 distinct properties.
+        assert_eq!(s.graph.data().len(), 6);
+        // 3 distinct classes → 3 τ edges.
+        assert_eq!(s.graph.types().len(), 3);
+        assert!(verify_quotient(&g, &s));
+    }
+
+    #[test]
+    fn schema_is_copied() {
+        let g = crate::fixtures::figure5_graph();
+        let nodes = data_nodes_ordered(&g);
+        let p = Partition::group_by(&nodes, |n| n);
+        let s = quotient_summary(&g, SummaryKind::Weak, &p, |i, _| format!("urn:q:{i}"));
+        assert_eq!(s.graph.schema().len(), 2);
+        assert!(verify_quotient(&g, &s));
+    }
+
+    #[test]
+    fn verify_quotient_detects_missing_edges() {
+        let g = sample_graph();
+        let nodes = data_nodes_ordered(&g);
+        let p = Partition::group_by(&nodes, |n| n);
+        let mut s = quotient_summary(&g, SummaryKind::Weak, &p, |i, _| format!("urn:q:{i}"));
+        // Sabotage: add an unjustified edge to H.
+        let a = s.graph.dict_mut().encode(Term::iri("urn:q:0"));
+        let b = s.graph.dict_mut().encode(Term::iri("urn:fake:prop"));
+        s.graph.insert_encoded(Triple::new(a, b, a));
+        assert!(!verify_quotient(&g, &s));
+    }
+}

@@ -1,0 +1,214 @@
+//! The [`Summary`] type: an RDF graph `H_G` plus the node correspondence
+//! with the summarized graph.
+//!
+//! Definition 9 of the paper: `H_G = ⟨D_H, S_H, T_H⟩` where the schema is
+//! copied verbatim and `T_H ∪ D_H` is the quotient of `T_G ∪ D_G` by a node
+//! equivalence. The correspondence maps are the paper's `rd` (graph node →
+//! summary node) and `dr` (summary node → represented nodes) structures
+//! from §6.1.
+
+use rdf_model::{FxHashMap, Graph, GraphStats, TermId};
+
+/// Which of the paper's summaries a [`Summary`] is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SummaryKind {
+    /// W_G — weak summary (Definition 11).
+    Weak,
+    /// S_G — strong summary (Definition 15).
+    Strong,
+    /// TW_G — typed weak summary (Definition 14).
+    TypedWeak,
+    /// TS_G — typed strong summary (Definition 17).
+    TypedStrong,
+    /// T_G — type-based summary (Definition 12), a building block of the
+    /// typed summaries that is also useful on its own.
+    TypeBased,
+    /// A forward–backward bisimulation quotient — the related-work
+    /// baseline of §8, for size comparisons (see [`crate::bisim`]).
+    Bisimulation,
+}
+
+impl SummaryKind {
+    /// All four principal summaries, in the paper's presentation order.
+    pub const ALL: [SummaryKind; 4] = [
+        SummaryKind::Weak,
+        SummaryKind::Strong,
+        SummaryKind::TypedWeak,
+        SummaryKind::TypedStrong,
+    ];
+
+    /// The paper's notation for this summary.
+    pub fn notation(self) -> &'static str {
+        match self {
+            SummaryKind::Weak => "W",
+            SummaryKind::Strong => "S",
+            SummaryKind::TypedWeak => "TW",
+            SummaryKind::TypedStrong => "TS",
+            SummaryKind::TypeBased => "T",
+            SummaryKind::Bisimulation => "FB",
+        }
+    }
+}
+
+impl std::fmt::Display for SummaryKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.notation())
+    }
+}
+
+/// Size figures for a summary, matching the series of Figures 11 and 12.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SummaryStats {
+    /// Data nodes of H (Figure 11, top).
+    pub data_nodes: usize,
+    /// Class nodes of H.
+    pub class_nodes: usize,
+    /// All nodes of H (Figure 11, bottom).
+    pub all_nodes: usize,
+    /// Data edges |D_H|_e (Figure 12, top).
+    pub data_edges: usize,
+    /// Type edges |T_H|_e.
+    pub type_edges: usize,
+    /// Schema edges |S_H|_e.
+    pub schema_edges: usize,
+    /// All edges |H|_e (Figure 12, bottom).
+    pub all_edges: usize,
+}
+
+impl SummaryStats {
+    /// Measures a summary graph.
+    pub fn of(h: &Graph) -> Self {
+        let st = GraphStats::of(h);
+        SummaryStats {
+            data_nodes: st.data_nodes,
+            class_nodes: st.class_nodes,
+            all_nodes: st.nodes,
+            data_edges: st.data_edges,
+            type_edges: st.type_edges,
+            schema_edges: st.schema_edges,
+            all_edges: st.edges,
+        }
+    }
+}
+
+/// A summary `H_G` of some graph `G`, with the node correspondence.
+#[derive(Clone, Debug)]
+pub struct Summary {
+    /// Which summary this is.
+    pub kind: SummaryKind,
+    /// The summary RDF graph (its own dictionary).
+    pub graph: Graph,
+    /// `rd`: G data node → H node.
+    pub(crate) node_map: FxHashMap<TermId, TermId>,
+    /// `dr`: H node → represented G data nodes.
+    pub(crate) rev_map: FxHashMap<TermId, Vec<TermId>>,
+}
+
+impl Summary {
+    /// Creates a summary from its parts (used by the builders).
+    pub(crate) fn new(
+        kind: SummaryKind,
+        graph: Graph,
+        node_map: FxHashMap<TermId, TermId>,
+    ) -> Self {
+        let mut rev_map: FxHashMap<TermId, Vec<TermId>> = FxHashMap::default();
+        for (&gn, &hn) in &node_map {
+            rev_map.entry(hn).or_default().push(gn);
+        }
+        for v in rev_map.values_mut() {
+            v.sort_unstable();
+        }
+        Summary {
+            kind,
+            graph,
+            node_map,
+            rev_map,
+        }
+    }
+
+    /// The summary node representing a G data node (`rd` lookup).
+    pub fn representative(&self, g_node: TermId) -> Option<TermId> {
+        self.node_map.get(&g_node).copied()
+    }
+
+    /// The G data nodes represented by a summary node (`dr` lookup),
+    /// sorted by id; empty for nodes that represent nothing (class nodes).
+    pub fn extent(&self, h_node: TermId) -> &[TermId] {
+        self.rev_map.get(&h_node).map_or(&[], |v| v)
+    }
+
+    /// Number of summary data nodes (distinct representatives).
+    pub fn n_summary_nodes(&self) -> usize {
+        self.rev_map.len()
+    }
+
+    /// Number of represented G data nodes.
+    pub fn n_represented(&self) -> usize {
+        self.node_map.len()
+    }
+
+    /// Size statistics (Figures 11/12 series).
+    pub fn stats(&self) -> SummaryStats {
+        SummaryStats::of(&self.graph)
+    }
+
+    /// The compression ratio `|H|_e / |G|_e` against a given input size.
+    pub fn compression_ratio(&self, input_edges: usize) -> f64 {
+        if input_edges == 0 {
+            return 0.0;
+        }
+        self.graph.len() as f64 / input_edges as f64
+    }
+
+    /// Well-formedness of the correspondence: every represented node maps
+    /// into an existing extent, extents partition the represented nodes.
+    pub fn check_correspondence_invariants(&self) -> bool {
+        let total: usize = self.rev_map.values().map(Vec::len).sum();
+        total == self.node_map.len()
+            && self
+                .node_map
+                .iter()
+                .all(|(gn, hn)| self.rev_map.get(hn).is_some_and(|v| v.binary_search(gn).is_ok()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_notation() {
+        assert_eq!(SummaryKind::Weak.to_string(), "W");
+        assert_eq!(SummaryKind::TypedStrong.to_string(), "TS");
+        assert_eq!(SummaryKind::ALL.len(), 4);
+    }
+
+    #[test]
+    fn correspondence_roundtrip() {
+        let mut node_map = FxHashMap::default();
+        node_map.insert(TermId(10), TermId(0));
+        node_map.insert(TermId(11), TermId(0));
+        node_map.insert(TermId(12), TermId(1));
+        let s = Summary::new(SummaryKind::Weak, Graph::new(), node_map);
+        assert_eq!(s.representative(TermId(10)), Some(TermId(0)));
+        assert_eq!(s.extent(TermId(0)), &[TermId(10), TermId(11)]);
+        assert_eq!(s.extent(TermId(1)), &[TermId(12)]);
+        assert_eq!(s.extent(TermId(9)), &[] as &[TermId]);
+        assert_eq!(s.n_summary_nodes(), 2);
+        assert_eq!(s.n_represented(), 3);
+        assert!(s.check_correspondence_invariants());
+    }
+
+    #[test]
+    fn stats_of_empty() {
+        let s = SummaryStats::of(&Graph::new());
+        assert_eq!(s, SummaryStats::default());
+    }
+
+    #[test]
+    fn compression_ratio() {
+        let s = Summary::new(SummaryKind::Weak, Graph::new(), FxHashMap::default());
+        assert_eq!(s.compression_ratio(0), 0.0);
+        assert_eq!(s.compression_ratio(100), 0.0);
+    }
+}

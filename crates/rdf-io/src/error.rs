@@ -1,0 +1,126 @@
+//! Error reporting for RDF parsing and loading, with source positions.
+
+use std::fmt;
+
+/// A parse error with 1-based line and column information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number in the input.
+    pub line: usize,
+    /// 1-based column (character offset) in the line.
+    pub column: usize,
+    /// What went wrong.
+    pub kind: ParseErrorKind,
+}
+
+/// The specific syntax problem encountered.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseErrorKind {
+    /// Expected a specific token or character.
+    Expected(&'static str),
+    /// An invalid character appeared inside an IRI reference.
+    InvalidIriChar(char),
+    /// A bad escape sequence inside a literal or IRI.
+    BadEscape(String),
+    /// A `\u`/`\U` escape did not encode a valid Unicode scalar.
+    BadCodepoint(u32),
+    /// A language tag was malformed.
+    BadLangTag(String),
+    /// A blank node label was malformed.
+    BadBlankNode(String),
+    /// The line ended in the middle of a term.
+    UnexpectedEof,
+    /// Extra content followed the terminating `.`.
+    TrailingContent,
+    /// The triple was syntactically valid but not well-formed RDF
+    /// (e.g. literal subject); carries the model error message.
+    Model(String),
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}, column {}: ", self.line, self.column)?;
+        match &self.kind {
+            ParseErrorKind::Expected(what) => write!(f, "expected {what}"),
+            ParseErrorKind::InvalidIriChar(c) => {
+                write!(f, "invalid character {c:?} in IRI reference")
+            }
+            ParseErrorKind::BadEscape(e) => write!(f, "bad escape sequence `\\{e}`"),
+            ParseErrorKind::BadCodepoint(cp) => {
+                write!(f, "escape U+{cp:04X} is not a Unicode scalar value")
+            }
+            ParseErrorKind::BadLangTag(t) => write!(f, "malformed language tag `{t}`"),
+            ParseErrorKind::BadBlankNode(l) => write!(f, "malformed blank node label `{l}`"),
+            ParseErrorKind::UnexpectedEof => write!(f, "unexpected end of line"),
+            ParseErrorKind::TrailingContent => {
+                write!(f, "unexpected content after terminating `.`")
+            }
+            ParseErrorKind::Model(m) => write!(f, "not well-formed: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Errors from loading RDF files.
+#[derive(Debug)]
+pub enum LoadError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Syntax error in the input.
+    Parse(ParseError),
+}
+
+impl fmt::Display for LoadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LoadError::Io(e) => write!(f, "I/O error: {e}"),
+            LoadError::Parse(e) => write!(f, "parse error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+impl From<std::io::Error> for LoadError {
+    fn from(e: std::io::Error) -> Self {
+        LoadError::Io(e)
+    }
+}
+
+impl From<ParseError> for LoadError {
+    fn from(e: ParseError) -> Self {
+        LoadError::Parse(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_position() {
+        let e = ParseError {
+            line: 3,
+            column: 14,
+            kind: ParseErrorKind::Expected("`.`"),
+        };
+        let s = e.to_string();
+        assert!(s.contains("line 3"));
+        assert!(s.contains("column 14"));
+        assert!(s.contains("expected `.`"));
+    }
+
+    #[test]
+    fn load_error_conversions() {
+        let io: LoadError = std::io::Error::new(std::io::ErrorKind::NotFound, "gone").into();
+        assert!(io.to_string().contains("gone"));
+        let pe: LoadError = ParseError {
+            line: 1,
+            column: 1,
+            kind: ParseErrorKind::UnexpectedEof,
+        }
+        .into();
+        assert!(pe.to_string().contains("unexpected end of line"));
+    }
+}

@@ -1,0 +1,82 @@
+//! # rdf-io
+//!
+//! Input/output for the `rdfsummary` workspace: a complete N-Triples 1.1
+//! parser and serializer (the input format the paper's loader supports, §6),
+//! plus GraphViz DOT export for visualizing graphs and their summaries.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dot;
+pub mod error;
+pub mod ntriples;
+pub mod turtle;
+pub mod writer;
+
+pub use dot::{to_dot, DotOptions};
+pub use error::{LoadError, ParseError, ParseErrorKind};
+pub use ntriples::{load_path, parse_graph, parse_line, parse_str};
+pub use turtle::write_turtle;
+pub use writer::{save_path, write_graph, write_term, write_triple};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use rdf_model::Term;
+
+    fn arb_object() -> impl Strategy<Value = Term> {
+        prop_oneof![
+            "[a-z]{1,8}".prop_map(|s| Term::iri(format!("http://x/{s}"))),
+            "[a-z][a-z0-9]{0,6}".prop_map(Term::blank),
+            proptest::string::string_regex("[ -~]{0,16}")
+                .unwrap()
+                .prop_map(Term::literal),
+            ("[a-zA-Z ]{0,10}", "[a-z]{2,3}").prop_map(|(l, t)| Term::lang_literal(l, t)),
+            ("[0-9]{1,6}", "[a-z]{1,6}")
+                .prop_map(|(l, d)| Term::typed_literal(l, format!("http://dt/{d}"))),
+        ]
+    }
+
+    proptest! {
+        /// write ∘ parse = identity on terms, including tricky literals.
+        #[test]
+        fn term_roundtrip(o in arb_object()) {
+            let line = format!(
+                "<http://x/s> <http://x/p> {} .",
+                writer::write_term(&o)
+            );
+            let parsed = ntriples::parse_line(&line, 1).unwrap().unwrap();
+            prop_assert_eq!(parsed.2, o);
+        }
+
+        /// Any graph survives an N-Triples round trip with the same triples.
+        #[test]
+        fn graph_roundtrip(
+            triples in proptest::collection::vec(
+                ("[a-c]{1,2}", "[p-q]", "[a-c]{1,2}"), 1..32
+            )
+        ) {
+            let mut g = rdf_model::Graph::new();
+            for (s, p, o) in &triples {
+                g.add_iri_triple(
+                    &format!("http://x/{s}"),
+                    &format!("http://x/{p}"),
+                    &format!("http://x/{o}"),
+                );
+            }
+            let text = writer::write_graph(&g);
+            let g2 = ntriples::parse_graph(&text).unwrap();
+            prop_assert_eq!(g.len(), g2.len());
+            for t in g2.iter() {
+                let term_line = writer::write_triple(&g2, t);
+                // Re-encode into g's dictionary and check membership.
+                let (s, p, o) = ntriples::parse_line(&term_line, 1).unwrap().unwrap();
+                let sid = g.dict().lookup(&s).unwrap();
+                let pid = g.dict().lookup(&p).unwrap();
+                let oid = g.dict().lookup(&o).unwrap();
+                prop_assert!(g.contains(rdf_model::Triple::new(sid, pid, oid)));
+            }
+        }
+    }
+}

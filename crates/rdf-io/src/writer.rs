@@ -1,0 +1,148 @@
+//! N-Triples serialization, the inverse of [`crate::ntriples`].
+//!
+//! Escaping follows the canonical N-Triples form: `\` `"` and the control
+//! characters TAB, LF, CR, BS, FF are escaped in literals; IRIs are written
+//! verbatim (characters outside the IRI production would have been rejected
+//! at parse time; writers receiving hand-built terms escape the forbidden
+//! ASCII range with `\u` escapes).
+
+use rdf_model::{Graph, LiteralKind, Term, Triple};
+use std::fmt::Write as _;
+
+/// Escapes a literal's lexical form for N-Triples output.
+pub fn escape_literal(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{8}' => out.push_str("\\b"),
+            '\u{c}' => out.push_str("\\f"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escapes an IRI for N-Triples output (`\u` escapes for characters the
+/// IRIREF production forbids).
+pub fn escape_iri(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        if (c as u32) <= 0x20 || "<>\"{}|^`\\".contains(c) {
+            let _ = write!(out, "\\u{:04X}", c as u32);
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// Serializes one term in N-Triples syntax.
+pub fn write_term(term: &Term) -> String {
+    match term {
+        Term::Iri(iri) => format!("<{}>", escape_iri(iri)),
+        Term::Blank(label) => format!("_:{label}"),
+        Term::Literal { lexical, kind } => {
+            let body = escape_literal(lexical);
+            match kind {
+                LiteralKind::Simple => format!("\"{body}\""),
+                LiteralKind::Lang(tag) => format!("\"{body}\"@{tag}"),
+                LiteralKind::Typed(dt) => format!("\"{body}\"^^<{}>", escape_iri(dt)),
+            }
+        }
+    }
+}
+
+/// Serializes one encoded triple of `g` as an N-Triples line (no newline).
+pub fn write_triple(g: &Graph, t: Triple) -> String {
+    let d = g.dict();
+    format!(
+        "{} {} {} .",
+        write_term(d.decode(t.s)),
+        write_term(d.decode(t.p)),
+        write_term(d.decode(t.o))
+    )
+}
+
+/// Serializes a whole graph as an N-Triples document (data, then type, then
+/// schema triples, each in insertion order).
+pub fn write_graph(g: &Graph) -> String {
+    let mut out = String::new();
+    for t in g.iter() {
+        out.push_str(&write_triple(g, t));
+        out.push('\n');
+    }
+    out
+}
+
+/// Writes a graph to a file in N-Triples format.
+pub fn save_path(g: &Graph, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+    std::fs::write(path, write_graph(g))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ntriples::{parse_graph, parse_line};
+
+    #[test]
+    fn escapes_literals() {
+        assert_eq!(escape_literal("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape_literal("plain"), "plain");
+    }
+
+    #[test]
+    fn escapes_iris() {
+        assert_eq!(escape_iri("http://x/ok"), "http://x/ok");
+        assert_eq!(escape_iri("http://x/a b"), "http://x/a\\u0020b");
+    }
+
+    #[test]
+    fn term_forms() {
+        assert_eq!(write_term(&Term::iri("http://x/a")), "<http://x/a>");
+        assert_eq!(write_term(&Term::blank("b")), "_:b");
+        assert_eq!(write_term(&Term::literal("x")), "\"x\"");
+        assert_eq!(write_term(&Term::lang_literal("x", "en")), "\"x\"@en");
+        assert_eq!(
+            write_term(&Term::typed_literal("1", "dt:int")),
+            "\"1\"^^<dt:int>"
+        );
+    }
+
+    #[test]
+    fn graph_roundtrip() {
+        let doc = concat!(
+            "<http://x/s> <http://x/p> \"a\\nb\" .\n",
+            "<http://x/s> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://x/C> .\n",
+            "_:b <http://x/q> \"v\"@en .\n",
+        );
+        let g = parse_graph(doc).unwrap();
+        let out = write_graph(&g);
+        let g2 = parse_graph(&out).unwrap();
+        assert_eq!(g.len(), g2.len());
+        // Every triple survives the round trip (semantically).
+        let lines1: std::collections::BTreeSet<_> = out.lines().collect();
+        let out2 = write_graph(&g2);
+        let lines2: std::collections::BTreeSet<_> = out2.lines().collect();
+        assert_eq!(lines1, lines2);
+    }
+
+    #[test]
+    fn written_lines_reparse() {
+        let mut g = Graph::new();
+        g.insert(
+            Term::iri("http://x/s"),
+            Term::iri("http://x/p"),
+            Term::literal("tab\there \"quoted\""),
+        )
+        .unwrap();
+        let line = write_triple(&g, g.data()[0]);
+        let (s, _p, o) = parse_line(&line, 1).unwrap().unwrap();
+        assert_eq!(s, Term::iri("http://x/s"));
+        assert_eq!(o, Term::literal("tab\there \"quoted\""));
+    }
+}

@@ -1,0 +1,185 @@
+//! The term dictionary: a two-way mapping between RDF terms and dense
+//! integer ids.
+//!
+//! This mirrors the paper's Postgres `dictionary` table (§6): "For each
+//! resource from G, the dictionary table stores its unique integer value.
+//! Operating on integers instead of strings provides for savings both in
+//! processing time and memory." Here the dictionary is an in-memory interner;
+//! ids are dense (`0..len`), assigned in first-seen order, so algorithms can
+//! allocate `Vec`-based side tables indexed by id.
+
+use crate::hash::FxHashMap;
+use crate::ids::TermId;
+use crate::term::{SharedTerm, Term};
+use std::sync::Arc;
+
+/// Interns RDF terms, assigning each distinct term a dense [`TermId`].
+#[derive(Default, Clone, Debug)]
+pub struct Dictionary {
+    forward: Vec<SharedTerm>,
+    reverse: FxHashMap<SharedTerm, TermId>,
+}
+
+impl Dictionary {
+    /// Creates an empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty dictionary with capacity for `n` terms.
+    pub fn with_capacity(n: usize) -> Self {
+        Dictionary {
+            forward: Vec::with_capacity(n),
+            reverse: FxHashMap::with_capacity_and_hasher(n, Default::default()),
+        }
+    }
+
+    /// Interns `term`, returning its id (allocating a fresh id for unseen
+    /// terms). The term's string data is stored once and shared.
+    pub fn encode(&mut self, term: Term) -> TermId {
+        if let Some(&id) = self.reverse.get(&term) {
+            return id;
+        }
+        let id = TermId::from_index(self.forward.len());
+        let shared: SharedTerm = Arc::new(term);
+        self.forward.push(Arc::clone(&shared));
+        self.reverse.insert(shared, id);
+        id
+    }
+
+    /// Looks up a term's id without interning it.
+    pub fn lookup(&self, term: &Term) -> Option<TermId> {
+        self.reverse.get(term).copied()
+    }
+
+    /// Decodes an id back into its term.
+    ///
+    /// # Panics
+    /// Panics if `id` was not produced by this dictionary.
+    pub fn decode(&self, id: TermId) -> &Term {
+        &self.forward[id.index()]
+    }
+
+    /// Decodes an id if it is valid for this dictionary.
+    pub fn try_decode(&self, id: TermId) -> Option<&Term> {
+        self.forward.get(id.index()).map(|a| a.as_ref())
+    }
+
+    /// Number of distinct interned terms.
+    pub fn len(&self) -> usize {
+        self.forward.len()
+    }
+
+    /// True when no term has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.forward.is_empty()
+    }
+
+    /// Iterates `(id, term)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (TermId, &Term)> {
+        self.forward
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (TermId::from_index(i), t.as_ref()))
+    }
+
+    /// Interns an IRI given as a string (hot path for loaders).
+    pub fn encode_iri(&mut self, iri: impl Into<String>) -> TermId {
+        self.encode(Term::Iri(iri.into()))
+    }
+
+    /// Generates a fresh IRI of the form `{prefix}{n}` guaranteed not to
+    /// collide with any interned term, interning and returning it.
+    ///
+    /// This backs the paper's representation functions `N(TC, SC)` and
+    /// `C(X)`, which must return *new* URIs for summary nodes.
+    pub fn fresh_iri(&mut self, prefix: &str) -> TermId {
+        let mut n = self.forward.len();
+        loop {
+            let candidate = Term::Iri(format!("{prefix}{n}"));
+            if self.lookup(&candidate).is_none() {
+                return self.encode(candidate);
+            }
+            n += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_is_idempotent() {
+        let mut d = Dictionary::new();
+        let a = d.encode(Term::iri("http://x/a"));
+        let b = d.encode(Term::iri("http://x/a"));
+        assert_eq!(a, b);
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn ids_are_dense_and_first_seen_ordered() {
+        let mut d = Dictionary::new();
+        let a = d.encode(Term::iri("a"));
+        let b = d.encode(Term::literal("b"));
+        let c = d.encode(Term::blank("c"));
+        assert_eq!((a.index(), b.index(), c.index()), (0, 1, 2));
+    }
+
+    #[test]
+    fn decode_roundtrip() {
+        let mut d = Dictionary::new();
+        let terms = [
+            Term::iri("http://x/a"),
+            Term::literal("lit"),
+            Term::lang_literal("bonjour", "fr"),
+            Term::typed_literal("3", "http://www.w3.org/2001/XMLSchema#int"),
+            Term::blank("b0"),
+        ];
+        let ids: Vec<_> = terms.iter().cloned().map(|t| d.encode(t)).collect();
+        for (t, id) in terms.iter().zip(&ids) {
+            assert_eq!(d.decode(*id), t);
+            assert_eq!(d.lookup(t), Some(*id));
+        }
+    }
+
+    #[test]
+    fn distinct_literal_kinds_get_distinct_ids() {
+        let mut d = Dictionary::new();
+        let simple = d.encode(Term::literal("a"));
+        let lang = d.encode(Term::lang_literal("a", "en"));
+        let typed = d.encode(Term::typed_literal("a", "dt"));
+        assert_ne!(simple, lang);
+        assert_ne!(simple, typed);
+        assert_ne!(lang, typed);
+    }
+
+    #[test]
+    fn lookup_missing_is_none() {
+        let d = Dictionary::new();
+        assert_eq!(d.lookup(&Term::iri("nope")), None);
+        assert_eq!(d.try_decode(TermId(0)), None);
+    }
+
+    #[test]
+    fn fresh_iri_avoids_collisions() {
+        let mut d = Dictionary::new();
+        // Pre-intern something that could collide with the generator.
+        d.encode(Term::iri("sum:n1"));
+        let f1 = d.fresh_iri("sum:n");
+        let f2 = d.fresh_iri("sum:n");
+        assert_ne!(f1, f2);
+        assert_ne!(d.decode(f1), &Term::iri("sum:n1"));
+        assert!(d.decode(f1).as_iri().unwrap().starts_with("sum:n"));
+    }
+
+    #[test]
+    fn iter_visits_in_id_order() {
+        let mut d = Dictionary::new();
+        d.encode(Term::iri("a"));
+        d.encode(Term::iri("b"));
+        let collected: Vec<_> = d.iter().map(|(id, _)| id.index()).collect();
+        assert_eq!(collected, vec![0, 1]);
+    }
+}

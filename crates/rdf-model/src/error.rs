@@ -1,0 +1,49 @@
+//! Error types for the RDF data model layer.
+
+use crate::term::Term;
+use std::fmt;
+
+/// Errors raised when building RDF graphs from terms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// A literal appeared in subject position.
+    LiteralSubject(Term),
+    /// A non-IRI term appeared in property position.
+    NonIriProperty(Term),
+    /// The object of an `rdf:type` triple is not an IRI (the paper's RBGP
+    /// dialect and well-behaved graphs require class URIs there).
+    NonIriClass(Term),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::LiteralSubject(t) => {
+                write!(f, "literal {t} cannot appear in subject position")
+            }
+            ModelError::NonIriProperty(t) => {
+                write!(f, "term {t} cannot appear in property position (IRI required)")
+            }
+            ModelError::NonIriClass(t) => {
+                write!(f, "rdf:type object {t} must be a class IRI")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_mention_offender() {
+        let e = ModelError::LiteralSubject(Term::literal("x"));
+        assert!(e.to_string().contains("\"x\""));
+        let e = ModelError::NonIriProperty(Term::blank("b"));
+        assert!(e.to_string().contains("_:b"));
+        let e = ModelError::NonIriClass(Term::literal("c"));
+        assert!(e.to_string().contains("rdf:type"));
+    }
+}

@@ -1,0 +1,477 @@
+//! RDF graphs in triple-based representation `G = ⟨D_G, S_G, T_G⟩`.
+//!
+//! Following §2.1 of the paper, a graph's triples are partitioned into three
+//! components:
+//!
+//! * **S_G** (schema): triples whose property is one of ≺sc, ≺sp, ←↩d, ↪→r;
+//! * **T_G** (types): the `rdf:type` (τ) triples;
+//! * **D_G** (data): everything else.
+//!
+//! Each component is an RDF graph by itself; all three share one term
+//! [`Dictionary`]. Triples are dictionary-encoded on insertion, the graph is
+//! a *set* of triples (duplicates ignored), and insertion order is preserved
+//! inside each component — the scan order the streaming summarization
+//! algorithms (§6.2) see.
+
+use crate::dictionary::Dictionary;
+use crate::error::ModelError;
+use crate::hash::FxHashSet;
+use crate::ids::TermId;
+use crate::term::Term;
+use crate::triple::Triple;
+use crate::vocab;
+
+/// Which component of `G = ⟨D_G, S_G, T_G⟩` a triple belongs to.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum Component {
+    /// D_G — data triples.
+    Data,
+    /// T_G — `rdf:type` triples.
+    Type,
+    /// S_G — RDFS constraint triples.
+    Schema,
+}
+
+/// Dictionary ids of the five built-in properties every graph interns on
+/// construction (ids 0–4, in this order).
+#[derive(Clone, Copy, Debug)]
+pub struct WellKnown {
+    /// `rdf:type` (τ).
+    pub rdf_type: TermId,
+    /// `rdfs:subClassOf` (≺sc).
+    pub sub_class_of: TermId,
+    /// `rdfs:subPropertyOf` (≺sp).
+    pub sub_property_of: TermId,
+    /// `rdfs:domain` (←↩d).
+    pub domain: TermId,
+    /// `rdfs:range` (↪→r).
+    pub range: TermId,
+}
+
+impl WellKnown {
+    fn intern(dict: &mut Dictionary) -> Self {
+        WellKnown {
+            rdf_type: dict.encode_iri(vocab::RDF_TYPE),
+            sub_class_of: dict.encode_iri(vocab::RDFS_SUBCLASSOF),
+            sub_property_of: dict.encode_iri(vocab::RDFS_SUBPROPERTYOF),
+            domain: dict.encode_iri(vocab::RDFS_DOMAIN),
+            range: dict.encode_iri(vocab::RDFS_RANGE),
+        }
+    }
+
+    /// Classifies a property id into its component.
+    #[inline]
+    pub fn component_of(&self, p: TermId) -> Component {
+        if p == self.rdf_type {
+            Component::Type
+        } else if p == self.sub_class_of
+            || p == self.sub_property_of
+            || p == self.domain
+            || p == self.range
+        {
+            Component::Schema
+        } else {
+            Component::Data
+        }
+    }
+}
+
+/// An RDF graph: a set of dictionary-encoded triples partitioned into
+/// data / type / schema components.
+#[derive(Clone, Debug)]
+pub struct Graph {
+    dict: Dictionary,
+    data: Vec<Triple>,
+    types: Vec<Triple>,
+    schema: Vec<Triple>,
+    seen: FxHashSet<Triple>,
+    wk: WellKnown,
+}
+
+impl Default for Graph {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Graph {
+    /// Creates an empty graph. The five built-in properties are interned
+    /// eagerly so their ids are stable (`0..=4`).
+    pub fn new() -> Self {
+        let mut dict = Dictionary::new();
+        let wk = WellKnown::intern(&mut dict);
+        Graph {
+            dict,
+            data: Vec::new(),
+            types: Vec::new(),
+            schema: Vec::new(),
+            seen: FxHashSet::default(),
+            wk,
+        }
+    }
+
+    /// Creates an empty graph sized for roughly `triples` insertions.
+    pub fn with_capacity(triples: usize) -> Self {
+        let mut g = Self::new();
+        g.data.reserve(triples);
+        g.seen.reserve(triples);
+        g
+    }
+
+    /// The well-known property ids of this graph.
+    #[inline]
+    pub fn well_known(&self) -> WellKnown {
+        self.wk
+    }
+
+    /// Shorthand for the `rdf:type` id.
+    #[inline]
+    pub fn rdf_type(&self) -> TermId {
+        self.wk.rdf_type
+    }
+
+    /// Read access to the dictionary.
+    #[inline]
+    pub fn dict(&self) -> &Dictionary {
+        &self.dict
+    }
+
+    /// Mutable access to the dictionary (used by summary builders to mint
+    /// fresh summary-node URIs).
+    #[inline]
+    pub fn dict_mut(&mut self) -> &mut Dictionary {
+        &mut self.dict
+    }
+
+    /// Inserts a triple given as terms, validating well-formedness and
+    /// routing it to the proper component. Duplicate triples are ignored.
+    ///
+    /// Returns the encoded triple and the component it was routed to.
+    pub fn insert(&mut self, s: Term, p: Term, o: Term) -> Result<(Triple, Component), ModelError> {
+        if !s.valid_subject() {
+            return Err(ModelError::LiteralSubject(s));
+        }
+        if !p.valid_property() {
+            return Err(ModelError::NonIriProperty(p));
+        }
+        let is_type = p.as_iri().is_some_and(vocab::is_type_property);
+        if is_type && !o.is_iri() {
+            return Err(ModelError::NonIriClass(o));
+        }
+        let s = self.dict.encode(s);
+        let p = self.dict.encode(p);
+        let o = self.dict.encode(o);
+        Ok(self.insert_encoded(Triple::new(s, p, o)))
+    }
+
+    /// Inserts an already-encoded triple, routing by property id.
+    /// Duplicate triples are ignored. Returns the triple and its component.
+    pub fn insert_encoded(&mut self, t: Triple) -> (Triple, Component) {
+        let comp = self.wk.component_of(t.p);
+        if self.seen.insert(t) {
+            match comp {
+                Component::Data => self.data.push(t),
+                Component::Type => self.types.push(t),
+                Component::Schema => self.schema.push(t),
+            }
+        }
+        (t, comp)
+    }
+
+    /// Does the graph contain this encoded triple?
+    #[inline]
+    pub fn contains(&self, t: Triple) -> bool {
+        self.seen.contains(&t)
+    }
+
+    /// The data component D_G, in insertion order.
+    #[inline]
+    pub fn data(&self) -> &[Triple] {
+        &self.data
+    }
+
+    /// The type component T_G, in insertion order.
+    #[inline]
+    pub fn types(&self) -> &[Triple] {
+        &self.types
+    }
+
+    /// The schema component S_G, in insertion order.
+    #[inline]
+    pub fn schema(&self) -> &[Triple] {
+        &self.schema
+    }
+
+    /// The component a triple of this graph belongs to.
+    #[inline]
+    pub fn component_of(&self, t: Triple) -> Component {
+        self.wk.component_of(t.p)
+    }
+
+    /// Iterates all triples: data, then types, then schema.
+    pub fn iter(&self) -> impl Iterator<Item = Triple> + '_ {
+        self.data
+            .iter()
+            .chain(self.types.iter())
+            .chain(self.schema.iter())
+            .copied()
+    }
+
+    /// Total number of triples, `|G|_e`.
+    pub fn len(&self) -> usize {
+        self.data.len() + self.types.len() + self.schema.len()
+    }
+
+    /// True when the graph has no triples.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The set of *data nodes*: URIs or literals occurring as subject or
+    /// object in D_G, or as subject in T_G (§2.1).
+    pub fn data_nodes(&self) -> FxHashSet<TermId> {
+        let mut nodes = FxHashSet::default();
+        for t in &self.data {
+            nodes.insert(t.s);
+            nodes.insert(t.o);
+        }
+        for t in &self.types {
+            nodes.insert(t.s);
+        }
+        nodes
+    }
+
+    /// The set of *class nodes*: URIs in object position of T_G triples.
+    pub fn class_nodes(&self) -> FxHashSet<TermId> {
+        self.types.iter().map(|t| t.o).collect()
+    }
+
+    /// The set of *property nodes*: URIs in subject or object position of
+    /// ≺sp triples, or in subject position of ←↩d / ↪→r triples (§2.1).
+    pub fn property_nodes(&self) -> FxHashSet<TermId> {
+        let mut nodes = FxHashSet::default();
+        for t in &self.schema {
+            if t.p == self.wk.sub_property_of {
+                nodes.insert(t.s);
+                nodes.insert(t.o);
+            } else if t.p == self.wk.domain || t.p == self.wk.range {
+                nodes.insert(t.s);
+            }
+        }
+        nodes
+    }
+
+    /// All graph nodes (subjects and objects of all triples), `|G|_n` is the
+    /// size of this set.
+    pub fn nodes(&self) -> FxHashSet<TermId> {
+        let mut nodes = FxHashSet::default();
+        for t in self.iter() {
+            nodes.insert(t.s);
+            nodes.insert(t.o);
+        }
+        nodes
+    }
+
+    /// The distinct data properties (properties of D_G), `|D_G|⁰_p` is the
+    /// size of this set.
+    pub fn data_properties(&self) -> FxHashSet<TermId> {
+        self.data.iter().map(|t| t.p).collect()
+    }
+
+    /// The set of *typed resources* TR_G: subjects of T_G triples (§4.2).
+    pub fn typed_resources(&self) -> FxHashSet<TermId> {
+        self.types.iter().map(|t| t.s).collect()
+    }
+
+    /// Checks the paper's "well-behaved" conditions (§2.1): no class appears
+    /// in a property position, and classes have no properties besides
+    /// `rdf:type` and RDF-Schema ones. Returns the ids violating them.
+    pub fn well_behaved_violations(&self) -> Vec<TermId> {
+        let classes = self.class_nodes();
+        let mut bad = FxHashSet::default();
+        for t in &self.data {
+            if classes.contains(&t.p) {
+                bad.insert(t.p);
+            }
+            // A class with a data property (as subject) violates condition (ii).
+            if classes.contains(&t.s) {
+                bad.insert(t.s);
+            }
+        }
+        let mut v: Vec<_> = bad.into_iter().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Convenience: inserts a data/type/schema triple from IRI strings.
+    /// Intended for tests and examples; panics on malformed input.
+    pub fn add_iri_triple(&mut self, s: &str, p: &str, o: &str) -> Triple {
+        self.insert(Term::iri(s), Term::iri(p), Term::iri(o))
+            .expect("well-formed IRI triple")
+            .0
+    }
+
+    /// Convenience: inserts `s p "literal"`.
+    pub fn add_literal_triple(&mut self, s: &str, p: &str, lit: &str) -> Triple {
+        self.insert(Term::iri(s), Term::iri(p), Term::literal(lit))
+            .expect("well-formed literal triple")
+            .0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iri(s: &str) -> Term {
+        Term::iri(s)
+    }
+
+    #[test]
+    fn routing_to_components() {
+        let mut g = Graph::new();
+        let (_, c1) = g
+            .insert(iri("a"), iri("p"), iri("b"))
+            .unwrap();
+        let (_, c2) = g
+            .insert(iri("a"), iri(vocab::RDF_TYPE), iri("C"))
+            .unwrap();
+        let (_, c3) = g
+            .insert(iri("C"), iri(vocab::RDFS_SUBCLASSOF), iri("D"))
+            .unwrap();
+        let (_, c4) = g
+            .insert(iri("p"), iri(vocab::RDFS_DOMAIN), iri("C"))
+            .unwrap();
+        assert_eq!(c1, Component::Data);
+        assert_eq!(c2, Component::Type);
+        assert_eq!(c3, Component::Schema);
+        assert_eq!(c4, Component::Schema);
+        assert_eq!(g.data().len(), 1);
+        assert_eq!(g.types().len(), 1);
+        assert_eq!(g.schema().len(), 2);
+        assert_eq!(g.len(), 4);
+    }
+
+    #[test]
+    fn duplicates_are_ignored() {
+        let mut g = Graph::new();
+        g.add_iri_triple("a", "p", "b");
+        g.add_iri_triple("a", "p", "b");
+        assert_eq!(g.len(), 1);
+    }
+
+    #[test]
+    fn set_semantics_across_literal_kinds() {
+        let mut g = Graph::new();
+        g.insert(iri("a"), iri("p"), Term::literal("x")).unwrap();
+        g.insert(iri("a"), iri("p"), Term::lang_literal("x", "en"))
+            .unwrap();
+        assert_eq!(g.len(), 2, "distinct literal kinds are distinct objects");
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        let mut g = Graph::new();
+        assert!(matches!(
+            g.insert(Term::literal("L"), iri("p"), iri("b")),
+            Err(ModelError::LiteralSubject(_))
+        ));
+        assert!(matches!(
+            g.insert(iri("a"), Term::blank("b"), iri("b")),
+            Err(ModelError::NonIriProperty(_))
+        ));
+        assert!(matches!(
+            g.insert(iri("a"), iri(vocab::RDF_TYPE), Term::literal("C")),
+            Err(ModelError::NonIriClass(_))
+        ));
+        assert!(g.is_empty());
+    }
+
+    #[test]
+    fn node_classification() {
+        let mut g = Graph::new();
+        // data: a -p-> lit ; type: a τ C ; schema: q ≺sp p, p ←↩d C
+        g.insert(iri("a"), iri("p"), Term::literal("lit")).unwrap();
+        g.add_iri_triple("a", vocab::RDF_TYPE, "C");
+        g.add_iri_triple("q", vocab::RDFS_SUBPROPERTYOF, "p");
+        g.add_iri_triple("p", vocab::RDFS_DOMAIN, "C");
+
+        let d = g.dict();
+        let a = d.lookup(&iri("a")).unwrap();
+        let lit = d.lookup(&Term::literal("lit")).unwrap();
+        let c = d.lookup(&iri("C")).unwrap();
+        let p = d.lookup(&iri("p")).unwrap();
+        let q = d.lookup(&iri("q")).unwrap();
+
+        let data_nodes = g.data_nodes();
+        assert!(data_nodes.contains(&a) && data_nodes.contains(&lit));
+        assert!(!data_nodes.contains(&c));
+
+        let class_nodes = g.class_nodes();
+        assert_eq!(class_nodes.len(), 1);
+        assert!(class_nodes.contains(&c));
+
+        let prop_nodes = g.property_nodes();
+        assert!(prop_nodes.contains(&p) && prop_nodes.contains(&q));
+        assert!(!prop_nodes.contains(&a));
+    }
+
+    #[test]
+    fn typed_resources_are_type_subjects() {
+        let mut g = Graph::new();
+        g.add_iri_triple("a", vocab::RDF_TYPE, "C");
+        g.add_iri_triple("b", "p", "c");
+        let a = g.dict().lookup(&iri("a")).unwrap();
+        let tr = g.typed_resources();
+        assert_eq!(tr.len(), 1);
+        assert!(tr.contains(&a));
+    }
+
+    #[test]
+    fn well_behaved_detection() {
+        let mut g = Graph::new();
+        g.add_iri_triple("a", vocab::RDF_TYPE, "C");
+        // Class C used as a data property: violation.
+        g.add_iri_triple("x", "C", "y");
+        // Class C with a data property: violation.
+        g.add_iri_triple("C", "p", "z");
+        let v = g.well_behaved_violations();
+        let c = g.dict().lookup(&iri("C")).unwrap();
+        assert_eq!(v, vec![c]);
+
+        let mut ok = Graph::new();
+        ok.add_iri_triple("a", vocab::RDF_TYPE, "C");
+        ok.add_iri_triple("a", "p", "b");
+        assert!(ok.well_behaved_violations().is_empty());
+    }
+
+    #[test]
+    fn iteration_covers_all_components() {
+        let mut g = Graph::new();
+        g.add_iri_triple("a", "p", "b");
+        g.add_iri_triple("a", vocab::RDF_TYPE, "C");
+        g.add_iri_triple("C", vocab::RDFS_SUBCLASSOF, "D");
+        assert_eq!(g.iter().count(), 3);
+        let nodes = g.nodes();
+        assert_eq!(nodes.len(), 4); // a, b, C, D (properties are labels, not nodes)
+    }
+
+    #[test]
+    fn contains_encoded() {
+        let mut g = Graph::new();
+        let t = g.add_iri_triple("a", "p", "b");
+        assert!(g.contains(t));
+        assert!(!g.contains(Triple::new(t.s, t.p, t.s)));
+    }
+
+    #[test]
+    fn well_known_ids_are_stable() {
+        let g = Graph::new();
+        let wk = g.well_known();
+        assert_eq!(wk.rdf_type, TermId(0));
+        assert_eq!(wk.sub_class_of, TermId(1));
+        assert_eq!(wk.sub_property_of, TermId(2));
+        assert_eq!(wk.domain, TermId(3));
+        assert_eq!(wk.range, TermId(4));
+    }
+}

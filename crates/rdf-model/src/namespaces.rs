@@ -1,0 +1,112 @@
+//! Prefix/namespace management for readable term display.
+//!
+//! Summaries and examples print many IRIs; qualified names (`bsbm:Product`)
+//! are far easier to read than full IRIs. This module provides a small prefix
+//! map supporting expansion (`bsbm:Product` → IRI) and compaction (IRI →
+//! shortest matching qualified name).
+
+use crate::vocab;
+
+/// An ordered prefix → namespace-IRI mapping.
+#[derive(Clone, Debug, Default)]
+pub struct PrefixMap {
+    entries: Vec<(String, String)>,
+}
+
+impl PrefixMap {
+    /// An empty prefix map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A prefix map pre-populated with `rdf:`, `rdfs:` and `xsd:`.
+    pub fn with_defaults() -> Self {
+        let mut m = Self::new();
+        m.insert("rdf", vocab::RDF_NS);
+        m.insert("rdfs", vocab::RDFS_NS);
+        m.insert("xsd", vocab::XSD_NS);
+        m
+    }
+
+    /// Registers (or overrides) a prefix.
+    pub fn insert(&mut self, prefix: impl Into<String>, namespace: impl Into<String>) {
+        let prefix = prefix.into();
+        let namespace = namespace.into();
+        if let Some(e) = self.entries.iter_mut().find(|(p, _)| *p == prefix) {
+            e.1 = namespace;
+        } else {
+            self.entries.push((prefix, namespace));
+        }
+    }
+
+    /// Expands `prefix:local` into a full IRI, if the prefix is registered.
+    /// Inputs without a `:` (or with an unknown prefix) return `None`.
+    pub fn expand(&self, qname: &str) -> Option<String> {
+        let (prefix, local) = qname.split_once(':')?;
+        self.entries
+            .iter()
+            .find(|(p, _)| p == prefix)
+            .map(|(_, ns)| format!("{ns}{local}"))
+    }
+
+    /// Compacts an IRI into `prefix:local` using the longest matching
+    /// namespace; returns the IRI unchanged when nothing matches.
+    pub fn compact(&self, iri: &str) -> String {
+        let best = self
+            .entries
+            .iter()
+            .filter(|(_, ns)| iri.starts_with(ns.as_str()))
+            .max_by_key(|(_, ns)| ns.len());
+        match best {
+            Some((p, ns)) => format!("{p}:{}", &iri[ns.len()..]),
+            None => iri.to_string(),
+        }
+    }
+
+    /// Iterates registered `(prefix, namespace)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.entries.iter().map(|(p, n)| (p.as_str(), n.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expand_known_prefix() {
+        let m = PrefixMap::with_defaults();
+        assert_eq!(
+            m.expand("rdf:type").as_deref(),
+            Some(vocab::RDF_TYPE)
+        );
+        assert_eq!(m.expand("unknown:x"), None);
+        assert_eq!(m.expand("noprefix"), None);
+    }
+
+    #[test]
+    fn compact_uses_longest_namespace() {
+        let mut m = PrefixMap::new();
+        m.insert("a", "http://x/");
+        m.insert("b", "http://x/deep/");
+        assert_eq!(m.compact("http://x/deep/leaf"), "b:leaf");
+        assert_eq!(m.compact("http://x/leaf"), "a:leaf");
+        assert_eq!(m.compact("http://other/leaf"), "http://other/leaf");
+    }
+
+    #[test]
+    fn insert_overrides() {
+        let mut m = PrefixMap::new();
+        m.insert("a", "http://one/");
+        m.insert("a", "http://two/");
+        assert_eq!(m.expand("a:x").as_deref(), Some("http://two/x"));
+        assert_eq!(m.iter().count(), 1);
+    }
+
+    #[test]
+    fn roundtrip() {
+        let m = PrefixMap::with_defaults();
+        let iri = m.expand("rdfs:subClassOf").unwrap();
+        assert_eq!(m.compact(&iri), "rdfs:subClassOf");
+    }
+}

@@ -1,0 +1,172 @@
+//! Dataset profiling: per-property and per-class usage histograms.
+//!
+//! Complements the scalar notations of [`crate::stats`] with the
+//! distributions an engineer checks when meeting a new dataset: which
+//! properties dominate, which classes have how many instances, and how
+//! heterogeneous resources are (how many distinct property *combinations*
+//! exist — the quantity that drives typed-summary sizes).
+
+use crate::graph::Graph;
+use crate::hash::FxHashMap;
+use crate::ids::TermId;
+
+/// Usage counts for one property.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PropertyUsage {
+    /// Number of triples with this property.
+    pub triples: usize,
+    /// Distinct subjects.
+    pub subjects: usize,
+    /// Distinct objects.
+    pub objects: usize,
+}
+
+/// A dataset profile.
+#[derive(Clone, Debug, Default)]
+pub struct Profile {
+    /// Data-property usage, keyed by property id.
+    pub properties: FxHashMap<TermId, PropertyUsage>,
+    /// Instances per class (τ-object), keyed by class id.
+    pub class_instances: FxHashMap<TermId, usize>,
+    /// Number of distinct *property sets* over subjects — the
+    /// heterogeneity measure (1 = perfectly regular data).
+    pub distinct_property_sets: usize,
+    /// Number of distinct *class sets* over typed resources.
+    pub distinct_class_sets: usize,
+}
+
+impl Profile {
+    /// Profiles `g`.
+    pub fn of(g: &Graph) -> Self {
+        let mut properties: FxHashMap<TermId, PropertyUsage> = FxHashMap::default();
+        let mut subj_seen: FxHashMap<(TermId, TermId), ()> = FxHashMap::default();
+        let mut obj_seen: FxHashMap<(TermId, TermId), ()> = FxHashMap::default();
+        let mut subject_props: FxHashMap<TermId, Vec<TermId>> = FxHashMap::default();
+        for t in g.data() {
+            let u = properties.entry(t.p).or_default();
+            u.triples += 1;
+            if subj_seen.insert((t.p, t.s), ()).is_none() {
+                u.subjects += 1;
+            }
+            if obj_seen.insert((t.p, t.o), ()).is_none() {
+                u.objects += 1;
+            }
+            let props = subject_props.entry(t.s).or_default();
+            if !props.contains(&t.p) {
+                props.push(t.p);
+            }
+        }
+        let mut class_instances: FxHashMap<TermId, usize> = FxHashMap::default();
+        let mut class_sets: FxHashMap<TermId, Vec<TermId>> = FxHashMap::default();
+        for t in g.types() {
+            *class_instances.entry(t.o).or_default() += 1;
+            let set = class_sets.entry(t.s).or_default();
+            if !set.contains(&t.o) {
+                set.push(t.o);
+            }
+        }
+        let mut prop_sets: FxHashMap<Vec<TermId>, ()> = FxHashMap::default();
+        for set in subject_props.values_mut() {
+            set.sort_unstable();
+            prop_sets.insert(set.clone(), ());
+        }
+        let mut cls_sets: FxHashMap<Vec<TermId>, ()> = FxHashMap::default();
+        for set in class_sets.values_mut() {
+            set.sort_unstable();
+            cls_sets.insert(set.clone(), ());
+        }
+        Profile {
+            properties,
+            class_instances,
+            distinct_property_sets: prop_sets.len(),
+            distinct_class_sets: cls_sets.len(),
+        }
+    }
+
+    /// Properties sorted by descending triple count.
+    pub fn top_properties(&self) -> Vec<(TermId, PropertyUsage)> {
+        let mut v: Vec<_> = self.properties.iter().map(|(&p, &u)| (p, u)).collect();
+        v.sort_by_key(|&(p, u)| (std::cmp::Reverse(u.triples), p));
+        v
+    }
+
+    /// Classes sorted by descending instance count.
+    pub fn top_classes(&self) -> Vec<(TermId, usize)> {
+        let mut v: Vec<_> = self.class_instances.iter().map(|(&c, &n)| (c, n)).collect();
+        v.sort_by_key(|&(c, n)| (std::cmp::Reverse(n), c));
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::Term;
+    use crate::vocab;
+
+    fn graph() -> Graph {
+        let mut g = Graph::new();
+        g.add_iri_triple("a", "p", "x");
+        g.add_iri_triple("a", "p", "y");
+        g.add_iri_triple("b", "p", "x");
+        g.add_iri_triple("b", "q", "z");
+        g.add_iri_triple("a", vocab::RDF_TYPE, "C1");
+        g.add_iri_triple("a", vocab::RDF_TYPE, "C2");
+        g.add_iri_triple("b", vocab::RDF_TYPE, "C1");
+        g
+    }
+
+    fn id(g: &Graph, s: &str) -> TermId {
+        g.dict().lookup(&Term::iri(s)).unwrap()
+    }
+
+    #[test]
+    fn property_usage_counts() {
+        let g = graph();
+        let prof = Profile::of(&g);
+        let p = id(&g, "p");
+        let q = id(&g, "q");
+        assert_eq!(
+            prof.properties[&p],
+            PropertyUsage {
+                triples: 3,
+                subjects: 2,
+                objects: 2
+            }
+        );
+        assert_eq!(prof.properties[&q].triples, 1);
+        assert_eq!(prof.top_properties()[0].0, p);
+    }
+
+    #[test]
+    fn class_histogram_and_sets() {
+        let g = graph();
+        let prof = Profile::of(&g);
+        let c1 = id(&g, "C1");
+        assert_eq!(prof.class_instances[&c1], 2);
+        assert_eq!(prof.top_classes()[0].0, c1);
+        // Class sets: {C1,C2} (a) and {C1} (b).
+        assert_eq!(prof.distinct_class_sets, 2);
+        // Property sets: {p} (a) and {p,q} (b).
+        assert_eq!(prof.distinct_property_sets, 2);
+    }
+
+    #[test]
+    fn empty_graph_profile() {
+        let prof = Profile::of(&Graph::new());
+        assert!(prof.properties.is_empty());
+        assert_eq!(prof.distinct_property_sets, 0);
+        assert_eq!(prof.distinct_class_sets, 0);
+    }
+
+    #[test]
+    fn heterogeneity_detects_regular_data() {
+        let mut g = Graph::new();
+        for i in 0..10 {
+            g.add_iri_triple(&format!("s{i}"), "p", &format!("o{i}"));
+            g.add_iri_triple(&format!("s{i}"), "q", &format!("v{i}"));
+        }
+        let prof = Profile::of(&g);
+        assert_eq!(prof.distinct_property_sets, 1, "perfectly regular");
+    }
+}

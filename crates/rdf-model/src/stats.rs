@@ -1,0 +1,130 @@
+//! Size and cardinality notations from §2.1 of the paper.
+//!
+//! `|G|_n` — number of nodes; `|G|_e` — number of edges (triples);
+//! `|G|⁰_x` — number of distinct values of attribute `x ∈ {s, p, o}`.
+//! These drive both the complexity bounds (e.g. Prop. 4: the weak summary
+//! has exactly `|D_G|⁰_p` data edges) and the Figure 11/12 measurements.
+
+use crate::graph::Graph;
+use crate::hash::FxHashSet;
+use crate::ids::TermId;
+use crate::triple::Triple;
+
+/// Distinct-value counts of a triple collection.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DistinctCounts {
+    /// `|·|⁰_s` — distinct subjects.
+    pub subjects: usize,
+    /// `|·|⁰_p` — distinct properties.
+    pub properties: usize,
+    /// `|·|⁰_o` — distinct objects.
+    pub objects: usize,
+}
+
+/// Computes distinct subject/property/object counts over a triple slice.
+pub fn distinct_counts(triples: &[Triple]) -> DistinctCounts {
+    let mut s: FxHashSet<TermId> = FxHashSet::default();
+    let mut p: FxHashSet<TermId> = FxHashSet::default();
+    let mut o: FxHashSet<TermId> = FxHashSet::default();
+    for t in triples {
+        s.insert(t.s);
+        p.insert(t.p);
+        o.insert(t.o);
+    }
+    DistinctCounts {
+        subjects: s.len(),
+        properties: p.len(),
+        objects: o.len(),
+    }
+}
+
+/// A full set of paper-notation statistics for a graph.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GraphStats {
+    /// `|G|_n` — number of nodes (distinct subjects ∪ objects over all
+    /// triples).
+    pub nodes: usize,
+    /// `|G|_e` — number of edges (triples).
+    pub edges: usize,
+    /// Number of *data nodes* (§2.1 graph-based representation).
+    pub data_nodes: usize,
+    /// Number of *class nodes*.
+    pub class_nodes: usize,
+    /// Number of *property nodes*.
+    pub property_nodes: usize,
+    /// `|D_G|_e` — data triples.
+    pub data_edges: usize,
+    /// `|T_G|_e` — type triples.
+    pub type_edges: usize,
+    /// `|S_G|_e` — schema triples.
+    pub schema_edges: usize,
+    /// Distinct counts within D_G.
+    pub data_distinct: DistinctCounts,
+    /// `|T_G|⁰_o` — distinct classes used in type triples.
+    pub distinct_classes: usize,
+}
+
+impl GraphStats {
+    /// Measures `g`.
+    pub fn of(g: &Graph) -> Self {
+        GraphStats {
+            nodes: g.nodes().len(),
+            edges: g.len(),
+            data_nodes: g.data_nodes().len(),
+            class_nodes: g.class_nodes().len(),
+            property_nodes: g.property_nodes().len(),
+            data_edges: g.data().len(),
+            type_edges: g.types().len(),
+            schema_edges: g.schema().len(),
+            data_distinct: distinct_counts(g.data()),
+            distinct_classes: {
+                let mut o: FxHashSet<TermId> = FxHashSet::default();
+                for t in g.types() {
+                    o.insert(t.o);
+                }
+                o.len()
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vocab;
+
+    #[test]
+    fn counts_on_small_graph() {
+        let mut g = Graph::new();
+        g.add_iri_triple("a", "p", "b");
+        g.add_iri_triple("a", "q", "b");
+        g.add_iri_triple("b", "p", "c");
+        g.add_iri_triple("a", vocab::RDF_TYPE, "C");
+        let st = GraphStats::of(&g);
+        assert_eq!(st.edges, 4);
+        assert_eq!(st.data_edges, 3);
+        assert_eq!(st.type_edges, 1);
+        assert_eq!(st.schema_edges, 0);
+        assert_eq!(st.data_distinct.subjects, 2); // a, b
+        assert_eq!(st.data_distinct.properties, 2); // p, q
+        assert_eq!(st.data_distinct.objects, 2); // b, c
+        assert_eq!(st.class_nodes, 1);
+        assert_eq!(st.data_nodes, 3); // a, b, c
+        assert_eq!(st.nodes, 4); // a, b, c, C
+    }
+
+    #[test]
+    fn empty_graph() {
+        let st = GraphStats::of(&Graph::new());
+        assert_eq!(st, GraphStats::default());
+    }
+
+    #[test]
+    fn distinct_counts_dedup() {
+        let t = |s, p, o| Triple::new(TermId(s), TermId(p), TermId(o));
+        let c = distinct_counts(&[t(1, 2, 3), t(1, 2, 4), t(5, 2, 3)]);
+        assert_eq!(c.subjects, 2);
+        assert_eq!(c.properties, 1);
+        assert_eq!(c.objects, 2);
+    }
+}

@@ -1,0 +1,181 @@
+//! RDF terms: IRIs, literals, and blank nodes.
+//!
+//! Terms follow the W3C RDF 1.1 abstract syntax. We only support well-formed
+//! triples (§2.1 of the paper): IRIs and blank nodes in subject position,
+//! IRIs in property position, and any term in object position. That
+//! positional discipline is enforced by the graph layer, not here.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// The kind of an RDF literal.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum LiteralKind {
+    /// A simple literal, e.g. `"G. Simenon"`. Per RDF 1.1 this is sugar for
+    /// `xsd:string`, but we preserve the surface form for round-tripping.
+    Simple,
+    /// A language-tagged string, e.g. `"Le Port des Brumes"@fr`.
+    Lang(String),
+    /// A typed literal, e.g. `"1932"^^xsd:gYear`; the payload is the datatype
+    /// IRI.
+    Typed(String),
+}
+
+/// An RDF term.
+///
+/// Equality and hashing are structural, which is exactly the identity the
+/// dictionary needs. Blank nodes compare by label; graph loaders are expected
+/// to keep labels unique per input (the N-Triples parser does).
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Term {
+    /// An IRI (we keep the common "URI" terminology of the paper in docs).
+    Iri(String),
+    /// A blank node with its label (without the `_:` prefix).
+    Blank(String),
+    /// A literal value.
+    Literal {
+        /// The lexical form, unescaped.
+        lexical: String,
+        /// Simple, language-tagged, or datatyped.
+        kind: LiteralKind,
+    },
+}
+
+impl Term {
+    /// Convenience constructor for an IRI term.
+    pub fn iri(s: impl Into<String>) -> Self {
+        Term::Iri(s.into())
+    }
+
+    /// Convenience constructor for a blank node term.
+    pub fn blank(label: impl Into<String>) -> Self {
+        Term::Blank(label.into())
+    }
+
+    /// Convenience constructor for a simple literal.
+    pub fn literal(lexical: impl Into<String>) -> Self {
+        Term::Literal {
+            lexical: lexical.into(),
+            kind: LiteralKind::Simple,
+        }
+    }
+
+    /// Convenience constructor for a language-tagged literal.
+    pub fn lang_literal(lexical: impl Into<String>, lang: impl Into<String>) -> Self {
+        Term::Literal {
+            lexical: lexical.into(),
+            kind: LiteralKind::Lang(lang.into()),
+        }
+    }
+
+    /// Convenience constructor for a datatyped literal.
+    pub fn typed_literal(lexical: impl Into<String>, datatype: impl Into<String>) -> Self {
+        Term::Literal {
+            lexical: lexical.into(),
+            kind: LiteralKind::Typed(datatype.into()),
+        }
+    }
+
+    /// Is this term an IRI?
+    pub fn is_iri(&self) -> bool {
+        matches!(self, Term::Iri(_))
+    }
+
+    /// Is this term a literal?
+    pub fn is_literal(&self) -> bool {
+        matches!(self, Term::Literal { .. })
+    }
+
+    /// Is this term a blank node?
+    pub fn is_blank(&self) -> bool {
+        matches!(self, Term::Blank(_))
+    }
+
+    /// The IRI string, if this term is an IRI.
+    pub fn as_iri(&self) -> Option<&str> {
+        match self {
+            Term::Iri(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// May this term legally appear in subject position of a well-formed
+    /// triple? (IRIs and blank nodes.)
+    pub fn valid_subject(&self) -> bool {
+        !self.is_literal()
+    }
+
+    /// May this term legally appear in property position? (IRIs only.)
+    pub fn valid_property(&self) -> bool {
+        self.is_iri()
+    }
+}
+
+impl fmt::Display for Term {
+    /// Formats the term in N-Triples surface syntax (without escaping; see
+    /// `rdf-io` for the escaping serializer).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Iri(s) => write!(f, "<{s}>"),
+            Term::Blank(l) => write!(f, "_:{l}"),
+            Term::Literal { lexical, kind } => match kind {
+                LiteralKind::Simple => write!(f, "\"{lexical}\""),
+                LiteralKind::Lang(lang) => write!(f, "\"{lexical}\"@{lang}"),
+                LiteralKind::Typed(dt) => write!(f, "\"{lexical}\"^^<{dt}>"),
+            },
+        }
+    }
+}
+
+/// A shared, immutable term, as stored in the dictionary.
+///
+/// The dictionary keeps one `Arc<Term>` per distinct term and shares it
+/// between its forward (`Vec`) and reverse (`HashMap`) sides, so each term's
+/// string data is stored exactly once.
+pub type SharedTerm = Arc<Term>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Term::iri("http://x/a").to_string(), "<http://x/a>");
+        assert_eq!(Term::blank("b1").to_string(), "_:b1");
+        assert_eq!(Term::literal("hi").to_string(), "\"hi\"");
+        assert_eq!(Term::lang_literal("hi", "en").to_string(), "\"hi\"@en");
+        assert_eq!(
+            Term::typed_literal("1", "http://www.w3.org/2001/XMLSchema#int").to_string(),
+            "\"1\"^^<http://www.w3.org/2001/XMLSchema#int>"
+        );
+    }
+
+    #[test]
+    fn positional_validity() {
+        assert!(Term::iri("http://x/a").valid_subject());
+        assert!(Term::blank("b").valid_subject());
+        assert!(!Term::literal("x").valid_subject());
+        assert!(Term::iri("http://x/p").valid_property());
+        assert!(!Term::blank("b").valid_property());
+        assert!(!Term::literal("x").valid_property());
+    }
+
+    #[test]
+    fn structural_equality() {
+        assert_eq!(Term::iri("http://x/a"), Term::Iri("http://x/a".into()));
+        assert_ne!(Term::literal("a"), Term::lang_literal("a", "en"));
+        assert_ne!(
+            Term::literal("a"),
+            Term::typed_literal("a", "http://www.w3.org/2001/XMLSchema#string")
+        );
+        assert_ne!(Term::iri("a"), Term::blank("a"));
+    }
+
+    #[test]
+    fn accessors() {
+        let t = Term::iri("http://x/a");
+        assert_eq!(t.as_iri(), Some("http://x/a"));
+        assert!(t.is_iri() && !t.is_blank() && !t.is_literal());
+        assert_eq!(Term::blank("b").as_iri(), None);
+    }
+}

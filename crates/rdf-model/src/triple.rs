@@ -1,0 +1,103 @@
+//! Dictionary-encoded triples.
+
+use crate::ids::TermId;
+use std::fmt;
+
+/// A dictionary-encoded RDF triple `s p o`.
+///
+/// Twelve bytes, `Copy`; the unit of storage and scanning throughout the
+/// workspace.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Triple {
+    /// Subject.
+    pub s: TermId,
+    /// Property (predicate).
+    pub p: TermId,
+    /// Object.
+    pub o: TermId,
+}
+
+impl Triple {
+    /// Builds a triple from its three components.
+    #[inline]
+    pub fn new(s: TermId, p: TermId, o: TermId) -> Self {
+        Triple { s, p, o }
+    }
+
+    /// The triple reordered as `(p, s, o)` — handy for property-grouped sorts.
+    #[inline]
+    pub fn pso(self) -> (TermId, TermId, TermId) {
+        (self.p, self.s, self.o)
+    }
+
+    /// The triple reordered as `(o, p, s)`.
+    #[inline]
+    pub fn ops(self) -> (TermId, TermId, TermId) {
+        (self.o, self.p, self.s)
+    }
+
+    /// Component by position index: 0 = subject, 1 = property, 2 = object.
+    #[inline]
+    pub fn get(self, pos: usize) -> TermId {
+        match pos {
+            0 => self.s,
+            1 => self.p,
+            2 => self.o,
+            _ => panic!("triple position out of range: {pos}"),
+        }
+    }
+}
+
+impl fmt::Debug for Triple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:?} {:?} {:?})", self.s, self.p, self.o)
+    }
+}
+
+impl From<(TermId, TermId, TermId)> for Triple {
+    fn from((s, p, o): (TermId, TermId, TermId)) -> Self {
+        Triple { s, p, o }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn is_small_and_copy() {
+        assert_eq!(std::mem::size_of::<Triple>(), 12);
+        let t = Triple::new(TermId(1), TermId(2), TermId(3));
+        let u = t; // Copy
+        assert_eq!(t, u);
+    }
+
+    #[test]
+    fn reorderings() {
+        let t = Triple::new(TermId(1), TermId(2), TermId(3));
+        assert_eq!(t.pso(), (TermId(2), TermId(1), TermId(3)));
+        assert_eq!(t.ops(), (TermId(3), TermId(2), TermId(1)));
+    }
+
+    #[test]
+    fn positional_access() {
+        let t = Triple::new(TermId(1), TermId(2), TermId(3));
+        assert_eq!(t.get(0), TermId(1));
+        assert_eq!(t.get(1), TermId(2));
+        assert_eq!(t.get(2), TermId(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn positional_access_out_of_range() {
+        Triple::new(TermId(0), TermId(0), TermId(0)).get(3);
+    }
+
+    #[test]
+    fn ordering_is_spo_lexicographic() {
+        let a = Triple::new(TermId(1), TermId(5), TermId(9));
+        let b = Triple::new(TermId(1), TermId(6), TermId(0));
+        let c = Triple::new(TermId(2), TermId(0), TermId(0));
+        assert!(a < b && b < c);
+    }
+}

@@ -1,0 +1,83 @@
+//! The RDF and RDFS vocabulary used by the summarizer.
+//!
+//! Figure 1 of the paper: assertions use `rdf:type` (abbreviated τ);
+//! constraints use `rdfs:subClassOf` (≺sc), `rdfs:subPropertyOf` (≺sp),
+//! `rdfs:domain` (←↩d) and `rdfs:range` (↪→r).
+
+/// `rdf:` namespace prefix.
+pub const RDF_NS: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#";
+/// `rdfs:` namespace prefix.
+pub const RDFS_NS: &str = "http://www.w3.org/2000/01/rdf-schema#";
+/// `xsd:` namespace prefix.
+pub const XSD_NS: &str = "http://www.w3.org/2001/XMLSchema#";
+
+/// `rdf:type` — the τ property of class assertions.
+pub const RDF_TYPE: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+/// `rdfs:subClassOf` — the ≺sc constraint property.
+pub const RDFS_SUBCLASSOF: &str = "http://www.w3.org/2000/01/rdf-schema#subClassOf";
+/// `rdfs:subPropertyOf` — the ≺sp constraint property.
+pub const RDFS_SUBPROPERTYOF: &str = "http://www.w3.org/2000/01/rdf-schema#subPropertyOf";
+/// `rdfs:domain` — the ←↩d constraint property.
+pub const RDFS_DOMAIN: &str = "http://www.w3.org/2000/01/rdf-schema#domain";
+/// `rdfs:range` — the ↪→r constraint property.
+pub const RDFS_RANGE: &str = "http://www.w3.org/2000/01/rdf-schema#range";
+/// `rdfs:label`, common in benchmark data.
+pub const RDFS_LABEL: &str = "http://www.w3.org/2000/01/rdf-schema#label";
+/// `rdfs:comment`, common in benchmark data.
+pub const RDFS_COMMENT: &str = "http://www.w3.org/2000/01/rdf-schema#comment";
+/// `xsd:string`.
+pub const XSD_STRING: &str = "http://www.w3.org/2001/XMLSchema#string";
+/// `xsd:integer`.
+pub const XSD_INTEGER: &str = "http://www.w3.org/2001/XMLSchema#integer";
+/// `xsd:decimal`.
+pub const XSD_DECIMAL: &str = "http://www.w3.org/2001/XMLSchema#decimal";
+/// `xsd:date`.
+pub const XSD_DATE: &str = "http://www.w3.org/2001/XMLSchema#date";
+
+/// The four RDFS constraint properties of Figure 1, in a fixed order.
+pub const SCHEMA_PROPERTIES: [&str; 4] = [
+    RDFS_SUBCLASSOF,
+    RDFS_SUBPROPERTYOF,
+    RDFS_DOMAIN,
+    RDFS_RANGE,
+];
+
+/// Is `iri` one of the four RDFS constraint properties?
+pub fn is_schema_property(iri: &str) -> bool {
+    SCHEMA_PROPERTIES.contains(&iri)
+}
+
+/// Is `iri` the `rdf:type` property?
+pub fn is_type_property(iri: &str) -> bool {
+    iri == RDF_TYPE
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_property_classification() {
+        assert!(is_schema_property(RDFS_SUBCLASSOF));
+        assert!(is_schema_property(RDFS_SUBPROPERTYOF));
+        assert!(is_schema_property(RDFS_DOMAIN));
+        assert!(is_schema_property(RDFS_RANGE));
+        assert!(!is_schema_property(RDF_TYPE));
+        assert!(!is_schema_property(RDFS_LABEL));
+    }
+
+    #[test]
+    fn type_property_classification() {
+        assert!(is_type_property(RDF_TYPE));
+        assert!(!is_type_property(RDFS_SUBCLASSOF));
+    }
+
+    #[test]
+    fn namespaces_are_prefixes() {
+        assert!(RDF_TYPE.starts_with(RDF_NS));
+        for p in SCHEMA_PROPERTIES {
+            assert!(p.starts_with(RDFS_NS));
+        }
+        assert!(XSD_STRING.starts_with(XSD_NS));
+    }
+}

@@ -1,0 +1,396 @@
+//! BGP evaluation over a [`TripleStore`].
+//!
+//! The engine is a backtracking index-nested-loop join with *dynamic*
+//! pattern ordering: at every step it evaluates the not-yet-joined pattern
+//! with the fewest matching triples under the current partial binding
+//! (an exact selectivity measure — [`TripleStore::count`] is two binary
+//! searches). Boolean (`ask`) evaluation stops at the first embedding,
+//! which is what the paper's representativeness criterion needs:
+//! `q(G∞) ≠ ∅`.
+
+use crate::bgp::{Atom, CompiledPattern, CompiledQuery};
+use rdf_model::{FxHashSet, Term, TermId};
+use rdf_store::{TriplePattern, TripleStore};
+
+/// The answer rows of a `select` evaluation (distinct head projections).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ResultSet {
+    /// Head variable names, in projection order.
+    pub columns: Vec<String>,
+    /// Distinct projected rows.
+    pub rows: Vec<Vec<TermId>>,
+}
+
+impl ResultSet {
+    /// Number of (distinct) answers.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the query had no answers.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Decodes the rows into terms using the store the query ran against.
+    pub fn decode<'a>(&'a self, store: &'a TripleStore) -> Vec<Vec<&'a Term>> {
+        self.rows
+            .iter()
+            .map(|row| {
+                row.iter()
+                    .map(|id| store.graph().dict().decode(*id))
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+/// Binds `atom` under the partial binding, producing a pattern slot.
+#[inline]
+fn slot(atom: Atom, binding: &[Option<TermId>]) -> Option<TermId> {
+    match atom {
+        Atom::Var(v) => binding[v],
+        Atom::Const(c) => c, // None cannot occur: always_empty() was checked
+    }
+}
+
+fn to_store_pattern(p: &CompiledPattern, binding: &[Option<TermId>]) -> TriplePattern {
+    TriplePattern::new(slot(p.s, binding), slot(p.p, binding), slot(p.o, binding))
+}
+
+/// Extends `binding` with the matches of `pattern` against a concrete
+/// triple; returns the variable ids that were newly bound, or `None` when
+/// the triple conflicts with the binding.
+fn try_bind(
+    p: &CompiledPattern,
+    t: rdf_model::Triple,
+    binding: &mut [Option<TermId>],
+) -> Option<Vec<usize>> {
+    let mut newly = Vec::new();
+    for (atom, val) in [(p.s, t.s), (p.p, t.p), (p.o, t.o)] {
+        match atom {
+            Atom::Const(Some(c)) => {
+                if c != val {
+                    // Cannot happen for index-driven scans, but keep the
+                    // check for safety with filtered scans.
+                    for v in newly {
+                        binding[v] = None;
+                    }
+                    return None;
+                }
+            }
+            Atom::Const(None) => unreachable!("always_empty queries are rejected earlier"),
+            Atom::Var(v) => match binding[v] {
+                Some(bound) if bound != val => {
+                    for v in newly {
+                        binding[v] = None;
+                    }
+                    return None;
+                }
+                Some(_) => {}
+                None => {
+                    binding[v] = Some(val);
+                    newly.push(v);
+                }
+            },
+        }
+    }
+    Some(newly)
+}
+
+/// Evaluates BGP queries against one store.
+pub struct Evaluator<'a> {
+    store: &'a TripleStore,
+}
+
+impl<'a> Evaluator<'a> {
+    /// Creates an evaluator over `store`.
+    pub fn new(store: &'a TripleStore) -> Self {
+        Evaluator { store }
+    }
+
+    /// Boolean evaluation: does the query have at least one embedding?
+    pub fn ask(&self, q: &CompiledQuery) -> bool {
+        if q.always_empty() {
+            return false;
+        }
+        let mut binding = vec![None; q.n_vars()];
+        let mut used = vec![false; q.body.len()];
+        self.search(q, &mut binding, &mut used, &mut |_| ControlFlow::Stop)
+    }
+
+    /// Full evaluation with distinct projection on the head variables.
+    pub fn select(&self, q: &CompiledQuery) -> ResultSet {
+        self.select_limit(q, usize::MAX)
+    }
+
+    /// Like [`Self::select`] but stops after `limit` distinct rows.
+    pub fn select_limit(&self, q: &CompiledQuery, limit: usize) -> ResultSet {
+        let columns: Vec<String> = q
+            .head
+            .iter()
+            .map(|&v| q.var_names[v].clone())
+            .collect();
+        let mut seen: FxHashSet<Vec<TermId>> = FxHashSet::default();
+        let mut rows: Vec<Vec<TermId>> = Vec::new();
+        if !q.always_empty() && limit > 0 {
+            let mut binding = vec![None; q.n_vars()];
+            let mut used = vec![false; q.body.len()];
+            self.search(q, &mut binding, &mut used, &mut |b: &[Option<TermId>]| {
+                let row: Vec<TermId> = q
+                    .head
+                    .iter()
+                    .map(|&v| b[v].expect("head variable bound in full embedding"))
+                    .collect();
+                if seen.insert(row.clone()) {
+                    rows.push(row);
+                }
+                if rows.len() >= limit {
+                    ControlFlow::Stop
+                } else {
+                    ControlFlow::Continue
+                }
+            });
+        }
+        ResultSet { columns, rows }
+    }
+
+    /// Counts distinct head projections (up to `limit`).
+    pub fn count_distinct(&self, q: &CompiledQuery, limit: usize) -> usize {
+        self.select_limit(q, limit).len()
+    }
+
+    /// Backtracking search. `on_solution` is called for every full
+    /// embedding; returning [`ControlFlow::Stop`] ends the search. The
+    /// function's return value is `true` iff at least one embedding was
+    /// found.
+    fn search(
+        &self,
+        q: &CompiledQuery,
+        binding: &mut Vec<Option<TermId>>,
+        used: &mut Vec<bool>,
+        on_solution: &mut dyn FnMut(&[Option<TermId>]) -> ControlFlow,
+    ) -> bool {
+        // All patterns joined → full embedding.
+        if used.iter().all(|&u| u) {
+            let _ = on_solution(binding);
+            return true;
+        }
+        // Pick the unused pattern with the fewest matches right now.
+        let (idx, best_count) = q
+            .body
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !used[*i])
+            .map(|(i, p)| (i, self.store.count(to_store_pattern(p, binding))))
+            .min_by_key(|&(_, c)| c)
+            .expect("at least one unused pattern");
+        if best_count == 0 {
+            return false;
+        }
+        used[idx] = true;
+        let pattern = q.body[idx];
+        // Materialize the candidate slice (it borrows the store, and the
+        // recursion below also borrows the store immutably — fine — but the
+        // binding updates need no copy).
+        let candidates = self.store.scan(to_store_pattern(&pattern, binding));
+        let mut found = false;
+        for &t in candidates {
+            if let Some(newly) = try_bind(&pattern, t, binding) {
+                // Recurse; wrap on_solution so Stop propagates up through
+                // every level's candidate loop.
+                let mut local_stop = false;
+                let sub_found = self.search(q, binding, used, &mut |b| {
+                    let flow = on_solution(b);
+                    if matches!(flow, ControlFlow::Stop) {
+                        local_stop = true;
+                    }
+                    flow
+                });
+                found |= sub_found;
+                for v in newly {
+                    binding[v] = None;
+                }
+                if local_stop {
+                    break;
+                }
+            }
+        }
+        used[idx] = false;
+        found
+    }
+}
+
+/// Search control for solution callbacks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ControlFlow {
+    /// Keep enumerating embeddings.
+    Continue,
+    /// Stop the whole search.
+    Stop,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bgp::{compile, QuerySpec, SpecTerm};
+    use rdf_model::{vocab, Graph};
+
+    fn library_store() -> TripleStore {
+        let mut g = Graph::new();
+        g.add_iri_triple("b1", vocab::RDF_TYPE, "Book");
+        g.add_iri_triple("b2", vocab::RDF_TYPE, "Book");
+        g.add_iri_triple("b1", "author", "alice");
+        g.add_iri_triple("b2", "author", "bob");
+        g.add_iri_triple("alice", "reviewed", "b2");
+        g.add_literal_triple("b1", "title", "T1");
+        g.add_literal_triple("b2", "title", "T2");
+        TripleStore::new(g)
+    }
+
+    fn v(n: &str) -> SpecTerm {
+        SpecTerm::var(n)
+    }
+
+    fn iri(s: &str) -> SpecTerm {
+        SpecTerm::iri(s)
+    }
+
+    #[test]
+    fn single_pattern_select() {
+        let st = library_store();
+        let spec = QuerySpec::new(["x"], [(v("x"), iri("author"), v("y"))]);
+        let q = compile(&spec, st.graph()).unwrap();
+        let rs = Evaluator::new(&st).select(&q);
+        assert_eq!(rs.len(), 2);
+        assert_eq!(rs.columns, vec!["x"]);
+    }
+
+    #[test]
+    fn join_two_patterns() {
+        let st = library_store();
+        // Books whose author reviewed some book.
+        let spec = QuerySpec::new(
+            ["b"],
+            [
+                (v("b"), iri("author"), v("a")),
+                (v("a"), iri("reviewed"), v("c")),
+            ],
+        );
+        let q = compile(&spec, st.graph()).unwrap();
+        let rs = Evaluator::new(&st).select(&q);
+        let decoded = rs.decode(&st);
+        assert_eq!(decoded.len(), 1);
+        assert_eq!(decoded[0][0], &rdf_model::Term::iri("b1"));
+    }
+
+    #[test]
+    fn ask_true_and_false() {
+        let st = library_store();
+        let yes = QuerySpec::new(
+            Vec::<String>::new(),
+            [(v("x"), iri(vocab::RDF_TYPE), iri("Book"))],
+        );
+        let no = QuerySpec::new(
+            Vec::<String>::new(),
+            [(v("x"), iri(vocab::RDF_TYPE), iri("Journal"))],
+        );
+        let ev = Evaluator::new(&st);
+        assert!(ev.ask(&compile(&yes, st.graph()).unwrap()));
+        assert!(!ev.ask(&compile(&no, st.graph()).unwrap()));
+    }
+
+    #[test]
+    fn shared_variable_enforces_join() {
+        let st = library_store();
+        // ?x authored by itself — never true.
+        let spec = QuerySpec::new(
+            Vec::<String>::new(),
+            [(v("x"), iri("author"), v("x"))],
+        );
+        let q = compile(&spec, st.graph()).unwrap();
+        assert!(!Evaluator::new(&st).ask(&q));
+    }
+
+    #[test]
+    fn triangle_query() {
+        let mut g = Graph::new();
+        g.add_iri_triple("a", "e", "b");
+        g.add_iri_triple("b", "e", "c");
+        g.add_iri_triple("c", "e", "a");
+        g.add_iri_triple("a", "e", "c"); // extra edge, no triangle through it backwards
+        let st = TripleStore::new(g);
+        let spec = QuerySpec::new(
+            ["x", "y", "z"],
+            [
+                (v("x"), iri("e"), v("y")),
+                (v("y"), iri("e"), v("z")),
+                (v("z"), iri("e"), v("x")),
+            ],
+        );
+        let q = compile(&spec, st.graph()).unwrap();
+        let rs = Evaluator::new(&st).select(&q);
+        // Triangle a→b→c→a appears in 3 rotations.
+        assert_eq!(rs.len(), 3);
+    }
+
+    #[test]
+    fn select_limit_stops_early() {
+        let st = library_store();
+        let spec = QuerySpec::new(["x"], [(v("x"), v("p"), v("y"))]);
+        let q = compile(&spec, st.graph()).unwrap();
+        let rs = Evaluator::new(&st).select_limit(&q, 1);
+        assert_eq!(rs.len(), 1);
+    }
+
+    #[test]
+    fn distinct_projection_dedups() {
+        let st = library_store();
+        // Project only the property: author appears twice but projects once.
+        let spec = QuerySpec::new(["p"], [(v("x"), v("p"), v("y"))]);
+        let q = compile(&spec, st.graph()).unwrap();
+        let rs = Evaluator::new(&st).select(&q);
+        let n_props = rs.len();
+        // distinct properties: rdf:type, author, reviewed, title
+        assert_eq!(n_props, 4);
+    }
+
+    #[test]
+    fn variable_in_property_position() {
+        let st = library_store();
+        let spec = QuerySpec::new(
+            ["p"],
+            [(iri("b1"), v("p"), v("o"))],
+        );
+        let q = compile(&spec, st.graph()).unwrap();
+        let rs = Evaluator::new(&st).select(&q);
+        assert_eq!(rs.len(), 3); // rdf:type, author, title
+    }
+
+    #[test]
+    fn always_empty_short_circuits() {
+        let st = library_store();
+        let spec = QuerySpec::new(
+            Vec::<String>::new(),
+            [(v("x"), iri("no-such-property"), v("y"))],
+        );
+        let q = compile(&spec, st.graph()).unwrap();
+        assert!(q.always_empty());
+        assert!(!Evaluator::new(&st).ask(&q));
+        assert!(Evaluator::new(&st).select(&q).is_empty());
+    }
+
+    #[test]
+    fn boolean_query_select_yields_single_empty_row() {
+        let st = library_store();
+        let spec = QuerySpec::new(
+            Vec::<String>::new(),
+            [(v("x"), iri("author"), v("y"))],
+        );
+        let q = compile(&spec, st.graph()).unwrap();
+        let rs = Evaluator::new(&st).select(&q);
+        // One distinct empty projection row.
+        assert_eq!(rs.len(), 1);
+        assert!(rs.columns.is_empty());
+    }
+}

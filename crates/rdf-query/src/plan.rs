@@ -1,0 +1,210 @@
+//! Query plans and `EXPLAIN` output.
+//!
+//! The evaluator orders patterns greedily by exact match counts under the
+//! current partial binding. [`explain`] runs the same selection *statically*
+//! (assuming the smallest-first pattern binds its variables) and reports
+//! the chosen order with per-step cardinality estimates — the tool for
+//! understanding why a query is fast or slow, and for tests that pin the
+//! planner's behavior.
+
+use crate::bgp::{Atom, CompiledPattern, CompiledQuery};
+use rdf_model::TermId;
+use rdf_store::{TriplePattern, TripleStore};
+use std::fmt;
+
+/// One step of a query plan.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PlanStep {
+    /// Index of the body pattern chosen at this step.
+    pub pattern_index: usize,
+    /// Exact number of matching triples when the step was chosen
+    /// (variables bound by earlier steps count as bound with unknown
+    /// value — the estimate uses the unbound form, an upper bound).
+    pub estimated_matches: usize,
+    /// Variables newly bound by this step.
+    pub binds: Vec<String>,
+}
+
+/// A static query plan.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Plan {
+    /// Steps in execution order.
+    pub steps: Vec<PlanStep>,
+    /// True when some pattern can never match (constant absent from the
+    /// dictionary or zero-count pattern).
+    pub provably_empty: bool,
+}
+
+impl fmt::Display for Plan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.provably_empty {
+            writeln!(f, "PLAN: provably empty")?;
+        } else {
+            writeln!(f, "PLAN:")?;
+        }
+        for (i, s) in self.steps.iter().enumerate() {
+            writeln!(
+                f,
+                "  {i}: pattern #{idx} (≤{est} matches{binds})",
+                idx = s.pattern_index,
+                est = s.estimated_matches,
+                binds = if s.binds.is_empty() {
+                    String::new()
+                } else {
+                    format!(", binds {}", s.binds.join(", "))
+                }
+            )?;
+        }
+        Ok(())
+    }
+}
+
+fn unbound_slot(atom: Atom, bound: &[bool]) -> Option<Option<TermId>> {
+    match atom {
+        Atom::Const(None) => None, // unmatchable
+        Atom::Const(Some(c)) => Some(Some(c)),
+        Atom::Var(_v) => {
+            // Bound variables have unknown concrete values statically; the
+            // estimate treats them as wildcards (an upper bound).
+            let _ = bound;
+            Some(None)
+        }
+    }
+}
+
+fn pattern_estimate(store: &TripleStore, p: &CompiledPattern, bound: &[bool]) -> Option<usize> {
+    let s = unbound_slot(p.s, bound)?;
+    let pr = unbound_slot(p.p, bound)?;
+    let o = unbound_slot(p.o, bound)?;
+    Some(store.count(TriplePattern::new(s, pr, o)))
+}
+
+/// Produces the static greedy plan the evaluator would start from.
+pub fn explain(store: &TripleStore, q: &CompiledQuery) -> Plan {
+    let n = q.body.len();
+    let mut used = vec![false; n];
+    let mut bound = vec![false; q.n_vars()];
+    let mut steps = Vec::with_capacity(n);
+    let mut provably_empty = q.always_empty();
+    for _ in 0..n {
+        // Prefer patterns with more bound variables, then lower count.
+        let best = (0..n)
+            .filter(|&i| !used[i])
+            .map(|i| {
+                let p = &q.body[i];
+                let bound_vars = p.vars().filter(|&v| bound[v]).count();
+                let est = pattern_estimate(store, p, &bound);
+                (i, bound_vars, est)
+            })
+            .min_by_key(|&(i, bound_vars, est)| {
+                (
+                    est.unwrap_or(0),
+                    std::cmp::Reverse(bound_vars),
+                    i,
+                )
+            });
+        let Some((i, _, est)) = best else { break };
+        used[i] = true;
+        let est = est.unwrap_or(0);
+        if est == 0 {
+            provably_empty = true;
+        }
+        let binds: Vec<String> = q.body[i]
+            .vars()
+            .filter(|&v| !bound[v])
+            .map(|v| q.var_names[v].clone())
+            .collect();
+        for v in q.body[i].vars() {
+            bound[v] = true;
+        }
+        steps.push(PlanStep {
+            pattern_index: i,
+            estimated_matches: est,
+            binds,
+        });
+    }
+    Plan {
+        steps,
+        provably_empty,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bgp::{compile, QuerySpec, SpecTerm};
+    use rdf_model::Graph;
+
+    fn store() -> TripleStore {
+        let mut g = Graph::new();
+        // 100 `common` edges, 1 `rare` edge.
+        for i in 0..100 {
+            g.add_iri_triple(&format!("s{i}"), "common", &format!("o{i}"));
+        }
+        g.add_iri_triple("s0", "rare", "x");
+        TripleStore::new(g)
+    }
+
+    fn v(n: &str) -> SpecTerm {
+        SpecTerm::var(n)
+    }
+
+    #[test]
+    fn selective_pattern_goes_first() {
+        let st = store();
+        let spec = QuerySpec::new(
+            ["a"],
+            [
+                (v("a"), SpecTerm::iri("common"), v("b")),
+                (v("a"), SpecTerm::iri("rare"), v("c")),
+            ],
+        );
+        let q = compile(&spec, st.graph()).unwrap();
+        let plan = explain(&st, &q);
+        assert_eq!(plan.steps[0].pattern_index, 1, "rare first");
+        assert_eq!(plan.steps[0].estimated_matches, 1);
+        assert_eq!(plan.steps[1].estimated_matches, 100);
+        assert!(!plan.provably_empty);
+        assert!(plan.steps[0].binds.contains(&"a".to_string()));
+    }
+
+    #[test]
+    fn missing_constant_is_provably_empty() {
+        let st = store();
+        let spec = QuerySpec::new(
+            Vec::<String>::new(),
+            [(v("a"), SpecTerm::iri("nonexistent"), v("b"))],
+        );
+        let q = compile(&spec, st.graph()).unwrap();
+        let plan = explain(&st, &q);
+        assert!(plan.provably_empty);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let st = store();
+        let spec = QuerySpec::new(["a"], [(v("a"), SpecTerm::iri("rare"), v("b"))]);
+        let q = compile(&spec, st.graph()).unwrap();
+        let text = explain(&st, &q).to_string();
+        assert!(text.contains("PLAN:"));
+        assert!(text.contains("pattern #0"));
+    }
+
+    #[test]
+    fn plan_covers_all_patterns() {
+        let st = store();
+        let spec = QuerySpec::new(
+            ["a"],
+            [
+                (v("a"), SpecTerm::iri("common"), v("b")),
+                (v("b"), SpecTerm::iri("common"), v("c")),
+                (v("c"), SpecTerm::iri("rare"), v("d")),
+            ],
+        );
+        let q = compile(&spec, st.graph()).unwrap();
+        let plan = explain(&st, &q);
+        let mut idxs: Vec<usize> = plan.steps.iter().map(|s| s.pattern_index).collect();
+        idxs.sort_unstable();
+        assert_eq!(idxs, vec![0, 1, 2]);
+    }
+}

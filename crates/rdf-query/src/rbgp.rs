@@ -1,0 +1,163 @@
+//! Relational BGP (RBGP) queries — Definition 3 of the paper.
+//!
+//! An RBGP query is a BGP query whose body has:
+//!
+//! 1. URIs in all the *property* positions,
+//! 2. a URI in the *object* position of every τ (`rdf:type`) triple, and
+//! 3. variables in any *other* positions.
+//!
+//! RBGP is the dialect for which the paper's summaries are representative
+//! (Prop. 1) and accurate (Prop. 3): literals and subject/object URIs are
+//! dropped by summarization, so queries may not mention them; property URIs
+//! and class URIs are preserved, so queries may.
+
+use crate::bgp::{QuerySpec, SpecTerm};
+use rdf_model::{vocab, Term};
+use std::fmt;
+
+/// Why a query is not an RBGP query.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RbgpViolation {
+    /// A property position holds a variable or non-IRI.
+    NonUriProperty(usize),
+    /// A τ triple's object is not a URI.
+    NonUriClass(usize),
+    /// A subject position holds a constant.
+    ConstantSubject(usize),
+    /// A non-τ object position holds a constant.
+    ConstantObject(usize),
+}
+
+impl fmt::Display for RbgpViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RbgpViolation::NonUriProperty(i) => {
+                write!(f, "pattern {i}: property position must be a URI")
+            }
+            RbgpViolation::NonUriClass(i) => {
+                write!(f, "pattern {i}: rdf:type object must be a class URI")
+            }
+            RbgpViolation::ConstantSubject(i) => {
+                write!(f, "pattern {i}: subject position must be a variable")
+            }
+            RbgpViolation::ConstantObject(i) => {
+                write!(f, "pattern {i}: non-type object position must be a variable")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RbgpViolation {}
+
+/// Checks whether `spec` is an RBGP query (Definition 3).
+pub fn validate_rbgp(spec: &QuerySpec) -> Result<(), RbgpViolation> {
+    for (i, pat) in spec.body.iter().enumerate() {
+        // Condition (i): property must be an IRI constant.
+        let prop_iri = match &pat.p {
+            SpecTerm::Const(Term::Iri(iri)) => iri.as_str(),
+            _ => return Err(RbgpViolation::NonUriProperty(i)),
+        };
+        // Condition (iii): subjects are variables.
+        if !pat.s.is_var() {
+            return Err(RbgpViolation::ConstantSubject(i));
+        }
+        if vocab::is_type_property(prop_iri) {
+            // Condition (ii): τ objects are URIs.
+            match &pat.o {
+                SpecTerm::Const(Term::Iri(_)) => {}
+                _ => return Err(RbgpViolation::NonUriClass(i)),
+            }
+        } else {
+            // Condition (iii): other objects are variables.
+            if !pat.o.is_var() {
+                return Err(RbgpViolation::ConstantObject(i));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Is `spec` an RBGP query?
+pub fn is_rbgp(spec: &QuerySpec) -> bool {
+    validate_rbgp(spec).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bgp::QuerySpec;
+
+    fn v(n: &str) -> SpecTerm {
+        SpecTerm::var(n)
+    }
+
+    fn iri(s: &str) -> SpecTerm {
+        SpecTerm::iri(s)
+    }
+
+    #[test]
+    fn paper_sample_rbgp_is_valid() {
+        // q(x1, x3) :- x1 τ Book, x1 author x2, x2 reviewed x3
+        let spec = QuerySpec::new(
+            ["x1", "x3"],
+            [
+                (v("x1"), iri(vocab::RDF_TYPE), iri("Book")),
+                (v("x1"), iri("author"), v("x2")),
+                (v("x2"), iri("reviewed"), v("x3")),
+            ],
+        );
+        assert!(is_rbgp(&spec));
+    }
+
+    #[test]
+    fn variable_property_rejected() {
+        let spec = QuerySpec::new(["x"], [(v("x"), v("p"), v("y"))]);
+        assert_eq!(
+            validate_rbgp(&spec),
+            Err(RbgpViolation::NonUriProperty(0))
+        );
+    }
+
+    #[test]
+    fn literal_object_rejected() {
+        let spec = QuerySpec::new(
+            ["x"],
+            [(
+                v("x"),
+                iri("title"),
+                SpecTerm::Const(Term::literal("Le Port des Brumes")),
+            )],
+        );
+        assert_eq!(
+            validate_rbgp(&spec),
+            Err(RbgpViolation::ConstantObject(0))
+        );
+    }
+
+    #[test]
+    fn constant_subject_rejected() {
+        let spec = QuerySpec::new(
+            Vec::<String>::new(),
+            [(iri("b1"), iri("author"), v("y"))],
+        );
+        assert_eq!(
+            validate_rbgp(&spec),
+            Err(RbgpViolation::ConstantSubject(0))
+        );
+    }
+
+    #[test]
+    fn type_with_variable_class_rejected() {
+        let spec = QuerySpec::new(
+            Vec::<String>::new(),
+            [(v("x"), iri(vocab::RDF_TYPE), v("c"))],
+        );
+        assert_eq!(validate_rbgp(&spec), Err(RbgpViolation::NonUriClass(0)));
+    }
+
+    #[test]
+    fn violation_messages() {
+        assert!(RbgpViolation::NonUriProperty(2).to_string().contains("pattern 2"));
+        assert!(RbgpViolation::NonUriClass(0).to_string().contains("class"));
+    }
+}

@@ -1,0 +1,103 @@
+//! # rdf-schema
+//!
+//! RDF Schema (RDFS) support for the `rdfsummary` workspace: the four
+//! constraint kinds of the paper's Figure 1 (subclass ≺sc, subproperty ≺sp,
+//! domain ←↩d, range ↪→r) with transitive-closure queries, and fixpoint
+//! *saturation* `G → G∞` implementing the immediate entailment rules —
+//! the mechanism by which "implicit triples … are considered part of the
+//! RDF graph even though they are not explicitly present in it" (§2.1).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod saturate;
+pub mod schema;
+
+pub use saturate::{entails, is_saturated, saturate, saturate_in_place, SaturationReport};
+pub use schema::Schema;
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use rdf_model::{vocab, Graph};
+
+    /// A random graph with a small random schema over properties p0..p3 and
+    /// classes C0..C3.
+    fn build(
+        data: &[(u8, u8, u8)],
+        types: &[(u8, u8)],
+        sp: &[(u8, u8)],
+        sc: &[(u8, u8)],
+        dom: &[(u8, u8)],
+        rng: &[(u8, u8)],
+    ) -> Graph {
+        let mut g = Graph::new();
+        for (s, p, o) in data {
+            g.add_iri_triple(&format!("n{s}"), &format!("p{p}"), &format!("n{o}"));
+        }
+        for (s, c) in types {
+            g.add_iri_triple(&format!("n{s}"), vocab::RDF_TYPE, &format!("C{c}"));
+        }
+        for (a, b) in sp {
+            g.add_iri_triple(
+                &format!("p{a}"),
+                vocab::RDFS_SUBPROPERTYOF,
+                &format!("p{b}"),
+            );
+        }
+        for (a, b) in sc {
+            g.add_iri_triple(&format!("C{a}"), vocab::RDFS_SUBCLASSOF, &format!("C{b}"));
+        }
+        for (p, c) in dom {
+            g.add_iri_triple(&format!("p{p}"), vocab::RDFS_DOMAIN, &format!("C{c}"));
+        }
+        for (p, c) in rng {
+            g.add_iri_triple(&format!("p{p}"), vocab::RDFS_RANGE, &format!("C{c}"));
+        }
+        g
+    }
+
+    proptest! {
+        /// Saturation is monotone and idempotent on random graphs,
+        /// including schemas with cycles.
+        #[test]
+        fn saturation_monotone_idempotent(
+            data in proptest::collection::vec((0u8..5, 0u8..4, 0u8..5), 0..20),
+            types in proptest::collection::vec((0u8..5, 0u8..4), 0..8),
+            sp in proptest::collection::vec((0u8..4, 0u8..4), 0..6),
+            sc in proptest::collection::vec((0u8..4, 0u8..4), 0..6),
+            dom in proptest::collection::vec((0u8..4, 0u8..4), 0..4),
+            rng in proptest::collection::vec((0u8..4, 0u8..4), 0..4),
+        ) {
+            let g = build(&data, &types, &sp, &sc, &dom, &rng);
+            let sat = saturate(&g);
+            // Monotone.
+            prop_assert!(sat.len() >= g.len());
+            for t in g.iter() {
+                prop_assert!(sat.contains(t));
+            }
+            // Idempotent (single-pass closure really is a fixpoint).
+            let sat2 = saturate(&sat);
+            prop_assert_eq!(sat2.len(), sat.len());
+            prop_assert!(is_saturated(&sat));
+        }
+
+        /// Every data triple's property closure appears in the saturation:
+        /// if s p o ∈ G and p ≺sp* q then s q o ∈ G∞.
+        #[test]
+        fn subproperty_soundness(
+            data in proptest::collection::vec((0u8..4, 0u8..4, 0u8..4), 1..12),
+            sp in proptest::collection::vec((0u8..4, 0u8..4), 0..6),
+        ) {
+            let g = build(&data, &[], &sp, &[], &[], &[]);
+            let schema = Schema::of(&g);
+            let sat = saturate(&g);
+            for t in g.data() {
+                for q in schema.property_closure(t.p) {
+                    prop_assert!(sat.contains(rdf_model::Triple::new(t.s, q, t.o)));
+                }
+            }
+        }
+    }
+}

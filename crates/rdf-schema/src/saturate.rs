@@ -1,0 +1,383 @@
+//! RDF graph saturation: computing G∞, the fixpoint of the immediate
+//! entailment rules `⊢iRDF` (§2.1 of the paper).
+//!
+//! "The saturation of an RDF graph is unique (up to blank node renaming),
+//! and does not contain implicit triples (they have all been made explicit
+//! by saturation). … the semantics of an RDF graph is its saturation."
+//!
+//! The rule set is the standard ρdf fragment matching Figure 1:
+//!
+//! *Schema-level* (close S_G):
+//! 1. `c1 ≺sc c2, c2 ≺sc c3 ⊢ c1 ≺sc c3`
+//! 2. `p1 ≺sp p2, p2 ≺sp p3 ⊢ p1 ≺sp p3`
+//! 3. `p1 ≺sp p2, p2 ←↩d c ⊢ p1 ←↩d c` (domain inheritance down ≺sp)
+//! 4. `p1 ≺sp p2, p2 ↪→r c ⊢ p1 ↪→r c`
+//! 5. `p ←↩d c1, c1 ≺sc c2 ⊢ p ←↩d c2` (domain widening up ≺sc — this is
+//!    how the paper derives `writtenBy ←↩d Publication`)
+//! 6. `p ↪→r c1, c1 ≺sc c2 ⊢ p ↪→r c2`
+//!
+//! *Data-level*:
+//! 7. `s p o, p ≺sp p' ⊢ s p' o`
+//! 8. `s τ c, c ≺sc c' ⊢ s τ c'`
+//! 9. `s p o, p ←↩d c ⊢ s τ c`
+//! 10. `o p o, p ↪→r c ⊢ o τ c` — skipped when `o` is a literal, since a
+//!     literal cannot be the subject of a well-formed triple (the class
+//!     membership is still semantically true but not expressible).
+//!
+//! Because the schema closure (rules 1–6) is computed first, a single pass
+//! over the data and type triples with fully closed per-property /
+//! per-class lookups reaches the fixpoint — no iteration needed. This is
+//! the standard materialization argument for ρdf: data-level rules never
+//! produce new *schema* triples, and the consequences of produced triples
+//! are already covered by the closed lookups.
+
+use crate::schema::Schema;
+use rdf_model::{FxHashMap, FxHashSet, Graph, TermId, Triple};
+
+/// Statistics about one saturation run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SaturationReport {
+    /// Schema triples added by rules 1–6.
+    pub schema_added: usize,
+    /// Data triples added by rule 7.
+    pub data_added: usize,
+    /// Type triples added by rules 8–10.
+    pub types_added: usize,
+}
+
+impl SaturationReport {
+    /// Total triples added.
+    pub fn total(&self) -> usize {
+        self.schema_added + self.data_added + self.types_added
+    }
+}
+
+/// Saturates `g` in place; returns what was added.
+pub fn saturate_in_place(g: &mut Graph) -> SaturationReport {
+    let schema = Schema::of(g);
+    let mut report = SaturationReport::default();
+    if schema.is_empty() {
+        return report;
+    }
+    let wk = g.well_known();
+
+    // ---- Schema closure (rules 1–6) ----
+    let mut new_schema: Vec<Triple> = Vec::new();
+    {
+        // Rule 1: transitive ≺sc.
+        let mut classes: FxHashSet<TermId> = FxHashSet::default();
+        for t in g.schema() {
+            if t.p == wk.sub_class_of {
+                classes.insert(t.s);
+            }
+        }
+        for &c in &classes {
+            for sup in schema.superclasses(c) {
+                new_schema.push(Triple::new(c, wk.sub_class_of, sup));
+            }
+        }
+        // Rules 2–6 per constrained property.
+        for p in schema.constrained_properties() {
+            for sup in schema.superproperties(p) {
+                new_schema.push(Triple::new(p, wk.sub_property_of, sup));
+            }
+            for c in schema.entailed_subject_types(p) {
+                new_schema.push(Triple::new(p, wk.domain, c));
+            }
+            for c in schema.entailed_object_types(p) {
+                new_schema.push(Triple::new(p, wk.range, c));
+            }
+        }
+    }
+    for t in new_schema {
+        let before = g.len();
+        g.insert_encoded(t);
+        report.schema_added += g.len() - before;
+    }
+
+    // Re-extract: lookups below must see the *closed* schema. (Closing an
+    // already-closed schema is a no-op, so using `schema` would also work;
+    // re-extracting keeps the reasoning local.)
+    let schema = Schema::of(g);
+
+    // ---- Data pass (rules 7, 9, 10) ----
+    // Memoize per-property consequences: distinct data properties are few
+    // (the paper's |D_G|⁰_p), triples are many.
+    struct PropInfo {
+        supers: Vec<TermId>,
+        subject_types: Vec<TermId>,
+        object_types: Vec<TermId>,
+    }
+    let mut prop_info: FxHashMap<TermId, PropInfo> = FxHashMap::default();
+    let data_snapshot: Vec<Triple> = g.data().to_vec();
+    let mut emit: Vec<Triple> = Vec::new();
+    for t in &data_snapshot {
+        let info = prop_info.entry(t.p).or_insert_with(|| PropInfo {
+            supers: schema.superproperties(t.p).into_iter().collect(),
+            subject_types: schema.entailed_subject_types(t.p).into_iter().collect(),
+            object_types: schema.entailed_object_types(t.p).into_iter().collect(),
+        });
+        for &p2 in &info.supers {
+            emit.push(Triple::new(t.s, p2, t.o));
+        }
+        for &c in &info.subject_types {
+            emit.push(Triple::new(t.s, wk.rdf_type, c));
+        }
+        for &c in &info.object_types {
+            // Rule 10: skip literal objects — they cannot be subjects.
+            if !g.dict().decode(t.o).is_literal() {
+                emit.push(Triple::new(t.o, wk.rdf_type, c));
+            }
+        }
+    }
+    for t in emit {
+        let before = g.len();
+        let (_, comp) = g.insert_encoded(t);
+        if g.len() > before {
+            match comp {
+                rdf_model::Component::Data => report.data_added += 1,
+                rdf_model::Component::Type => report.types_added += 1,
+                rdf_model::Component::Schema => report.schema_added += 1,
+            }
+        }
+    }
+
+    // ---- Type pass (rule 8) ----
+    let mut class_closure_cache: FxHashMap<TermId, Vec<TermId>> = FxHashMap::default();
+    let type_snapshot: Vec<Triple> = g.types().to_vec();
+    let mut emit: Vec<Triple> = Vec::new();
+    for t in &type_snapshot {
+        let supers = class_closure_cache
+            .entry(t.o)
+            .or_insert_with(|| schema.superclasses(t.o).into_iter().collect());
+        for &c in supers.iter() {
+            emit.push(Triple::new(t.s, wk.rdf_type, c));
+        }
+    }
+    for t in emit {
+        let before = g.len();
+        g.insert_encoded(t);
+        report.types_added += g.len() - before;
+    }
+
+    report
+}
+
+/// Returns the saturation G∞ of `g` (leaving `g` untouched).
+///
+/// # Examples
+///
+/// ```
+/// use rdf_model::{vocab, Graph};
+/// use rdf_schema::saturate;
+///
+/// let mut g = Graph::new();
+/// g.add_iri_triple("http://x/anne", "http://x/hasFriend", "http://x/marie");
+/// g.add_iri_triple("http://x/hasFriend", vocab::RDFS_DOMAIN, "http://x/Person");
+/// let sat = saturate(&g);
+/// // The §2.1 example: `Anne rdf:type Person` becomes explicit.
+/// assert_eq!(sat.types().len(), 1);
+/// ```
+pub fn saturate(g: &Graph) -> Graph {
+    let mut out = g.clone();
+    saturate_in_place(&mut out);
+    out
+}
+
+/// Is `g` already saturated (saturation adds nothing)?
+pub fn is_saturated(g: &Graph) -> bool {
+    let mut copy = g.clone();
+    saturate_in_place(&mut copy).total() == 0
+}
+
+/// Does `g` entail the given triple? (`G ⊢RDF s p o` iff `s p o ∈ G∞`.)
+///
+/// Convenience for tests and small graphs — this saturates a copy of `g`.
+pub fn entails(g: &Graph, t: Triple) -> bool {
+    if g.contains(t) {
+        return true;
+    }
+    saturate(g).contains(t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdf_model::{vocab, Term};
+
+    fn id(g: &Graph, s: &str) -> TermId {
+        g.dict().lookup(&Term::iri(s)).unwrap()
+    }
+
+    /// The paper's running example from §2.1: the book graph with four
+    /// constraints, and its four stated implicit triples.
+    fn book_graph() -> Graph {
+        let mut g = Graph::new();
+        g.add_iri_triple("doi1", vocab::RDF_TYPE, "Book");
+        g.insert(
+            Term::iri("doi1"),
+            Term::iri("writtenBy"),
+            Term::blank("b1"),
+        )
+        .unwrap();
+        g.add_literal_triple("doi1", "hasTitle", "Le Port des Brumes");
+        g.insert(
+            Term::blank("b1"),
+            Term::iri("hasName"),
+            Term::literal("G. Simenon"),
+        )
+        .unwrap();
+        g.add_literal_triple("doi1", "publishedIn", "1932");
+        // Constraints.
+        g.add_iri_triple("Book", vocab::RDFS_SUBCLASSOF, "Publication");
+        g.add_iri_triple("writtenBy", vocab::RDFS_SUBPROPERTYOF, "hasAuthor");
+        g.add_iri_triple("writtenBy", vocab::RDFS_DOMAIN, "Book");
+        g.add_iri_triple("writtenBy", vocab::RDFS_RANGE, "Person");
+        g
+    }
+
+    #[test]
+    fn paper_book_example_implicit_triples() {
+        let g = book_graph();
+        let sat = saturate(&g);
+        let wk = sat.well_known();
+        let doi1 = id(&sat, "doi1");
+        let publication = id(&sat, "Publication");
+        let has_author = id(&sat, "hasAuthor");
+        let written_by = id(&sat, "writtenBy");
+        let person = id(&sat, "Person");
+        let b1 = sat.dict().lookup(&Term::blank("b1")).unwrap();
+
+        // The four implicit triples listed in §2.1:
+        assert!(sat.contains(Triple::new(doi1, wk.rdf_type, publication)));
+        assert!(sat.contains(Triple::new(doi1, has_author, b1)));
+        assert!(sat.contains(Triple::new(written_by, wk.domain, publication)));
+        assert!(sat.contains(Triple::new(b1, wk.rdf_type, person)));
+        // And of course the explicit ones survive.
+        for t in g.iter() {
+            assert!(sat.contains(t));
+        }
+    }
+
+    #[test]
+    fn saturation_is_idempotent() {
+        let g = book_graph();
+        let sat = saturate(&g);
+        assert!(is_saturated(&sat));
+        let sat2 = saturate(&sat);
+        assert_eq!(sat.len(), sat2.len());
+    }
+
+    #[test]
+    fn saturation_is_monotone() {
+        let g = book_graph();
+        let sat = saturate(&g);
+        assert!(sat.len() >= g.len());
+        for t in g.iter() {
+            assert!(sat.contains(t));
+        }
+    }
+
+    #[test]
+    fn no_schema_means_no_change() {
+        let mut g = Graph::new();
+        g.add_iri_triple("a", "p", "b");
+        g.add_iri_triple("a", vocab::RDF_TYPE, "C");
+        let report = saturate_in_place(&mut g);
+        assert_eq!(report.total(), 0);
+    }
+
+    #[test]
+    fn subclass_chain_propagates_types() {
+        let mut g = Graph::new();
+        g.add_iri_triple("x", vocab::RDF_TYPE, "A");
+        g.add_iri_triple("A", vocab::RDFS_SUBCLASSOF, "B");
+        g.add_iri_triple("B", vocab::RDFS_SUBCLASSOF, "C");
+        let sat = saturate(&g);
+        let wk = sat.well_known();
+        let x = id(&sat, "x");
+        assert!(sat.contains(Triple::new(x, wk.rdf_type, id(&sat, "B"))));
+        assert!(sat.contains(Triple::new(x, wk.rdf_type, id(&sat, "C"))));
+        // Schema closure too: A ≺sc C.
+        assert!(sat.contains(Triple::new(
+            id(&sat, "A"),
+            wk.sub_class_of,
+            id(&sat, "C")
+        )));
+    }
+
+    #[test]
+    fn subproperty_chain_propagates_data() {
+        let mut g = Graph::new();
+        g.add_iri_triple("x", "p1", "y");
+        g.add_iri_triple("p1", vocab::RDFS_SUBPROPERTYOF, "p2");
+        g.add_iri_triple("p2", vocab::RDFS_SUBPROPERTYOF, "p3");
+        let sat = saturate(&g);
+        let (x, y) = (id(&sat, "x"), id(&sat, "y"));
+        assert!(sat.contains(Triple::new(x, id(&sat, "p2"), y)));
+        assert!(sat.contains(Triple::new(x, id(&sat, "p3"), y)));
+        assert_eq!(sat.data().len(), 3);
+    }
+
+    #[test]
+    fn range_on_literal_object_is_skipped() {
+        let mut g = Graph::new();
+        g.add_literal_triple("x", "p", "five");
+        g.add_iri_triple("p", vocab::RDFS_RANGE, "Num");
+        let sat = saturate(&g);
+        // No τ triple was created for the literal.
+        assert_eq!(sat.types().len(), 0);
+    }
+
+    #[test]
+    fn domain_through_subproperty_two_step() {
+        // Rule interaction: s p1 o, p1 ≺sp p2, p2 ←↩d C ⊢ s τ C
+        // (requires rule 7's output to feed rule 9, which the closed
+        // lookups achieve in one pass).
+        let mut g = Graph::new();
+        g.add_iri_triple("x", "p1", "y");
+        g.add_iri_triple("p1", vocab::RDFS_SUBPROPERTYOF, "p2");
+        g.add_iri_triple("p2", vocab::RDFS_DOMAIN, "C");
+        let sat = saturate(&g);
+        let wk = sat.well_known();
+        assert!(sat.contains(Triple::new(id(&sat, "x"), wk.rdf_type, id(&sat, "C"))));
+    }
+
+    #[test]
+    fn range_then_subclass_two_step() {
+        // s p o, p ↪→r C, C ≺sc D ⊢ o τ D.
+        let mut g = Graph::new();
+        g.add_iri_triple("x", "p", "y");
+        g.add_iri_triple("p", vocab::RDFS_RANGE, "C");
+        g.add_iri_triple("C", vocab::RDFS_SUBCLASSOF, "D");
+        let sat = saturate(&g);
+        let wk = sat.well_known();
+        let y = id(&sat, "y");
+        assert!(sat.contains(Triple::new(y, wk.rdf_type, id(&sat, "C"))));
+        assert!(sat.contains(Triple::new(y, wk.rdf_type, id(&sat, "D"))));
+    }
+
+    #[test]
+    fn entails_convenience() {
+        let g = book_graph();
+        let wk = g.well_known();
+        let doi1 = id(&g, "doi1");
+        let publication = id(&g, "Publication");
+        assert!(entails(&g, Triple::new(doi1, wk.rdf_type, publication)));
+        assert!(!entails(
+            &g,
+            Triple::new(publication, wk.rdf_type, doi1)
+        ));
+    }
+
+    #[test]
+    fn report_counts_match_growth() {
+        let g = book_graph();
+        let mut copy = g.clone();
+        let report = saturate_in_place(&mut copy);
+        assert_eq!(copy.len(), g.len() + report.total());
+        assert!(report.types_added >= 2); // doi1 τ Publication, b1 τ Person
+        assert!(report.data_added >= 1); // doi1 hasAuthor b1
+        assert!(report.schema_added >= 1); // writtenBy ←↩d Publication
+    }
+}

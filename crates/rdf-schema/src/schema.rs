@@ -1,0 +1,262 @@
+//! The schema component S_G as a queryable constraint set.
+//!
+//! Figure 1 (bottom) of the paper: four kinds of RDFS constraints,
+//! interpreted under the open-world assumption —
+//!
+//! | constraint | triple | interpretation |
+//! |------------|--------|----------------|
+//! | subclass   | `s ≺sc o` | s ⊆ o |
+//! | subproperty| `s ≺sp o` | s ⊆ o |
+//! | domain     | `s ←↩d o` | Π_domain(s) ⊆ o |
+//! | range      | `s ↪→r o` | Π_range(s) ⊆ o |
+//!
+//! [`Schema`] extracts these from a graph and answers closure queries:
+//! all (transitive) superclasses of a class, all superproperties of a
+//! property, and the fully propagated domain/range class sets that the
+//! saturation rules entail.
+
+use rdf_model::{FxHashMap, FxHashSet, Graph, TermId, WellKnown};
+
+/// The RDFS constraints of a graph, with transitive-closure queries.
+#[derive(Clone, Debug)]
+pub struct Schema {
+    wk: WellKnown,
+    sub_class: FxHashMap<TermId, Vec<TermId>>,
+    sub_prop: FxHashMap<TermId, Vec<TermId>>,
+    domain: FxHashMap<TermId, Vec<TermId>>,
+    range: FxHashMap<TermId, Vec<TermId>>,
+}
+
+/// BFS over a direct-successor map; returns all nodes strictly reachable
+/// from `start` (cycle-safe, `start` excluded unless reachable via a cycle).
+fn reachable(edges: &FxHashMap<TermId, Vec<TermId>>, start: TermId) -> FxHashSet<TermId> {
+    let mut seen: FxHashSet<TermId> = FxHashSet::default();
+    let mut stack: Vec<TermId> = edges.get(&start).cloned().unwrap_or_default();
+    while let Some(n) = stack.pop() {
+        if seen.insert(n) {
+            if let Some(next) = edges.get(&n) {
+                stack.extend(next.iter().copied());
+            }
+        }
+    }
+    seen
+}
+
+impl Schema {
+    /// Extracts the constraints of `g`'s schema component.
+    pub fn of(g: &Graph) -> Self {
+        let wk = g.well_known();
+        let mut s = Schema {
+            wk,
+            sub_class: FxHashMap::default(),
+            sub_prop: FxHashMap::default(),
+            domain: FxHashMap::default(),
+            range: FxHashMap::default(),
+        };
+        for t in g.schema() {
+            let map = if t.p == wk.sub_class_of {
+                &mut s.sub_class
+            } else if t.p == wk.sub_property_of {
+                &mut s.sub_prop
+            } else if t.p == wk.domain {
+                &mut s.domain
+            } else {
+                debug_assert_eq!(t.p, wk.range);
+                &mut s.range
+            };
+            let v = map.entry(t.s).or_default();
+            if !v.contains(&t.o) {
+                v.push(t.o);
+            }
+        }
+        s
+    }
+
+    /// Is the schema empty (no constraints)?
+    pub fn is_empty(&self) -> bool {
+        self.sub_class.is_empty()
+            && self.sub_prop.is_empty()
+            && self.domain.is_empty()
+            && self.range.is_empty()
+    }
+
+    /// Direct superclasses of `c`.
+    pub fn direct_superclasses(&self, c: TermId) -> &[TermId] {
+        self.sub_class.get(&c).map_or(&[], |v| v)
+    }
+
+    /// Direct superproperties of `p`.
+    pub fn direct_superproperties(&self, p: TermId) -> &[TermId] {
+        self.sub_prop.get(&p).map_or(&[], |v| v)
+    }
+
+    /// Declared (not inherited) domains of `p`.
+    pub fn declared_domains(&self, p: TermId) -> &[TermId] {
+        self.domain.get(&p).map_or(&[], |v| v)
+    }
+
+    /// Declared (not inherited) ranges of `p`.
+    pub fn declared_ranges(&self, p: TermId) -> &[TermId] {
+        self.range.get(&p).map_or(&[], |v| v)
+    }
+
+    /// All strict transitive superclasses of `c`.
+    pub fn superclasses(&self, c: TermId) -> FxHashSet<TermId> {
+        reachable(&self.sub_class, c)
+    }
+
+    /// All strict transitive superproperties of `p` — the "generalizations"
+    /// used by saturated cliques C⁺ (Lemma 1 of the paper).
+    pub fn superproperties(&self, p: TermId) -> FxHashSet<TermId> {
+        reachable(&self.sub_prop, p)
+    }
+
+    /// `p` together with all its superproperties (the properties a data
+    /// triple `s p o` entails in G∞).
+    pub fn property_closure(&self, p: TermId) -> FxHashSet<TermId> {
+        let mut set = self.superproperties(p);
+        set.insert(p);
+        set
+    }
+
+    /// `c` together with all its superclasses.
+    pub fn class_closure(&self, c: TermId) -> FxHashSet<TermId> {
+        let mut set = self.superclasses(c);
+        set.insert(c);
+        set
+    }
+
+    /// Every class a *subject* of `p` is entailed to have in G∞: domains of
+    /// `p` and of all its superproperties, closed under subclassing.
+    pub fn entailed_subject_types(&self, p: TermId) -> FxHashSet<TermId> {
+        let mut out = FxHashSet::default();
+        for q in self.property_closure(p) {
+            for &c in self.declared_domains(q) {
+                out.extend(self.class_closure(c));
+            }
+        }
+        out
+    }
+
+    /// Every class an *object* of `p` is entailed to have in G∞.
+    pub fn entailed_object_types(&self, p: TermId) -> FxHashSet<TermId> {
+        let mut out = FxHashSet::default();
+        for q in self.property_closure(p) {
+            for &c in self.declared_ranges(q) {
+                out.extend(self.class_closure(c));
+            }
+        }
+        out
+    }
+
+    /// The well-known ids of the graph this schema came from.
+    pub fn well_known(&self) -> WellKnown {
+        self.wk
+    }
+
+    /// Distinct properties mentioned in ≺sp / ←↩d / ↪→r constraints
+    /// (i.e. the schema's *property nodes*, on the subject side).
+    pub fn constrained_properties(&self) -> FxHashSet<TermId> {
+        let mut out = FxHashSet::default();
+        out.extend(self.sub_prop.keys().copied());
+        out.extend(self.domain.keys().copied());
+        out.extend(self.range.keys().copied());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdf_model::{vocab, Term};
+
+    fn id(g: &Graph, s: &str) -> TermId {
+        g.dict().lookup(&Term::iri(s)).unwrap()
+    }
+
+    fn hierarchy() -> Graph {
+        let mut g = Graph::new();
+        g.add_iri_triple("A", vocab::RDFS_SUBCLASSOF, "B");
+        g.add_iri_triple("B", vocab::RDFS_SUBCLASSOF, "C");
+        g.add_iri_triple("p1", vocab::RDFS_SUBPROPERTYOF, "p2");
+        g.add_iri_triple("p2", vocab::RDFS_SUBPROPERTYOF, "p3");
+        g.add_iri_triple("p2", vocab::RDFS_DOMAIN, "A");
+        g.add_iri_triple("p1", vocab::RDFS_RANGE, "B");
+        g
+    }
+
+    #[test]
+    fn transitive_superclasses() {
+        let g = hierarchy();
+        let s = Schema::of(&g);
+        let (a, b, c) = (id(&g, "A"), id(&g, "B"), id(&g, "C"));
+        assert_eq!(s.superclasses(a), [b, c].into_iter().collect());
+        assert_eq!(s.superclasses(b), [c].into_iter().collect());
+        assert!(s.superclasses(c).is_empty());
+        assert!(s.class_closure(c).contains(&c));
+    }
+
+    #[test]
+    fn transitive_superproperties() {
+        let g = hierarchy();
+        let s = Schema::of(&g);
+        let (p1, p2, p3) = (id(&g, "p1"), id(&g, "p2"), id(&g, "p3"));
+        assert_eq!(s.superproperties(p1), [p2, p3].into_iter().collect());
+        assert_eq!(s.property_closure(p3), [p3].into_iter().collect());
+    }
+
+    #[test]
+    fn entailed_types_combine_sp_dom_sc() {
+        let g = hierarchy();
+        let s = Schema::of(&g);
+        let (a, b, c) = (id(&g, "A"), id(&g, "B"), id(&g, "C"));
+        let p1 = id(&g, "p1");
+        // p1 ≺sp p2, p2 ←↩d A, A ≺sc B ≺sc C ⇒ subjects of p1 are A, B, C.
+        assert_eq!(
+            s.entailed_subject_types(p1),
+            [a, b, c].into_iter().collect()
+        );
+        // p1 ↪→r B, B ≺sc C ⇒ objects of p1 are B, C.
+        assert_eq!(s.entailed_object_types(p1), [b, c].into_iter().collect());
+    }
+
+    #[test]
+    fn cycles_terminate() {
+        let mut g = Graph::new();
+        g.add_iri_triple("A", vocab::RDFS_SUBCLASSOF, "B");
+        g.add_iri_triple("B", vocab::RDFS_SUBCLASSOF, "A");
+        let s = Schema::of(&g);
+        let (a, b) = (id(&g, "A"), id(&g, "B"));
+        // Both reach each other (and themselves, through the cycle).
+        assert_eq!(s.superclasses(a), [a, b].into_iter().collect());
+        assert_eq!(s.superclasses(b), [a, b].into_iter().collect());
+    }
+
+    #[test]
+    fn empty_schema() {
+        let mut g = Graph::new();
+        g.add_iri_triple("a", "p", "b");
+        let s = Schema::of(&g);
+        assert!(s.is_empty());
+        assert!(s.superclasses(id(&g, "a")).is_empty());
+    }
+
+    #[test]
+    fn duplicate_constraints_collapse() {
+        let mut g = Graph::new();
+        g.add_iri_triple("A", vocab::RDFS_SUBCLASSOF, "B");
+        g.add_iri_triple("A", vocab::RDFS_SUBCLASSOF, "B");
+        let s = Schema::of(&g);
+        assert_eq!(s.direct_superclasses(id(&g, "A")).len(), 1);
+    }
+
+    #[test]
+    fn constrained_properties_collects_subjects() {
+        let g = hierarchy();
+        let s = Schema::of(&g);
+        let set = s.constrained_properties();
+        assert!(set.contains(&id(&g, "p1")));
+        assert!(set.contains(&id(&g, "p2")));
+        assert!(!set.contains(&id(&g, "p3"))); // only appears as object
+    }
+}

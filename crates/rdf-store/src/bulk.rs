@@ -1,0 +1,177 @@
+//! Bulk loading, mirroring the paper's load–encode–split pipeline.
+//!
+//! §6 of the paper: triples are `COPY`-ed into Postgres, dictionary-encoded,
+//! and the encoded table is split into data and type tables "where each row
+//! is assigned its sequence number". [`BulkLoader`] performs the same steps
+//! in one pass and reports what happened.
+
+use crate::store::TripleStore;
+use rdf_model::{Component, Graph, ModelError, Term};
+
+/// Counters reported by a bulk load.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LoadReport {
+    /// Triples presented to the loader.
+    pub read: usize,
+    /// Duplicate triples dropped (set semantics).
+    pub duplicates: usize,
+    /// Malformed triples rejected (only when `skip_malformed` is on).
+    pub rejected: usize,
+    /// Rows routed to D_G.
+    pub data: usize,
+    /// Rows routed to T_G.
+    pub types: usize,
+    /// Rows routed to S_G.
+    pub schema: usize,
+    /// Distinct terms in the dictionary after the load.
+    pub dictionary_size: usize,
+}
+
+/// Accumulates term triples into a graph, tracking load statistics.
+#[derive(Debug)]
+pub struct BulkLoader {
+    graph: Graph,
+    report: LoadReport,
+    /// When true, malformed triples are counted and skipped instead of
+    /// aborting the load.
+    pub skip_malformed: bool,
+}
+
+impl Default for BulkLoader {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BulkLoader {
+    /// Creates an empty loader.
+    pub fn new() -> Self {
+        BulkLoader {
+            graph: Graph::new(),
+            report: LoadReport::default(),
+            skip_malformed: false,
+        }
+    }
+
+    /// Creates a loader pre-sized for `n` triples.
+    pub fn with_capacity(n: usize) -> Self {
+        BulkLoader {
+            graph: Graph::with_capacity(n),
+            report: LoadReport::default(),
+            skip_malformed: false,
+        }
+    }
+
+    /// Adds one term triple.
+    pub fn add(&mut self, s: Term, p: Term, o: Term) -> Result<(), ModelError> {
+        self.report.read += 1;
+        let before = self.graph.len();
+        match self.graph.insert(s, p, o) {
+            Ok((_, comp)) => {
+                if self.graph.len() == before {
+                    self.report.duplicates += 1;
+                } else {
+                    match comp {
+                        Component::Data => self.report.data += 1,
+                        Component::Type => self.report.types += 1,
+                        Component::Schema => self.report.schema += 1,
+                    }
+                }
+                Ok(())
+            }
+            Err(e) => {
+                if self.skip_malformed {
+                    self.report.rejected += 1;
+                    Ok(())
+                } else {
+                    Err(e)
+                }
+            }
+        }
+    }
+
+    /// Adds every triple from an iterator.
+    pub fn extend(
+        &mut self,
+        triples: impl IntoIterator<Item = (Term, Term, Term)>,
+    ) -> Result<(), ModelError> {
+        for (s, p, o) in triples {
+            self.add(s, p, o)?;
+        }
+        Ok(())
+    }
+
+    /// The statistics so far.
+    pub fn report(&self) -> LoadReport {
+        let mut r = self.report;
+        r.dictionary_size = self.graph.dict().len();
+        r
+    }
+
+    /// Finishes the load, returning the graph.
+    pub fn into_graph(self) -> Graph {
+        self.graph
+    }
+
+    /// Finishes the load, building indices.
+    pub fn into_store(self) -> TripleStore {
+        TripleStore::new(self.graph)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdf_model::vocab;
+
+    #[test]
+    fn counts_components_and_duplicates() {
+        let mut l = BulkLoader::new();
+        l.extend([
+            (Term::iri("a"), Term::iri("p"), Term::iri("b")),
+            (Term::iri("a"), Term::iri("p"), Term::iri("b")), // dup
+            (Term::iri("a"), Term::iri(vocab::RDF_TYPE), Term::iri("C")),
+            (
+                Term::iri("C"),
+                Term::iri(vocab::RDFS_SUBCLASSOF),
+                Term::iri("D"),
+            ),
+        ])
+        .unwrap();
+        let r = l.report();
+        assert_eq!(r.read, 4);
+        assert_eq!(r.duplicates, 1);
+        assert_eq!((r.data, r.types, r.schema), (1, 1, 1));
+        assert!(r.dictionary_size >= 5);
+        assert_eq!(l.into_graph().len(), 3);
+    }
+
+    #[test]
+    fn strict_mode_aborts_on_malformed() {
+        let mut l = BulkLoader::new();
+        let err = l.add(Term::literal("L"), Term::iri("p"), Term::iri("b"));
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn lenient_mode_skips_malformed() {
+        let mut l = BulkLoader::new();
+        l.skip_malformed = true;
+        l.add(Term::literal("L"), Term::iri("p"), Term::iri("b"))
+            .unwrap();
+        l.add(Term::iri("a"), Term::iri("p"), Term::iri("b"))
+            .unwrap();
+        let r = l.report();
+        assert_eq!(r.rejected, 1);
+        assert_eq!(r.data, 1);
+    }
+
+    #[test]
+    fn into_store_builds_indices() {
+        let mut l = BulkLoader::new();
+        l.add(Term::iri("a"), Term::iri("p"), Term::iri("b"))
+            .unwrap();
+        let st = l.into_store();
+        assert_eq!(st.len(), 1);
+    }
+}

@@ -1,0 +1,168 @@
+//! Sorted permutation indices over a triple table.
+//!
+//! The classic triple-store layout: three copies of the triple table, sorted
+//! by the `(s,p,o)`, `(p,o,s)` and `(o,s,p)` permutations. Every triple
+//! pattern then resolves to one binary-searched contiguous range in one of
+//! the three orders. This replaces the B-tree indexes a relational back-end
+//! (the paper's PostgreSQL) would maintain on the triples table.
+
+use rdf_model::Triple;
+
+/// Which permutation an index is sorted by.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Order {
+    /// Sorted by (subject, property, object).
+    Spo,
+    /// Sorted by (property, object, subject).
+    Pos,
+    /// Sorted by (object, subject, property).
+    Osp,
+}
+
+/// Key extractor for an order.
+#[inline]
+fn key(order: Order, t: Triple) -> (u32, u32, u32) {
+    match order {
+        Order::Spo => (t.s.0, t.p.0, t.o.0),
+        Order::Pos => (t.p.0, t.o.0, t.s.0),
+        Order::Osp => (t.o.0, t.s.0, t.p.0),
+    }
+}
+
+/// A triple table sorted in one permutation order.
+#[derive(Clone, Debug)]
+pub struct SortedIndex {
+    order: Order,
+    triples: Vec<Triple>,
+}
+
+impl SortedIndex {
+    /// Builds the index by sorting a copy of `triples`.
+    pub fn build(order: Order, triples: &[Triple]) -> Self {
+        let mut v = triples.to_vec();
+        v.sort_unstable_by_key(|&t| key(order, t));
+        v.dedup();
+        SortedIndex { order, triples: v }
+    }
+
+    /// The sort order of this index.
+    pub fn order(&self) -> Order {
+        self.order
+    }
+
+    /// Number of indexed triples.
+    pub fn len(&self) -> usize {
+        self.triples.len()
+    }
+
+    /// True if no triples are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.triples.is_empty()
+    }
+
+    /// All triples in index order.
+    pub fn as_slice(&self) -> &[Triple] {
+        &self.triples
+    }
+
+    /// The contiguous range of triples whose first key component equals `k1`.
+    pub fn range1(&self, k1: u32) -> &[Triple] {
+        let lo = self.triples.partition_point(|&t| key(self.order, t).0 < k1);
+        let hi = self.triples.partition_point(|&t| key(self.order, t).0 <= k1);
+        &self.triples[lo..hi]
+    }
+
+    /// The contiguous range whose first two key components equal `(k1, k2)`.
+    pub fn range2(&self, k1: u32, k2: u32) -> &[Triple] {
+        let lo = self
+            .triples
+            .partition_point(|&t| {
+                let k = key(self.order, t);
+                (k.0, k.1) < (k1, k2)
+            });
+        let hi = self
+            .triples
+            .partition_point(|&t| {
+                let k = key(self.order, t);
+                (k.0, k.1) <= (k1, k2)
+            });
+        &self.triples[lo..hi]
+    }
+
+    /// Is the exact triple present? (Binary search on the full key.)
+    pub fn contains(&self, t: Triple) -> bool {
+        self.triples
+            .binary_search_by_key(&key(self.order, t), |&u| key(self.order, u))
+            .is_ok()
+    }
+
+    /// Verifies the sortedness invariant (used by tests and debug builds).
+    pub fn check_invariants(&self) -> bool {
+        self.triples
+            .windows(2)
+            .all(|w| key(self.order, w[0]) <= key(self.order, w[1]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdf_model::TermId;
+
+    fn t(s: u32, p: u32, o: u32) -> Triple {
+        Triple::new(TermId(s), TermId(p), TermId(o))
+    }
+
+    fn sample() -> Vec<Triple> {
+        vec![t(2, 1, 1), t(1, 1, 2), t(1, 2, 3), t(1, 1, 1), t(3, 2, 1)]
+    }
+
+    #[test]
+    fn builds_sorted_and_deduped() {
+        let mut with_dup = sample();
+        with_dup.push(t(1, 1, 1));
+        let idx = SortedIndex::build(Order::Spo, &with_dup);
+        assert_eq!(idx.len(), 5);
+        assert!(idx.check_invariants());
+    }
+
+    #[test]
+    fn range1_spo_groups_by_subject() {
+        let idx = SortedIndex::build(Order::Spo, &sample());
+        let r = idx.range1(1);
+        assert_eq!(r.len(), 3);
+        assert!(r.iter().all(|t| t.s == TermId(1)));
+        assert!(idx.range1(9).is_empty());
+    }
+
+    #[test]
+    fn range2_pos_groups_by_property_object() {
+        let idx = SortedIndex::build(Order::Pos, &sample());
+        let r = idx.range2(1, 1);
+        assert_eq!(r.len(), 2); // (2,1,1) and (1,1,1)
+        assert!(r.iter().all(|t| t.p == TermId(1) && t.o == TermId(1)));
+    }
+
+    #[test]
+    fn range1_osp_groups_by_object() {
+        let idx = SortedIndex::build(Order::Osp, &sample());
+        let r = idx.range1(1);
+        assert_eq!(r.len(), 3); // objects equal to 1
+        assert!(r.iter().all(|t| t.o == TermId(1)));
+    }
+
+    #[test]
+    fn contains_exact() {
+        let idx = SortedIndex::build(Order::Pos, &sample());
+        assert!(idx.contains(t(1, 2, 3)));
+        assert!(!idx.contains(t(1, 2, 4)));
+    }
+
+    #[test]
+    fn empty_index() {
+        let idx = SortedIndex::build(Order::Spo, &[]);
+        assert!(idx.is_empty());
+        assert!(idx.range1(0).is_empty());
+        assert!(!idx.contains(t(0, 0, 0)));
+    }
+}

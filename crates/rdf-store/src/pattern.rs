@@ -1,0 +1,88 @@
+//! Triple patterns: triples whose components may be unbound.
+//!
+//! This is the storage-level building block for query evaluation: each slot
+//! is either a bound [`TermId`] or a wildcard. (Named variables and joins
+//! live one level up, in `rdf-query`.)
+
+use rdf_model::{TermId, Triple};
+
+/// A triple pattern over encoded terms; `None` means "any term".
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct TriplePattern {
+    /// Subject slot.
+    pub s: Option<TermId>,
+    /// Property slot.
+    pub p: Option<TermId>,
+    /// Object slot.
+    pub o: Option<TermId>,
+}
+
+impl TriplePattern {
+    /// The wildcard pattern matching every triple.
+    pub const ANY: TriplePattern = TriplePattern {
+        s: None,
+        p: None,
+        o: None,
+    };
+
+    /// Builds a pattern from optional components.
+    pub fn new(s: Option<TermId>, p: Option<TermId>, o: Option<TermId>) -> Self {
+        TriplePattern { s, p, o }
+    }
+
+    /// Does `t` match this pattern?
+    #[inline]
+    pub fn matches(&self, t: Triple) -> bool {
+        self.s.is_none_or(|s| s == t.s)
+            && self.p.is_none_or(|p| p == t.p)
+            && self.o.is_none_or(|o| o == t.o)
+    }
+
+    /// Number of bound slots (0–3); fully bound patterns are membership
+    /// tests, fully unbound ones are full scans.
+    pub fn bound_count(&self) -> usize {
+        self.s.is_some() as usize + self.p.is_some() as usize + self.o.is_some() as usize
+    }
+}
+
+impl From<Triple> for TriplePattern {
+    fn from(t: Triple) -> Self {
+        TriplePattern {
+            s: Some(t.s),
+            p: Some(t.p),
+            o: Some(t.o),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u32, p: u32, o: u32) -> Triple {
+        Triple::new(TermId(s), TermId(p), TermId(o))
+    }
+
+    #[test]
+    fn wildcard_matches_everything() {
+        assert!(TriplePattern::ANY.matches(t(1, 2, 3)));
+        assert_eq!(TriplePattern::ANY.bound_count(), 0);
+    }
+
+    #[test]
+    fn bound_slots_filter() {
+        let p = TriplePattern::new(Some(TermId(1)), None, Some(TermId(3)));
+        assert!(p.matches(t(1, 9, 3)));
+        assert!(!p.matches(t(1, 9, 4)));
+        assert!(!p.matches(t(2, 9, 3)));
+        assert_eq!(p.bound_count(), 2);
+    }
+
+    #[test]
+    fn from_triple_is_exact() {
+        let p: TriplePattern = t(1, 2, 3).into();
+        assert!(p.matches(t(1, 2, 3)));
+        assert!(!p.matches(t(1, 2, 4)));
+        assert_eq!(p.bound_count(), 3);
+    }
+}

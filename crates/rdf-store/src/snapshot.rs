@@ -1,0 +1,329 @@
+//! A compact binary snapshot format for encoded graphs.
+//!
+//! Re-parsing N-Triples on every run is the dominant cost of experiment
+//! sweeps, so the store can persist a graph in its *encoded* form: the
+//! dictionary (terms in id order) followed by the three component tables
+//! as raw id triples. Loading is a single sequential read with no string
+//! parsing beyond the dictionary.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! magic  "RDFSNAP1"                       8 bytes
+//! n_terms        u64
+//! n_data/n_type/n_schema  3 × u64
+//! terms: n_terms × { tag u8, fields… }    tag 0=IRI 1=blank
+//!                                         2=literal 3=lang 4=typed
+//!   each string field: len u32 + UTF-8 bytes
+//! triples: (n_data+n_type+n_schema) × 3 × u32
+//! ```
+//!
+//! The format preserves term ids, so snapshots round-trip graphs
+//! *bit-identically* (insertion order of each component included).
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use rdf_model::{Graph, LiteralKind, Term, Triple};
+use std::fmt;
+
+/// Magic header bytes.
+pub const MAGIC: &[u8; 8] = b"RDFSNAP1";
+
+/// Errors from snapshot decoding.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// Missing or wrong magic header.
+    BadMagic,
+    /// The buffer ended prematurely or lengths are inconsistent.
+    Truncated,
+    /// A string field was not valid UTF-8.
+    BadUtf8,
+    /// An unknown term tag byte.
+    BadTag(u8),
+    /// A triple referenced a term id outside the dictionary.
+    DanglingId(u32),
+    /// A triple was routed to the wrong component table.
+    WrongComponent,
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::BadMagic => write!(f, "not a graph snapshot (bad magic)"),
+            SnapshotError::Truncated => write!(f, "snapshot truncated"),
+            SnapshotError::BadUtf8 => write!(f, "snapshot contains invalid UTF-8"),
+            SnapshotError::BadTag(t) => write!(f, "unknown term tag {t}"),
+            SnapshotError::DanglingId(id) => write!(f, "triple references unknown term id {id}"),
+            SnapshotError::WrongComponent => {
+                write!(f, "triple stored in the wrong component table")
+            }
+            SnapshotError::Io(e) => write!(f, "I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+impl From<std::io::Error> for SnapshotError {
+    fn from(e: std::io::Error) -> Self {
+        SnapshotError::Io(e)
+    }
+}
+
+fn put_str(buf: &mut BytesMut, s: &str) {
+    buf.put_u32_le(u32::try_from(s.len()).expect("string too long for snapshot"));
+    buf.put_slice(s.as_bytes());
+}
+
+fn put_term(buf: &mut BytesMut, t: &Term) {
+    match t {
+        Term::Iri(iri) => {
+            buf.put_u8(0);
+            put_str(buf, iri);
+        }
+        Term::Blank(label) => {
+            buf.put_u8(1);
+            put_str(buf, label);
+        }
+        Term::Literal { lexical, kind } => match kind {
+            LiteralKind::Simple => {
+                buf.put_u8(2);
+                put_str(buf, lexical);
+            }
+            LiteralKind::Lang(tag) => {
+                buf.put_u8(3);
+                put_str(buf, lexical);
+                put_str(buf, tag);
+            }
+            LiteralKind::Typed(dt) => {
+                buf.put_u8(4);
+                put_str(buf, lexical);
+                put_str(buf, dt);
+            }
+        },
+    }
+}
+
+/// Serializes a graph into a snapshot buffer.
+pub fn encode(g: &Graph) -> Bytes {
+    let mut buf = BytesMut::with_capacity(64 + g.dict().len() * 24 + g.len() * 12);
+    buf.put_slice(MAGIC);
+    buf.put_u64_le(g.dict().len() as u64);
+    buf.put_u64_le(g.data().len() as u64);
+    buf.put_u64_le(g.types().len() as u64);
+    buf.put_u64_le(g.schema().len() as u64);
+    for (_, term) in g.dict().iter() {
+        put_term(&mut buf, term);
+    }
+    for t in g
+        .data()
+        .iter()
+        .chain(g.types().iter())
+        .chain(g.schema().iter())
+    {
+        buf.put_u32_le(t.s.0);
+        buf.put_u32_le(t.p.0);
+        buf.put_u32_le(t.o.0);
+    }
+    buf.freeze()
+}
+
+fn get_str(buf: &mut Bytes) -> Result<String, SnapshotError> {
+    if buf.remaining() < 4 {
+        return Err(SnapshotError::Truncated);
+    }
+    let len = buf.get_u32_le() as usize;
+    if buf.remaining() < len {
+        return Err(SnapshotError::Truncated);
+    }
+    let raw = buf.copy_to_bytes(len);
+    String::from_utf8(raw.to_vec()).map_err(|_| SnapshotError::BadUtf8)
+}
+
+fn get_term(buf: &mut Bytes) -> Result<Term, SnapshotError> {
+    if buf.remaining() < 1 {
+        return Err(SnapshotError::Truncated);
+    }
+    match buf.get_u8() {
+        0 => Ok(Term::Iri(get_str(buf)?)),
+        1 => Ok(Term::Blank(get_str(buf)?)),
+        2 => Ok(Term::literal(get_str(buf)?)),
+        3 => {
+            let lexical = get_str(buf)?;
+            let tag = get_str(buf)?;
+            Ok(Term::lang_literal(lexical, tag))
+        }
+        4 => {
+            let lexical = get_str(buf)?;
+            let dt = get_str(buf)?;
+            Ok(Term::typed_literal(lexical, dt))
+        }
+        t => Err(SnapshotError::BadTag(t)),
+    }
+}
+
+/// Decodes a snapshot buffer back into a graph.
+///
+/// Term ids are preserved: the decoded graph's dictionary assigns the same
+/// id to the same term as the encoded one did.
+pub fn decode(mut buf: Bytes) -> Result<Graph, SnapshotError> {
+    if buf.remaining() < 8 + 32 || &buf.copy_to_bytes(8)[..] != MAGIC {
+        return Err(SnapshotError::BadMagic);
+    }
+    let n_terms = buf.get_u64_le() as usize;
+    let n_data = buf.get_u64_le() as usize;
+    let n_type = buf.get_u64_le() as usize;
+    let n_schema = buf.get_u64_le() as usize;
+
+    let mut g = Graph::new();
+    // The graph pre-interns the five well-known ids (0..=4); the snapshot
+    // dictionary starts with the same five (every Graph does), so encoding
+    // in order preserves ids. Verify as we go.
+    for i in 0..n_terms {
+        let term = get_term(&mut buf)?;
+        let id = g.dict_mut().encode(term);
+        if id.index() != i {
+            // Duplicate term in snapshot dictionary — corrupt.
+            return Err(SnapshotError::Truncated);
+        }
+    }
+    let n_triples = n_data + n_type + n_schema;
+    if buf.remaining() < n_triples * 12 {
+        return Err(SnapshotError::Truncated);
+    }
+    let wk = g.well_known();
+    for i in 0..n_triples {
+        let s = buf.get_u32_le();
+        let p = buf.get_u32_le();
+        let o = buf.get_u32_le();
+        for id in [s, p, o] {
+            if id as usize >= n_terms {
+                return Err(SnapshotError::DanglingId(id));
+            }
+        }
+        let t = Triple::new(rdf_model::TermId(s), rdf_model::TermId(p), rdf_model::TermId(o));
+        // Component consistency check.
+        let expected = if i < n_data {
+            rdf_model::Component::Data
+        } else if i < n_data + n_type {
+            rdf_model::Component::Type
+        } else {
+            rdf_model::Component::Schema
+        };
+        if wk.component_of(t.p) != expected {
+            return Err(SnapshotError::WrongComponent);
+        }
+        g.insert_encoded(t);
+    }
+    Ok(g)
+}
+
+/// Writes a snapshot to a file.
+pub fn save(g: &Graph, path: impl AsRef<std::path::Path>) -> Result<(), SnapshotError> {
+    std::fs::write(path, encode(g)).map_err(SnapshotError::from)
+}
+
+/// Reads a snapshot from a file.
+pub fn load(path: impl AsRef<std::path::Path>) -> Result<Graph, SnapshotError> {
+    let raw = std::fs::read(path)?;
+    decode(Bytes::from(raw))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Graph {
+        let mut g = Graph::new();
+        g.add_iri_triple("http://x/a", "http://x/p", "http://x/b");
+        g.add_iri_triple("http://x/a", rdf_model::vocab::RDF_TYPE, "http://x/C");
+        g.add_iri_triple("http://x/C", rdf_model::vocab::RDFS_SUBCLASSOF, "http://x/D");
+        g.insert(
+            Term::iri("http://x/a"),
+            Term::iri("http://x/q"),
+            Term::lang_literal("héllo", "fr"),
+        )
+        .unwrap();
+        g.insert(
+            Term::blank("b1"),
+            Term::iri("http://x/q"),
+            Term::typed_literal("1", "http://dt/int"),
+        )
+        .unwrap();
+        g
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let g = sample();
+        let snap = encode(&g);
+        let g2 = decode(snap).unwrap();
+        assert_eq!(g.len(), g2.len());
+        assert_eq!(g.data().len(), g2.data().len());
+        assert_eq!(g.types().len(), g2.types().len());
+        assert_eq!(g.schema().len(), g2.schema().len());
+        assert_eq!(g.dict().len(), g2.dict().len());
+        // Ids preserved bit-for-bit.
+        for t in g.iter() {
+            assert!(g2.contains(t));
+        }
+        for (id, term) in g.dict().iter() {
+            assert_eq!(g2.dict().decode(id), term);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut raw = encode(&sample()).to_vec();
+        raw[0] = b'X';
+        assert!(matches!(
+            decode(Bytes::from(raw)),
+            Err(SnapshotError::BadMagic)
+        ));
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let raw = encode(&sample());
+        for cut in [9, 20, raw.len() - 5] {
+            let sliced = raw.slice(0..cut);
+            assert!(decode(sliced).is_err(), "cut at {cut} accepted");
+        }
+    }
+
+    #[test]
+    fn rejects_dangling_ids() {
+        let g = sample();
+        let mut raw = encode(&g).to_vec();
+        // Patch the final triple's object id to an out-of-range value.
+        let n = raw.len();
+        raw[n - 4..].copy_from_slice(&u32::MAX.to_le_bytes());
+        let err = decode(Bytes::from(raw)).unwrap_err();
+        assert!(matches!(
+            err,
+            SnapshotError::DanglingId(_) | SnapshotError::WrongComponent
+        ));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("rdfstore_snapshot_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.snap");
+        let g = sample();
+        save(&g, &path).unwrap();
+        let g2 = load(&path).unwrap();
+        assert_eq!(g.len(), g2.len());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_graph_roundtrips() {
+        let g = Graph::new();
+        let g2 = decode(encode(&g)).unwrap();
+        assert!(g2.is_empty());
+        // Well-known terms still interned.
+        assert_eq!(g2.dict().len(), 5);
+    }
+}

@@ -1,0 +1,267 @@
+//! The embedded triple store.
+//!
+//! Stands in for the paper's PostgreSQL back-end (§6): it owns a
+//! dictionary-encoded [`Graph`] (the "encoded triples table", already split
+//! into data/type/schema tables) and maintains three sorted permutation
+//! indices so that every triple pattern is answered by a binary-searched
+//! contiguous range. Summarization algorithms scan the component tables
+//! sequentially, exactly like the paper's `SELECT s, p, o FROM D_G`; the
+//! query engine uses the indices.
+
+use crate::index::{Order, SortedIndex};
+use crate::pattern::TriplePattern;
+use rdf_model::{Graph, TermId, Triple};
+
+/// A read-optimized triple store over an RDF graph.
+///
+/// The store is built once from a graph; mutate the graph through
+/// [`TripleStore::graph_mut`] and call [`TripleStore::refresh`] to rebuild
+/// the indices (bulk-load-then-query, the paper's off-line usage pattern).
+#[derive(Clone, Debug)]
+pub struct TripleStore {
+    graph: Graph,
+    spo: SortedIndex,
+    pos: SortedIndex,
+    osp: SortedIndex,
+}
+
+impl TripleStore {
+    /// Builds a store (and its indices) from a graph.
+    pub fn new(graph: Graph) -> Self {
+        let all: Vec<Triple> = graph.iter().collect();
+        TripleStore {
+            spo: SortedIndex::build(Order::Spo, &all),
+            pos: SortedIndex::build(Order::Pos, &all),
+            osp: SortedIndex::build(Order::Osp, &all),
+            graph,
+        }
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Mutable access to the underlying graph. Call [`Self::refresh`]
+    /// afterwards to rebuild indices.
+    pub fn graph_mut(&mut self) -> &mut Graph {
+        &mut self.graph
+    }
+
+    /// Consumes the store, returning the graph.
+    pub fn into_graph(self) -> Graph {
+        self.graph
+    }
+
+    /// Rebuilds the indices after graph mutation.
+    pub fn refresh(&mut self) {
+        let all: Vec<Triple> = self.graph.iter().collect();
+        self.spo = SortedIndex::build(Order::Spo, &all);
+        self.pos = SortedIndex::build(Order::Pos, &all);
+        self.osp = SortedIndex::build(Order::Osp, &all);
+    }
+
+    /// Number of stored triples.
+    pub fn len(&self) -> usize {
+        self.spo.len()
+    }
+
+    /// True when the store holds no triples.
+    pub fn is_empty(&self) -> bool {
+        self.spo.is_empty()
+    }
+
+    /// Matches a triple pattern, returning the triples in some index order.
+    ///
+    /// Index selection:
+    ///
+    /// | bound | index | access |
+    /// |-------|-------|--------|
+    /// | s p o | SPO   | membership |
+    /// | s p _ | SPO   | range (s,p) |
+    /// | s _ o | OSP   | range (o,s) |
+    /// | s _ _ | SPO   | range (s) |
+    /// | _ p o | POS   | range (p,o) |
+    /// | _ p _ | POS   | range (p) |
+    /// | _ _ o | OSP   | range (o) |
+    /// | _ _ _ | SPO   | full scan |
+    pub fn scan(&self, pat: TriplePattern) -> &[Triple] {
+        match (pat.s, pat.p, pat.o) {
+            (Some(s), Some(p), Some(o)) => {
+                let t = Triple::new(s, p, o);
+                if self.spo.contains(t) {
+                    // Return the singleton slice out of the SPO index.
+                    let r = self.spo.range2(s.0, p.0);
+                    let i = r.iter().position(|&u| u == t).unwrap();
+                    &r[i..=i]
+                } else {
+                    &[]
+                }
+            }
+            (Some(s), Some(p), None) => self.spo.range2(s.0, p.0),
+            (Some(s), None, Some(o)) => self.osp.range2(o.0, s.0),
+            (Some(s), None, None) => self.spo.range1(s.0),
+            (None, Some(p), Some(o)) => self.pos.range2(p.0, o.0),
+            (None, Some(p), None) => self.pos.range1(p.0),
+            (None, None, Some(o)) => self.osp.range1(o.0),
+            (None, None, None) => self.spo.as_slice(),
+        }
+    }
+
+    /// Number of triples matching a pattern, without materializing them
+    /// (constant work beyond two binary searches). Used by the query planner
+    /// as an exact selectivity measure.
+    pub fn count(&self, pat: TriplePattern) -> usize {
+        self.scan(pat).len()
+    }
+
+    /// Does any triple match the pattern?
+    pub fn any(&self, pat: TriplePattern) -> bool {
+        !self.scan(pat).is_empty()
+    }
+
+    /// Membership test for a fully bound triple.
+    pub fn contains(&self, t: Triple) -> bool {
+        self.spo.contains(t)
+    }
+
+    /// Distinct subjects of triples with property `p` (ascending).
+    pub fn subjects_of_property(&self, p: TermId) -> Vec<TermId> {
+        let mut v: Vec<TermId> = self
+            .scan(TriplePattern::new(None, Some(p), None))
+            .iter()
+            .map(|t| t.s)
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// Distinct objects of triples with property `p` (ascending).
+    pub fn objects_of_property(&self, p: TermId) -> Vec<TermId> {
+        // POS order is already grouped by object within a property.
+        let mut v: Vec<TermId> = self
+            .scan(TriplePattern::new(None, Some(p), None))
+            .iter()
+            .map(|t| t.o)
+            .collect();
+        v.dedup();
+        v.sort_unstable();
+        v
+    }
+}
+
+impl From<Graph> for TripleStore {
+    fn from(g: Graph) -> Self {
+        TripleStore::new(g)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdf_model::vocab;
+
+    fn store() -> TripleStore {
+        let mut g = Graph::new();
+        g.add_iri_triple("a", "p", "b");
+        g.add_iri_triple("a", "p", "c");
+        g.add_iri_triple("b", "p", "c");
+        g.add_iri_triple("a", "q", "b");
+        g.add_iri_triple("a", vocab::RDF_TYPE, "C");
+        TripleStore::new(g)
+    }
+
+    fn id(st: &TripleStore, s: &str) -> TermId {
+        st.graph().dict().lookup(&rdf_model::Term::iri(s)).unwrap()
+    }
+
+    #[test]
+    fn all_eight_access_paths() {
+        let st = store();
+        let (a, b, c, p, q) = (
+            id(&st, "a"),
+            id(&st, "b"),
+            id(&st, "c"),
+            id(&st, "p"),
+            id(&st, "q"),
+        );
+        // s p o
+        assert_eq!(st.scan(TriplePattern::new(Some(a), Some(p), Some(b))).len(), 1);
+        assert_eq!(st.scan(TriplePattern::new(Some(a), Some(p), Some(a))).len(), 0);
+        // s p _
+        assert_eq!(st.scan(TriplePattern::new(Some(a), Some(p), None)).len(), 2);
+        // s _ o
+        assert_eq!(st.scan(TriplePattern::new(Some(a), None, Some(b))).len(), 2); // p and q
+        // s _ _
+        assert_eq!(st.scan(TriplePattern::new(Some(a), None, None)).len(), 4);
+        // _ p o
+        assert_eq!(st.scan(TriplePattern::new(None, Some(p), Some(c))).len(), 2);
+        // _ p _
+        assert_eq!(st.scan(TriplePattern::new(None, Some(p), None)).len(), 3);
+        assert_eq!(st.scan(TriplePattern::new(None, Some(q), None)).len(), 1);
+        // _ _ o
+        assert_eq!(st.scan(TriplePattern::new(None, None, Some(c))).len(), 2);
+        // _ _ _
+        assert_eq!(st.scan(TriplePattern::ANY).len(), 5);
+    }
+
+    #[test]
+    fn scans_agree_with_naive_filter() {
+        let st = store();
+        let all: Vec<Triple> = st.graph().iter().collect();
+        let ids: Vec<Option<TermId>> = {
+            let mut v = vec![None];
+            v.extend(all.iter().flat_map(|t| [Some(t.s), Some(t.p), Some(t.o)]));
+            v.sort_unstable();
+            v.dedup();
+            v
+        };
+        for &s in &ids {
+            for &p in &ids {
+                for &o in &ids {
+                    let pat = TriplePattern::new(s, p, o);
+                    let mut expect: Vec<Triple> =
+                        all.iter().copied().filter(|&t| pat.matches(t)).collect();
+                    let mut got: Vec<Triple> = st.scan(pat).to_vec();
+                    expect.sort_unstable();
+                    got.sort_unstable();
+                    assert_eq!(got, expect, "pattern {pat:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn count_and_any() {
+        let st = store();
+        let p = id(&st, "p");
+        assert_eq!(st.count(TriplePattern::new(None, Some(p), None)), 3);
+        assert!(st.any(TriplePattern::new(None, Some(p), None)));
+        let fresh = TermId(u32::MAX - 1);
+        assert!(!st.any(TriplePattern::new(Some(fresh), None, None)));
+    }
+
+    #[test]
+    fn refresh_after_mutation() {
+        let mut st = store();
+        assert_eq!(st.len(), 5);
+        st.graph_mut().add_iri_triple("z", "p", "w");
+        // Not yet visible to indices…
+        assert_eq!(st.len(), 5);
+        st.refresh();
+        assert_eq!(st.len(), 6);
+        let p = id(&st, "p");
+        assert_eq!(st.count(TriplePattern::new(None, Some(p), None)), 4);
+    }
+
+    #[test]
+    fn distinct_subject_object_helpers() {
+        let st = store();
+        let p = id(&st, "p");
+        let subs = st.subjects_of_property(p);
+        assert_eq!(subs.len(), 2); // a, b
+        let objs = st.objects_of_property(p);
+        assert_eq!(objs.len(), 2); // b, c
+    }
+}

@@ -1,0 +1,218 @@
+//! A deterministic LUBM-like university dataset generator.
+//!
+//! The paper reports "similar summary size and construction time metrics
+//! for other popular RDF datasets" (§7); LUBM (the Lehigh University
+//! Benchmark) is the canonical second synthetic dataset in this space.
+//! This generator reproduces its structure: universities with departments,
+//! a professor hierarchy (`rdfs:subClassOf`), students, courses, and the
+//! classic property set (worksFor, advisor, takesCourse, teacherOf, …)
+//! with domain/range constraints — so that, unlike our BSBM-like data,
+//! saturation materially changes the graph.
+
+use crate::words;
+use rdf_model::{vocab, Graph, SplitMix64};
+
+/// LUBM-like vocabulary namespace.
+pub const UNIV_NS: &str = "http://univ.example.org/vocabulary#";
+/// Instance namespace.
+pub const UNIV_INST: &str = "http://univ.example.org/instances/";
+
+/// Generator configuration; the scale unit is the number of universities
+/// (as in LUBM(n)).
+#[derive(Clone, Debug)]
+pub struct LubmConfig {
+    /// Number of universities.
+    pub universities: usize,
+    /// Departments per university (randomized around this).
+    pub departments_per_university: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for LubmConfig {
+    fn default() -> Self {
+        LubmConfig {
+            universities: 1,
+            departments_per_university: 8,
+            seed: 0x10BB,
+        }
+    }
+}
+
+impl LubmConfig {
+    /// A config with `n` universities.
+    pub fn with_universities(n: usize) -> Self {
+        LubmConfig {
+            universities: n,
+            ..Default::default()
+        }
+    }
+}
+
+/// Generates the dataset for `cfg`.
+pub fn generate(cfg: &LubmConfig) -> Graph {
+    let mut g = Graph::new();
+    let mut rng = SplitMix64::new(cfg.seed);
+    let v = |l: &str| format!("{UNIV_NS}{l}");
+
+    // ---- Schema ----
+    for (sub, sup) in [
+        ("FullProfessor", "Professor"),
+        ("AssociateProfessor", "Professor"),
+        ("AssistantProfessor", "Professor"),
+        ("Professor", "Faculty"),
+        ("Lecturer", "Faculty"),
+        ("Faculty", "Employee"),
+        ("GraduateStudent", "Student"),
+        ("UndergraduateStudent", "Student"),
+        ("GraduateCourse", "Course"),
+    ] {
+        g.add_iri_triple(&v(sub), vocab::RDFS_SUBCLASSOF, &v(sup));
+    }
+    for (p, c) in [
+        ("worksFor", "Employee"),
+        ("teacherOf", "Faculty"),
+        ("takesCourse", "Student"),
+    ] {
+        g.add_iri_triple(&v(p), vocab::RDFS_DOMAIN, &v(c));
+    }
+    for (p, c) in [
+        ("worksFor", "Department"),
+        ("teacherOf", "Course"),
+        ("takesCourse", "Course"),
+        ("advisor", "Professor"),
+    ] {
+        g.add_iri_triple(&v(p), vocab::RDFS_RANGE, &v(c));
+    }
+    g.add_iri_triple(&v("headOf"), vocab::RDFS_SUBPROPERTYOF, &v("worksFor"));
+
+    let mut dept_count = 0usize;
+    for u in 0..cfg.universities {
+        let uni = format!("{UNIV_INST}University{u}");
+        g.add_iri_triple(&uni, vocab::RDF_TYPE, &v("University"));
+        g.add_literal_triple(&uni, &v("name"), &words::label(&mut rng));
+
+        let n_depts = cfg.departments_per_university / 2
+            + rng.index(cfg.departments_per_university.max(1));
+        for _ in 0..n_depts.max(1) {
+            let d = dept_count;
+            dept_count += 1;
+            let dept = format!("{UNIV_INST}Department{d}");
+            g.add_iri_triple(&dept, vocab::RDF_TYPE, &v("Department"));
+            g.add_iri_triple(&dept, &v("subOrganizationOf"), &uni);
+
+            // Faculty.
+            let faculty_classes = [
+                "FullProfessor",
+                "AssociateProfessor",
+                "AssistantProfessor",
+                "Lecturer",
+            ];
+            let n_fac = 4 + rng.index(8);
+            let mut professors = Vec::new();
+            let mut courses = Vec::new();
+            for f in 0..n_fac {
+                let fac = format!("{UNIV_INST}Dept{d}.Faculty{f}");
+                let cls = faculty_classes[rng.index(faculty_classes.len())];
+                g.add_iri_triple(&fac, vocab::RDF_TYPE, &v(cls));
+                g.add_iri_triple(&fac, &v("worksFor"), &dept);
+                g.add_literal_triple(&fac, &v("name"), &words::label(&mut rng));
+                g.add_literal_triple(
+                    &fac,
+                    &v("emailAddress"),
+                    &format!("fac{f}@dept{d}.example.org"),
+                );
+                if cls.ends_with("Professor") {
+                    professors.push(fac.clone());
+                }
+                // Courses taught.
+                for k in 0..(1 + rng.index(2)) {
+                    let c = format!("{UNIV_INST}Dept{d}.Course{f}.{k}");
+                    let cls = if rng.chance(1, 3) {
+                        "GraduateCourse"
+                    } else {
+                        "Course"
+                    };
+                    g.add_iri_triple(&c, vocab::RDF_TYPE, &v(cls));
+                    g.add_literal_triple(&c, &v("name"), &words::label(&mut rng));
+                    g.add_iri_triple(&fac, &v("teacherOf"), &c);
+                    courses.push(c);
+                }
+            }
+            // The department head: headOf ≺sp worksFor exercises rule 7.
+            if let Some(head) = professors.first() {
+                g.add_iri_triple(head, &v("headOf"), &dept);
+            }
+
+            // Students.
+            let n_students = 20 + rng.index(30);
+            for s in 0..n_students {
+                let st = format!("{UNIV_INST}Dept{d}.Student{s}");
+                let grad = rng.chance(1, 4);
+                let cls = if grad {
+                    "GraduateStudent"
+                } else {
+                    "UndergraduateStudent"
+                };
+                g.add_iri_triple(&st, vocab::RDF_TYPE, &v(cls));
+                g.add_literal_triple(&st, &v("name"), &words::label(&mut rng));
+                for _ in 0..(1 + rng.index(3)) {
+                    if !courses.is_empty() {
+                        g.add_iri_triple(&st, &v("takesCourse"), rng.pick(&courses).as_str());
+                    }
+                }
+                if grad && !professors.is_empty() {
+                    g.add_iri_triple(&st, &v("advisor"), rng.pick(&professors).as_str());
+                }
+            }
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdf_schema::saturate;
+
+    #[test]
+    fn deterministic() {
+        let a = generate(&LubmConfig::with_universities(2));
+        let b = generate(&LubmConfig::with_universities(2));
+        assert_eq!(a.len(), b.len());
+    }
+
+    #[test]
+    fn has_schema_and_data() {
+        let g = generate(&LubmConfig::with_universities(1));
+        assert!(g.schema().len() >= 17);
+        assert!(g.data().len() > 100);
+        assert!(g.types().len() > 30);
+    }
+
+    #[test]
+    fn saturation_materially_grows_the_graph() {
+        let g = generate(&LubmConfig::with_universities(1));
+        let sat = saturate(&g);
+        // Professors gain Faculty/Employee types, headOf adds worksFor, …
+        assert!(
+            sat.len() > g.len() + g.types().len() / 2,
+            "{} -> {}",
+            g.len(),
+            sat.len()
+        );
+    }
+
+    #[test]
+    fn well_behaved() {
+        let g = generate(&LubmConfig::with_universities(1));
+        assert!(g.well_behaved_violations().is_empty());
+    }
+
+    #[test]
+    fn scale_grows_linearly() {
+        let one = generate(&LubmConfig::with_universities(1)).len();
+        let four = generate(&LubmConfig::with_universities(4)).len();
+        assert!(four > one * 2, "{one} vs {four}");
+    }
+}

@@ -1,0 +1,56 @@
+//! Deterministic pseudo-text for literal values.
+
+use rdf_model::SplitMix64;
+
+/// A fixed word pool (no external data files needed).
+pub const WORDS: [&str; 48] = [
+    "alpha", "bravo", "charlie", "delta", "echo", "foxtrot", "golf", "hotel", "india", "juliet",
+    "kilo", "lima", "mike", "november", "oscar", "papa", "quebec", "romeo", "sierra", "tango",
+    "uniform", "victor", "whiskey", "xray", "yankee", "zulu", "amber", "birch", "cedar", "dune",
+    "ember", "fjord", "grove", "heath", "isle", "jade", "knoll", "loch", "mesa", "nook",
+    "onyx", "pine", "quartz", "ridge", "slate", "thorn", "umber", "vale",
+];
+
+/// A deterministic sentence of `n` words.
+pub fn sentence(rng: &mut SplitMix64, n: usize) -> String {
+    let mut s = String::new();
+    for i in 0..n {
+        if i > 0 {
+            s.push(' ');
+        }
+        s.push_str(WORDS[rng.index(WORDS.len())]);
+    }
+    s
+}
+
+/// A deterministic label of 1–3 words.
+pub fn label(rng: &mut SplitMix64) -> String {
+    let n = 1 + rng.index(3);
+    sentence(rng, n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let mut a = SplitMix64::new(5);
+        let mut b = SplitMix64::new(5);
+        assert_eq!(sentence(&mut a, 5), sentence(&mut b, 5));
+    }
+
+    #[test]
+    fn sentence_word_count() {
+        let mut r = SplitMix64::new(1);
+        let s = sentence(&mut r, 4);
+        assert_eq!(s.split(' ').count(), 4);
+        assert!(label(&mut r).split(' ').count() <= 3);
+    }
+
+    #[test]
+    fn empty_sentence() {
+        let mut r = SplitMix64::new(1);
+        assert_eq!(sentence(&mut r, 0), "");
+    }
+}

@@ -1,0 +1,340 @@
+//! `rdfsummary` — command-line interface to the summarization library.
+//!
+//! ```text
+//! rdfsummary stats      <graph>
+//! rdfsummary summarize  <graph> [--kind w|s|tw|ts|t] [--out FILE] [--dot FILE] [--report]
+//! rdfsummary saturate   <graph> [--out FILE]
+//! rdfsummary check      <graph>
+//! rdfsummary query      <graph> QUERY [--saturate] [--limit N]
+//! rdfsummary generate   bsbm|lubm --scale N [--out FILE]
+//! rdfsummary snapshot   <graph.nt> --out FILE.snap
+//! ```
+//!
+//! `<graph>` is an N-Triples file, or a `.snap` binary snapshot (see
+//! `rdf-store::snapshot`).
+
+use rdfsummary::prelude::*;
+use rdfsummary::rdf_store::snapshot;
+use rdfsummary::rdfsum_core::{self, fixpoint_holds, render_report, ReportOptions};
+use rdfsummary::rdfsum_workloads as workloads;
+use std::process::ExitCode;
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}");
+    eprintln!("run `rdfsummary help` for usage");
+    ExitCode::FAILURE
+}
+
+fn usage() {
+    println!(
+        "rdfsummary — query-oriented RDF graph summarization
+
+USAGE:
+  rdfsummary stats      <graph> [--profile]             graph statistics
+  rdfsummary summarize  <graph> [--kind w|s|tw|ts|t]    build a summary
+                         [--out FILE] [--dot FILE] [--turtle FILE] [--report]
+  rdfsummary saturate   <graph> [--out FILE]            compute G∞
+  rdfsummary check      <graph>                         verify formal properties
+  rdfsummary query      <graph> QUERY [--saturate]      evaluate a BGP query
+                         [--reformulate] [--limit N] [--explain]
+  rdfsummary generate   bsbm|lubm --scale N [--out FILE] synthesize a dataset
+  rdfsummary snapshot   <graph> --out FILE.snap         binary snapshot
+
+<graph> is an N-Triples file (.nt) or a binary snapshot (.snap).
+QUERY uses the paper notation, e.g. \"q(?x) :- ?x a <http://…/Book>, ?x <http://…/author> ?y\""
+    );
+}
+
+fn load(path: &str) -> Result<Graph, String> {
+    if path.ends_with(".snap") {
+        snapshot::load(path).map_err(|e| format!("loading snapshot {path}: {e}"))
+    } else {
+        load_path(path).map_err(|e| format!("loading {path}: {e}"))
+    }
+}
+
+fn flag_value(args: &[String], name: &str) -> Option<String> {
+    args.windows(2)
+        .find(|w| w[0] == name)
+        .map(|w| w[1].clone())
+}
+
+fn has_flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+fn parse_kind(s: &str) -> Option<SummaryKind> {
+    match s.to_ascii_lowercase().as_str() {
+        "w" | "weak" => Some(SummaryKind::Weak),
+        "s" | "strong" => Some(SummaryKind::Strong),
+        "tw" | "typed-weak" => Some(SummaryKind::TypedWeak),
+        "ts" | "typed-strong" => Some(SummaryKind::TypedStrong),
+        "t" | "type" | "type-based" => Some(SummaryKind::TypeBased),
+        _ => None,
+    }
+}
+
+fn cmd_stats(path: &str, rest: &[String]) -> Result<(), String> {
+    let g = load(path)?;
+    let st = GraphStats::of(&g);
+    println!("graph: {path}");
+    println!("  triples        {:>10} (data {}, type {}, schema {})",
+        st.edges, st.data_edges, st.type_edges, st.schema_edges);
+    println!("  nodes          {:>10}", st.nodes);
+    println!("  data nodes     {:>10}", st.data_nodes);
+    println!("  class nodes    {:>10}", st.class_nodes);
+    println!("  property nodes {:>10}", st.property_nodes);
+    println!("  distinct data properties {:>6}", st.data_distinct.properties);
+    println!("  distinct subjects        {:>6}", st.data_distinct.subjects);
+    println!("  distinct objects         {:>6}", st.data_distinct.objects);
+    let violations = g.well_behaved_violations();
+    if violations.is_empty() {
+        println!("  well-behaved: yes");
+    } else {
+        println!("  well-behaved: NO ({} offending terms)", violations.len());
+    }
+    if has_flag(rest, "--profile") {
+        let prof = rdfsummary::rdf_model::Profile::of(&g);
+        let prefixes = PrefixMap::with_defaults();
+        let name = |id: rdfsummary::rdf_model::TermId| -> String {
+            match g.dict().decode(id) {
+                Term::Iri(iri) => prefixes.compact(iri),
+                other => other.to_string(),
+            }
+        };
+        println!("\n  heterogeneity: {} distinct property sets, {} distinct class sets",
+            prof.distinct_property_sets, prof.distinct_class_sets);
+        println!("  top properties:");
+        for (p, u) in prof.top_properties().into_iter().take(10) {
+            println!("    {:<60} {:>8} triples ({} subjects, {} objects)",
+                name(p), u.triples, u.subjects, u.objects);
+        }
+        println!("  top classes:");
+        for (c, n) in prof.top_classes().into_iter().take(10) {
+            println!("    {:<60} {:>8} instances", name(c), n);
+        }
+    }
+    Ok(())
+}
+
+fn cmd_summarize(path: &str, rest: &[String]) -> Result<(), String> {
+    let kind = match flag_value(rest, "--kind") {
+        Some(k) => parse_kind(&k).ok_or(format!("unknown summary kind `{k}`"))?,
+        None => SummaryKind::Weak,
+    };
+    let g = load(path)?;
+    let t0 = std::time::Instant::now();
+    let s = summarize(&g, kind);
+    let dt = t0.elapsed().as_secs_f64();
+    let st = s.stats();
+    println!(
+        "{kind} summary of {path}: {} nodes / {} edges (input {} triples) in {dt:.3}s",
+        st.all_nodes,
+        st.all_edges,
+        g.len()
+    );
+    if let Some(out) = flag_value(rest, "--out") {
+        save_path(&s.graph, &out).map_err(|e| format!("writing {out}: {e}"))?;
+        println!("wrote {out}");
+    }
+    if let Some(ttl_path) = flag_value(rest, "--turtle") {
+        let ttl = rdfsummary::rdf_io::write_turtle(&s.graph, &PrefixMap::with_defaults());
+        std::fs::write(&ttl_path, ttl).map_err(|e| format!("writing {ttl_path}: {e}"))?;
+        println!("wrote {ttl_path}");
+    }
+    if let Some(dot_path) = flag_value(rest, "--dot") {
+        let dot = to_dot(&s.graph, &DotOptions::default());
+        std::fs::write(&dot_path, dot).map_err(|e| format!("writing {dot_path}: {e}"))?;
+        println!("wrote {dot_path}");
+    }
+    if has_flag(rest, "--report") {
+        print!(
+            "\n{}",
+            render_report(
+                &s,
+                &g,
+                &ReportOptions {
+                    prefixes: PrefixMap::with_defaults(),
+                    examples_per_node: 3,
+                }
+            )
+        );
+    }
+    Ok(())
+}
+
+fn cmd_saturate(path: &str, rest: &[String]) -> Result<(), String> {
+    let g = load(path)?;
+    let sat = saturate(&g);
+    println!(
+        "saturated: {} -> {} triples (+{} implicit)",
+        g.len(),
+        sat.len(),
+        sat.len() - g.len()
+    );
+    if let Some(out) = flag_value(rest, "--out") {
+        save_path(&sat, &out).map_err(|e| format!("writing {out}: {e}"))?;
+        println!("wrote {out}");
+    }
+    Ok(())
+}
+
+fn cmd_check(path: &str) -> Result<(), String> {
+    let g = load(path)?;
+    println!("checking formal properties on {path} ({} triples)…", g.len());
+    for kind in SummaryKind::ALL {
+        let s = summarize(&g, kind);
+        let quotient_ok = rdfsum_core::quotient::verify_quotient(&g, &s);
+        let fixpoint = fixpoint_holds(&g, kind);
+        let completeness = rdfsum_core::completeness_check(&g, kind).holds;
+        println!(
+            "  {kind:>3}: quotient {}  fixpoint {}  completeness {}",
+            if quotient_ok { "OK " } else { "BAD" },
+            if fixpoint { "OK " } else { "BAD" },
+            if completeness {
+                "holds"
+            } else {
+                "fails (expected for typed kinds under ←↩d/↪→r)"
+            },
+        );
+    }
+    Ok(())
+}
+
+fn cmd_query(path: &str, rest: &[String]) -> Result<(), String> {
+    let query_text = rest
+        .iter()
+        .find(|a| !a.starts_with("--") && a.contains(":-"))
+        .ok_or("missing query (expected `q(?x) :- …`)")?;
+    let limit: usize = flag_value(rest, "--limit")
+        .map(|v| v.parse().map_err(|_| "bad --limit"))
+        .transpose()?
+        .unwrap_or(20);
+    let mut g = load(path)?;
+    if has_flag(rest, "--saturate") {
+        g = saturate(&g);
+    }
+    let spec = parse_query(query_text, &PrefixMap::with_defaults())
+        .map_err(|e| format!("query syntax: {e}"))?;
+    let store = TripleStore::new(g);
+    if has_flag(rest, "--reformulate") {
+        // Complete answers over the explicit triples, via query rewriting.
+        let union = rdfsummary::rdf_query::reformulate(
+            &spec,
+            store.graph(),
+            &rdfsummary::rdf_query::ReformulateConfig::default(),
+        )
+        .map_err(|e| format!("reformulation: {e}"))?;
+        println!("reformulated into a union of {} queries", union.len());
+        let ev = Evaluator::new(&store);
+        let mut seen = std::collections::BTreeSet::new();
+        for q in &union {
+            let cq = compile(q, store.graph()).map_err(|e| format!("compile: {e}"))?;
+            for row in ev.select(&cq).decode(&store) {
+                let cells: Vec<String> = row.iter().map(|t| t.to_string()).collect();
+                seen.insert(cells.join("\t"));
+            }
+        }
+        if seen.is_empty() {
+            println!("no answers");
+        } else {
+            for row in &seen {
+                println!("{row}");
+            }
+            println!("({} answers)", seen.len());
+        }
+        return Ok(());
+    }
+    let compiled = compile(&spec, store.graph()).map_err(|e| format!("compile: {e}"))?;
+    if has_flag(rest, "--explain") {
+        print!("{}", rdfsummary::rdf_query::explain(&store, &compiled));
+    }
+    let rs = Evaluator::new(&store).select_limit(&compiled, limit);
+    if rs.is_empty() {
+        println!("no answers");
+        return Ok(());
+    }
+    println!("{}", rs.columns.join("\t"));
+    for row in rs.decode(&store) {
+        let cells: Vec<String> = row.iter().map(|t| t.to_string()).collect();
+        println!("{}", cells.join("\t"));
+    }
+    println!("({} answers, limit {limit})", rs.len());
+    Ok(())
+}
+
+fn cmd_generate(rest: &[String]) -> Result<(), String> {
+    let family = rest.first().ok_or("expected `bsbm` or `lubm`")?;
+    let scale: usize = flag_value(rest, "--scale")
+        .ok_or("missing --scale N")?
+        .parse()
+        .map_err(|_| "bad --scale")?;
+    let g = match family.as_str() {
+        "bsbm" => workloads::generate_bsbm(&BsbmConfig::with_products(scale)),
+        "lubm" => workloads::generate_lubm(&LubmConfig::with_universities(scale)),
+        other => return Err(format!("unknown generator `{other}`")),
+    };
+    println!("generated {family} scale {scale}: {} triples", g.len());
+    if let Some(out) = flag_value(rest, "--out") {
+        if out.ends_with(".snap") {
+            snapshot::save(&g, &out).map_err(|e| format!("writing {out}: {e}"))?;
+        } else {
+            save_path(&g, &out).map_err(|e| format!("writing {out}: {e}"))?;
+        }
+        println!("wrote {out}");
+    }
+    Ok(())
+}
+
+fn cmd_snapshot(path: &str, rest: &[String]) -> Result<(), String> {
+    let out = flag_value(rest, "--out").ok_or("missing --out FILE.snap")?;
+    let g = load(path)?;
+    snapshot::save(&g, &out).map_err(|e| format!("writing {out}: {e}"))?;
+    println!("wrote {out} ({} triples)", g.len());
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        usage();
+        return ExitCode::FAILURE;
+    };
+    let rest = &args[1..];
+    let result = match cmd.as_str() {
+        "help" | "--help" | "-h" => {
+            usage();
+            Ok(())
+        }
+        "stats" => match rest.first() {
+            Some(p) => cmd_stats(p, &rest[1..]),
+            None => Err("stats: missing graph file".into()),
+        },
+        "summarize" => match rest.first() {
+            Some(p) => cmd_summarize(p, &rest[1..]),
+            None => Err("summarize: missing graph file".into()),
+        },
+        "saturate" => match rest.first() {
+            Some(p) => cmd_saturate(p, &rest[1..]),
+            None => Err("saturate: missing graph file".into()),
+        },
+        "check" => match rest.first() {
+            Some(p) => cmd_check(p),
+            None => Err("check: missing graph file".into()),
+        },
+        "query" => match rest.first() {
+            Some(p) => cmd_query(p, &rest[1..]),
+            None => Err("query: missing graph file".into()),
+        },
+        "generate" => cmd_generate(rest),
+        "snapshot" => match rest.first() {
+            Some(p) => cmd_snapshot(p, &rest[1..]),
+            None => Err("snapshot: missing graph file".into()),
+        },
+        other => Err(format!("unknown command `{other}`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => fail(&msg),
+    }
+}

@@ -1,0 +1,82 @@
+//! # rdfsummary — query-oriented summarization of RDF graphs
+//!
+//! A complete Rust implementation of *“Query-Oriented Summarization of RDF
+//! Graphs”* (Čebirić, Goasdoué, Manolescu): weak, strong, typed-weak and
+//! typed-strong quotient summaries over an embedded RDF stack — data
+//! model, N-Triples I/O, triple store, RDFS saturation, and a BGP/RBGP
+//! query engine.
+//!
+//! This façade crate re-exports the workspace's public APIs; see the
+//! member crates for the full documentation:
+//!
+//! * [`rdf_model`] — terms, dictionary encoding, graphs `⟨D_G, S_G, T_G⟩`;
+//! * [`rdf_io`] — N-Triples parsing/serialization, DOT export;
+//! * [`rdf_store`] — permutation-indexed triple store;
+//! * [`rdf_schema`] — RDFS constraints and saturation `G → G∞`;
+//! * [`rdf_query`] — BGP/RBGP queries, evaluation, workload sampling;
+//! * [`rdfsum_core`] — cliques, equivalences, the four summaries, formal
+//!   property checkers;
+//! * [`rdfsum_workloads`] — BSBM-like / LUBM-like / shape generators.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use rdfsummary::prelude::*;
+//!
+//! // Load (or build) a graph…
+//! let graph = rdf_io::parse_graph(
+//!     "<http://x/book1> <http://x/author> <http://x/alice> .\n\
+//!      <http://x/book2> <http://x/author> <http://x/bob> .\n",
+//! )
+//! .unwrap();
+//!
+//! // …summarize it…
+//! let summary = summarize(&graph, SummaryKind::Weak);
+//! assert_eq!(summary.graph.data().len(), 1); // one `author` edge
+//!
+//! // …and use the summary to prune queries without touching the graph.
+//! let q = rdf_query::parse_query(
+//!     "q() :- ?x <http://x/price> ?y",
+//!     &rdf_model::PrefixMap::with_defaults(),
+//! )
+//! .unwrap();
+//! assert!(rdfsum_core::can_prune(&summary, &q));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use rdf_io;
+pub use rdf_model;
+pub use rdf_query;
+pub use rdf_schema;
+pub use rdf_store;
+pub use rdfsum_core;
+pub use rdfsum_workloads;
+
+/// The most common imports, bundled.
+pub mod prelude {
+    pub use rdf_io::{load_path, parse_graph, save_path, to_dot, write_graph, DotOptions};
+    pub use rdf_model::{Graph, GraphStats, PrefixMap, Term, TermId, Triple};
+    pub use rdf_query::{compile, parse_query, Evaluator, QuerySpec};
+    pub use rdf_schema::{saturate, Schema};
+    pub use rdf_store::{TriplePattern, TripleStore};
+    pub use rdfsum_core::{
+        summarize, summarize_all, summarize_with, Summary, SummaryKind, SummaryStats,
+    };
+    pub use rdfsum_workloads::{BsbmConfig, LubmConfig};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn prelude_is_usable() {
+        let g = rdfsum_core::fixtures::sample_graph();
+        let all = summarize_all(&g);
+        assert_eq!(all.len(), 4);
+        assert_eq!(all[0].kind, SummaryKind::Weak);
+        let _stats: SummaryStats = all[0].stats();
+    }
+}

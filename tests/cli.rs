@@ -1,0 +1,166 @@
+//! Integration tests driving the `rdfsummary` CLI binary end to end.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_rdfsummary"))
+}
+
+fn workdir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rdfsummary_cli_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn sample_file(dir: &std::path::Path) -> PathBuf {
+    let path = dir.join("sample.nt");
+    let g = rdfsummary::rdfsum_core::fixtures::sample_graph();
+    rdfsummary::rdf_io::save_path(&g, &path).unwrap();
+    path
+}
+
+#[test]
+fn help_and_unknown_command() {
+    let out = bin().arg("help").output().unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("USAGE"));
+
+    let out = bin().arg("frobnicate").output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+}
+
+#[test]
+fn stats_on_sample() {
+    let dir = workdir();
+    let file = sample_file(&dir);
+    let out = bin().arg("stats").arg(&file).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("triples"));
+    assert!(text.contains("well-behaved: yes"));
+}
+
+#[test]
+fn summarize_with_outputs() {
+    let dir = workdir();
+    let file = sample_file(&dir);
+    let out_nt = dir.join("weak.nt");
+    let out_dot = dir.join("weak.dot");
+    let out = bin()
+        .args(["summarize", file.to_str().unwrap()])
+        .args(["--kind", "w"])
+        .args(["--out", out_nt.to_str().unwrap()])
+        .args(["--dot", out_dot.to_str().unwrap()])
+        .arg("--report")
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("W summary"));
+    assert!(text.contains("nodes (by extent)"));
+    // The N-Triples output reparses to the same number of triples (10).
+    let reparsed = rdfsummary::rdf_io::load_path(&out_nt).unwrap();
+    assert_eq!(reparsed.len(), 10);
+    assert!(std::fs::read_to_string(&out_dot)
+        .unwrap()
+        .starts_with("digraph"));
+}
+
+#[test]
+fn generate_snapshot_stats_pipeline() {
+    let dir = workdir();
+    let snap = dir.join("bsbm.snap");
+    let out = bin()
+        .args(["generate", "bsbm", "--scale", "20"])
+        .args(["--out", snap.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let out = bin().arg("stats").arg(&snap).output().unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("class nodes"));
+
+    let out = bin()
+        .args(["summarize", snap.to_str().unwrap(), "--kind", "ts"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("TS summary"));
+}
+
+#[test]
+fn query_with_saturation() {
+    let dir = workdir();
+    // The §2.1 book graph: the query needs saturation to answer.
+    let path = dir.join("book.nt");
+    let g = rdfsummary::rdfsum_core::fixtures::book_graph();
+    rdfsummary::rdf_io::save_path(&g, &path).unwrap();
+    let query =
+        "q(?name) :- ?b <http://example.org/hasAuthor> ?a, ?a <http://example.org/hasName> ?name";
+
+    let out = bin()
+        .args(["query", path.to_str().unwrap(), query])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("no answers"));
+
+    let out = bin()
+        .args(["query", path.to_str().unwrap(), query, "--saturate"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("G. Simenon"));
+}
+
+#[test]
+fn query_with_reformulation() {
+    let dir = workdir();
+    let path = dir.join("book2.nt");
+    let g = rdfsummary::rdfsum_core::fixtures::book_graph();
+    rdfsummary::rdf_io::save_path(&g, &path).unwrap();
+    // Complete answers over explicit triples only.
+    let query =
+        "q(?name) :- ?b <http://example.org/hasAuthor> ?a, ?a <http://example.org/hasName> ?name";
+    let out = bin()
+        .args(["query", path.to_str().unwrap(), query, "--reformulate"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("G. Simenon"), "got: {text}");
+    assert!(text.contains("union of"));
+}
+
+#[test]
+fn check_reports_properties() {
+    let dir = workdir();
+    let file = sample_file(&dir);
+    let out = bin().arg("check").arg(&file).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    for kind in ["W", "S", "TW", "TS"] {
+        assert!(text.contains(&format!("{kind}:")), "missing {kind} in:\n{text}");
+    }
+    assert!(text.contains("quotient OK"));
+}
+
+#[test]
+fn saturate_writes_closure() {
+    let dir = workdir();
+    let path = dir.join("book.nt");
+    let g = rdfsummary::rdfsum_core::fixtures::book_graph();
+    rdfsummary::rdf_io::save_path(&g, &path).unwrap();
+    let out_path = dir.join("book_inf.nt");
+    let out = bin()
+        .args(["saturate", path.to_str().unwrap()])
+        .args(["--out", out_path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let sat = rdfsummary::rdf_io::load_path(&out_path).unwrap();
+    assert!(sat.len() > g.len());
+}

@@ -1,0 +1,121 @@
+//! End-to-end golden tests pinning the paper's running example (§3–§5)
+//! through the public façade: Figure 2 in, Table 1 and Figures 4/6/7/9 out.
+
+use rdfsummary::prelude::*;
+use rdfsummary::rdfsum_core::fixtures::{exid, sample_graph};
+use rdfsummary::rdfsum_core::naming::display_label;
+use rdfsummary::rdfsum_core::{CliqueScope, Cliques};
+
+fn label(s: &Summary, g: &Graph, local: &str) -> String {
+    let node = s.representative(exid(g, local)).unwrap();
+    display_label(s.graph.dict().decode(node).as_iri().unwrap())
+}
+
+#[test]
+fn table1_cliques() {
+    let g = sample_graph();
+    let cq = Cliques::compute(&g, CliqueScope::AllNodes);
+    assert_eq!(cq.source_cliques.len(), 3);
+    assert_eq!(cq.target_cliques.len(), 5);
+    // SC(r1) = SC1 = {author, title, editor, comment} — 4 members.
+    let sc1 = cq.sc(exid(&g, "r1")).unwrap();
+    assert_eq!(cq.source_members(sc1).len(), 4);
+    // TC(r4) = TC5 = {reviewed, published}.
+    let tc5 = cq.tc(exid(&g, "r4")).unwrap();
+    assert_eq!(cq.target_members(tc5).len(), 2);
+}
+
+#[test]
+fn figure4_weak() {
+    let g = sample_graph();
+    let w = summarize(&g, SummaryKind::Weak);
+    let st = w.stats();
+    assert_eq!((st.all_nodes, st.data_edges, st.type_edges), (9, 6, 4));
+    assert_eq!(
+        label(&w, &g, "r3"),
+        "N[in=published,reviewed][out=author,comment,editor,title]"
+    );
+    assert_eq!(label(&w, &g, "r6"), "Nτ");
+}
+
+#[test]
+fn figure6_type_based() {
+    let g = sample_graph();
+    let t = summarize(&g, SummaryKind::TypeBased);
+    // r5 and r6 share C({Spec}); all untyped nodes copied.
+    assert_eq!(
+        t.representative(exid(&g, "r5")),
+        t.representative(exid(&g, "r6"))
+    );
+    assert_eq!(t.n_summary_nodes(), 14);
+}
+
+#[test]
+fn figure7_typed_weak() {
+    let g = sample_graph();
+    let tw = summarize(&g, SummaryKind::TypedWeak);
+    let st = tw.stats();
+    assert_eq!(tw.n_summary_nodes(), 9);
+    assert_eq!(st.data_edges, 12);
+    assert_eq!(label(&tw, &g, "r1"), "C{Book}");
+    assert_eq!(label(&tw, &g, "r3"), "N[out=comment,editor]");
+    // a1/a2 merged in TW…
+    assert_eq!(
+        tw.representative(exid(&g, "a1")),
+        tw.representative(exid(&g, "a2"))
+    );
+}
+
+#[test]
+fn figure9_strong() {
+    let g = sample_graph();
+    let s = summarize(&g, SummaryKind::Strong);
+    assert_eq!(s.n_summary_nodes(), 9);
+    assert_eq!(s.stats().data_edges, 9);
+    // …but split in TS (see DESIGN.md §2, ambiguity #2).
+    let ts = summarize(&g, SummaryKind::TypedStrong);
+    assert_ne!(
+        ts.representative(exid(&g, "a1")),
+        ts.representative(exid(&g, "a2"))
+    );
+}
+
+#[test]
+fn section2_book_example_queries() {
+    // §2.1: the author query must be empty on G but non-empty on G∞.
+    let g = rdfsummary::rdfsum_core::fixtures::book_graph();
+    let q = parse_query(
+        "q(?x3) :- ?x1 <http://example.org/hasAuthor> ?x2, \
+                   ?x2 <http://example.org/hasName> ?x3, \
+                   ?x1 <http://example.org/hasTitle> ?t",
+        &PrefixMap::with_defaults(),
+    )
+    .unwrap();
+    let plain = TripleStore::new(g.clone());
+    let cq = compile(&q, plain.graph()).unwrap();
+    assert!(
+        !Evaluator::new(&plain).ask(&cq),
+        "incomplete answer on explicit triples only"
+    );
+    let sat = TripleStore::new(saturate(&g));
+    let cq = compile(&q, sat.graph()).unwrap();
+    let rs = Evaluator::new(&sat).select(&cq);
+    let decoded = rs.decode(&sat);
+    assert_eq!(decoded.len(), 1);
+    assert_eq!(decoded[0][0], &Term::literal("G. Simenon"));
+}
+
+#[test]
+fn sample_summary_roundtrips_through_ntriples() {
+    // A summary is an RDF graph: serialize it, re-parse it, re-summarize
+    // it — the fixpoint property survives the round trip.
+    let g = sample_graph();
+    let w = summarize(&g, SummaryKind::Weak);
+    let text = write_graph(&w.graph);
+    let reparsed = parse_graph(&text).unwrap();
+    assert_eq!(reparsed.len(), w.graph.len());
+    let w2 = summarize(&reparsed, SummaryKind::Weak);
+    assert!(rdfsummary::rdfsum_core::summary_isomorphic(
+        &w.graph, &w2.graph
+    ));
+}

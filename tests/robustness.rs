@@ -1,0 +1,152 @@
+//! Robustness and failure-injection tests: malformed inputs, degenerate
+//! graphs, and adversarial shapes must produce errors or correct results —
+//! never panics or wrong summaries.
+
+use rdfsummary::prelude::*;
+use rdfsummary::rdf_io::{parse_line, ParseErrorKind};
+use rdfsummary::rdfsum_workloads as workloads;
+
+#[test]
+fn malformed_ntriples_report_errors_not_panics() {
+    let cases = [
+        "<a <p> <o> .",                // broken IRI
+        "<a> <p> .",                   // missing object
+        "<a> <p> \"unterminated .",    // unterminated literal
+        "<a> <p> <o>",                 // missing dot
+        "\"lit\" <p> <o> .",           // literal subject (model error)
+        "<a> \"p\" <o> .",             // literal property
+        "<a> <p> \"x\"@ .",            // empty language tag
+        "<a> <p> \"x\"^^ .",           // missing datatype
+        "_: <p> <o> .",                // empty blank label
+        "<a> <p> <o> . trailing",      // trailing garbage
+    ];
+    for c in cases {
+        let result = parse_graph(c);
+        assert!(result.is_err(), "should reject: {c}");
+    }
+}
+
+#[test]
+fn parse_error_positions() {
+    let e = parse_line("<ok> <ok> §", 3).unwrap_err();
+    assert_eq!(e.line, 3);
+    assert!(matches!(
+        e.kind,
+        ParseErrorKind::Expected(_) | ParseErrorKind::InvalidIriChar(_)
+    ));
+}
+
+#[test]
+fn degenerate_graphs_summarize() {
+    // Empty graph.
+    let empty = Graph::new();
+    for s in summarize_all(&empty) {
+        assert!(s.graph.is_empty());
+    }
+    // Schema-only graph.
+    let mut schema_only = Graph::new();
+    schema_only.add_iri_triple("A", rdfsummary::rdf_model::vocab::RDFS_SUBCLASSOF, "B");
+    for s in summarize_all(&schema_only) {
+        assert_eq!(s.graph.schema().len(), 1);
+        assert_eq!(s.graph.data().len(), 0);
+    }
+    // Types-only graph: everything lands on Nτ / class-set nodes.
+    let mut types_only = Graph::new();
+    for i in 0..10 {
+        types_only.add_iri_triple(
+            &format!("n{i}"),
+            rdfsummary::rdf_model::vocab::RDF_TYPE,
+            &format!("C{}", i % 3),
+        );
+    }
+    let w = summarize(&types_only, SummaryKind::Weak);
+    assert_eq!(w.n_summary_nodes(), 1, "all typed-only nodes share Nτ");
+    assert_eq!(w.graph.types().len(), 3);
+    let tw = summarize(&types_only, SummaryKind::TypedWeak);
+    assert_eq!(tw.n_summary_nodes(), 3, "one node per class set");
+}
+
+#[test]
+fn self_loops_and_reflexive_properties() {
+    let mut g = Graph::new();
+    g.add_iri_triple("a", "knows", "a");
+    g.add_iri_triple("a", "knows", "b");
+    g.add_iri_triple("b", "knows", "a");
+    for s in summarize_all(&g) {
+        assert!(rdfsummary::rdfsum_core::quotient::verify_quotient(&g, &s));
+    }
+    // Weak: a and b merge (co-sources and co-targets of knows) ⇒ one node
+    // with a self-loop.
+    let w = summarize(&g, SummaryKind::Weak);
+    assert_eq!(w.graph.data().len(), 1);
+    let t = w.graph.data()[0];
+    assert_eq!(t.s, t.o);
+}
+
+#[test]
+fn pathological_shapes() {
+    // A huge star: one weak class for the hub… and one per distinct leaf
+    // target clique.
+    let star = workloads::star(500);
+    let w = summarize(&star, SummaryKind::Weak);
+    assert_eq!(w.stats().data_edges, 500); // Prop. 4: one per property
+    // The weak chain of Figure 3: everything fuses into few nodes.
+    let chain = workloads::weak_chain(100);
+    let w = summarize(&chain, SummaryKind::Weak);
+    // All 2k+1 r-resources are weakly equivalent (the paper's Figure 3).
+    let g = &chain;
+    let r0 = g.dict().lookup(&Term::iri("http://shapes/r0")).unwrap();
+    let r_last = g
+        .dict()
+        .lookup(&Term::iri(format!("http://shapes/r{}", 2 * 100)))
+        .unwrap();
+    assert_eq!(w.representative(r0), w.representative(r_last));
+}
+
+#[test]
+fn blank_nodes_survive_the_pipeline() {
+    let doc = "_:b1 <http://x/p> _:b2 .\n_:b2 <http://x/q> \"v\" .\n";
+    let g = parse_graph(doc).unwrap();
+    let w = summarize(&g, SummaryKind::Weak);
+    assert_eq!(w.graph.data().len(), 2);
+    assert!(rdfsummary::rdfsum_core::quotient::verify_quotient(&g, &w));
+}
+
+#[test]
+fn unicode_heavy_content() {
+    let doc = "<http://x/célébrité> <http://x/说> \"naïve — ω ≤ Ω\"@fr .\n";
+    let g = parse_graph(doc).unwrap();
+    let text = write_graph(&g);
+    let g2 = parse_graph(&text).unwrap();
+    assert_eq!(g.len(), g2.len());
+    let w = summarize(&g2, SummaryKind::Strong);
+    assert_eq!(w.graph.data().len(), 1);
+}
+
+#[test]
+fn queries_with_unknown_terms_are_empty_not_errors() {
+    let g = workloads::generate_bsbm(&BsbmConfig::with_products(5));
+    let store = TripleStore::new(g);
+    let q = parse_query(
+        "q(?x) :- ?x <http://nowhere/prop> ?y",
+        &PrefixMap::with_defaults(),
+    )
+    .unwrap();
+    let cq = compile(&q, store.graph()).unwrap();
+    assert!(cq.always_empty());
+    assert!(Evaluator::new(&store).select(&cq).is_empty());
+}
+
+#[test]
+fn summarize_is_deterministic_across_runs() {
+    let g = workloads::generate_bsbm(&BsbmConfig::with_products(30));
+    for kind in SummaryKind::ALL {
+        let a = summarize(&g, kind);
+        let b = summarize(&g, kind);
+        assert_eq!(
+            write_graph(&a.graph),
+            write_graph(&b.graph),
+            "{kind} not deterministic"
+        );
+    }
+}
