@@ -30,11 +30,9 @@ fn bench_builders(c: &mut Criterion) {
         b.iter(|| black_box(streaming_weak_summary(&g)))
     });
     for threads in [2usize, 4, 8] {
-        group.bench_with_input(
-            BenchmarkId::new("parallel", threads),
-            &threads,
-            |b, &t| b.iter(|| black_box(parallel_weak_summary(&g, t))),
-        );
+        group.bench_with_input(BenchmarkId::new("parallel", threads), &threads, |b, &t| {
+            b.iter(|| black_box(parallel_weak_summary(&g, t)))
+        });
     }
     group.finish();
 }

@@ -20,11 +20,9 @@ fn bench_cliques(c: &mut Criterion) {
         b.iter(|| black_box(Cliques::compute(&g, CliqueScope::UntypedOnly)))
     });
     for threads in [2usize, 4, 8] {
-        group.bench_with_input(
-            BenchmarkId::new("parallel", threads),
-            &threads,
-            |b, &t| b.iter(|| black_box(parallel_cliques(&g, CliqueScope::AllNodes, t))),
-        );
+        group.bench_with_input(BenchmarkId::new("parallel", threads), &threads, |b, &t| {
+            b.iter(|| black_box(parallel_cliques(&g, CliqueScope::AllNodes, t)))
+        });
     }
     group.finish();
 }

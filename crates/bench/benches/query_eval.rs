@@ -58,10 +58,7 @@ fn bench_eval(c: &mut Criterion) {
         [(
             rdf_query::SpecTerm::var("x"),
             rdf_query::SpecTerm::iri(rdf_model::vocab::RDF_TYPE),
-            rdf_query::SpecTerm::iri(format!(
-                "{}ProductType0",
-                rdfsum_workloads::bsbm::INST_NS
-            )),
+            rdf_query::SpecTerm::iri(format!("{}ProductType0", rdfsum_workloads::bsbm::INST_NS)),
         )],
     );
     group.bench_function("complete_answer_via_saturation", |b| {

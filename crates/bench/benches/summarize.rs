@@ -13,11 +13,9 @@ fn bench_summaries(c: &mut Criterion) {
     let mut group = c.benchmark_group("summarize_bsbm_30k");
     group.throughput(Throughput::Elements(g.len() as u64));
     for kind in SummaryKind::ALL {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(kind),
-            &kind,
-            |b, &kind| b.iter(|| black_box(summarize(&g, kind))),
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(kind), &kind, |b, &kind| {
+            b.iter(|| black_box(summarize(&g, kind)))
+        });
     }
     group.finish();
 }
@@ -27,11 +25,9 @@ fn bench_scaling(c: &mut Criterion) {
     for products in [100usize, 400, 1600] {
         let g = rdfsum_workloads::generate_bsbm(&BsbmConfig::with_products(products));
         group.throughput(Throughput::Elements(g.len() as u64));
-        group.bench_with_input(
-            BenchmarkId::from_parameter(g.len()),
-            &g,
-            |b, g| b.iter(|| black_box(summarize(g, SummaryKind::Weak))),
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(g.len()), &g, |b, g| {
+            b.iter(|| black_box(summarize(g, SummaryKind::Weak)))
+        });
     }
     group.finish();
 }

@@ -20,7 +20,11 @@ use std::time::Instant;
 
 fn check(name: &str, g: &rdf_model::Graph, kind: SummaryKind, expect: bool) {
     let c = completeness_check(g, kind);
-    let verdict = if c.holds == expect { "as expected" } else { "UNEXPECTED" };
+    let verdict = if c.holds == expect {
+        "as expected"
+    } else {
+        "UNEXPECTED"
+    };
     println!(
         "  {kind:>3} on {name:<22} Σ(G∞) ≟ Σ((ΣG)∞): {:<5} ({verdict})",
         c.holds

@@ -39,8 +39,7 @@ fn main() {
         let s = &r.summaries[1];
         let tw = &r.summaries[2];
         let ts = &r.summaries[3];
-        let class_over_data =
-            w.stats.class_nodes as f64 / w.stats.data_nodes.max(1) as f64;
+        let class_over_data = w.stats.class_nodes as f64 / w.stats.data_nodes.max(1) as f64;
         let tw_blowup = tw.stats.data_nodes as f64 / w.stats.data_nodes.max(1) as f64;
         let ratio = ts
             .stats

@@ -33,7 +33,11 @@ fn run(dataset: &str, g: rdf_model::Graph, queries: usize, sizes: &[usize]) {
                 rep.held,
                 rep.nonempty_on_g,
                 rep.total,
-                if rep.all_held() { "  OK" } else { "  VIOLATION" }
+                if rep.all_held() {
+                    "  OK"
+                } else {
+                    "  VIOLATION"
+                }
             );
             if !rep.all_held() {
                 for v in &rep.violations {

@@ -42,11 +42,7 @@ fn hash_of<T: Hash>(v: &T) -> u64 {
 /// Computes the bisimulation partition of `g`'s data nodes.
 pub fn bisim_partition(g: &Graph, depth: BisimDepth) -> Partition {
     let nodes = data_nodes_ordered(g);
-    let index: FxHashMap<TermId, usize> = nodes
-        .iter()
-        .enumerate()
-        .map(|(i, &n)| (n, i))
-        .collect();
+    let index: FxHashMap<TermId, usize> = nodes.iter().enumerate().map(|(i, &n)| (n, i)).collect();
     let sets = class_sets(g);
 
     // Adjacency over data nodes (data triples only; types are in color 0).
@@ -132,19 +128,13 @@ mod tests {
         let g = sample_graph();
         let p = bisim_partition(&g, BisimDepth::Bounded(0));
         // Same classes as ≡T except untyped nodes merge by "untyped".
-        assert_eq!(
-            p.class_of[&exid(&g, "r5")],
-            p.class_of[&exid(&g, "r6")]
-        );
+        assert_eq!(p.class_of[&exid(&g, "r5")], p.class_of[&exid(&g, "r6")]);
         assert_eq!(
             p.class_of[&exid(&g, "t1")],
             p.class_of[&exid(&g, "a2")],
             "all untyped nodes share depth-0 color"
         );
-        assert_ne!(
-            p.class_of[&exid(&g, "r1")],
-            p.class_of[&exid(&g, "r2")]
-        );
+        assert_ne!(p.class_of[&exid(&g, "r1")], p.class_of[&exid(&g, "r2")]);
     }
 
     #[test]
@@ -187,7 +177,11 @@ mod tests {
     #[test]
     fn quotient_is_well_formed() {
         let g = sample_graph();
-        for depth in [BisimDepth::Bounded(1), BisimDepth::Bounded(2), BisimDepth::Full] {
+        for depth in [
+            BisimDepth::Bounded(1),
+            BisimDepth::Bounded(2),
+            BisimDepth::Full,
+        ] {
             let s = bisim_summary(&g, depth);
             assert!(verify_quotient(&g, &s));
             assert!(s.check_correspondence_invariants());
@@ -198,9 +192,7 @@ mod tests {
     fn bisim_blows_up_relative_to_weak() {
         // The §8 claim, on a heterogeneous graph: bisimulation keeps far
         // more nodes than the weak summary.
-        let g = rdfsum_workloads::generate_bsbm(&rdfsum_workloads::BsbmConfig::with_products(
-            40,
-        ));
+        let g = rdfsum_workloads::generate_bsbm(&rdfsum_workloads::BsbmConfig::with_products(40));
         let w = crate::weak::weak_summary(&g);
         let b = bisim_summary(&g, BisimDepth::Bounded(2));
         assert!(

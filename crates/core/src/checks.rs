@@ -189,7 +189,12 @@ mod tests {
     /// graph (nontrivial: the schema types resources).
     #[test]
     fn weak_strong_complete_on_more_graphs() {
-        for g in [sample_graph(), figure8_graph(), figure5_graph(), figure10_graph()] {
+        for g in [
+            sample_graph(),
+            figure8_graph(),
+            figure5_graph(),
+            figure10_graph(),
+        ] {
             assert!(completeness_check(&g, SummaryKind::Weak).holds);
             assert!(completeness_check(&g, SummaryKind::Strong).holds);
         }
@@ -231,11 +236,7 @@ mod tests {
         let g = sample_graph();
         let s = summarize(&g, SummaryKind::Weak);
         let prefixes = PrefixMap::with_defaults();
-        let dead = parse_query(
-            "q() :- ?x <http://example.org/price> ?y",
-            &prefixes,
-        )
-        .unwrap();
+        let dead = parse_query("q() :- ?x <http://example.org/price> ?y", &prefixes).unwrap();
         assert!(can_prune(&s, &dead));
         let alive = parse_query(
             "q() :- ?x <http://example.org/author> ?y, ?y <http://example.org/reviewed> ?z",

@@ -221,11 +221,7 @@ mod tests {
         let g = sample_graph();
         let cq = Cliques::compute(&g, CliqueScope::AllNodes);
         assert_eq!(cq.source_cliques.len(), 3);
-        let mut all: Vec<Vec<String>> = cq
-            .source_cliques
-            .iter()
-            .map(|c| names(&g, c))
-            .collect();
+        let mut all: Vec<Vec<String>> = cq.source_cliques.iter().map(|c| names(&g, c)).collect();
         all.sort();
         assert_eq!(
             all,
@@ -242,11 +238,7 @@ mod tests {
         let g = sample_graph();
         let cq = Cliques::compute(&g, CliqueScope::AllNodes);
         assert_eq!(cq.target_cliques.len(), 5);
-        let mut all: Vec<Vec<String>> = cq
-            .target_cliques
-            .iter()
-            .map(|c| names(&g, c))
-            .collect();
+        let mut all: Vec<Vec<String>> = cq.target_cliques.iter().map(|c| names(&g, c)).collect();
         all.sort();
         assert_eq!(
             all,

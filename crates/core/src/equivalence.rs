@@ -206,14 +206,8 @@ mod tests {
         let rs = class_ids(&p, &g, &["r1", "r2", "r3", "r5"]);
         assert!(rs.iter().all(|&c| c == rs[0]));
         assert_ne!(p.class_of[&exid(&g, "r4")], rs[0]);
-        assert_ne!(
-            p.class_of[&exid(&g, "a1")],
-            p.class_of[&exid(&g, "a2")]
-        );
-        assert_ne!(
-            p.class_of[&exid(&g, "e1")],
-            p.class_of[&exid(&g, "e2")]
-        );
+        assert_ne!(p.class_of[&exid(&g, "a1")], p.class_of[&exid(&g, "a2")]);
+        assert_ne!(p.class_of[&exid(&g, "e1")], p.class_of[&exid(&g, "e2")]);
         let ts = class_ids(&p, &g, &["t1", "t2", "t3", "t4"]);
         assert!(ts.iter().all(|&c| c == ts[0]));
     }
@@ -240,18 +234,9 @@ mod tests {
         let g = sample_graph();
         let p = type_partition(&g);
         assert!(p.check_invariants());
-        assert_eq!(
-            p.class_of[&exid(&g, "r5")],
-            p.class_of[&exid(&g, "r6")]
-        );
-        assert_ne!(
-            p.class_of[&exid(&g, "r1")],
-            p.class_of[&exid(&g, "r2")]
-        );
-        assert_ne!(
-            p.class_of[&exid(&g, "t1")],
-            p.class_of[&exid(&g, "t2")]
-        );
+        assert_eq!(p.class_of[&exid(&g, "r5")], p.class_of[&exid(&g, "r6")]);
+        assert_ne!(p.class_of[&exid(&g, "r1")], p.class_of[&exid(&g, "r2")]);
+        assert_ne!(p.class_of[&exid(&g, "t1")], p.class_of[&exid(&g, "t2")]);
         // 15 data nodes; r5+r6 merge ⇒ 14 classes.
         assert_eq!(p.len(), 14);
     }

@@ -180,7 +180,11 @@ pub fn book_graph() -> Graph {
     )
     .unwrap();
     g.add_iri_triple(&ex("Book"), vocab::RDFS_SUBCLASSOF, &ex("Publication"));
-    g.add_iri_triple(&ex("writtenBy"), vocab::RDFS_SUBPROPERTYOF, &ex("hasAuthor"));
+    g.add_iri_triple(
+        &ex("writtenBy"),
+        vocab::RDFS_SUBPROPERTYOF,
+        &ex("hasAuthor"),
+    );
     g.add_iri_triple(&ex("writtenBy"), vocab::RDFS_DOMAIN, &ex("Book"));
     g.add_iri_triple(&ex("writtenBy"), vocab::RDFS_RANGE, &ex("Person"));
     g
@@ -200,6 +204,7 @@ mod tests {
         assert_eq!(st.schema_edges, 0);
         assert_eq!(st.class_nodes, 3); // Book, Journal, Spec
         assert_eq!(st.data_distinct.properties, 6); // a, t, e, c, r, p
+
         // Data nodes: r1..r6, a1, a2, t1..t4, e1, e2, c1 = 15.
         assert_eq!(st.data_nodes, 15);
     }
@@ -239,5 +244,75 @@ mod tests {
         let g = sample_graph();
         let r1 = exid(&g, "r1");
         assert_eq!(g.dict().decode(r1), &Term::iri(ex("r1")));
+    }
+
+    /// Every fixture is well-behaved (the paper's standing assumption) and
+    /// bit-identical across calls — the golden tests in
+    /// `tests/paper_example.rs` depend on both without checking them.
+    #[test]
+    fn fixtures_are_well_behaved_and_deterministic() {
+        for (name, build) in [
+            ("sample", sample_graph as fn() -> Graph),
+            ("figure5", figure5_graph),
+            ("figure8", figure8_graph),
+            ("figure10", figure10_graph),
+            ("book", book_graph),
+        ] {
+            let g = build();
+            assert!(
+                g.well_behaved_violations().is_empty(),
+                "{name} not well-behaved"
+            );
+            assert_eq!(
+                rdf_io::write_graph(&g),
+                rdf_io::write_graph(&build()),
+                "{name} not deterministic"
+            );
+        }
+    }
+
+    /// r6 is Figure 2's typed-but-edgeless resource: it must appear in T_G
+    /// only, so typed summaries represent it while W/S handle it as a node
+    /// with no data properties.
+    #[test]
+    fn sample_r6_is_typed_only() {
+        let g = sample_graph();
+        let r6 = exid(&g, "r6");
+        assert!(g.types().iter().any(|t| t.s == r6));
+        assert!(!g.data().iter().any(|t| t.s == r6 || t.o == r6));
+    }
+
+    /// §2.1: saturating the book graph yields exactly the four implicit
+    /// triples the paper lists, and nothing else.
+    #[test]
+    fn book_graph_has_exactly_four_implicit_triples() {
+        let g = book_graph();
+        let sat = rdf_schema::saturate(&g);
+        assert_eq!(sat.len(), g.len() + 4);
+        let id = |t: &Term| sat.dict().lookup(t).expect("term in saturation");
+        let iri = |l: &str| Term::iri(ex(l));
+        let implied = [
+            (
+                iri("doi1"),
+                Term::iri(vocab::RDF_TYPE.to_string()),
+                iri("Publication"),
+            ),
+            (iri("doi1"), iri("hasAuthor"), Term::blank("b1")),
+            (
+                iri("writtenBy"),
+                Term::iri(vocab::RDFS_DOMAIN.to_string()),
+                iri("Publication"),
+            ),
+            (
+                Term::blank("b1"),
+                Term::iri(vocab::RDF_TYPE.to_string()),
+                iri("Person"),
+            ),
+        ];
+        for (s, p, o) in &implied {
+            let t = rdf_model::Triple::new(id(s), id(p), id(o));
+            assert!(!g.contains(t), "{s} {p} {o} should be implicit only");
+            assert!(sat.contains(t), "{s} {p} {o} missing from saturation");
+        }
     }
 }

@@ -50,9 +50,9 @@ fn lower(g: &Graph, prop_ids: &mut FxHashMap<String, usize>) -> IsoGraph {
     let mut terms: Vec<String> = Vec::new();
     let mut free: Vec<bool> = Vec::new();
     let node = |t: &Term,
-                    node_ids: &mut FxHashMap<String, usize>,
-                    terms: &mut Vec<String>,
-                    free: &mut Vec<bool>|
+                node_ids: &mut FxHashMap<String, usize>,
+                terms: &mut Vec<String>,
+                free: &mut Vec<bool>|
      -> usize {
         let key = term_key(t);
         if let Some(&i) = node_ids.get(&key) {
@@ -99,13 +99,7 @@ fn refine(g: &IsoGraph, rounds: usize) -> Vec<u64> {
         .terms
         .iter()
         .zip(&g.free)
-        .map(|(t, &f)| {
-            if f {
-                hash_of(&"__free__")
-            } else {
-                hash_of(t)
-            }
-        })
+        .map(|(t, &f)| if f { hash_of(&"__free__") } else { hash_of(t) })
         .collect();
     for _ in 0..rounds {
         let mut next = Vec::with_capacity(colors.len());
@@ -170,12 +164,8 @@ pub fn summary_isomorphic(a: &Graph, b: &Graph) -> bool {
     }
 
     // Initial mapping: fixed terms map by identity.
-    let index_b: FxHashMap<&String, usize> = gb
-        .terms
-        .iter()
-        .enumerate()
-        .map(|(i, t)| (t, i))
-        .collect();
+    let index_b: FxHashMap<&String, usize> =
+        gb.terms.iter().enumerate().map(|(i, t)| (t, i)).collect();
     let n = ga.terms.len();
     let mut mapping: Vec<Option<usize>> = vec![None; n];
     let mut used: Vec<bool> = vec![false; n];

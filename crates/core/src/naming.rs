@@ -161,11 +161,7 @@ mod tests {
 
     #[test]
     fn labels_are_compact() {
-        let (d, ids) = dict_with(&[
-            "http://x/reviewed",
-            "http://x/published",
-            "http://x/author",
-        ]);
+        let (d, ids) = dict_with(&["http://x/reviewed", "http://x/published", "http://x/author"]);
         let uri = n_uri(&d, &[ids[0], ids[1]], &[ids[2]]);
         assert_eq!(display_label(&uri), "N[in=published,reviewed][out=author]");
         assert_eq!(display_label(&n_tau_uri()), "Nτ");

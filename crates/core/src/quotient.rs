@@ -101,8 +101,7 @@ pub fn verify_quotient(g: &Graph, summary: &Summary) -> bool {
     // Every G data/type triple is represented in H.
     let h = &summary.graph;
     let witness_ok = g.data().iter().all(|t| {
-        let (Some(s), Some(o)) = (summary.representative(t.s), summary.representative(t.o))
-        else {
+        let (Some(s), Some(o)) = (summary.representative(t.s), summary.representative(t.o)) else {
             return false;
         };
         let Some(p) = h.dict().lookup(g.dict().decode(t.p)) else {
@@ -129,10 +128,7 @@ pub fn verify_quotient(g: &Graph, summary: &Summary) -> bool {
         let p = h.dict().lookup(g.dict().decode(t.p)).unwrap();
         g_edges.insert((s, p, o));
     }
-    let data_ok = h
-        .data()
-        .iter()
-        .all(|t| g_edges.contains(&(t.s, t.p, t.o)));
+    let data_ok = h.data().iter().all(|t| g_edges.contains(&(t.s, t.p, t.o)));
     let mut g_types: rdf_model::FxHashSet<(TermId, TermId)> = Default::default();
     for t in g.types() {
         let s = summary.representative(t.s).unwrap();

@@ -24,11 +24,7 @@ fn short(prefixes: &PrefixMap, term: &Term) -> String {
 
 /// Renders a text report of a summary: per-node extents (with optional
 /// example members decoded from the source graph) and the edge list.
-pub fn render_report(
-    summary: &Summary,
-    source: &rdf_model::Graph,
-    opts: &ReportOptions,
-) -> String {
+pub fn render_report(summary: &Summary, source: &rdf_model::Graph, opts: &ReportOptions) -> String {
     let h = &summary.graph;
     let mut out = String::new();
     let st = summary.stats();

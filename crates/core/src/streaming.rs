@@ -220,10 +220,7 @@ fn assemble(
 
     // Name each root.
     let mut names: FxHashMap<usize, String> = FxHashMap::default();
-    let name_of = |root: usize,
-                       st: &Stream,
-                       names: &mut FxHashMap<usize, String>|
-     -> String {
+    let name_of = |root: usize, st: &Stream, names: &mut FxHashMap<usize, String>| -> String {
         if let Some(n) = names.get(&root) {
             return n.clone();
         }

@@ -25,8 +25,12 @@ pub fn strong_summary(g: &Graph) -> Summary {
         // All members share one (TC, SC) signature; name from the cliques'
         // property sets.
         let (tc, sc) = crate::equivalence::signature(&cliques, members[0]);
-        let tc_props = tc.map(|i| cliques.target_members(i).to_vec()).unwrap_or_default();
-        let sc_props = sc.map(|i| cliques.source_members(i).to_vec()).unwrap_or_default();
+        let tc_props = tc
+            .map(|i| cliques.target_members(i).to_vec())
+            .unwrap_or_default();
+        let sc_props = sc
+            .map(|i| cliques.source_members(i).to_vec())
+            .unwrap_or_default();
         n_uri(g.dict(), &tc_props, &sc_props)
     })
 }
@@ -98,12 +102,7 @@ mod tests {
             .dict()
             .lookup(&Term::iri(format!("{}author", crate::fixtures::EX)))
             .unwrap();
-        let author_edges: Vec<_> = s
-            .graph
-            .data()
-            .iter()
-            .filter(|t| t.p == author)
-            .collect();
+        let author_edges: Vec<_> = s.graph.data().iter().filter(|t| t.p == author).collect();
         assert_eq!(author_edges.len(), 2);
     }
 

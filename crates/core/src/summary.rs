@@ -165,10 +165,11 @@ impl Summary {
     pub fn check_correspondence_invariants(&self) -> bool {
         let total: usize = self.rev_map.values().map(Vec::len).sum();
         total == self.node_map.len()
-            && self
-                .node_map
-                .iter()
-                .all(|(gn, hn)| self.rev_map.get(hn).is_some_and(|v| v.binary_search(gn).is_ok()))
+            && self.node_map.iter().all(|(gn, hn)| {
+                self.rev_map
+                    .get(hn)
+                    .is_some_and(|v| v.binary_search(gn).is_ok())
+            })
     }
 }
 

@@ -115,10 +115,12 @@ fn typed_quotient(
             None => {
                 if strong_naming {
                     let (tc, sc) = crate::equivalence::signature(cliques, members[0]);
-                    let tc_props =
-                        tc.map(|i| cliques.target_members(i).to_vec()).unwrap_or_default();
-                    let sc_props =
-                        sc.map(|i| cliques.source_members(i).to_vec()).unwrap_or_default();
+                    let tc_props = tc
+                        .map(|i| cliques.target_members(i).to_vec())
+                        .unwrap_or_default();
+                    let sc_props = sc
+                        .map(|i| cliques.source_members(i).to_vec())
+                        .unwrap_or_default();
                     n_uri(g.dict(), &tc_props, &sc_props)
                 } else {
                     let (tc, sc) = class_property_sets(cliques, members);
@@ -139,7 +141,14 @@ pub fn typed_weak_summary_with(g: &Graph, semantics: TypedSemantics) -> Summary 
         .collect();
     let uw = weak_partition(&cliques, &untyped);
     let partition = combined_partition(g, &uw, &sets);
-    typed_quotient(g, SummaryKind::TypedWeak, &cliques, &partition, &sets, false)
+    typed_quotient(
+        g,
+        SummaryKind::TypedWeak,
+        &cliques,
+        &partition,
+        &sets,
+        false,
+    )
 }
 
 /// The typed weak summary TW_G with the default (Figure 7) semantics.
@@ -157,7 +166,14 @@ pub fn typed_strong_summary_with(g: &Graph, semantics: TypedSemantics) -> Summar
         .collect();
     let us = strong_partition(&cliques, &untyped);
     let partition = combined_partition(g, &us, &sets);
-    typed_quotient(g, SummaryKind::TypedStrong, &cliques, &partition, &sets, true)
+    typed_quotient(
+        g,
+        SummaryKind::TypedStrong,
+        &cliques,
+        &partition,
+        &sets,
+        true,
+    )
 }
 
 /// The typed strong summary TS_G with the default (Figure 7) semantics.

@@ -67,7 +67,9 @@ impl Cursor {
     fn numeric_escape(&mut self, digits: usize) -> Result<char, ParseError> {
         let mut value: u32 = 0;
         for _ in 0..digits {
-            let c = self.bump().ok_or_else(|| self.err(ParseErrorKind::UnexpectedEof))?;
+            let c = self
+                .bump()
+                .ok_or_else(|| self.err(ParseErrorKind::UnexpectedEof))?;
             let d = c
                 .to_digit(16)
                 .ok_or_else(|| self.err(ParseErrorKind::BadEscape(format!("u{c}"))))?;
@@ -86,9 +88,7 @@ impl Cursor {
                 Some('\\') => match self.bump() {
                     Some('u') => out.push(self.numeric_escape(4)?),
                     Some('U') => out.push(self.numeric_escape(8)?),
-                    Some(c) => {
-                        return Err(self.err(ParseErrorKind::BadEscape(c.to_string())))
-                    }
+                    Some(c) => return Err(self.err(ParseErrorKind::BadEscape(c.to_string()))),
                     None => return Err(self.err(ParseErrorKind::UnexpectedEof)),
                 },
                 Some(c) if (c as u32) <= 0x20 || "<\"{}|^`".contains(c) => {
@@ -151,9 +151,7 @@ impl Cursor {
                     Some('\\') => out.push('\\'),
                     Some('u') => out.push(self.numeric_escape(4)?),
                     Some('U') => out.push(self.numeric_escape(8)?),
-                    Some(c) => {
-                        return Err(self.err(ParseErrorKind::BadEscape(c.to_string())))
-                    }
+                    Some(c) => return Err(self.err(ParseErrorKind::BadEscape(c.to_string()))),
                     None => return Err(self.err(ParseErrorKind::UnexpectedEof)),
                 },
                 Some(c) => out.push(c),
@@ -165,7 +163,9 @@ impl Cursor {
         // `@` already consumed by caller.
         let mut tag = String::new();
         while let Some(c) = self.peek() {
-            if c.is_ascii_alphabetic() || (c == '-' && !tag.is_empty()) || (c.is_ascii_digit() && tag.contains('-'))
+            if c.is_ascii_alphabetic()
+                || (c == '-' && !tag.is_empty())
+                || (c.is_ascii_digit() && tag.contains('-'))
             {
                 tag.push(c);
                 self.pos += 1;
@@ -177,7 +177,10 @@ impl Cursor {
             && !tag.starts_with('-')
             && !tag.ends_with('-')
             && !tag.contains("--")
-            && tag.split('-').next().is_some_and(|h| h.chars().all(|c| c.is_ascii_alphabetic()));
+            && tag
+                .split('-')
+                .next()
+                .is_some_and(|h| h.chars().all(|c| c.is_ascii_alphabetic()));
         if ok {
             Ok(tag)
         } else {
@@ -339,7 +342,9 @@ mod tests {
 
     #[test]
     fn parses_string_escapes() {
-        let t = parse_line(r#"<s:a> <p:b> "a\tb\nc\"d\\e" ."#, 1).unwrap().unwrap();
+        let t = parse_line(r#"<s:a> <p:b> "a\tb\nc\"d\\e" ."#, 1)
+            .unwrap()
+            .unwrap();
         assert_eq!(t.2, Term::literal("a\tb\nc\"d\\e"));
     }
 
@@ -369,7 +374,9 @@ mod tests {
 
     #[test]
     fn language_tags_with_subtags() {
-        let t = parse_line(r#"<s:a> <p:b> "x"@en-US-2 ."#, 1).unwrap().unwrap();
+        let t = parse_line(r#"<s:a> <p:b> "x"@en-US-2 ."#, 1)
+            .unwrap()
+            .unwrap();
         assert_eq!(t.2, Term::lang_literal("x", "en-US-2"));
         let e = parse_line(r#"<s:a> <p:b> "x"@9 ."#, 1).unwrap_err();
         assert!(matches!(e.kind, ParseErrorKind::BadLangTag(_)));
@@ -431,5 +438,158 @@ mod tests {
     fn windows_line_endings() {
         let ts = parse_str("<s:a> <p:b> <o:c> .\r\n<s:d> <p:b> <o:c> .\r\n").unwrap();
         assert_eq!(ts.len(), 2);
+    }
+
+    /// The kind produced for one malformed line.
+    fn kind_of(line: &str) -> ParseErrorKind {
+        parse_line(line, 1)
+            .expect_err(&format!("should reject: {line}"))
+            .kind
+    }
+
+    #[test]
+    fn truncated_terms_report_eof() {
+        // Line ends inside an IRI, a literal, an escape, and after `^^`.
+        assert_eq!(kind_of("<s:a> <p:b> <o:c"), ParseErrorKind::UnexpectedEof);
+        assert_eq!(
+            kind_of(r#"<s:a> <p:b> "unterminated ."#),
+            ParseErrorKind::UnexpectedEof
+        );
+        assert_eq!(kind_of(r#"<s:a> <p:b> "x\"#), ParseErrorKind::UnexpectedEof);
+        assert_eq!(
+            kind_of(r#"<s:a> <p:b> "x\u00"#),
+            ParseErrorKind::UnexpectedEof
+        );
+        assert_eq!(kind_of(r#"<s:a\"#), ParseErrorKind::UnexpectedEof);
+        assert_eq!(
+            kind_of(r#"<s:a> <p:b> "1"^^<http://dt"#),
+            ParseErrorKind::UnexpectedEof
+        );
+    }
+
+    #[test]
+    fn bad_iris_report_offending_char() {
+        assert_eq!(
+            kind_of("<a <p:b> <o:c> ."),
+            ParseErrorKind::InvalidIriChar(' ')
+        );
+        assert_eq!(
+            kind_of("<a\t> <p:b> <o:c> ."),
+            ParseErrorKind::InvalidIriChar('\t')
+        );
+        assert_eq!(
+            kind_of("<a{}> <p:b> <o:c> ."),
+            ParseErrorKind::InvalidIriChar('{')
+        );
+        assert_eq!(
+            kind_of("<s:a> <p:b> <o:`c> ."),
+            ParseErrorKind::InvalidIriChar('`')
+        );
+        // `\n` is a string escape, not an IRI escape.
+        assert_eq!(
+            kind_of(r#"<s:a\n> <p:b> <o:c> ."#),
+            ParseErrorKind::BadEscape("n".into())
+        );
+    }
+
+    #[test]
+    fn bad_numeric_escapes() {
+        // Non-hex digit inside \uXXXX, in a literal and in an IRI.
+        assert!(matches!(
+            kind_of(r#"<s:a> <p:b> "\u12G4" ."#),
+            ParseErrorKind::BadEscape(_)
+        ));
+        assert!(matches!(
+            kind_of(r#"<s:a\u00ZZ> <p:b> <o:c> ."#),
+            ParseErrorKind::BadEscape(_)
+        ));
+        // Out-of-range codepoint via \U.
+        assert_eq!(
+            kind_of(r#"<s:a> <p:b> "\U00110000" ."#),
+            ParseErrorKind::BadCodepoint(0x0011_0000)
+        );
+    }
+
+    #[test]
+    fn bad_blank_nodes() {
+        assert_eq!(
+            kind_of("_: <p:b> <o:c> ."),
+            ParseErrorKind::BadBlankNode(String::new())
+        );
+        assert_eq!(
+            kind_of("_:. <p:b> <o:c> ."),
+            ParseErrorKind::BadBlankNode(String::new())
+        );
+        assert_eq!(
+            kind_of("<s:a> <p:b> _:é\u{301}x ."),
+            // Combining-mark label start is accepted (alphanumeric é) — the
+            // error, if any, must never be a panic. Parse result recorded:
+            ParseErrorKind::Expected("the terminating `.`")
+        );
+        // `_` without `:` is not a blank node.
+        assert!(matches!(
+            kind_of("_b <p:b> <o:c> ."),
+            ParseErrorKind::Expected(_)
+        ));
+    }
+
+    #[test]
+    fn bad_lang_tags() {
+        for line in [
+            r#"<s:a> <p:b> "x"@ ."#,
+            r#"<s:a> <p:b> "x"@- ."#,
+            r#"<s:a> <p:b> "x"@12 ."#,
+        ] {
+            assert!(
+                matches!(kind_of(line), ParseErrorKind::BadLangTag(_)),
+                "wrong kind for {line}"
+            );
+        }
+        // `en--US` stops scanning at the second `-`: tag `en`, then the
+        // leftover `-US` makes the terminating-dot check fail.
+        assert!(parse_line(r#"<s:a> <p:b> "x"@en--US ."#, 1).is_err());
+    }
+
+    #[test]
+    fn missing_datatype_after_carets() {
+        assert!(matches!(
+            kind_of(r#"<s:a> <p:b> "x"^^ ."#),
+            ParseErrorKind::Expected(_)
+        ));
+        assert!(matches!(
+            kind_of(r#"<s:a> <p:b> "x"^<dt:a> ."#),
+            ParseErrorKind::Expected(_)
+        ));
+    }
+
+    #[test]
+    fn model_errors_carry_kind_and_line() {
+        // An `rdf:type` triple with a literal object parses syntactically
+        // but is rejected by the data model with ParseErrorKind::Model.
+        let doc = format!(
+            "<s:a> <p:b> <o:c> .\n<s:a> <{}> \"NotAClass\" .",
+            vocab::RDF_TYPE
+        );
+        let e = parse_graph(&doc).unwrap_err();
+        assert!(matches!(e.kind, ParseErrorKind::Model(_)), "{:?}", e.kind);
+        assert_eq!(e.line, 2);
+        // Literal subjects and predicates never reach the model stage — the
+        // N-Triples grammar itself rejects them.
+        let e = parse_graph(r#""lit" <p:b> <o:c> ."#).unwrap_err();
+        assert!(matches!(e.kind, ParseErrorKind::Expected(_)));
+        let e = parse_graph("_:b <p:b> <o:c> .\n<s:a> _:p <o:c> .").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(matches!(e.kind, ParseErrorKind::Expected(_)));
+    }
+
+    #[test]
+    fn error_columns_point_into_the_line() {
+        let line = r#"<s:a> <p:b> "x"@9 ."#;
+        let e = parse_line(line, 1).unwrap_err();
+        // Column lands on or just after the offending `9`.
+        assert!((16..=19).contains(&e.column), "column {}", e.column);
+        let e = parse_line("<s:a> <p:b> <o:c> . junk", 1).unwrap_err();
+        assert_eq!(e.kind, ParseErrorKind::TrailingContent);
+        assert!(e.column >= 21, "column {}", e.column);
     }
 }

@@ -22,7 +22,10 @@ impl fmt::Display for ModelError {
                 write!(f, "literal {t} cannot appear in subject position")
             }
             ModelError::NonIriProperty(t) => {
-                write!(f, "term {t} cannot appear in property position (IRI required)")
+                write!(
+                    f,
+                    "term {t} cannot appear in property position (IRI required)"
+                )
             }
             ModelError::NonIriClass(t) => {
                 write!(f, "rdf:type object {t} must be a class IRI")

@@ -330,12 +330,8 @@ mod tests {
     #[test]
     fn routing_to_components() {
         let mut g = Graph::new();
-        let (_, c1) = g
-            .insert(iri("a"), iri("p"), iri("b"))
-            .unwrap();
-        let (_, c2) = g
-            .insert(iri("a"), iri(vocab::RDF_TYPE), iri("C"))
-            .unwrap();
+        let (_, c1) = g.insert(iri("a"), iri("p"), iri("b")).unwrap();
+        let (_, c2) = g.insert(iri("a"), iri(vocab::RDF_TYPE), iri("C")).unwrap();
         let (_, c3) = g
             .insert(iri("C"), iri(vocab::RDFS_SUBCLASSOF), iri("D"))
             .unwrap();

@@ -54,8 +54,7 @@ mod proptests {
             "[a-z]{1,8}".prop_map(|s| Term::iri(format!("http://x/{s}"))),
             "[a-z]{1,8}".prop_map(Term::blank),
             "[a-zA-Z0-9 ]{0,12}".prop_map(Term::literal),
-            ("[a-zA-Z0-9 ]{0,12}", "[a-z]{2}")
-                .prop_map(|(l, t)| Term::lang_literal(l, t)),
+            ("[a-zA-Z0-9 ]{0,12}", "[a-z]{2}").prop_map(|(l, t)| Term::lang_literal(l, t)),
         ]
     }
 

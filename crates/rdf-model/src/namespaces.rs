@@ -76,10 +76,7 @@ mod tests {
     #[test]
     fn expand_known_prefix() {
         let m = PrefixMap::with_defaults();
-        assert_eq!(
-            m.expand("rdf:type").as_deref(),
-            Some(vocab::RDF_TYPE)
-        );
+        assert_eq!(m.expand("rdf:type").as_deref(), Some(vocab::RDF_TYPE));
         assert_eq!(m.expand("unknown:x"), None);
         assert_eq!(m.expand("noprefix"), None);
     }

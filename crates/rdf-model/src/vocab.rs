@@ -35,12 +35,8 @@ pub const XSD_DECIMAL: &str = "http://www.w3.org/2001/XMLSchema#decimal";
 pub const XSD_DATE: &str = "http://www.w3.org/2001/XMLSchema#date";
 
 /// The four RDFS constraint properties of Figure 1, in a fixed order.
-pub const SCHEMA_PROPERTIES: [&str; 4] = [
-    RDFS_SUBCLASSOF,
-    RDFS_SUBPROPERTYOF,
-    RDFS_DOMAIN,
-    RDFS_RANGE,
-];
+pub const SCHEMA_PROPERTIES: [&str; 4] =
+    [RDFS_SUBCLASSOF, RDFS_SUBPROPERTYOF, RDFS_DOMAIN, RDFS_RANGE];
 
 /// Is `iri` one of the four RDFS constraint properties?
 pub fn is_schema_property(iri: &str) -> bool {

@@ -177,10 +177,12 @@ pub struct CompiledPattern {
 impl CompiledPattern {
     /// Variable indices occurring in this pattern.
     pub fn vars(&self) -> impl Iterator<Item = usize> + '_ {
-        [self.s, self.p, self.o].into_iter().filter_map(|a| match a {
-            Atom::Var(v) => Some(v),
-            Atom::Const(_) => None,
-        })
+        [self.s, self.p, self.o]
+            .into_iter()
+            .filter_map(|a| match a {
+                Atom::Var(v) => Some(v),
+                Atom::Const(_) => None,
+            })
     }
 
     /// Does any slot hold a constant missing from the dictionary?
@@ -308,11 +310,7 @@ mod tests {
         let g = Graph::new();
         let spec = QuerySpec::new(
             ["z"],
-            [(
-                SpecTerm::var("x"),
-                SpecTerm::iri("p"),
-                SpecTerm::var("y"),
-            )],
+            [(SpecTerm::var("x"), SpecTerm::iri("p"), SpecTerm::var("y"))],
         );
         assert_eq!(
             compile(&spec, &g).unwrap_err(),

@@ -126,11 +126,7 @@ impl<'a> Evaluator<'a> {
 
     /// Like [`Self::select`] but stops after `limit` distinct rows.
     pub fn select_limit(&self, q: &CompiledQuery, limit: usize) -> ResultSet {
-        let columns: Vec<String> = q
-            .head
-            .iter()
-            .map(|&v| q.var_names[v].clone())
-            .collect();
+        let columns: Vec<String> = q.head.iter().map(|&v| q.var_names[v].clone()).collect();
         let mut seen: FxHashSet<Vec<TermId>> = FxHashSet::default();
         let mut rows: Vec<Vec<TermId>> = Vec::new();
         if !q.always_empty() && limit > 0 {
@@ -304,10 +300,7 @@ mod tests {
     fn shared_variable_enforces_join() {
         let st = library_store();
         // ?x authored by itself — never true.
-        let spec = QuerySpec::new(
-            Vec::<String>::new(),
-            [(v("x"), iri("author"), v("x"))],
-        );
+        let spec = QuerySpec::new(Vec::<String>::new(), [(v("x"), iri("author"), v("x"))]);
         let q = compile(&spec, st.graph()).unwrap();
         assert!(!Evaluator::new(&st).ask(&q));
     }
@@ -358,10 +351,7 @@ mod tests {
     #[test]
     fn variable_in_property_position() {
         let st = library_store();
-        let spec = QuerySpec::new(
-            ["p"],
-            [(iri("b1"), v("p"), v("o"))],
-        );
+        let spec = QuerySpec::new(["p"], [(iri("b1"), v("p"), v("o"))]);
         let q = compile(&spec, st.graph()).unwrap();
         let rs = Evaluator::new(&st).select(&q);
         assert_eq!(rs.len(), 3); // rdf:type, author, title
@@ -383,10 +373,7 @@ mod tests {
     #[test]
     fn boolean_query_select_yields_single_empty_row() {
         let st = library_store();
-        let spec = QuerySpec::new(
-            Vec::<String>::new(),
-            [(v("x"), iri("author"), v("y"))],
-        );
+        let spec = QuerySpec::new(Vec::<String>::new(), [(v("x"), iri("author"), v("y"))]);
         let q = compile(&spec, st.graph()).unwrap();
         let rs = Evaluator::new(&st).select(&q);
         // One distinct empty projection row.

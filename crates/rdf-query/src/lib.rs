@@ -24,7 +24,10 @@ pub mod rbgp;
 pub mod reformulate;
 pub mod workload;
 
-pub use bgp::{compile, Atom, CompiledPattern, CompiledQuery, QueryError, QuerySpec, SpecTerm, TriplePatternSpec};
+pub use bgp::{
+    compile, Atom, CompiledPattern, CompiledQuery, QueryError, QuerySpec, SpecTerm,
+    TriplePatternSpec,
+};
 pub use eval::{ControlFlow, Evaluator, ResultSet};
 pub use parser::{parse_query, QueryParseError};
 pub use plan::{explain, Plan, PlanStep};
@@ -57,7 +60,11 @@ mod proptests {
             g.add_iri_triple(&format!("n{s}"), vocab::RDF_TYPE, &format!("C{c}"));
         }
         for (a, b) in sp {
-            g.add_iri_triple(&format!("p{a}"), vocab::RDFS_SUBPROPERTYOF, &format!("p{b}"));
+            g.add_iri_triple(
+                &format!("p{a}"),
+                vocab::RDFS_SUBPROPERTYOF,
+                &format!("p{b}"),
+            );
         }
         for (a, b) in sc {
             g.add_iri_triple(&format!("C{a}"), vocab::RDFS_SUBCLASSOF, &format!("C{b}"));

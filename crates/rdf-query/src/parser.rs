@@ -29,7 +29,11 @@ pub struct QueryParseError {
 
 impl fmt::Display for QueryParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "query syntax error at offset {}: {}", self.at, self.message)
+        write!(
+            f,
+            "query syntax error at offset {}: {}",
+            self.at, self.message
+        )
     }
 }
 
@@ -54,10 +58,7 @@ impl<'a> P<'a> {
     }
 
     fn skip_ws(&mut self) {
-        while self
-            .peek()
-            .is_some_and(|c| c.is_whitespace())
-        {
+        while self.peek().is_some_and(|c| c.is_whitespace()) {
             self.pos += 1;
         }
     }
@@ -198,7 +199,9 @@ impl<'a> P<'a> {
     }
 
     fn resolve(&self, word: &str) -> String {
-        self.prefixes.expand(word).unwrap_or_else(|| word.to_string())
+        self.prefixes
+            .expand(word)
+            .unwrap_or_else(|| word.to_string())
     }
 }
 
@@ -326,7 +329,10 @@ mod tests {
             ))
         );
         let q = parse(r#"q() :- ?x <p> "oui"@fr"#);
-        assert_eq!(q.body[0].o, SpecTerm::Const(Term::lang_literal("oui", "fr")));
+        assert_eq!(
+            q.body[0].o,
+            SpecTerm::Const(Term::lang_literal("oui", "fr"))
+        );
     }
 
     #[test]

@@ -97,11 +97,7 @@ pub fn explain(store: &TripleStore, q: &CompiledQuery) -> Plan {
                 (i, bound_vars, est)
             })
             .min_by_key(|&(i, bound_vars, est)| {
-                (
-                    est.unwrap_or(0),
-                    std::cmp::Reverse(bound_vars),
-                    i,
-                )
+                (est.unwrap_or(0), std::cmp::Reverse(bound_vars), i)
             });
         let Some((i, _, est)) = best else { break };
         used[i] = true;

@@ -41,7 +41,10 @@ impl fmt::Display for RbgpViolation {
                 write!(f, "pattern {i}: subject position must be a variable")
             }
             RbgpViolation::ConstantObject(i) => {
-                write!(f, "pattern {i}: non-type object position must be a variable")
+                write!(
+                    f,
+                    "pattern {i}: non-type object position must be a variable"
+                )
             }
         }
     }
@@ -112,10 +115,7 @@ mod tests {
     #[test]
     fn variable_property_rejected() {
         let spec = QuerySpec::new(["x"], [(v("x"), v("p"), v("y"))]);
-        assert_eq!(
-            validate_rbgp(&spec),
-            Err(RbgpViolation::NonUriProperty(0))
-        );
+        assert_eq!(validate_rbgp(&spec), Err(RbgpViolation::NonUriProperty(0)));
     }
 
     #[test]
@@ -128,22 +128,13 @@ mod tests {
                 SpecTerm::Const(Term::literal("Le Port des Brumes")),
             )],
         );
-        assert_eq!(
-            validate_rbgp(&spec),
-            Err(RbgpViolation::ConstantObject(0))
-        );
+        assert_eq!(validate_rbgp(&spec), Err(RbgpViolation::ConstantObject(0)));
     }
 
     #[test]
     fn constant_subject_rejected() {
-        let spec = QuerySpec::new(
-            Vec::<String>::new(),
-            [(iri("b1"), iri("author"), v("y"))],
-        );
-        assert_eq!(
-            validate_rbgp(&spec),
-            Err(RbgpViolation::ConstantSubject(0))
-        );
+        let spec = QuerySpec::new(Vec::<String>::new(), [(iri("b1"), iri("author"), v("y"))]);
+        assert_eq!(validate_rbgp(&spec), Err(RbgpViolation::ConstantSubject(0)));
     }
 
     #[test]
@@ -157,7 +148,9 @@ mod tests {
 
     #[test]
     fn violation_messages() {
-        assert!(RbgpViolation::NonUriProperty(2).to_string().contains("pattern 2"));
+        assert!(RbgpViolation::NonUriProperty(2)
+            .to_string()
+            .contains("pattern 2"));
         assert!(RbgpViolation::NonUriClass(0).to_string().contains("class"));
     }
 }

@@ -87,7 +87,8 @@ fn sample_one(store: &TripleStore, cfg: &WorkloadConfig, rng: &mut SplitMix64) -
         let mut candidates: Vec<Triple> = Vec::with_capacity(out.len() + inc.len());
         for &t in out.iter().chain(inc.iter()) {
             let is_type = t.p == rdf_type;
-            let is_schema = !is_type && !matches!(g.well_known().component_of(t.p), rdf_model::Component::Data);
+            let is_schema =
+                !is_type && !matches!(g.well_known().component_of(t.p), rdf_model::Component::Data);
             if is_schema || chosen.contains(&t) {
                 continue;
             }

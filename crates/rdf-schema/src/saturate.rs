@@ -214,12 +214,8 @@ mod tests {
     fn book_graph() -> Graph {
         let mut g = Graph::new();
         g.add_iri_triple("doi1", vocab::RDF_TYPE, "Book");
-        g.insert(
-            Term::iri("doi1"),
-            Term::iri("writtenBy"),
-            Term::blank("b1"),
-        )
-        .unwrap();
+        g.insert(Term::iri("doi1"), Term::iri("writtenBy"), Term::blank("b1"))
+            .unwrap();
         g.add_literal_triple("doi1", "hasTitle", "Le Port des Brumes");
         g.insert(
             Term::blank("b1"),
@@ -299,11 +295,7 @@ mod tests {
         assert!(sat.contains(Triple::new(x, wk.rdf_type, id(&sat, "B"))));
         assert!(sat.contains(Triple::new(x, wk.rdf_type, id(&sat, "C"))));
         // Schema closure too: A ≺sc C.
-        assert!(sat.contains(Triple::new(
-            id(&sat, "A"),
-            wk.sub_class_of,
-            id(&sat, "C")
-        )));
+        assert!(sat.contains(Triple::new(id(&sat, "A"), wk.sub_class_of, id(&sat, "C"))));
     }
 
     #[test]
@@ -364,10 +356,7 @@ mod tests {
         let doi1 = id(&g, "doi1");
         let publication = id(&g, "Publication");
         assert!(entails(&g, Triple::new(doi1, wk.rdf_type, publication)));
-        assert!(!entails(
-            &g,
-            Triple::new(publication, wk.rdf_type, doi1)
-        ));
+        assert!(!entails(&g, Triple::new(publication, wk.rdf_type, doi1)));
     }
 
     #[test]

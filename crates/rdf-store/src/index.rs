@@ -68,24 +68,22 @@ impl SortedIndex {
     /// The contiguous range of triples whose first key component equals `k1`.
     pub fn range1(&self, k1: u32) -> &[Triple] {
         let lo = self.triples.partition_point(|&t| key(self.order, t).0 < k1);
-        let hi = self.triples.partition_point(|&t| key(self.order, t).0 <= k1);
+        let hi = self
+            .triples
+            .partition_point(|&t| key(self.order, t).0 <= k1);
         &self.triples[lo..hi]
     }
 
     /// The contiguous range whose first two key components equal `(k1, k2)`.
     pub fn range2(&self, k1: u32, k2: u32) -> &[Triple] {
-        let lo = self
-            .triples
-            .partition_point(|&t| {
-                let k = key(self.order, t);
-                (k.0, k.1) < (k1, k2)
-            });
-        let hi = self
-            .triples
-            .partition_point(|&t| {
-                let k = key(self.order, t);
-                (k.0, k.1) <= (k1, k2)
-            });
+        let lo = self.triples.partition_point(|&t| {
+            let k = key(self.order, t);
+            (k.0, k.1) < (k1, k2)
+        });
+        let hi = self.triples.partition_point(|&t| {
+            let k = key(self.order, t);
+            (k.0, k.1) <= (k1, k2)
+        });
         &self.triples[lo..hi]
     }
 

@@ -18,7 +18,7 @@ pub mod store;
 pub use bulk::{BulkLoader, LoadReport};
 pub use index::{Order, SortedIndex};
 pub use pattern::TriplePattern;
-pub use snapshot::{SnapshotError};
+pub use snapshot::SnapshotError;
 pub use store::TripleStore;
 
 #[cfg(test)]

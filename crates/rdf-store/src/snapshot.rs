@@ -202,7 +202,11 @@ pub fn decode(mut buf: Bytes) -> Result<Graph, SnapshotError> {
                 return Err(SnapshotError::DanglingId(id));
             }
         }
-        let t = Triple::new(rdf_model::TermId(s), rdf_model::TermId(p), rdf_model::TermId(o));
+        let t = Triple::new(
+            rdf_model::TermId(s),
+            rdf_model::TermId(p),
+            rdf_model::TermId(o),
+        );
         // Component consistency check.
         let expected = if i < n_data {
             rdf_model::Component::Data
@@ -238,7 +242,11 @@ mod tests {
         let mut g = Graph::new();
         g.add_iri_triple("http://x/a", "http://x/p", "http://x/b");
         g.add_iri_triple("http://x/a", rdf_model::vocab::RDF_TYPE, "http://x/C");
-        g.add_iri_triple("http://x/C", rdf_model::vocab::RDFS_SUBCLASSOF, "http://x/D");
+        g.add_iri_triple(
+            "http://x/C",
+            rdf_model::vocab::RDFS_SUBCLASSOF,
+            "http://x/D",
+        );
         g.insert(
             Term::iri("http://x/a"),
             Term::iri("http://x/q"),

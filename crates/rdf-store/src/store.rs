@@ -187,12 +187,19 @@ mod tests {
             id(&st, "q"),
         );
         // s p o
-        assert_eq!(st.scan(TriplePattern::new(Some(a), Some(p), Some(b))).len(), 1);
-        assert_eq!(st.scan(TriplePattern::new(Some(a), Some(p), Some(a))).len(), 0);
+        assert_eq!(
+            st.scan(TriplePattern::new(Some(a), Some(p), Some(b))).len(),
+            1
+        );
+        assert_eq!(
+            st.scan(TriplePattern::new(Some(a), Some(p), Some(a))).len(),
+            0
+        );
         // s p _
         assert_eq!(st.scan(TriplePattern::new(Some(a), Some(p), None)).len(), 2);
         // s _ o
         assert_eq!(st.scan(TriplePattern::new(Some(a), None, Some(b))).len(), 2); // p and q
+
         // s _ _
         assert_eq!(st.scan(TriplePattern::new(Some(a), None, None)).len(), 4);
         // _ p o

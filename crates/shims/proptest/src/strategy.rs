@@ -1,0 +1,374 @@
+//! The [`Strategy`] trait and the combinators/primitive strategies the
+//! workspace's property tests use.
+
+use crate::TestRng;
+use std::fmt;
+use std::ops::Range;
+
+/// A recipe for generating values of one type.
+///
+/// Real proptest strategies produce shrinkable value *trees*; this offline
+/// stand-in generates plain values deterministically from a seeded RNG.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        (**self).generate(rng)
+    }
+}
+
+impl<V> Strategy for Box<dyn Strategy<Value = V>> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        (**self).generate(rng)
+    }
+}
+
+/// Boxes a strategy, erasing its concrete type (used by `prop_oneof!`).
+pub fn boxed<S>(strategy: S) -> Box<dyn Strategy<Value = S::Value>>
+where
+    S: Strategy + 'static,
+{
+    Box::new(strategy)
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Clone, Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Uniform choice among boxed strategies of one value type.
+pub struct Union<V> {
+    arms: Vec<Box<dyn Strategy<Value = V>>>,
+}
+
+impl<V> Union<V> {
+    /// Builds a union; `arms` must be non-empty.
+    pub fn new(arms: Vec<Box<dyn Strategy<Value = V>>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let i = rng.below(self.arms.len() as u64) as usize;
+        self.arms[i].generate(rng)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($ty:ty),+) => {$(
+        impl Strategy for Range<$ty> {
+            type Value = $ty;
+
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start + rng.below(span) as $ty
+            }
+        }
+    )+};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+))+) => {$(
+        #[allow(non_snake_case)]
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+tuple_strategy! {
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+}
+
+/// String literals act as regex strategies, like in real proptest.
+///
+/// Compilation happens on every `generate` call; the patterns in this
+/// workspace are a few characters long, so that cost is irrelevant next to
+/// the property bodies.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        RegexStrategy::compile(self)
+            .unwrap_or_else(|e| panic!("bad regex strategy {self:?}: {e}"))
+            .generate(rng)
+    }
+}
+
+/// A regex construct outside the supported subset.
+#[derive(Clone, Debug)]
+pub struct RegexSubsetError {
+    pattern: String,
+    reason: &'static str,
+}
+
+impl fmt::Display for RegexSubsetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "regex {:?}: {}", self.pattern, self.reason)
+    }
+}
+
+impl std::error::Error for RegexSubsetError {}
+
+/// One atom of a compiled pattern: a set of candidate chars plus a
+/// repetition range.
+#[derive(Clone, Debug)]
+struct Piece {
+    chars: Vec<char>,
+    min: u32,
+    max: u32,
+}
+
+/// Generates strings matching a regex subset: sequences of literal
+/// characters and character classes (`[a-z0-9 ]`, ranges allowed), each
+/// optionally followed by `{n}` or `{m,n}`.
+#[derive(Clone, Debug)]
+pub struct RegexStrategy {
+    pieces: Vec<Piece>,
+}
+
+impl RegexStrategy {
+    /// Compiles `pattern`, rejecting anything outside the subset.
+    pub fn compile(pattern: &str) -> Result<Self, RegexSubsetError> {
+        let err = |reason| RegexSubsetError {
+            pattern: pattern.to_string(),
+            reason,
+        };
+        let mut chars = pattern.chars().peekable();
+        let mut pieces = Vec::new();
+        while let Some(c) = chars.next() {
+            let candidates = match c {
+                '[' => {
+                    let mut set = Vec::new();
+                    let mut class = Vec::new();
+                    let mut closed = false;
+                    for c in chars.by_ref() {
+                        if c == ']' {
+                            closed = true;
+                            break;
+                        }
+                        class.push(c);
+                    }
+                    if !closed {
+                        return Err(err("unterminated character class"));
+                    }
+                    let mut i = 0;
+                    while i < class.len() {
+                        // `x-y` is a range unless `-` is the last char.
+                        if i + 2 < class.len() && class[i + 1] == '-' {
+                            let (lo, hi) = (class[i], class[i + 2]);
+                            if lo > hi {
+                                return Err(err("reversed range in class"));
+                            }
+                            set.extend((lo..=hi).filter(|c| !c.is_control()));
+                            i += 3;
+                        } else {
+                            set.push(class[i]);
+                            i += 1;
+                        }
+                    }
+                    if set.is_empty() {
+                        return Err(err("empty character class"));
+                    }
+                    set
+                }
+                '{' | '}' | ']' => return Err(err("unexpected quantifier/class delimiter")),
+                '\\' | '(' | ')' | '|' | '*' | '+' | '?' | '.' | '^' | '$' => {
+                    return Err(err("unsupported regex construct"))
+                }
+                literal => vec![literal],
+            };
+            // Optional {n} / {m,n} quantifier.
+            let (min, max) = if chars.peek() == Some(&'{') {
+                chars.next();
+                let mut body = String::new();
+                let mut closed = false;
+                for c in chars.by_ref() {
+                    if c == '}' {
+                        closed = true;
+                        break;
+                    }
+                    body.push(c);
+                }
+                if !closed {
+                    return Err(err("unterminated quantifier"));
+                }
+                let parse = |s: &str| s.trim().parse::<u32>().map_err(|_| err("bad quantifier"));
+                match body.split_once(',') {
+                    Some((m, n)) => (parse(m)?, parse(n)?),
+                    None => {
+                        let n = parse(&body)?;
+                        (n, n)
+                    }
+                }
+            } else {
+                (1, 1)
+            };
+            if min > max {
+                return Err(err("reversed quantifier"));
+            }
+            pieces.push(Piece {
+                chars: candidates,
+                min,
+                max,
+            });
+        }
+        Ok(RegexStrategy { pieces })
+    }
+}
+
+impl Strategy for RegexStrategy {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for piece in &self.pieces {
+            let n = piece.min + rng.below(u64::from(piece.max - piece.min) + 1) as u32;
+            for _ in 0..n {
+                out.push(piece.chars[rng.below(piece.chars.len() as u64) as usize]);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prelude::*;
+
+    fn rng() -> TestRng {
+        TestRng::for_case("strategy::tests", 0)
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = rng();
+        for _ in 0..1000 {
+            let v = (3u32..9).generate(&mut r);
+            assert!((3..9).contains(&v));
+            let w = (0u8..1).generate(&mut r);
+            assert_eq!(w, 0);
+        }
+    }
+
+    #[test]
+    fn regex_subset_generates_matching_strings() {
+        let mut r = rng();
+        for _ in 0..500 {
+            let s = "[a-z]{1,8}".generate(&mut r);
+            assert!((1..=8).contains(&s.len()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()), "{s:?}");
+
+            let t = "[a-z][a-z0-9]{0,6}".generate(&mut r);
+            assert!(t.chars().next().unwrap().is_ascii_lowercase());
+            assert!(t.len() <= 7);
+
+            let printable = crate::string::string_regex("[ -~]{0,16}")
+                .unwrap()
+                .generate(&mut r);
+            assert!(printable.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn regex_rejects_unsupported_constructs() {
+        for bad in [
+            "a|b",
+            "(ab)",
+            "a*",
+            "a+",
+            "[z-a]",
+            "[]",
+            "a{2,1}",
+            "[a-z{1,8}",
+            "a{2",
+            "[abc",
+        ] {
+            assert!(
+                crate::string::string_regex(bad).is_err(),
+                "{bad:?} should be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn union_uses_every_arm() {
+        let u = prop_oneof![0u32..1, 10u32..11, 20u32..21,];
+        let mut seen = std::collections::BTreeSet::new();
+        let mut r = rng();
+        for _ in 0..200 {
+            seen.insert(u.generate(&mut r));
+        }
+        assert_eq!(seen.into_iter().collect::<Vec<_>>(), vec![0, 10, 20]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The proptest! macro itself: both binding forms, determinism of
+        /// sizes, and early-return assertions.
+        #[test]
+        fn macro_binding_forms(
+            xs in crate::collection::vec(0u8..4, 1..9),
+            pair in (0u16..5, "[ab]{2}"),
+            flag: bool,
+        ) {
+            prop_assert!(!xs.is_empty());
+            prop_assert!(xs.len() < 9);
+            prop_assert!(xs.iter().all(|&x| x < 4));
+            prop_assert!(pair.0 < 5);
+            prop_assert_eq!(pair.1.len(), 2);
+            let _exercised_bool_binding = flag;
+        }
+    }
+}

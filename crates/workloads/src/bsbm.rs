@@ -198,7 +198,11 @@ pub fn generate(cfg: &BsbmConfig) -> Graph {
         e.lit(&s, vocab::RDFS_LABEL, &lbl);
         e.lit(&s, vocab::RDFS_COMMENT, &words::sentence(&mut rng, 8));
         e.lit(&s, &v("country"), words::WORDS[rng.index(20)]);
-        e.lit(&s, &v("homepage"), &format!("http://producer{i}.example.org/"));
+        e.lit(
+            &s,
+            &v("homepage"),
+            &format!("http://producer{i}.example.org/"),
+        );
     }
 
     // ---- Product features ----
@@ -257,7 +261,11 @@ pub fn generate(cfg: &BsbmConfig) -> Graph {
         e.lit(&s, vocab::RDFS_LABEL, &words::label(&mut rng));
         e.lit(&s, vocab::RDFS_COMMENT, &words::sentence(&mut rng, 6));
         e.lit(&s, &v("country"), words::WORDS[rng.index(20)]);
-        e.lit(&s, &v("homepage"), &format!("http://vendor{i}.example.org/"));
+        e.lit(
+            &s,
+            &v("homepage"),
+            &format!("http://vendor{i}.example.org/"),
+        );
     }
 
     // ---- Offers ----
@@ -288,7 +296,11 @@ pub fn generate(cfg: &BsbmConfig) -> Graph {
             &rng.range(1, 14).to_string(),
             vocab::XSD_INTEGER,
         );
-        e.lit(&s, &v("offerWebpage"), &format!("http://vendor.example.org/offers/{i}"));
+        e.lit(
+            &s,
+            &v("offerWebpage"),
+            &format!("http://vendor.example.org/offers/{i}"),
+        );
     }
 
     // ---- Reviewers ----
@@ -304,7 +316,11 @@ pub fn generate(cfg: &BsbmConfig) -> Graph {
     for i in 0..n_reviews {
         let s = inst("Review", i);
         e.iri3(&s, vocab::RDF_TYPE, &v("Review"));
-        e.iri3(&s, &v("reviewFor"), &inst("Product", rng.index(cfg.products)));
+        e.iri3(
+            &s,
+            &v("reviewFor"),
+            &inst("Product", rng.index(cfg.products)),
+        );
         e.iri3(&s, &rev("reviewer"), &inst("Person", rng.index(persons)));
         e.lit(&s, &dc("title"), &words::label(&mut rng));
         e.lit(&s, &rev("text"), &words::sentence(&mut rng, 15));

@@ -92,8 +92,8 @@ pub fn generate(cfg: &LubmConfig) -> Graph {
         g.add_iri_triple(&uni, vocab::RDF_TYPE, &v("University"));
         g.add_literal_triple(&uni, &v("name"), &words::label(&mut rng));
 
-        let n_depts = cfg.departments_per_university / 2
-            + rng.index(cfg.departments_per_university.max(1));
+        let n_depts =
+            cfg.departments_per_university / 2 + rng.index(cfg.departments_per_university.max(1));
         for _ in 0..n_depts.max(1) {
             let d = dept_count;
             dept_count += 1;

@@ -7,8 +7,8 @@ pub const WORDS: [&str; 48] = [
     "alpha", "bravo", "charlie", "delta", "echo", "foxtrot", "golf", "hotel", "india", "juliet",
     "kilo", "lima", "mike", "november", "oscar", "papa", "quebec", "romeo", "sierra", "tango",
     "uniform", "victor", "whiskey", "xray", "yankee", "zulu", "amber", "birch", "cedar", "dune",
-    "ember", "fjord", "grove", "heath", "isle", "jade", "knoll", "loch", "mesa", "nook",
-    "onyx", "pine", "quartz", "ridge", "slate", "thorn", "umber", "vale",
+    "ember", "fjord", "grove", "heath", "isle", "jade", "knoll", "loch", "mesa", "nook", "onyx",
+    "pine", "quartz", "ridge", "slate", "thorn", "umber", "vale",
 ];
 
 /// A deterministic sentence of `n` words.

@@ -40,11 +40,7 @@ fn main() {
         p
     };
     println!("\n-- entity kinds (summary nodes) and their extents --");
-    let mut nodes: Vec<TermId> = weak
-        .graph
-        .data_nodes()
-        .into_iter()
-        .collect();
+    let mut nodes: Vec<TermId> = weak.graph.data_nodes().into_iter().collect();
     nodes.sort_unstable();
     for n in nodes {
         let uri = match weak.graph.dict().decode(n) {
@@ -53,7 +49,11 @@ fn main() {
         };
         let extent = weak.extent(n).len();
         if extent > 0 {
-            println!("  {:<55} represents {:>6} resources", display_label(&uri), extent);
+            println!(
+                "  {:<55} represents {:>6} resources",
+                display_label(&uri),
+                extent
+            );
         }
     }
 

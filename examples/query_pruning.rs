@@ -42,7 +42,12 @@ fn main() {
         });
         queries.push(dead);
     }
-    println!("workload: {} queries ({} satisfiable, {} dead)", queries.len(), sampled, sampled);
+    println!(
+        "workload: {} queries ({} satisfiable, {} dead)",
+        queries.len(),
+        sampled,
+        sampled
+    );
 
     // Build the weak summary once (offline, like an index).
     let t0 = Instant::now();
@@ -91,7 +96,10 @@ fn main() {
     println!(
         "with summary pruning: {nonempty_pruned_path:>3} non-empty, {pruned} pruned, {with_pruning:.4}s"
     );
-    assert_eq!(nonempty_direct, nonempty_pruned_path, "pruning must be sound");
+    assert_eq!(
+        nonempty_direct, nonempty_pruned_path,
+        "pruning must be sound"
+    );
     println!(
         "\npruning was sound (identical answers) and skipped {}% of graph evaluations",
         pruned * 100 / queries.len()

@@ -53,10 +53,7 @@ fn main() {
     print!("{}", write_graph(&weak.graph));
 
     // Who is represented where?
-    let alice = graph
-        .dict()
-        .lookup(&Term::iri("http://ex/alice"))
-        .unwrap();
+    let alice = graph.dict().lookup(&Term::iri("http://ex/alice")).unwrap();
     let bob = graph.dict().lookup(&Term::iri("http://ex/bob")).unwrap();
     println!(
         "\nalice and bob share a summary node: {}",

@@ -21,7 +21,11 @@ fn main() {
         universities: 4,
         ..Default::default()
     });
-    println!("G: {} triples ({} schema)", graph.len(), graph.schema().len());
+    println!(
+        "G: {} triples ({} schema)",
+        graph.len(),
+        graph.schema().len()
+    );
 
     // The direct route: saturate G (expensive), then summarize.
     let t0 = Instant::now();

@@ -54,9 +54,7 @@ fn load(path: &str) -> Result<Graph, String> {
 }
 
 fn flag_value(args: &[String], name: &str) -> Option<String> {
-    args.windows(2)
-        .find(|w| w[0] == name)
-        .map(|w| w[1].clone())
+    args.windows(2).find(|w| w[0] == name).map(|w| w[1].clone())
 }
 
 fn has_flag(args: &[String], name: &str) -> bool {
@@ -78,14 +76,22 @@ fn cmd_stats(path: &str, rest: &[String]) -> Result<(), String> {
     let g = load(path)?;
     let st = GraphStats::of(&g);
     println!("graph: {path}");
-    println!("  triples        {:>10} (data {}, type {}, schema {})",
-        st.edges, st.data_edges, st.type_edges, st.schema_edges);
+    println!(
+        "  triples        {:>10} (data {}, type {}, schema {})",
+        st.edges, st.data_edges, st.type_edges, st.schema_edges
+    );
     println!("  nodes          {:>10}", st.nodes);
     println!("  data nodes     {:>10}", st.data_nodes);
     println!("  class nodes    {:>10}", st.class_nodes);
     println!("  property nodes {:>10}", st.property_nodes);
-    println!("  distinct data properties {:>6}", st.data_distinct.properties);
-    println!("  distinct subjects        {:>6}", st.data_distinct.subjects);
+    println!(
+        "  distinct data properties {:>6}",
+        st.data_distinct.properties
+    );
+    println!(
+        "  distinct subjects        {:>6}",
+        st.data_distinct.subjects
+    );
     println!("  distinct objects         {:>6}", st.data_distinct.objects);
     let violations = g.well_behaved_violations();
     if violations.is_empty() {
@@ -102,12 +108,19 @@ fn cmd_stats(path: &str, rest: &[String]) -> Result<(), String> {
                 other => other.to_string(),
             }
         };
-        println!("\n  heterogeneity: {} distinct property sets, {} distinct class sets",
-            prof.distinct_property_sets, prof.distinct_class_sets);
+        println!(
+            "\n  heterogeneity: {} distinct property sets, {} distinct class sets",
+            prof.distinct_property_sets, prof.distinct_class_sets
+        );
         println!("  top properties:");
         for (p, u) in prof.top_properties().into_iter().take(10) {
-            println!("    {:<60} {:>8} triples ({} subjects, {} objects)",
-                name(p), u.triples, u.subjects, u.objects);
+            println!(
+                "    {:<60} {:>8} triples ({} subjects, {} objects)",
+                name(p),
+                u.triples,
+                u.subjects,
+                u.objects
+            );
         }
         println!("  top classes:");
         for (c, n) in prof.top_classes().into_iter().take(10) {
@@ -181,7 +194,10 @@ fn cmd_saturate(path: &str, rest: &[String]) -> Result<(), String> {
 
 fn cmd_check(path: &str) -> Result<(), String> {
     let g = load(path)?;
-    println!("checking formal properties on {path} ({} triples)…", g.len());
+    println!(
+        "checking formal properties on {path} ({} triples)…",
+        g.len()
+    );
     for kind in SummaryKind::ALL {
         let s = summarize(&g, kind);
         let quotient_ok = rdfsum_core::quotient::verify_quotient(&g, &s);

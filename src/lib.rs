@@ -42,6 +42,28 @@
 //! .unwrap();
 //! assert!(rdfsum_core::can_prune(&summary, &q));
 //! ```
+//!
+//! ## Building & testing
+//!
+//! The workspace is hermetic: it builds offline with a stock Rust
+//! toolchain and no crates.io dependencies (the `bytes`, `proptest` and
+//! `criterion` APIs it uses are vendored as minimal shims under
+//! `crates/shims/`). From the repository root:
+//!
+//! ```text
+//! cargo build --release      # all nine crates + the `rdfsummary` CLI
+//! cargo test -q              # unit, property, doc and integration tests
+//! cargo bench --no-run       # compile the criterion-style benches
+//! cargo bench -p rdfsum-bench --bench summarize   # run one bench suite
+//! ```
+//!
+//! `cargo test -q` covers the whole workspace (the root `Cargo.toml` sets
+//! `default-members` accordingly), including the five integration suites
+//! under `tests/`: `cli`, `end_to_end`, `paper_example`, `properties` and
+//! `robustness`. Property tests default to 96 cases each; set
+//! `PROPTEST_CASES` to change that. Setting `BENCH_JSON=<path>` while
+//! running benches appends one JSON line per measurement (how
+//! `BENCH_baseline.json` is produced).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -56,7 +56,11 @@ fn summarize_with_outputs() {
         .arg("--report")
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("W summary"));
     assert!(text.contains("nodes (by extent)"));
@@ -77,7 +81,11 @@ fn generate_snapshot_stats_pipeline() {
         .args(["--out", snap.to_str().unwrap()])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 
     let out = bin().arg("stats").arg(&snap).output().unwrap();
     assert!(out.status.success());
@@ -112,7 +120,11 @@ fn query_with_saturation() {
         .args(["query", path.to_str().unwrap(), query, "--saturate"])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(String::from_utf8_lossy(&out.stdout).contains("G. Simenon"));
 }
 
@@ -129,7 +141,11 @@ fn query_with_reformulation() {
         .args(["query", path.to_str().unwrap(), query, "--reformulate"])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("G. Simenon"), "got: {text}");
     assert!(text.contains("union of"));
@@ -143,7 +159,10 @@ fn check_reports_properties() {
     assert!(out.status.success());
     let text = String::from_utf8_lossy(&out.stdout);
     for kind in ["W", "S", "TW", "TS"] {
-        assert!(text.contains(&format!("{kind}:")), "missing {kind} in:\n{text}");
+        assert!(
+            text.contains(&format!("{kind}:")),
+            "missing {kind} in:\n{text}"
+        );
     }
     assert!(text.contains("quotient OK"));
 }

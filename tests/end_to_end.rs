@@ -46,11 +46,7 @@ fn summaries_much_smaller_than_input() {
     let g = workloads::generate_bsbm(&BsbmConfig::with_products(150));
     for s in summarize_all(&g) {
         let ratio = s.compression_ratio(g.len());
-        assert!(
-            ratio < 0.05,
-            "{} summary too large: ratio {ratio}",
-            s.kind
-        );
+        assert!(ratio < 0.05, "{} summary too large: ratio {ratio}", s.kind);
         // Every data node of G is represented.
         assert_eq!(s.n_represented(), g.data_nodes().len());
     }

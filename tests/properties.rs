@@ -4,9 +4,7 @@
 
 use rdfsummary::prelude::*;
 use rdfsummary::rdf_query::{sample_rbgp_queries, WorkloadConfig};
-use rdfsummary::rdfsum_core::{
-    check_representativeness, completeness_check, fixpoint_holds,
-};
+use rdfsummary::rdfsum_core::{check_representativeness, completeness_check, fixpoint_holds};
 use rdfsummary::rdfsum_workloads as workloads;
 
 #[test]

@@ -9,16 +9,16 @@ use rdfsummary::rdfsum_workloads as workloads;
 #[test]
 fn malformed_ntriples_report_errors_not_panics() {
     let cases = [
-        "<a <p> <o> .",                // broken IRI
-        "<a> <p> .",                   // missing object
-        "<a> <p> \"unterminated .",    // unterminated literal
-        "<a> <p> <o>",                 // missing dot
-        "\"lit\" <p> <o> .",           // literal subject (model error)
-        "<a> \"p\" <o> .",             // literal property
-        "<a> <p> \"x\"@ .",            // empty language tag
-        "<a> <p> \"x\"^^ .",           // missing datatype
-        "_: <p> <o> .",                // empty blank label
-        "<a> <p> <o> . trailing",      // trailing garbage
+        "<a <p> <o> .",             // broken IRI
+        "<a> <p> .",                // missing object
+        "<a> <p> \"unterminated .", // unterminated literal
+        "<a> <p> <o>",              // missing dot
+        "\"lit\" <p> <o> .",        // literal subject (model error)
+        "<a> \"p\" <o> .",          // literal property
+        "<a> <p> \"x\"@ .",         // empty language tag
+        "<a> <p> \"x\"^^ .",        // missing datatype
+        "_: <p> <o> .",             // empty blank label
+        "<a> <p> <o> . trailing",   // trailing garbage
     ];
     for c in cases {
         let result = parse_graph(c);
@@ -90,6 +90,7 @@ fn pathological_shapes() {
     let star = workloads::star(500);
     let w = summarize(&star, SummaryKind::Weak);
     assert_eq!(w.stats().data_edges, 500); // Prop. 4: one per property
+
     // The weak chain of Figure 3: everything fuses into few nodes.
     let chain = workloads::weak_chain(100);
     let w = summarize(&chain, SummaryKind::Weak);
