@@ -4,7 +4,7 @@
 //! difference between the W and S build paths.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use rdfsum_core::{parallel_cliques, CliqueScope, Cliques};
+use rdfsum_core::{parallel_cliques, parallel_cliques_forced, CliqueScope, Cliques};
 use rdfsum_workloads::{shapes, BsbmConfig};
 use std::hint::black_box;
 use std::time::Duration;
@@ -18,6 +18,31 @@ fn bench_cliques(c: &mut Criterion) {
     });
     group.bench_function("untyped_only", |b| {
         b.iter(|| black_box(Cliques::compute(&g, CliqueScope::UntypedOnly)))
+    });
+    // `parallel` is the production entry point: at this scale it
+    // auto-falls back to the sequential scan, so it must track
+    // `all_nodes`. `parallel_forced` measures the true split-scan cost.
+    for threads in [2usize, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("parallel", threads), &threads, |b, &t| {
+            b.iter(|| black_box(parallel_cliques(&g, CliqueScope::AllNodes, t)))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("parallel_forced", threads),
+            &threads,
+            |b, &t| b.iter(|| black_box(parallel_cliques_forced(&g, CliqueScope::AllNodes, t))),
+        );
+    }
+    group.finish();
+}
+
+/// The crossover scale: where the forced parallel scan starts beating the
+/// sequential one (BSBM ~160k data triples, above the auto threshold).
+fn bench_cliques_large(c: &mut Criterion) {
+    let g = rdfsum_workloads::generate_bsbm(&BsbmConfig::with_products(2_000));
+    let mut group = c.benchmark_group("cliques_bsbm_200k");
+    group.throughput(Throughput::Elements(g.data().len() as u64));
+    group.bench_function("all_nodes", |b| {
+        b.iter(|| black_box(Cliques::compute(&g, CliqueScope::AllNodes)))
     });
     for threads in [2usize, 4, 8] {
         group.bench_with_input(BenchmarkId::new("parallel", threads), &threads, |b, &t| {
@@ -46,6 +71,6 @@ criterion_group! {
         .sample_size(10)
         .warm_up_time(Duration::from_millis(300))
         .measurement_time(Duration::from_secs(2));
-    targets = bench_cliques, bench_pathological
+    targets = bench_cliques, bench_cliques_large, bench_pathological
 }
 criterion_main!(benches);

@@ -11,11 +11,14 @@
 //! type-first (W/S) summaries, the TW/TS node blow-up factor, and the
 //! summary-to-input size ratio ("at most 0.028 of the data size").
 
-use rdfsum_bench::{measure_scale, render_csv, render_series, scales_from_args, SweepRow};
+use rdfsum_bench::{
+    measure_graph_independent, measure_scale, render_csv, render_series, scales_from_args, SweepRow,
+};
 
 fn main() {
     let scales = scales_from_args();
     eprintln!("# sweeping BSBM scales {scales:?} (products; ~100 triples each)");
+    eprintln!("# all four summaries per scale share one SummaryContext (cliques computed once)");
     let rows: Vec<SweepRow> = scales
         .iter()
         .map(|&p| {
@@ -52,6 +55,25 @@ fn main() {
             "products={:>6}: class/data nodes (W) = {:>6.1}x, TW/W data nodes = {:>5.1}x, max summary/input edges = {:.5}",
             r.products, class_over_data, tw_blowup, ratio
         );
+    }
+
+    // Shared-context payoff at the largest swept scale: one context +
+    // four builds vs four independent builds.
+    if let Some(&p) = scales.last() {
+        let g = rdfsum_workloads::generate_bsbm(&rdfsum_workloads::BsbmConfig {
+            products: p,
+            seed: 0xF16,
+            ..Default::default()
+        });
+        let shared = rows.last().expect("swept at least one scale");
+        let shared_total: f64 =
+            shared.context_seconds + shared.summaries.iter().map(|m| m.seconds).sum::<f64>();
+        let indep = measure_graph_independent(&g, p);
+        let indep_total: f64 = indep.summaries.iter().map(|m| m.seconds).sum();
+        println!("\n=== Shared SummaryContext vs four independent builds (products={p}) ===");
+        println!("  shared (ctx + W+S+TW+TS): {shared_total:.4}s");
+        println!("  independent (4 × summarize): {indep_total:.4}s");
+        println!("  speedup: {:.2}x", indep_total / shared_total.max(1e-9));
     }
 
     println!("\n=== CSV (archive in EXPERIMENTS.md) ===");

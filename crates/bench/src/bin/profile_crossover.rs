@@ -1,0 +1,40 @@
+//! Quick crossover probe: sequential vs forced-parallel clique scan
+//! across BSBM scales (used to pick `PARALLEL_CLIQUE_THRESHOLD`).
+
+use rdfsum_core::{parallel_cliques_forced, CliqueScope, Cliques};
+use rdfsum_workloads::BsbmConfig;
+use std::hint::black_box;
+use std::time::Instant;
+
+fn time<F: FnMut()>(mut f: F) -> f64 {
+    // Warm up, then best-of-5 batches.
+    f();
+    let mut best = f64::MAX;
+    for _ in 0..5 {
+        let n = 20;
+        let t0 = Instant::now();
+        for _ in 0..n {
+            f();
+        }
+        best = best.min(t0.elapsed().as_secs_f64() / n as f64);
+    }
+    best
+}
+
+fn main() {
+    for products in [50usize, 100, 160, 300, 600, 1200, 2000] {
+        let g = rdfsum_workloads::generate_bsbm(&BsbmConfig::with_products(products));
+        let n = g.data().len();
+        let seq = time(|| {
+            black_box(Cliques::compute(&g, CliqueScope::AllNodes));
+        });
+        let mut line = format!("data={n:>7}  seq={:>8.1}us", seq * 1e6);
+        for t in [2usize, 3, 4, 8] {
+            let par = time(|| {
+                black_box(parallel_cliques_forced(&g, CliqueScope::AllNodes, t));
+            });
+            line.push_str(&format!("  p{t}={:>8.1}us", par * 1e6));
+        }
+        println!("{line}");
+    }
+}

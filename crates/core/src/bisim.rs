@@ -128,13 +128,13 @@ mod tests {
         let g = sample_graph();
         let p = bisim_partition(&g, BisimDepth::Bounded(0));
         // Same classes as ≡T except untyped nodes merge by "untyped".
-        assert_eq!(p.class_of[&exid(&g, "r5")], p.class_of[&exid(&g, "r6")]);
+        assert_eq!(p.class_of(exid(&g, "r5")), p.class_of(exid(&g, "r6")));
         assert_eq!(
-            p.class_of[&exid(&g, "t1")],
-            p.class_of[&exid(&g, "a2")],
+            p.class_of(exid(&g, "t1")),
+            p.class_of(exid(&g, "a2")),
             "all untyped nodes share depth-0 color"
         );
-        assert_ne!(p.class_of[&exid(&g, "r1")], p.class_of[&exid(&g, "r2")]);
+        assert_ne!(p.class_of(exid(&g, "r1")), p.class_of(exid(&g, "r2")));
     }
 
     #[test]
@@ -160,8 +160,8 @@ mod tests {
             let coarse = bisim_partition(&g, BisimDepth::Bounded(k));
             let fine = bisim_partition(&g, BisimDepth::Bounded(k + 1));
             for class in &fine.classes {
-                let c0 = coarse.class_of[&class[0]];
-                assert!(class.iter().all(|n| coarse.class_of[n] == c0));
+                let c0 = coarse.class_of(class[0]);
+                assert!(class.iter().all(|&n| coarse.class_of(n) == c0));
             }
         }
     }

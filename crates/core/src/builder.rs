@@ -73,9 +73,11 @@ pub fn summarize_with(g: &Graph, kind: SummaryKind, opts: SummarizeOptions) -> S
 }
 
 /// Builds all four principal summaries of `g`, in the paper's order
-/// (W, S, TW, TS).
+/// (W, S, TW, TS), through one shared [`crate::context::SummaryContext`]:
+/// the dense numbering, CSR adjacency, property cliques (both scopes) and
+/// class sets are computed once and reused by every build.
 pub fn summarize_all(g: &Graph) -> Vec<Summary> {
-    SummaryKind::ALL.iter().map(|&k| summarize(g, k)).collect()
+    crate::context::SummaryContext::new(g).summarize_all()
 }
 
 #[cfg(test)]

@@ -43,15 +43,33 @@ pub struct CompletenessCheck {
 /// and 10 exhibit graphs where TW and TS fail (domain/range rules type
 /// previously-untyped resources).
 pub fn completeness_check(g: &Graph, kind: SummaryKind) -> CompletenessCheck {
-    let of_saturation = summarize(&saturate(g), kind);
-    let first = summarize(g, kind);
-    let shortcut = summarize(&saturate(&first.graph), kind);
-    let holds = summary_isomorphic(&of_saturation.graph, &shortcut.graph);
-    CompletenessCheck {
-        of_saturation,
-        shortcut,
-        holds,
-    }
+    completeness_checks(g, &[kind])
+        .pop()
+        .expect("one kind in, one check out")
+}
+
+/// [`completeness_check`] for several kinds at once: `g` is saturated
+/// *once*, and one shared [`crate::context::SummaryContext`] per side
+/// (`G` and `G∞`) serves every kind, so the cliques and dense numbering
+/// are computed once instead of once per kind.
+pub fn completeness_checks(g: &Graph, kinds: &[SummaryKind]) -> Vec<CompletenessCheck> {
+    let sat = saturate(g);
+    let sat_ctx = crate::context::SummaryContext::new(&sat);
+    let ctx = crate::context::SummaryContext::new(g);
+    kinds
+        .iter()
+        .map(|&kind| {
+            let of_saturation = sat_ctx.summarize(kind);
+            let first = ctx.summarize(kind);
+            let shortcut = summarize(&saturate(&first.graph), kind);
+            let holds = summary_isomorphic(&of_saturation.graph, &shortcut.graph);
+            CompletenessCheck {
+                of_saturation,
+                shortcut,
+                holds,
+            }
+        })
+        .collect()
 }
 
 /// Outcome of a representativeness experiment.

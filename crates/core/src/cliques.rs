@@ -8,11 +8,14 @@
 //! lie in one source clique `SC(r)`; all properties it is a value of lie in
 //! one target clique `TC(r)`.
 //!
-//! Computation is a single scan with union–find over properties: for each
-//! subject, union all its properties (source side); for each object, union
-//! all incoming properties (target side). This is exactly the effect the
-//! paper's streaming `MERGEDATANODES` achieves ("merging data nodes that
-//! are attached to common properties gradually builds property cliques").
+//! Computation is a union–find over the dense property numbering, driven by
+//! the per-node CSR adjacency of a [`crate::context::SummaryContext`]: each
+//! node's outgoing (incoming) property row is unioned in one sweep. This is
+//! exactly the effect the paper's streaming `MERGEDATANODES` achieves
+//! ("merging data nodes that are attached to common properties gradually
+//! builds property cliques"). All per-node and per-property assignments are
+//! stored in `Vec`-indexed arrays keyed by the dictionary id — dictionary
+//! ids are dense, so a lookup is one array read, never a hash.
 //!
 //! The [`CliqueScope`] selects which co-occurrences *generate* relatedness:
 //!
@@ -24,7 +27,7 @@
 //!   is the semantics that reproduces Figure 7.
 
 use crate::unionfind::UnionFind;
-use rdf_model::{FxHashMap, FxHashSet, Graph, TermId};
+use rdf_model::{Graph, TermId, NO_DENSE_ID};
 
 /// Which resources generate property relatedness.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -41,25 +44,35 @@ pub enum CliqueScope {
 pub type CliqueId = usize;
 
 /// The source/target clique structure of a graph.
+///
+/// Node and property assignments are flat `Vec<u32>` tables indexed by the
+/// (dense) dictionary id, with [`NO_DENSE_ID`] for "no clique" — the
+/// dense-pipeline replacement for the hash maps the original implementation
+/// carried.
 #[derive(Clone, Debug)]
 pub struct Cliques {
     /// Members of each source clique, sorted.
     pub source_cliques: Vec<Vec<TermId>>,
     /// Members of each target clique, sorted.
     pub target_cliques: Vec<Vec<TermId>>,
-    /// Property → its source clique (every data property has one).
-    pub source_clique_of_property: FxHashMap<TermId, CliqueId>,
-    /// Property → its target clique.
-    pub target_clique_of_property: FxHashMap<TermId, CliqueId>,
-    /// `SC(r)`: node → source clique, for nodes with ≥1 outgoing data
-    /// property counted by the scope (the paper's `sToSc`).
-    pub subject_clique: FxHashMap<TermId, CliqueId>,
-    /// `TC(r)`: node → target clique (the paper's `oToTc`).
-    pub object_clique: FxHashMap<TermId, CliqueId>,
+    /// Term-indexed: property → its source clique.
+    source_of_property: Vec<u32>,
+    /// Term-indexed: property → its target clique.
+    target_of_property: Vec<u32>,
+    /// Term-indexed: `SC(r)` for nodes with ≥1 outgoing data property
+    /// counted by the scope (the paper's `sToSc`).
+    subject_clique: Vec<u32>,
+    /// Term-indexed: `TC(r)` (the paper's `oToTc`).
+    object_clique: Vec<u32>,
 }
 
 impl Cliques {
     /// Computes the cliques of `g` under the given scope.
+    ///
+    /// This is a convenience wrapper that builds a throwaway
+    /// [`crate::context::SummaryContext`]; callers that need cliques for
+    /// several scopes — or cliques *and* summaries — should build one
+    /// context and use [`crate::context::SummaryContext::cliques`].
     ///
     /// # Examples
     ///
@@ -73,101 +86,88 @@ impl Cliques {
     /// assert_eq!(cq.target_cliques.len(), 5);
     /// ```
     pub fn compute(g: &Graph, scope: CliqueScope) -> Self {
-        let typed: FxHashSet<TermId> = match scope {
-            CliqueScope::AllNodes => FxHashSet::default(),
-            CliqueScope::UntypedOnly => g.typed_resources(),
-        };
-        let counts = |id: TermId| -> bool {
-            match scope {
-                CliqueScope::AllNodes => true,
-                CliqueScope::UntypedOnly => !typed.contains(&id),
-            }
-        };
+        crate::context::SummaryContext::new(g).compute_cliques(scope)
+    }
 
-        // Dense property indexing.
-        let mut prop_index: FxHashMap<TermId, usize> = FxHashMap::default();
-        let mut props: Vec<TermId> = Vec::new();
-        for t in g.data() {
-            prop_index.entry(t.p).or_insert_with(|| {
-                props.push(t.p);
-                props.len() - 1
-            });
-        }
-        let n = props.len();
-        let mut src_uf = UnionFind::new(n);
-        let mut tgt_uf = UnionFind::new(n);
-
-        // One property representative per subject/object seen so far.
-        let mut subj_repr: FxHashMap<TermId, usize> = FxHashMap::default();
-        let mut obj_repr: FxHashMap<TermId, usize> = FxHashMap::default();
-        for t in g.data() {
-            let pi = prop_index[&t.p];
-            if counts(t.s) {
-                match subj_repr.get(&t.s) {
-                    Some(&q) => {
-                        src_uf.union(pi, q);
-                    }
-                    None => {
-                        subj_repr.insert(t.s, pi);
-                    }
-                }
-            }
-            if counts(t.o) {
-                match obj_repr.get(&t.o) {
-                    Some(&q) => {
-                        tgt_uf.union(pi, q);
-                    }
-                    None => {
-                        obj_repr.insert(t.o, pi);
-                    }
-                }
-            }
-        }
-
+    /// Assembles a `Cliques` from the scan products: the dense property
+    /// numbering, the two union–finds, and term-indexed arrays holding each
+    /// node's *representative property* (the first dense property id seen
+    /// for it), which this function resolves to clique ids.
+    pub(crate) fn from_parts(
+        props: &[TermId],
+        mut src_uf: UnionFind,
+        mut tgt_uf: UnionFind,
+        mut subject_repr: Vec<u32>,
+        mut object_repr: Vec<u32>,
+    ) -> Self {
         let (src_assign, n_src) = src_uf.dense_components();
         let (tgt_assign, n_tgt) = tgt_uf.dense_components();
-
+        let n_terms = subject_repr.len();
         let mut source_cliques: Vec<Vec<TermId>> = vec![Vec::new(); n_src];
         let mut target_cliques: Vec<Vec<TermId>> = vec![Vec::new(); n_tgt];
-        let mut source_clique_of_property = FxHashMap::default();
-        let mut target_clique_of_property = FxHashMap::default();
+        let mut source_of_property = vec![NO_DENSE_ID; n_terms];
+        let mut target_of_property = vec![NO_DENSE_ID; n_terms];
         for (i, &p) in props.iter().enumerate() {
             source_cliques[src_assign[i]].push(p);
             target_cliques[tgt_assign[i]].push(p);
-            source_clique_of_property.insert(p, src_assign[i]);
-            target_clique_of_property.insert(p, tgt_assign[i]);
+            source_of_property[p.index()] = src_assign[i] as u32;
+            target_of_property[p.index()] = tgt_assign[i] as u32;
         }
         for c in source_cliques.iter_mut().chain(target_cliques.iter_mut()) {
             c.sort_unstable();
         }
-
-        let subject_clique = subj_repr
-            .into_iter()
-            .map(|(node, pi)| (node, src_assign[pi]))
-            .collect();
-        let object_clique = obj_repr
-            .into_iter()
-            .map(|(node, pi)| (node, tgt_assign[pi]))
-            .collect();
-
+        // Resolve representative properties to clique ids in place.
+        for slot in subject_repr.iter_mut() {
+            if *slot != NO_DENSE_ID {
+                *slot = src_assign[*slot as usize] as u32;
+            }
+        }
+        for slot in object_repr.iter_mut() {
+            if *slot != NO_DENSE_ID {
+                *slot = tgt_assign[*slot as usize] as u32;
+            }
+        }
         Cliques {
             source_cliques,
             target_cliques,
-            source_clique_of_property,
-            target_clique_of_property,
-            subject_clique,
-            object_clique,
+            source_of_property,
+            target_of_property,
+            subject_clique: subject_repr,
+            object_clique: object_repr,
+        }
+    }
+
+    #[inline]
+    fn slot(table: &[u32], id: TermId) -> Option<CliqueId> {
+        match table.get(id.index()) {
+            Some(&c) if c != NO_DENSE_ID => Some(c as CliqueId),
+            _ => None,
         }
     }
 
     /// `SC(r)` — the source clique of node `r`, `None` for ∅.
+    #[inline]
     pub fn sc(&self, node: TermId) -> Option<CliqueId> {
-        self.subject_clique.get(&node).copied()
+        Self::slot(&self.subject_clique, node)
     }
 
     /// `TC(r)` — the target clique of node `r`, `None` for ∅.
+    #[inline]
     pub fn tc(&self, node: TermId) -> Option<CliqueId> {
-        self.object_clique.get(&node).copied()
+        Self::slot(&self.object_clique, node)
+    }
+
+    /// The source clique of data property `p`, `None` if `p` is not a data
+    /// property of the graph.
+    #[inline]
+    pub fn source_clique_of(&self, p: TermId) -> Option<CliqueId> {
+        Self::slot(&self.source_of_property, p)
+    }
+
+    /// The target clique of data property `p`.
+    #[inline]
+    pub fn target_clique_of(&self, p: TermId) -> Option<CliqueId> {
+        Self::slot(&self.target_of_property, p)
     }
 
     /// The members of source clique `id`, sorted by term id.
@@ -190,10 +190,7 @@ impl Cliques {
             && covered_tgt == props.len()
             && props
                 .iter()
-                .all(|p| self.source_clique_of_property.contains_key(p))
-            && props
-                .iter()
-                .all(|p| self.target_clique_of_property.contains_key(p))
+                .all(|&p| self.source_clique_of(p).is_some() && self.target_clique_of(p).is_some())
     }
 }
 
@@ -315,6 +312,22 @@ mod tests {
         let g = sample_graph();
         let cq = Cliques::compute(&g, CliqueScope::AllNodes);
         assert!(cq.check_partition_invariant(&g));
+    }
+
+    /// Property → clique lookups are consistent with the member lists.
+    #[test]
+    fn property_lookup_matches_membership() {
+        let g = sample_graph();
+        let cq = Cliques::compute(&g, CliqueScope::AllNodes);
+        for &p in &g.data_properties() {
+            let sc = cq.source_clique_of(p).unwrap();
+            assert!(cq.source_members(sc).contains(&p));
+            let tc = cq.target_clique_of(p).unwrap();
+            assert!(cq.target_members(tc).contains(&p));
+        }
+        // A non-property term has no clique; so does an out-of-range id.
+        assert_eq!(cq.source_clique_of(exid(&g, "r1")), None);
+        assert_eq!(cq.source_clique_of(TermId(u32::MAX - 1)), None);
     }
 
     /// Under the untyped-only scope of the sample graph, typed resources

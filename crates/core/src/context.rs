@@ -1,0 +1,677 @@
+//! The shared dense summarization substrate: [`SummaryContext`].
+//!
+//! The paper's Algorithms 1–3 derive all five summaries (W, S, TW, TS, T)
+//! from the *same* property-clique structure, yet historically each builder
+//! recomputed the cliques from scratch and routed every node lookup through
+//! an `FxHashMap`. A `SummaryContext` factors the shared work out into one
+//! pipeline over the graph:
+//!
+//! 1. **Dense numbering** — the data nodes of `G` (subjects/objects of D_G,
+//!    then subjects of T_G, in first-seen order, matching
+//!    [`crate::equivalence::data_nodes_ordered`]) and the data properties
+//!    get contiguous ids `0, 1, 2, …`, held in `Vec`-backed
+//!    [`rdf_model::DenseIdMap`] tables. All later per-node state is a flat
+//!    array index away — no hashing.
+//! 2. **CSR adjacency** — two compressed-sparse-row layouts give, for every
+//!    dense node id, the dense property ids of its outgoing and incoming
+//!    data triples as contiguous slices (`offsets[v]..offsets[v+1]`).
+//! 3. **Cliques for both scopes** — source/target property cliques
+//!    (Definition 5) under [`CliqueScope::AllNodes`] (weak/strong) *and*
+//!    [`CliqueScope::UntypedOnly`] (typed summaries) are computed from the
+//!    CSR on first use and cached, so building all five summaries runs the
+//!    clique union–find at most twice — instead of once per builder — and
+//!    each scan is a pair of linear sweeps over the CSR rows.
+//! 4. **Class sets** — the canonical (sorted, deduplicated) class set of
+//!    every typed resource, interned to dense set ids, shared by the
+//!    typed/type-based builders.
+//!
+//! The classic free functions ([`crate::weak::weak_summary`] & friends)
+//! are thin wrappers that build a throwaway context, so single-summary
+//! callers keep their API; anything building two or more summaries of the
+//! same graph should create one `SummaryContext` and reuse it — that is
+//! what [`crate::builder::summarize_all`], the CLI `summarize --all` path,
+//! and the experiment binaries do.
+//!
+//! [`SummaryContext::from_store`] builds the same substrate from a
+//! [`TripleStore`]'s sorted SPO/OSP permutation indexes: the grouped
+//! [`rdf_store::SortedIndex::runs1`] runs hand the pipeline each node's
+//! triples contiguously, so the CSR fill needs no counting pass over raw
+//! triples. Node numbering then follows index (ascending id) order rather
+//! than first-seen order; the W/S/TW/TS summaries are identical either way
+//! because their minted names are canonical in the property/class sets.
+
+use crate::cliques::{CliqueScope, Cliques};
+use crate::equivalence::{strong_partition, weak_partition, Partition};
+use crate::naming::{c_uri, n_uri};
+use crate::quotient::quotient_summary;
+use crate::summary::{Summary, SummaryKind};
+use crate::typed::TypedSemantics;
+use crate::unionfind::UnionFind;
+use crate::weak::class_property_sets;
+use rdf_model::{Component, DenseIdMap, FxHashMap, Graph, TermId, NO_DENSE_ID};
+use rdf_store::TripleStore;
+use std::cell::OnceCell;
+
+/// The canonical class sets of the typed resources, interned densely.
+#[derive(Clone, Debug)]
+pub struct ClassSets {
+    /// Term-indexed: data node → dense set id, [`NO_DENSE_ID`] if untyped.
+    set_of_node: Vec<u32>,
+    /// Dense set id → sorted, deduplicated class ids.
+    sets: Vec<Vec<TermId>>,
+}
+
+impl ClassSets {
+    /// The dense class-set id of `node`, `None` for untyped resources.
+    #[inline]
+    pub fn set_id(&self, node: TermId) -> Option<u32> {
+        match self.set_of_node.get(node.index()) {
+            Some(&id) if id != NO_DENSE_ID => Some(id),
+            _ => None,
+        }
+    }
+
+    /// The members of set `id`, sorted by term id.
+    #[inline]
+    pub fn set(&self, id: u32) -> &[TermId] {
+        &self.sets[id as usize]
+    }
+
+    /// Number of distinct class sets.
+    pub fn len(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// True when no resource is typed.
+    pub fn is_empty(&self) -> bool {
+        self.sets.is_empty()
+    }
+}
+
+/// The shared build pipeline for all five summaries of one graph.
+///
+/// See the [module docs](self) for the design. A context borrows its graph
+/// and is cheap relative to one summary build; the clique structures and
+/// class sets are computed lazily and cached, so you only pay for the
+/// scopes the requested summaries actually use.
+///
+/// # Examples
+///
+/// ```
+/// use rdfsum_core::{SummaryContext, SummaryKind};
+///
+/// let g = rdfsum_core::fixtures::sample_graph();
+/// let ctx = SummaryContext::new(&g);
+/// // Cliques are computed once and shared by all four builds.
+/// let all = ctx.summarize_all();
+/// assert_eq!(all.len(), 4);
+/// assert_eq!(all[0].graph.data().len(), 6); // Prop. 4 for W
+/// ```
+pub struct SummaryContext<'g> {
+    g: &'g Graph,
+    /// Dense node id → term, in numbering order.
+    nodes: Vec<TermId>,
+    /// Dense property id → term, in numbering order.
+    props: Vec<TermId>,
+    /// CSR offsets/values: outgoing dense property ids per dense node (one
+    /// entry per data triple, grouped by subject).
+    out_offsets: Vec<u32>,
+    out_props: Vec<u32>,
+    /// CSR offsets/values: incoming dense property ids per dense node.
+    in_offsets: Vec<u32>,
+    in_props: Vec<u32>,
+    /// Dense node id → is a typed resource (subject of some τ triple).
+    typed: Vec<bool>,
+    all_cliques: OnceCell<Cliques>,
+    untyped_cliques: OnceCell<Cliques>,
+    class_sets: OnceCell<ClassSets>,
+}
+
+impl<'g> SummaryContext<'g> {
+    /// Builds the context from a graph, numbering data nodes in first-seen
+    /// order (the [`crate::equivalence::data_nodes_ordered`] order).
+    pub fn new(g: &'g Graph) -> Self {
+        let n_terms = g.dict().len();
+        let mut node_map = DenseIdMap::with_capacity(n_terms);
+        let mut prop_map = DenseIdMap::with_capacity(n_terms);
+        let mut out_deg: Vec<u32> = Vec::new();
+        let mut in_deg: Vec<u32> = Vec::new();
+        let grow_to = |v: usize, out_deg: &mut Vec<u32>, in_deg: &mut Vec<u32>| {
+            if v == out_deg.len() {
+                out_deg.push(0);
+                in_deg.push(0);
+            }
+        };
+        for t in g.data() {
+            let s = node_map.intern(t.s) as usize;
+            grow_to(s, &mut out_deg, &mut in_deg);
+            out_deg[s] += 1;
+            let o = node_map.intern(t.o) as usize;
+            grow_to(o, &mut out_deg, &mut in_deg);
+            in_deg[o] += 1;
+            prop_map.intern(t.p);
+        }
+        let mut typed_nodes = Vec::new();
+        for t in g.types() {
+            let s = node_map.intern(t.s) as usize;
+            grow_to(s, &mut out_deg, &mut in_deg);
+            typed_nodes.push(s);
+        }
+        let n = node_map.len();
+        let mut typed = vec![false; n];
+        for v in typed_nodes {
+            typed[v] = true;
+        }
+        let (out_offsets, mut out_props, mut out_cursor) = csr_alloc(&out_deg);
+        let (in_offsets, mut in_props, mut in_cursor) = csr_alloc(&in_deg);
+        for t in g.data() {
+            let s = node_map.get(t.s).expect("interned above") as usize;
+            let o = node_map.get(t.o).expect("interned above") as usize;
+            let p = prop_map.get(t.p).expect("interned above");
+            out_props[out_cursor[s] as usize] = p;
+            out_cursor[s] += 1;
+            in_props[in_cursor[o] as usize] = p;
+            in_cursor[o] += 1;
+        }
+        SummaryContext {
+            g,
+            nodes: node_map.into_parts().1,
+            props: prop_map.into_parts().1,
+            out_offsets,
+            out_props,
+            in_offsets,
+            in_props,
+            typed,
+            all_cliques: OnceCell::new(),
+            untyped_cliques: OnceCell::new(),
+            class_sets: OnceCell::new(),
+        }
+    }
+
+    /// Builds the context from a [`TripleStore`]'s sorted permutation
+    /// indexes: the SPO runs provide each subject's triples contiguously
+    /// (outgoing CSR + typed flags), the OSP runs each object's (incoming
+    /// CSR) — no counting pass and no per-node hash lookups.
+    ///
+    /// Nodes are numbered in index order (subjects ascending, then
+    /// objects), so dense ids differ from [`SummaryContext::new`]; the
+    /// canonical summaries (W/S/TW/TS) are identical either way. The
+    /// type-based summary's fresh `C(∅)` URIs follow the numbering order
+    /// and may therefore differ (the summaries stay isomorphic).
+    pub fn from_store(store: &'g TripleStore) -> Self {
+        let g = store.graph();
+        let n_terms = g.dict().len();
+        let wk = g.well_known();
+        let mut node_map = DenseIdMap::with_capacity(n_terms);
+        let mut prop_map = DenseIdMap::with_capacity(n_terms);
+        let mut typed_nodes: Vec<usize> = Vec::new();
+        let mut out_deg: Vec<u32> = Vec::new();
+        // SPO runs: one run per subject, all its triples contiguous.
+        for run in store.spo().runs1() {
+            let mut degree = 0u32;
+            let mut is_node = false;
+            let mut is_typed = false;
+            for t in run {
+                match wk.component_of(t.p) {
+                    Component::Data => {
+                        degree += 1;
+                        is_node = true;
+                        prop_map.intern(t.p);
+                    }
+                    Component::Type => {
+                        is_node = true;
+                        is_typed = true;
+                    }
+                    Component::Schema => {}
+                }
+            }
+            if is_node {
+                let v = node_map.intern(run[0].s) as usize;
+                if v == out_deg.len() {
+                    out_deg.push(0);
+                }
+                out_deg[v] += degree;
+                if is_typed {
+                    typed_nodes.push(v);
+                }
+            }
+        }
+        // OSP runs: one run per object; number the object-only nodes after
+        // all subjects and collect in-degrees.
+        let mut in_deg = vec![0u32; node_map.len()];
+        for run in store.osp().runs1() {
+            let degree = run
+                .iter()
+                .filter(|t| wk.component_of(t.p) == Component::Data)
+                .count() as u32;
+            if degree > 0 {
+                let v = node_map.intern(run[0].o) as usize;
+                if v == in_deg.len() {
+                    in_deg.push(0);
+                    out_deg.push(0);
+                }
+                in_deg[v] += degree;
+            }
+        }
+        let n = node_map.len();
+        let mut typed = vec![false; n];
+        for v in typed_nodes {
+            typed[v] = true;
+        }
+        let (out_offsets, mut out_props, mut out_cursor) = csr_alloc(&out_deg);
+        let (in_offsets, mut in_props, mut in_cursor) = csr_alloc(&in_deg);
+        for run in store.spo().runs1() {
+            for t in run {
+                if wk.component_of(t.p) == Component::Data {
+                    let s = node_map.get(t.s).expect("interned above") as usize;
+                    let p = prop_map.get(t.p).expect("interned above");
+                    out_props[out_cursor[s] as usize] = p;
+                    out_cursor[s] += 1;
+                }
+            }
+        }
+        for run in store.osp().runs1() {
+            for t in run {
+                if wk.component_of(t.p) == Component::Data {
+                    let o = node_map.get(t.o).expect("interned above") as usize;
+                    let p = prop_map.get(t.p).expect("interned above");
+                    in_props[in_cursor[o] as usize] = p;
+                    in_cursor[o] += 1;
+                }
+            }
+        }
+        SummaryContext {
+            g,
+            nodes: node_map.into_parts().1,
+            props: prop_map.into_parts().1,
+            out_offsets,
+            out_props,
+            in_offsets,
+            in_props,
+            typed,
+            all_cliques: OnceCell::new(),
+            untyped_cliques: OnceCell::new(),
+            class_sets: OnceCell::new(),
+        }
+    }
+
+    /// The summarized graph.
+    #[inline]
+    pub fn graph(&self) -> &'g Graph {
+        self.g
+    }
+
+    /// The data nodes of `G` in numbering order.
+    #[inline]
+    pub fn data_nodes(&self) -> &[TermId] {
+        &self.nodes
+    }
+
+    /// The distinct data properties of `G` in numbering order.
+    #[inline]
+    pub fn data_properties(&self) -> &[TermId] {
+        &self.props
+    }
+
+    /// The outgoing dense property ids of dense node `v` (one entry per
+    /// data triple).
+    #[inline]
+    pub fn out_row(&self, v: usize) -> &[u32] {
+        &self.out_props[self.out_offsets[v] as usize..self.out_offsets[v + 1] as usize]
+    }
+
+    /// The incoming dense property ids of dense node `v`.
+    #[inline]
+    pub fn in_row(&self, v: usize) -> &[u32] {
+        &self.in_props[self.in_offsets[v] as usize..self.in_offsets[v + 1] as usize]
+    }
+
+    /// Is dense node `v` a typed resource?
+    #[inline]
+    pub fn is_typed(&self, v: usize) -> bool {
+        self.typed[v]
+    }
+
+    /// The cliques of `G` under `scope`, computed on first use and cached.
+    pub fn cliques(&self, scope: CliqueScope) -> &Cliques {
+        let cell = match scope {
+            CliqueScope::AllNodes => &self.all_cliques,
+            CliqueScope::UntypedOnly => &self.untyped_cliques,
+        };
+        cell.get_or_init(|| self.compute_cliques(scope))
+    }
+
+    /// Computes the cliques for `scope` from the CSR layout: two linear
+    /// sweeps (out rows feed the source union–find, in rows the target
+    /// one), no hash lookups.
+    pub(crate) fn compute_cliques(&self, scope: CliqueScope) -> Cliques {
+        let np = self.props.len();
+        let n_terms = self.g.dict().len();
+        let mut src_uf = UnionFind::new(np);
+        let mut tgt_uf = UnionFind::new(np);
+        let mut subject_repr = vec![NO_DENSE_ID; n_terms];
+        let mut object_repr = vec![NO_DENSE_ID; n_terms];
+        for v in 0..self.nodes.len() {
+            if scope == CliqueScope::UntypedOnly && self.typed[v] {
+                continue;
+            }
+            if let Some((&first, rest)) = self.out_row(v).split_first() {
+                for &p in rest {
+                    src_uf.union(first as usize, p as usize);
+                }
+                subject_repr[self.nodes[v].index()] = first;
+            }
+            if let Some((&first, rest)) = self.in_row(v).split_first() {
+                for &p in rest {
+                    tgt_uf.union(first as usize, p as usize);
+                }
+                object_repr[self.nodes[v].index()] = first;
+            }
+        }
+        Cliques::from_parts(&self.props, src_uf, tgt_uf, subject_repr, object_repr)
+    }
+
+    /// The interned class sets of the typed resources, computed on first
+    /// use and cached.
+    pub fn class_sets(&self) -> &ClassSets {
+        self.class_sets.get_or_init(|| {
+            let n_terms = self.g.dict().len();
+            let mut tmp_of_node = vec![NO_DENSE_ID; n_terms];
+            let mut tmp: Vec<Vec<TermId>> = Vec::new();
+            let mut order: Vec<TermId> = Vec::new();
+            for t in self.g.types() {
+                let slot = &mut tmp_of_node[t.s.index()];
+                if *slot == NO_DENSE_ID {
+                    *slot = tmp.len() as u32;
+                    tmp.push(Vec::new());
+                    order.push(t.s);
+                }
+                // Duplicate classes are collapsed by the canonicalization
+                // sort+dedup below, keeping this accumulation O(1) per
+                // type triple even for type-heavy resources.
+                tmp[*slot as usize].push(t.o);
+            }
+            // Canonicalize and intern the distinct sets.
+            let mut interner: FxHashMap<Vec<TermId>, u32> = FxHashMap::default();
+            let mut sets: Vec<Vec<TermId>> = Vec::new();
+            let mut set_of_node = vec![NO_DENSE_ID; n_terms];
+            for node in order {
+                let ti = tmp_of_node[node.index()] as usize;
+                let mut set = std::mem::take(&mut tmp[ti]);
+                set.sort_unstable();
+                set.dedup();
+                let id = *interner.entry(set.clone()).or_insert_with(|| {
+                    sets.push(set);
+                    (sets.len() - 1) as u32
+                });
+                set_of_node[node.index()] = id;
+            }
+            ClassSets { set_of_node, sets }
+        })
+    }
+
+    /// The weak summary W_G (Definition 11) from the shared substrate.
+    pub fn weak_summary(&self) -> Summary {
+        let cliques = self.cliques(CliqueScope::AllNodes);
+        let partition = weak_partition(cliques, &self.nodes);
+        quotient_summary(self.g, SummaryKind::Weak, &partition, |_, members| {
+            let (tc, sc) = class_property_sets(cliques, members);
+            n_uri(self.g.dict(), &tc, &sc)
+        })
+    }
+
+    /// The strong summary S_G (Definition 15) from the shared substrate.
+    pub fn strong_summary(&self) -> Summary {
+        let cliques = self.cliques(CliqueScope::AllNodes);
+        let partition = strong_partition(cliques, &self.nodes);
+        quotient_summary(self.g, SummaryKind::Strong, &partition, |_, members| {
+            signature_uri(self.g, cliques, members[0])
+        })
+    }
+
+    /// The typed weak summary TW_G (Definition 14), default semantics.
+    pub fn typed_weak_summary(&self) -> Summary {
+        self.typed_summary(SummaryKind::TypedWeak, TypedSemantics::default())
+    }
+
+    /// The typed strong summary TS_G (Definition 17), default semantics.
+    pub fn typed_strong_summary(&self) -> Summary {
+        self.typed_summary(SummaryKind::TypedStrong, TypedSemantics::default())
+    }
+
+    /// A typed summary under explicit semantics (see [`TypedSemantics`]).
+    pub fn typed_summary(&self, kind: SummaryKind, semantics: TypedSemantics) -> Summary {
+        debug_assert!(matches!(
+            kind,
+            SummaryKind::TypedWeak | SummaryKind::TypedStrong
+        ));
+        let strong = kind == SummaryKind::TypedStrong;
+        let cliques = self.cliques(semantics.scope());
+        let cs = self.class_sets();
+        let untyped: Vec<TermId> = self
+            .nodes
+            .iter()
+            .copied()
+            .filter(|&n| cs.set_id(n).is_none())
+            .collect();
+        let up = if strong {
+            strong_partition(cliques, &untyped)
+        } else {
+            weak_partition(cliques, &untyped)
+        };
+        // Combined key space: class-set ids first, untyped classes after —
+        // both already dense, so the grouping is hash-free.
+        let n_sets = cs.len();
+        let partition =
+            Partition::group_by_dense(&self.nodes, n_sets + up.len(), |n| match cs.set_id(n) {
+                Some(id) => id as usize,
+                None => n_sets + up.class_of(n).expect("untyped node covered"),
+            });
+        quotient_summary(self.g, kind, &partition, |_, members| {
+            match cs.set_id(members[0]) {
+                Some(id) => c_uri(self.g.dict(), cs.set(id)),
+                None if strong => signature_uri(self.g, cliques, members[0]),
+                None => {
+                    let (tc, sc) = class_property_sets(cliques, members);
+                    n_uri(self.g.dict(), &tc, &sc)
+                }
+            }
+        })
+    }
+
+    /// The type-based summary T_G (Definition 12).
+    pub fn type_summary(&self) -> Summary {
+        let cs = self.class_sets();
+        #[derive(Hash, PartialEq, Eq)]
+        enum Key {
+            Typed(u32),
+            Untyped(TermId),
+        }
+        let partition = Partition::group_by(&self.nodes, |n| match cs.set_id(n) {
+            Some(id) => Key::Typed(id),
+            None => Key::Untyped(n),
+        });
+        let mut fresh = 0usize;
+        quotient_summary(
+            self.g,
+            SummaryKind::TypeBased,
+            &partition,
+            |_, members| match cs.set_id(members[0]) {
+                Some(id) => c_uri(self.g.dict(), cs.set(id)),
+                None => {
+                    // C(∅): "given an empty set of URIs, returns a new URI
+                    // on every call."
+                    fresh += 1;
+                    format!("{}c?fresh={}", crate::naming::SUMMARY_NS, fresh)
+                }
+            },
+        )
+    }
+
+    /// Builds the summary of the given kind from the shared substrate.
+    pub fn summarize(&self, kind: SummaryKind) -> Summary {
+        match kind {
+            SummaryKind::Weak => self.weak_summary(),
+            SummaryKind::Strong => self.strong_summary(),
+            SummaryKind::TypedWeak => self.typed_weak_summary(),
+            SummaryKind::TypedStrong => self.typed_strong_summary(),
+            SummaryKind::TypeBased => self.type_summary(),
+            SummaryKind::Bisimulation => {
+                crate::bisim::bisim_summary(self.g, crate::bisim::BisimDepth::Bounded(2))
+            }
+        }
+    }
+
+    /// Builds all four principal summaries in the paper's order
+    /// (W, S, TW, TS), sharing cliques and class sets across the builds.
+    pub fn summarize_all(&self) -> Vec<Summary> {
+        SummaryKind::ALL
+            .iter()
+            .map(|&k| self.summarize(k))
+            .collect()
+    }
+}
+
+/// Allocates a CSR (offsets, values, fill cursor) from per-row counts.
+fn csr_alloc(deg: &[u32]) -> (Vec<u32>, Vec<u32>, Vec<u32>) {
+    let n = deg.len();
+    let mut offsets = vec![0u32; n + 1];
+    for v in 0..n {
+        offsets[v + 1] = offsets[v] + deg[v];
+    }
+    let values = vec![0u32; offsets[n] as usize];
+    let cursor = offsets[..n].to_vec();
+    (offsets, values, cursor)
+}
+
+/// The strong-summary name of a node: `N(TC(n), SC(n))` from the member's
+/// own clique signature (all members of a strong class share it).
+fn signature_uri(g: &Graph, cliques: &Cliques, node: TermId) -> String {
+    let tc_props = cliques
+        .tc(node)
+        .map(|i| cliques.target_members(i).to_vec())
+        .unwrap_or_default();
+    let sc_props = cliques
+        .sc(node)
+        .map(|i| cliques.source_members(i).to_vec())
+        .unwrap_or_default();
+    n_uri(g.dict(), &tc_props, &sc_props)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::{exid, sample_graph};
+
+    #[test]
+    fn numbering_matches_data_nodes_ordered() {
+        let g = sample_graph();
+        let ctx = SummaryContext::new(&g);
+        assert_eq!(
+            ctx.data_nodes(),
+            crate::equivalence::data_nodes_ordered(&g).as_slice()
+        );
+        // 15 data nodes, 6 distinct data properties.
+        assert_eq!(ctx.data_nodes().len(), 15);
+        assert_eq!(ctx.data_properties().len(), 6);
+    }
+
+    #[test]
+    fn csr_rows_cover_every_data_triple() {
+        let g = sample_graph();
+        let ctx = SummaryContext::new(&g);
+        let total_out: usize = (0..ctx.data_nodes().len())
+            .map(|v| ctx.out_row(v).len())
+            .sum();
+        let total_in: usize = (0..ctx.data_nodes().len())
+            .map(|v| ctx.in_row(v).len())
+            .sum();
+        assert_eq!(total_out, g.data().len());
+        assert_eq!(total_in, g.data().len());
+        // r6 is typed-only: no adjacency at all.
+        let r6 = exid(&g, "r6");
+        let v = ctx
+            .data_nodes()
+            .iter()
+            .position(|&n| n == r6)
+            .expect("r6 is a data node");
+        assert!(ctx.out_row(v).is_empty() && ctx.in_row(v).is_empty());
+        assert!(ctx.is_typed(v));
+    }
+
+    #[test]
+    fn context_cliques_match_direct_compute() {
+        let g = sample_graph();
+        let ctx = SummaryContext::new(&g);
+        for scope in [CliqueScope::AllNodes, CliqueScope::UntypedOnly] {
+            let a = ctx.cliques(scope);
+            let b = Cliques::compute(&g, scope);
+            assert_eq!(a.source_cliques, b.source_cliques, "{scope:?}");
+            assert_eq!(a.target_cliques, b.target_cliques, "{scope:?}");
+        }
+        // Cached: the same reference comes back.
+        assert!(std::ptr::eq(
+            ctx.cliques(CliqueScope::AllNodes),
+            ctx.cliques(CliqueScope::AllNodes)
+        ));
+    }
+
+    #[test]
+    fn class_sets_of_sample() {
+        let g = sample_graph();
+        let ctx = SummaryContext::new(&g);
+        let cs = ctx.class_sets();
+        // r1 {Book}, r2 {Journal}, r5/r6 {Spec} ⇒ 3 distinct sets.
+        assert_eq!(cs.len(), 3);
+        assert_eq!(
+            cs.set_id(exid(&g, "r5")),
+            cs.set_id(exid(&g, "r6")),
+            "shared {{Spec}} set"
+        );
+        assert_ne!(cs.set_id(exid(&g, "r1")), cs.set_id(exid(&g, "r2")));
+        assert_eq!(cs.set_id(exid(&g, "t1")), None);
+        let spec = cs.set_id(exid(&g, "r5")).unwrap();
+        assert_eq!(cs.set(spec).len(), 1);
+    }
+
+    #[test]
+    fn summarize_all_matches_free_functions() {
+        let g = sample_graph();
+        let ctx = SummaryContext::new(&g);
+        let all = ctx.summarize_all();
+        assert_eq!(all[0].graph.data().len(), 6); // Figure 4 / Prop. 4
+        assert_eq!(all[1].n_summary_nodes(), 9); // Figure 9
+        assert_eq!(all[2].n_summary_nodes(), 9); // Figure 7
+        assert_eq!(all[3].n_summary_nodes(), 11);
+        assert_eq!(ctx.type_summary().n_summary_nodes(), 14); // Figure 6
+    }
+
+    #[test]
+    fn store_context_builds_identical_summaries() {
+        let g = sample_graph();
+        let store = TripleStore::new(g.clone());
+        let ctx_g = SummaryContext::new(&g);
+        let ctx_s = SummaryContext::from_store(&store);
+        // Node sets coincide (order may differ).
+        let mut a: Vec<TermId> = ctx_g.data_nodes().to_vec();
+        let mut b: Vec<TermId> = ctx_s.data_nodes().to_vec();
+        a.sort_unstable();
+        b.sort_unstable();
+        // Note: ctx_s numbers nodes from the *store's* graph, which is the
+        // clone — same dictionary ids, so the comparison is meaningful.
+        assert_eq!(a, b);
+        for kind in SummaryKind::ALL {
+            let x = ctx_g.summarize(kind);
+            let y = ctx_s.summarize(kind);
+            let canon = |s: &Summary| {
+                let mut v: Vec<String> = rdf_io::write_graph(&s.graph)
+                    .lines()
+                    .map(String::from)
+                    .collect();
+                v.sort();
+                v
+            };
+            assert_eq!(canon(&x), canon(&y), "{kind}");
+        }
+    }
+}

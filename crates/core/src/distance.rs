@@ -185,8 +185,7 @@ mod tests {
         let props: Vec<TermId> = g.data_properties().into_iter().collect();
         for &p in &props {
             for &q in &props {
-                let same_clique =
-                    cq.source_clique_of_property[&p] == cq.source_clique_of_property[&q];
+                let same_clique = cq.source_clique_of(p) == cq.source_clique_of(q);
                 assert_eq!(co.related(p, q), same_clique, "{p:?} vs {q:?}");
             }
         }

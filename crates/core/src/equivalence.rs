@@ -6,15 +6,20 @@
 //! target clique), and **type** equivalence ≡T (same non-empty set of
 //! classes). Each relation partitions the data nodes of G; the quotient by
 //! that partition is the summary.
+//!
+//! A [`Partition`] stores its node → class assignment as a `Vec`-indexed
+//! array keyed by the dense dictionary id (the dense-pipeline layout), so
+//! the quotient construction does plain array reads instead of hash
+//! lookups.
 
 use crate::cliques::{CliqueId, Cliques};
-use rdf_model::{FxHashMap, Graph, TermId};
+use rdf_model::{DenseIdMap, FxHashMap, Graph, TermId, NO_DENSE_ID};
 
 /// A partition of a node set: dense class indices plus member lists.
 #[derive(Clone, Debug, Default)]
 pub struct Partition {
-    /// Node → class index.
-    pub class_of: FxHashMap<TermId, usize>,
+    /// Term-indexed: node → class index, [`NO_DENSE_ID`] if uncovered.
+    class_of: Vec<u32>,
     /// Class index → members (in first-seen order).
     pub classes: Vec<Vec<TermId>>,
 }
@@ -26,18 +31,60 @@ impl Partition {
         nodes: &[TermId],
         mut key: impl FnMut(TermId) -> K,
     ) -> Self {
-        let mut key_class: FxHashMap<K, usize> = FxHashMap::default();
-        let mut p = Partition::default();
+        let cap = nodes.iter().map(|n| n.index() + 1).max().unwrap_or(0);
+        let mut key_class: FxHashMap<K, u32> = FxHashMap::default();
+        let mut p = Partition {
+            class_of: vec![NO_DENSE_ID; cap],
+            classes: Vec::new(),
+        };
         for &n in nodes {
             let k = key(n);
             let class = *key_class.entry(k).or_insert_with(|| {
                 p.classes.push(Vec::new());
-                p.classes.len() - 1
+                (p.classes.len() - 1) as u32
             });
-            p.classes[class].push(n);
-            p.class_of.insert(n, class);
+            p.classes[class as usize].push(n);
+            p.class_of[n.index()] = class;
         }
         p
+    }
+
+    /// [`Partition::group_by`] for keys that already live in a small dense
+    /// space `0..n_keys`: the key → class table is a flat array, so the
+    /// whole construction is hash-free. Class indices are dense in
+    /// first-seen order, exactly like `group_by`.
+    pub fn group_by_dense(
+        nodes: &[TermId],
+        n_keys: usize,
+        mut key: impl FnMut(TermId) -> usize,
+    ) -> Self {
+        let cap = nodes.iter().map(|n| n.index() + 1).max().unwrap_or(0);
+        let mut key_class = vec![NO_DENSE_ID; n_keys];
+        let mut p = Partition {
+            class_of: vec![NO_DENSE_ID; cap],
+            classes: Vec::new(),
+        };
+        for &n in nodes {
+            let k = key(n);
+            let slot = &mut key_class[k];
+            if *slot == NO_DENSE_ID {
+                *slot = p.classes.len() as u32;
+                p.classes.push(Vec::new());
+            }
+            let class = *slot;
+            p.classes[class as usize].push(n);
+            p.class_of[n.index()] = class;
+        }
+        p
+    }
+
+    /// The class index of `n`, `None` when `n` is not covered.
+    #[inline]
+    pub fn class_of(&self, n: TermId) -> Option<usize> {
+        match self.class_of.get(n.index()) {
+            Some(&c) if c != NO_DENSE_ID => Some(c as usize),
+            _ => None,
+        }
     }
 
     /// Number of classes.
@@ -50,38 +97,41 @@ impl Partition {
         self.classes.is_empty()
     }
 
-    /// Invariant check: classes are disjoint, non-empty, and cover exactly
-    /// the keys of `class_of`.
+    /// Total number of class members (counting duplicates, if any).
+    pub fn n_members(&self) -> usize {
+        self.classes.iter().map(Vec::len).sum()
+    }
+
+    /// Invariant check: classes are non-empty, each member maps back to
+    /// its class, and every covered node appears in some class.
     pub fn check_invariants(&self) -> bool {
-        let total: usize = self.classes.iter().map(Vec::len).sum();
-        total == self.class_of.len()
+        let covered = self.class_of.iter().filter(|&&c| c != NO_DENSE_ID).count();
+        self.n_members() == covered
             && self.classes.iter().all(|c| !c.is_empty())
             && self
                 .classes
                 .iter()
                 .enumerate()
-                .all(|(i, c)| c.iter().all(|n| self.class_of.get(n) == Some(&i)))
+                .all(|(i, c)| c.iter().all(|&n| self.class_of(n) == Some(i)))
     }
 }
 
 /// The data nodes of `g` in deterministic (first-seen) order: subjects and
 /// objects of D_G, then subjects of T_G (§2.1's data-node definition).
+///
+/// This is the numbering order of [`crate::context::SummaryContext::new`];
+/// prefer [`crate::context::SummaryContext::data_nodes`] when a context is
+/// already at hand.
 pub fn data_nodes_ordered(g: &Graph) -> Vec<TermId> {
-    let mut seen: FxHashMap<TermId, ()> = FxHashMap::default();
-    let mut out = Vec::new();
-    let push = |id: TermId, seen: &mut FxHashMap<TermId, ()>, out: &mut Vec<TermId>| {
-        if seen.insert(id, ()).is_none() {
-            out.push(id);
-        }
-    };
+    let mut m = DenseIdMap::with_capacity(g.dict().len());
     for t in g.data() {
-        push(t.s, &mut seen, &mut out);
-        push(t.o, &mut seen, &mut out);
+        m.intern(t.s);
+        m.intern(t.o);
     }
     for t in g.types() {
-        push(t.s, &mut seen, &mut out);
+        m.intern(t.s);
     }
-    out
+    m.into_parts().1
 }
 
 /// The clique signature of a node: `(TC(r), SC(r))` as optional clique ids.
@@ -109,10 +159,12 @@ pub fn weak_partition(cliques: &Cliques, nodes: &[TermId]) -> Partition {
         }
     }
     let tau = ns + nt;
-    Partition::group_by(nodes, |n| match (cliques.sc(n), cliques.tc(n)) {
-        (Some(sc), _) => uf.find(sc),
-        (None, Some(tc)) => uf.find(ns + tc),
-        (None, None) => tau,
+    Partition::group_by_dense(nodes, ns + nt + 1, |n| {
+        match (cliques.sc(n), cliques.tc(n)) {
+            (Some(sc), _) => uf.find(sc),
+            (None, Some(tc)) => uf.find(ns + tc),
+            (None, None) => tau,
+        }
     })
 }
 
@@ -120,10 +172,31 @@ pub fn weak_partition(cliques: &Cliques, nodes: &[TermId]) -> Partition {
 /// (Definition 15). With untyped nodes and untyped-scope cliques this is
 /// ≡US (Definition 16).
 pub fn strong_partition(cliques: &Cliques, nodes: &[TermId]) -> Partition {
-    Partition::group_by(nodes, |n| signature(cliques, n))
+    // The signature space is (ns+1)·(nt+1) (each side may be ∅). When it
+    // is comparably small — the overwhelmingly common case, since clique
+    // counts are bounded by the distinct-property count — a flat key table
+    // beats hashing every node. Degenerate graphs (thousands of singleton
+    // cliques) fall back to the hashed grouping to avoid a quadratic
+    // table.
+    let ns = cliques.source_cliques.len();
+    let nt = cliques.target_cliques.len();
+    let n_keys = (ns + 1).saturating_mul(nt + 1);
+    if n_keys <= 4 * nodes.len() + 1024 {
+        Partition::group_by_dense(nodes, n_keys, |n| {
+            let sc = cliques.sc(n).map_or(0, |c| c + 1);
+            let tc = cliques.tc(n).map_or(0, |c| c + 1);
+            tc * (ns + 1) + sc
+        })
+    } else {
+        Partition::group_by(nodes, |n| signature(cliques, n))
+    }
 }
 
 /// The class set of every typed resource, sorted (canonical form).
+///
+/// The dense pipeline interns these once per graph — see
+/// [`crate::context::SummaryContext::class_sets`]; this hash-map form is
+/// kept for callers without a context (e.g. the bisimulation baseline).
 pub fn class_sets(g: &Graph) -> FxHashMap<TermId, Vec<TermId>> {
     let mut sets: FxHashMap<TermId, Vec<TermId>> = FxHashMap::default();
     for t in g.types() {
@@ -162,7 +235,10 @@ mod tests {
     use crate::fixtures::{exid, sample_graph};
 
     fn class_ids(p: &Partition, g: &Graph, names: &[&str]) -> Vec<usize> {
-        names.iter().map(|n| p.class_of[&exid(g, n)]).collect()
+        names
+            .iter()
+            .map(|n| p.class_of(exid(g, n)).unwrap())
+            .collect()
     }
 
     /// §3.2: r1..r5 weakly equivalent; t1..t4; {a1, a2}; {e1, e2}; {c1};
@@ -185,8 +261,8 @@ mod tests {
         assert_eq!(ee[0], ee[1]);
         // All five groups distinct, and r6 separate.
         let mut reps = vec![rs[0], ts[0], aa[0], ee[0]];
-        reps.push(p.class_of[&exid(&g, "c1")]);
-        reps.push(p.class_of[&exid(&g, "r6")]);
+        reps.push(p.class_of(exid(&g, "c1")).unwrap());
+        reps.push(p.class_of(exid(&g, "r6")).unwrap());
         reps.sort_unstable();
         reps.dedup();
         assert_eq!(reps.len(), 6);
@@ -205,9 +281,9 @@ mod tests {
         assert_eq!(p.len(), 9);
         let rs = class_ids(&p, &g, &["r1", "r2", "r3", "r5"]);
         assert!(rs.iter().all(|&c| c == rs[0]));
-        assert_ne!(p.class_of[&exid(&g, "r4")], rs[0]);
-        assert_ne!(p.class_of[&exid(&g, "a1")], p.class_of[&exid(&g, "a2")]);
-        assert_ne!(p.class_of[&exid(&g, "e1")], p.class_of[&exid(&g, "e2")]);
+        assert_ne!(p.class_of(exid(&g, "r4")).unwrap(), rs[0]);
+        assert_ne!(p.class_of(exid(&g, "a1")), p.class_of(exid(&g, "a2")));
+        assert_ne!(p.class_of(exid(&g, "e1")), p.class_of(exid(&g, "e2")));
         let ts = class_ids(&p, &g, &["t1", "t2", "t3", "t4"]);
         assert!(ts.iter().all(|&c| c == ts[0]));
     }
@@ -221,8 +297,8 @@ mod tests {
         let w = weak_partition(&cq, &nodes);
         let s = strong_partition(&cq, &nodes);
         for class in &s.classes {
-            let weak_class = w.class_of[&class[0]];
-            assert!(class.iter().all(|n| w.class_of[n] == weak_class));
+            let weak_class = w.class_of(class[0]);
+            assert!(class.iter().all(|&n| w.class_of(n) == weak_class));
         }
         assert!(s.len() >= w.len());
     }
@@ -234,9 +310,9 @@ mod tests {
         let g = sample_graph();
         let p = type_partition(&g);
         assert!(p.check_invariants());
-        assert_eq!(p.class_of[&exid(&g, "r5")], p.class_of[&exid(&g, "r6")]);
-        assert_ne!(p.class_of[&exid(&g, "r1")], p.class_of[&exid(&g, "r2")]);
-        assert_ne!(p.class_of[&exid(&g, "t1")], p.class_of[&exid(&g, "t2")]);
+        assert_eq!(p.class_of(exid(&g, "r5")), p.class_of(exid(&g, "r6")));
+        assert_ne!(p.class_of(exid(&g, "r1")), p.class_of(exid(&g, "r2")));
+        assert_ne!(p.class_of(exid(&g, "t1")), p.class_of(exid(&g, "t2")));
         // 15 data nodes; r5+r6 merge ⇒ 14 classes.
         assert_eq!(p.len(), 14);
     }
@@ -271,5 +347,8 @@ mod tests {
         let p = Partition::group_by(&nodes, |n| n.0);
         assert_eq!(p.len(), 3);
         assert_eq!(p.classes[0], vec![TermId(5), TermId(5)]);
+        // Uncovered nodes report None; out-of-range ids too.
+        assert_eq!(p.class_of(TermId(6)), None);
+        assert_eq!(p.class_of(TermId(1000)), None);
     }
 }

@@ -22,14 +22,46 @@
 //! scan ([`parallel`]), summary [`iso`]morphism, and [`checks`] for the
 //! paper's formal properties (fixpoint, completeness, representativeness).
 //!
+//! ## The dense pipeline: [`SummaryContext`]
+//!
+//! All five summaries are built from one shared substrate, the
+//! [`context::SummaryContext`]:
+//!
+//! * a **dense numbering** of the data nodes and data properties
+//!   (`Vec`-backed [`rdf_model::DenseIdMap`] tables — dictionary ids are
+//!   dense, so every per-node lookup is an array read, never a hash);
+//! * a **CSR-style adjacency** giving each node's outgoing/incoming data
+//!   properties as contiguous slices;
+//! * the **property cliques for both [`CliqueScope`]s** (all-nodes for
+//!   W/S, untyped-only for TW/TS), computed lazily from the CSR and
+//!   cached, so building all four summaries runs the clique union–find at
+//!   most twice instead of four times;
+//! * the interned **class sets** of the typed resources.
+//!
+//! The classic free functions (`weak_summary(g)` & friends) are thin
+//! wrappers over a throwaway context; [`summarize_all`] and the CLI /
+//! experiment binaries share one context across builds. A context can also
+//! be built from a [`rdf_store::TripleStore`]'s sorted SPO/OSP indexes
+//! ([`context::SummaryContext::from_store`]), which hands the pipeline
+//! each node's triples as contiguous grouped runs.
+//!
+//! The pre-refactor hash-map builders are preserved verbatim in
+//! [`reference`] as the golden-equivalence test oracle.
+//!
 //! ## Quickstart
 //!
 //! ```
-//! use rdfsum_core::{summarize, SummaryKind};
+//! use rdfsum_core::{summarize, SummaryContext, SummaryKind};
 //!
 //! let g = rdfsum_core::fixtures::sample_graph(); // the paper's Figure 2
 //! let w = summarize(&g, SummaryKind::Weak);
 //! assert_eq!(w.graph.data().len(), 6); // Prop. 4: one edge per property
+//!
+//! // Building several summaries? Share the substrate:
+//! let ctx = SummaryContext::new(&g);
+//! let (s, tw) = (ctx.summarize(SummaryKind::Strong), ctx.typed_weak_summary());
+//! assert_eq!(s.n_summary_nodes(), 9);
+//! assert_eq!(tw.n_summary_nodes(), 9);
 //! ```
 
 #![forbid(unsafe_code)]
@@ -39,6 +71,7 @@ pub mod bisim;
 pub mod builder;
 pub mod checks;
 pub mod cliques;
+pub mod context;
 pub mod distance;
 pub mod equivalence;
 pub mod fixtures;
@@ -48,6 +81,7 @@ pub mod iso;
 pub mod naming;
 pub mod parallel;
 pub mod quotient;
+pub mod reference;
 pub mod report;
 pub mod saturated_cliques;
 pub mod streaming;
@@ -60,15 +94,20 @@ pub mod weak;
 pub use bisim::{bisim_partition, bisim_summary, BisimDepth};
 pub use builder::{summarize, summarize_all, summarize_with, Strategy, SummarizeOptions};
 pub use checks::{
-    can_prune, check_representativeness, completeness_check, fixpoint_holds, CompletenessCheck,
-    RepresentativenessReport,
+    can_prune, check_representativeness, completeness_check, completeness_checks, fixpoint_holds,
+    CompletenessCheck, RepresentativenessReport,
 };
 pub use cliques::{CliqueId, CliqueScope, Cliques};
+pub use context::{ClassSets, SummaryContext};
 pub use equivalence::Partition;
 pub use incremental::IncrementalWeak;
 pub use inflate::{inflate, InflateConfig};
 pub use iso::summary_isomorphic;
-pub use parallel::{parallel_cliques, parallel_weak_summary};
+pub use parallel::{
+    effective_threads, parallel_cliques, parallel_cliques_forced, parallel_weak_summary,
+    PARALLEL_CLIQUE_THRESHOLD,
+};
+pub use reference::{reference_summary, reference_summary_with};
 pub use report::{render_report, ReportOptions};
 pub use saturated_cliques::{fuse_cliques, saturated_clique, verify_lemma1};
 pub use streaming::{streaming_typed_weak_summary, streaming_weak_summary};
@@ -190,6 +229,46 @@ mod proptests {
             let a = weak_summary(&g);
             let b = parallel_weak_summary(&g, 4);
             prop_assert!(summary_isomorphic(&a.graph, &b.graph));
+        }
+
+        /// The forced (no-fallback) parallel clique scan matches the
+        /// sequential one exactly — same cliques, same numbering — on
+        /// random graphs, for every scope.
+        #[test]
+        fn forced_parallel_cliques_equal_sequential(g in arb_graph(), threads in 2usize..6) {
+            use crate::cliques::{CliqueScope, Cliques};
+            for scope in [CliqueScope::AllNodes, CliqueScope::UntypedOnly] {
+                let par = crate::parallel::parallel_cliques_forced(&g, scope, threads);
+                let seq = Cliques::compute(&g, scope);
+                prop_assert_eq!(&par.source_cliques, &seq.source_cliques);
+                prop_assert_eq!(&par.target_cliques, &seq.target_cliques);
+            }
+        }
+
+        /// Golden equivalence: every dense-pipeline summary is
+        /// triple-for-triple and naming-identical to the preserved
+        /// pre-refactor (hash-map) builder on random graphs.
+        #[test]
+        fn dense_pipeline_matches_reference(g in arb_graph()) {
+            use crate::reference::reference_summary;
+            let canon = |s: &crate::Summary| {
+                let mut v: Vec<String> =
+                    rdf_io::write_graph(&s.graph).lines().map(String::from).collect();
+                v.sort();
+                v
+            };
+            let ctx = crate::context::SummaryContext::new(&g);
+            for kind in [
+                SummaryKind::Weak,
+                SummaryKind::Strong,
+                SummaryKind::TypedWeak,
+                SummaryKind::TypedStrong,
+                SummaryKind::TypeBased,
+            ] {
+                let dense = ctx.summarize(kind);
+                let oracle = reference_summary(&g, kind);
+                prop_assert_eq!(canon(&dense), canon(&oracle), "{}", kind);
+            }
         }
 
         /// The incremental weak summarizer matches the batch builder on

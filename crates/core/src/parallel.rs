@@ -1,13 +1,27 @@
-//! Parallel clique computation and weak summarization.
+//! Parallel clique computation and weak summarization, on the dense
+//! layout.
 //!
 //! The paper's future work: "improving scalability by leveraging a
 //! massively parallel platform such as Spark". Property-clique computation
-//! is embarrassingly parallel in the scan and cheap to combine: each worker
-//! scans a chunk of D_G and produces (a) property-pair union obligations
-//! from subjects/objects it saw entirely, and (b) its partial
-//! `resource → representative property` maps; the combiner unions pairs
-//! into one global union–find and reconciles cross-chunk resources. The
-//! result is bit-identical to the sequential [`Cliques`].
+//! is embarrassingly parallel in the scan and cheap to combine. Each
+//! worker scans a chunk of D_G into *fixed-size* dense structures — a
+//! union–find over the (precomputed) dense property numbering and two
+//! `Vec<u32>` representative tables indexed by the dictionary id — so the
+//! combine step is a pair of linear array merges: union each worker's
+//! union–find into the global one (`np` finds per worker), then reconcile
+//! the per-resource representatives slot by slot. No hash maps are built
+//! or merged anywhere. The result is identical to the sequential
+//! [`Cliques::compute`], including clique numbering.
+//!
+//! Thread spawning and the per-worker tables have a fixed cost, so below
+//! [`PARALLEL_CLIQUE_THRESHOLD`] data triples the scan is not worth
+//! splitting: [`parallel_cliques`] then *automatically falls back* to the
+//! sequential path ([`effective_threads`] returns 1). Benchmarks showed
+//! the pre-dense parallel path losing to the sequential scan at BSBM-30k
+//! precisely because it paid hash-map partials plus thread overhead on a
+//! sub-millisecond job; the fallback makes the auto-selected path never
+//! slower than sequential at small scales, while [`parallel_cliques_forced`]
+//! remains available to measure the true parallel crossover.
 
 use crate::cliques::{CliqueScope, Cliques};
 use crate::equivalence::{data_nodes_ordered, weak_partition};
@@ -16,150 +30,167 @@ use crate::quotient::quotient_summary;
 use crate::summary::{Summary, SummaryKind};
 use crate::unionfind::UnionFind;
 use crate::weak::class_property_sets;
-use rdf_model::{FxHashMap, FxHashSet, Graph, TermId};
+use rdf_model::{DenseIdMap, Graph, NO_DENSE_ID};
 
-/// Per-worker partial result of the clique scan.
-struct Partial {
-    /// First property seen per subject in this chunk.
-    subj_repr: FxHashMap<TermId, TermId>,
-    /// First property seen per object in this chunk.
-    obj_repr: FxHashMap<TermId, TermId>,
-    /// Property pairs that must share a source clique.
-    src_unions: Vec<(TermId, TermId)>,
-    /// Property pairs that must share a target clique.
-    tgt_unions: Vec<(TermId, TermId)>,
+/// Below this many data triples, the parallel clique scan's fixed costs
+/// (thread spawn + per-worker dense tables + merge) outweigh the split
+/// scan, and [`parallel_cliques`] runs sequentially instead. Measured
+/// with the dense layout on BSBM scales (see the `cliques_bsbm_*` benches
+/// and `profile_crossover`): two workers start beating the sequential
+/// scan at roughly this size and win consistently above it (e.g. ~375 µs
+/// vs ~480 µs at BSBM-30k's 25 k data triples).
+pub const PARALLEL_CLIQUE_THRESHOLD: usize = 8_192;
+
+/// Sizes the worker cap above the threshold: the cap is
+/// `max(2, n_data_triples / TRIPLES_PER_EXTRA_WORKER)`. The combine step
+/// costs `O(workers × dictionary size)`, so worker counts must grow much
+/// more slowly than the scan: at every measured scale up to ~170 k
+/// triples, 2 workers beat 4 and 8.
+const TRIPLES_PER_EXTRA_WORKER: usize = 65_536;
+
+/// The worker count [`parallel_cliques`] actually uses for a graph with
+/// `n_data_triples`: `1` (sequential fallback) below
+/// [`PARALLEL_CLIQUE_THRESHOLD`]; otherwise the requested count, capped by
+/// the measured scaling limit of
+/// `max(2, n_data_triples / TRIPLES_PER_EXTRA_WORKER)` workers.
+pub fn effective_threads(n_data_triples: usize, requested: usize) -> usize {
+    if n_data_triples < PARALLEL_CLIQUE_THRESHOLD {
+        1
+    } else {
+        let cap = 2.max(n_data_triples / TRIPLES_PER_EXTRA_WORKER);
+        requested.max(1).min(cap)
+    }
 }
 
-fn scan_chunk(chunk: &[rdf_model::Triple], typed: &FxHashSet<TermId>) -> Partial {
-    let mut p = Partial {
-        subj_repr: FxHashMap::default(),
-        obj_repr: FxHashMap::default(),
-        src_unions: Vec::new(),
-        tgt_unions: Vec::new(),
-    };
-    for t in chunk {
-        if !typed.contains(&t.s) {
-            match p.subj_repr.get(&t.s) {
-                Some(&q) if q != t.p => p.src_unions.push((q, t.p)),
-                Some(_) => {}
-                None => {
-                    p.subj_repr.insert(t.s, t.p);
-                }
-            }
-        }
-        if !typed.contains(&t.o) {
-            match p.obj_repr.get(&t.o) {
-                Some(&q) if q != t.p => p.tgt_unions.push((q, t.p)),
-                Some(_) => {}
-                None => {
-                    p.obj_repr.insert(t.o, t.p);
-                }
-            }
+/// Computes [`Cliques`] using up to `threads` workers, falling back to the
+/// sequential scan below [`PARALLEL_CLIQUE_THRESHOLD`] data triples.
+/// Results are identical to [`Cliques::compute`] either way.
+pub fn parallel_cliques(g: &Graph, scope: CliqueScope, threads: usize) -> Cliques {
+    match effective_threads(g.data().len(), threads) {
+        0 | 1 => Cliques::compute(g, scope),
+        t => parallel_cliques_forced(g, scope, t),
+    }
+}
+
+/// The parallel clique scan without the size-threshold fallback — for
+/// benchmarks and crossover measurements. Prefer [`parallel_cliques`].
+pub fn parallel_cliques_forced(g: &Graph, scope: CliqueScope, threads: usize) -> Cliques {
+    let threads = threads.max(1);
+    let n_terms = g.dict().len();
+
+    // Dense property numbering, one sequential pass (cheap relative to the
+    // scan, and it fixes the clique ids to match the sequential path).
+    let mut prop_map = DenseIdMap::with_capacity(n_terms);
+    for t in g.data() {
+        prop_map.intern(t.p);
+    }
+    let (prop_of_term, props) = prop_map.into_parts();
+    let np = props.len();
+
+    // Typed-resource flags for the untyped-only scope (term-indexed).
+    let mut typed = vec![false; n_terms];
+    if scope == CliqueScope::UntypedOnly {
+        for t in g.types() {
+            typed[t.s.index()] = true;
         }
     }
-    p
-}
 
-/// Computes [`Cliques`] using `threads` workers. Results are identical to
-/// [`Cliques::compute`].
-pub fn parallel_cliques(g: &Graph, scope: CliqueScope, threads: usize) -> Cliques {
-    let threads = threads.max(1);
-    let typed: FxHashSet<TermId> = match scope {
-        CliqueScope::AllNodes => FxHashSet::default(),
-        CliqueScope::UntypedOnly => g.typed_resources(),
-    };
+    /// Per-worker partial: fixed-size dense structures only.
+    struct Partial {
+        src_uf: UnionFind,
+        tgt_uf: UnionFind,
+        /// Term-indexed: first dense property seen per subject.
+        subj_repr: Vec<u32>,
+        /// Term-indexed: first dense property seen per object.
+        obj_repr: Vec<u32>,
+    }
+
     let data = g.data();
     let chunk_size = data.len().div_ceil(threads).max(1);
-
     let partials: Vec<Partial> = std::thread::scope(|scope_| {
+        let prop_of_term = &prop_of_term;
         let typed = &typed;
         let handles: Vec<_> = data
             .chunks(chunk_size)
-            .map(|chunk| scope_.spawn(move || scan_chunk(chunk, typed)))
+            .map(|chunk| {
+                scope_.spawn(move || {
+                    let mut part = Partial {
+                        src_uf: UnionFind::new(np),
+                        tgt_uf: UnionFind::new(np),
+                        subj_repr: vec![NO_DENSE_ID; n_terms],
+                        obj_repr: vec![NO_DENSE_ID; n_terms],
+                    };
+                    for t in chunk {
+                        let pi = prop_of_term[t.p.index()];
+                        if !typed[t.s.index()] {
+                            let slot = &mut part.subj_repr[t.s.index()];
+                            if *slot == NO_DENSE_ID {
+                                *slot = pi;
+                            } else {
+                                part.src_uf.union(pi as usize, *slot as usize);
+                            }
+                        }
+                        if !typed[t.o.index()] {
+                            let slot = &mut part.obj_repr[t.o.index()];
+                            if *slot == NO_DENSE_ID {
+                                *slot = pi;
+                            } else {
+                                part.tgt_uf.union(pi as usize, *slot as usize);
+                            }
+                        }
+                    }
+                    part
+                })
+            })
             .collect();
         handles.into_iter().map(|h| h.join().unwrap()).collect()
     });
 
-    // ---- Combine ----
-    let mut prop_index: FxHashMap<TermId, usize> = FxHashMap::default();
-    let mut props: Vec<TermId> = Vec::new();
-    for t in data {
-        prop_index.entry(t.p).or_insert_with(|| {
-            props.push(t.p);
-            props.len() - 1
-        });
-    }
-    let n = props.len();
-    let mut src_uf = UnionFind::new(n);
-    let mut tgt_uf = UnionFind::new(n);
-    let mut subj_repr: FxHashMap<TermId, usize> = FxHashMap::default();
-    let mut obj_repr: FxHashMap<TermId, usize> = FxHashMap::default();
-    for part in &partials {
-        for &(a, b) in &part.src_unions {
-            src_uf.union(prop_index[&a], prop_index[&b]);
-        }
-        for &(a, b) in &part.tgt_unions {
-            tgt_uf.union(prop_index[&a], prop_index[&b]);
+    // ---- Combine: linear merges of fixed-size arrays ----
+    let mut src_uf = UnionFind::new(np);
+    let mut tgt_uf = UnionFind::new(np);
+    let mut subj_repr = vec![NO_DENSE_ID; n_terms];
+    let mut obj_repr = vec![NO_DENSE_ID; n_terms];
+    for mut part in partials {
+        // Union-find merge: every element unions with its chunk-local root.
+        for i in 0..np {
+            let r = part.src_uf.find(i);
+            if r != i {
+                src_uf.union(i, r);
+            }
+            let r = part.tgt_uf.find(i);
+            if r != i {
+                tgt_uf.union(i, r);
+            }
         }
         // Cross-chunk reconciliation: a resource seen in several chunks
         // forces its chunk representatives into one clique.
-        for (&r, &p) in &part.subj_repr {
-            let pi = prop_index[&p];
-            match subj_repr.get(&r) {
-                Some(&q) => {
-                    src_uf.union(pi, q);
+        for idx in 0..n_terms {
+            let pr = part.subj_repr[idx];
+            if pr != NO_DENSE_ID {
+                let slot = &mut subj_repr[idx];
+                if *slot == NO_DENSE_ID {
+                    *slot = pr;
+                } else {
+                    src_uf.union(pr as usize, *slot as usize);
                 }
-                None => {
-                    subj_repr.insert(r, pi);
+            }
+            let pr = part.obj_repr[idx];
+            if pr != NO_DENSE_ID {
+                let slot = &mut obj_repr[idx];
+                if *slot == NO_DENSE_ID {
+                    *slot = pr;
+                } else {
+                    tgt_uf.union(pr as usize, *slot as usize);
                 }
             }
         }
-        for (&r, &p) in &part.obj_repr {
-            let pi = prop_index[&p];
-            match obj_repr.get(&r) {
-                Some(&q) => {
-                    tgt_uf.union(pi, q);
-                }
-                None => {
-                    obj_repr.insert(r, pi);
-                }
-            }
-        }
     }
-
-    let (src_assign, n_src) = src_uf.dense_components();
-    let (tgt_assign, n_tgt) = tgt_uf.dense_components();
-    let mut source_cliques: Vec<Vec<TermId>> = vec![Vec::new(); n_src];
-    let mut target_cliques: Vec<Vec<TermId>> = vec![Vec::new(); n_tgt];
-    let mut source_clique_of_property = FxHashMap::default();
-    let mut target_clique_of_property = FxHashMap::default();
-    for (i, &p) in props.iter().enumerate() {
-        source_cliques[src_assign[i]].push(p);
-        target_cliques[tgt_assign[i]].push(p);
-        source_clique_of_property.insert(p, src_assign[i]);
-        target_clique_of_property.insert(p, tgt_assign[i]);
-    }
-    for c in source_cliques.iter_mut().chain(target_cliques.iter_mut()) {
-        c.sort_unstable();
-    }
-    Cliques {
-        source_cliques,
-        target_cliques,
-        source_clique_of_property,
-        target_clique_of_property,
-        subject_clique: subj_repr
-            .into_iter()
-            .map(|(r, pi)| (r, src_assign[pi]))
-            .collect(),
-        object_clique: obj_repr
-            .into_iter()
-            .map(|(r, pi)| (r, tgt_assign[pi]))
-            .collect(),
-    }
+    Cliques::from_parts(&props, src_uf, tgt_uf, subj_repr, obj_repr)
 }
 
-/// The weak summary built with a parallel clique scan. Produces the same
-/// summary as [`crate::weak::weak_summary`].
+/// The weak summary built with the (auto-selected) parallel clique scan.
+/// Produces the same summary as [`crate::weak::weak_summary`].
 pub fn parallel_weak_summary(g: &Graph, threads: usize) -> Summary {
     let cliques = parallel_cliques(g, CliqueScope::AllNodes, threads);
     let nodes = data_nodes_ordered(g);
@@ -182,20 +213,48 @@ mod tests {
         v
     }
 
+    /// The auto-selection: below the measured threshold (where the split
+    /// scan loses to the sequential one) the scan runs sequentially; above
+    /// it the requested worker count is honored up to the measured scaling
+    /// cap — at BSBM-30k that means two workers, the configuration that
+    /// beats the sequential scan there.
+    #[test]
+    fn auto_fallback_chooses_sequential_below_threshold() {
+        // Small graphs: always sequential, whatever was requested.
+        assert_eq!(effective_threads(PARALLEL_CLIQUE_THRESHOLD - 1, 4), 1);
+        assert_eq!(effective_threads(100, 8), 1);
+        // BSBM-30k has ~25k data triples: two workers win there; asking
+        // for 8 must not regress below the sequential scan.
+        assert_eq!(effective_threads(25_227, 8), 2);
+        assert_eq!(effective_threads(25_227, 2), 2);
+        // The cap relaxes as the scan grows.
+        assert_eq!(effective_threads(4 * TRIPLES_PER_EXTRA_WORKER, 8), 4);
+        // Requests below the cap are honored as-is.
+        assert_eq!(effective_threads(4 * TRIPLES_PER_EXTRA_WORKER, 3), 3);
+        assert_eq!(effective_threads(PARALLEL_CLIQUE_THRESHOLD, 0), 1);
+    }
+
+    #[test]
+    fn forced_parallel_cliques_match_sequential_exactly() {
+        let g = sample_graph();
+        for threads in [1, 2, 3, 8] {
+            let par = parallel_cliques_forced(&g, CliqueScope::AllNodes, threads);
+            let seq = Cliques::compute(&g, CliqueScope::AllNodes);
+            // The dense merge preserves even the clique numbering.
+            assert_eq!(par.source_cliques, seq.source_cliques);
+            assert_eq!(par.target_cliques, seq.target_cliques);
+            assert!(par.check_partition_invariant(&g));
+        }
+    }
+
     #[test]
     fn parallel_cliques_match_sequential() {
         let g = sample_graph();
         for threads in [1, 2, 3, 8] {
             let par = parallel_cliques(&g, CliqueScope::AllNodes, threads);
             let seq = Cliques::compute(&g, CliqueScope::AllNodes);
-            // Same clique families (compare as sorted sets of sorted vecs).
-            let norm = |cl: &Vec<Vec<TermId>>| {
-                let mut v = cl.clone();
-                v.sort();
-                v
-            };
-            assert_eq!(norm(&par.source_cliques), norm(&seq.source_cliques));
-            assert_eq!(norm(&par.target_cliques), norm(&seq.target_cliques));
+            assert_eq!(par.source_cliques, seq.source_cliques);
+            assert_eq!(par.target_cliques, seq.target_cliques);
             assert!(par.check_partition_invariant(&g));
         }
     }
@@ -213,15 +272,10 @@ mod tests {
     #[test]
     fn untyped_scope_parallel() {
         let g = sample_graph();
-        let par = parallel_cliques(&g, CliqueScope::UntypedOnly, 3);
+        let par = parallel_cliques_forced(&g, CliqueScope::UntypedOnly, 3);
         let seq = Cliques::compute(&g, CliqueScope::UntypedOnly);
-        let norm = |cl: &Vec<Vec<TermId>>| {
-            let mut v = cl.clone();
-            v.sort();
-            v
-        };
-        assert_eq!(norm(&par.source_cliques), norm(&seq.source_cliques));
-        assert_eq!(norm(&par.target_cliques), norm(&seq.target_cliques));
+        assert_eq!(par.source_cliques, seq.source_cliques);
+        assert_eq!(par.target_cliques, seq.target_cliques);
     }
 
     #[test]
@@ -230,5 +284,7 @@ mod tests {
         g.add_iri_triple("a", "p", "b");
         let s = parallel_weak_summary(&g, 64);
         assert_eq!(s.graph.data().len(), 1);
+        let cq = parallel_cliques_forced(&g, CliqueScope::AllNodes, 64);
+        assert_eq!(cq.source_cliques.len(), 1);
     }
 }

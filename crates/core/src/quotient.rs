@@ -15,7 +15,7 @@
 
 use crate::equivalence::Partition;
 use crate::summary::{Summary, SummaryKind};
-use rdf_model::{FxHashMap, Graph, Term, TermId, Triple};
+use rdf_model::{Graph, Term, TermId, Triple, NO_DENSE_ID};
 
 /// Builds the quotient summary of `g` under `partition`.
 ///
@@ -23,8 +23,12 @@ use rdf_model::{FxHashMap, Graph, Term, TermId, Triple};
 /// and subjects of T_G); `class_uri(i, members)` must return a distinct URI
 /// per class `i`.
 ///
+/// The hot translation loops do `Vec`-indexed reads only: the node → class
+/// map is the partition's dense array, and the cross-dictionary constant
+/// cache is a flat table keyed by the G dictionary id.
+///
 /// # Panics
-/// Panics (in debug builds) when the partition misses a data node.
+/// Panics when the partition misses a data node.
 pub fn quotient_summary(
     g: &Graph,
     kind: SummaryKind,
@@ -40,55 +44,95 @@ pub fn quotient_summary(
         class_node.push(h.dict_mut().encode(Term::iri(uri)));
     }
 
-    // Cross-dictionary cache for constants that keep their identity:
-    // properties, class URIs, schema terms.
-    let mut xfer: FxHashMap<TermId, TermId> = FxHashMap::default();
-    let mut transfer = |id: TermId, g: &Graph, h: &mut Graph| -> TermId {
-        if let Some(&cached) = xfer.get(&id) {
-            return cached;
+    // Cross-dictionary cache for constants that keep their identity
+    // (properties, class URIs, schema terms): term-indexed, dense.
+    let mut xfer: Vec<u32> = vec![NO_DENSE_ID; g.dict().len()];
+    let transfer = |id: TermId, g: &Graph, h: &mut Graph, xfer: &mut Vec<u32>| -> TermId {
+        let slot = xfer[id.index()];
+        if slot != NO_DENSE_ID {
+            return TermId(slot);
         }
         let hid = h.dict_mut().encode(g.dict().decode(id).clone());
-        xfer.insert(id, hid);
+        xfer[id.index()] = hid.0;
         hid
     };
 
-    // rd: G data node → H node.
-    let mut node_map: FxHashMap<TermId, TermId> = FxHashMap::default();
-    node_map.reserve(partition.class_of.len());
-    for (&n, &c) in &partition.class_of {
-        node_map.insert(n, class_node[c]);
-    }
-    let map = |id: TermId, node_map: &FxHashMap<TermId, TermId>| -> TermId {
-        debug_assert!(
-            node_map.contains_key(&id),
-            "partition must cover every data node"
-        );
-        node_map[&id]
+    // rd: G data node → H node, via the partition's dense class array.
+    let map = |id: TermId| -> TermId {
+        let c = partition
+            .class_of(id)
+            .expect("partition must cover every data node");
+        class_node[c]
     };
 
     // SCH: schema copied verbatim.
     for t in g.schema() {
-        let s = transfer(t.s, g, &mut h);
-        let p = transfer(t.p, g, &mut h);
-        let o = transfer(t.o, g, &mut h);
+        let s = transfer(t.s, g, &mut h, &mut xfer);
+        let p = transfer(t.p, g, &mut h, &mut xfer);
+        let o = transfer(t.o, g, &mut h, &mut xfer);
         h.insert_encoded(Triple::new(s, p, o));
     }
+    // Every H id stays below this bound (classes + transferred G terms +
+    // the well-known properties); when it fits 21 bits, a whole H triple
+    // packs into one u64 and the massive duplication of quotiented triples
+    // is eliminated by a sort instead of 25k+ hash probes.
+    let id_bound = class_node.len() + g.dict().len() + 8;
+    const PACK_BITS: u32 = 21;
+    const MASK: u64 = (1 << PACK_BITS) - 1;
+    let packable = id_bound < (1usize << PACK_BITS);
     // DAT: quotient of data triples.
-    for t in g.data() {
-        let s = map(t.s, &node_map);
-        let p = transfer(t.p, g, &mut h);
-        let o = map(t.o, &node_map);
-        h.insert_encoded(Triple::new(s, p, o));
+    if packable {
+        let mut keys: Vec<u64> = Vec::with_capacity(g.data().len());
+        for t in g.data() {
+            let s = map(t.s).0 as u64;
+            let p = transfer(t.p, g, &mut h, &mut xfer).0 as u64;
+            let o = map(t.o).0 as u64;
+            keys.push((s << (2 * PACK_BITS)) | (p << PACK_BITS) | o);
+        }
+        keys.sort_unstable();
+        keys.dedup();
+        for k in keys {
+            h.insert_encoded(Triple::new(
+                TermId((k >> (2 * PACK_BITS)) as u32),
+                TermId(((k >> PACK_BITS) & MASK) as u32),
+                TermId((k & MASK) as u32),
+            ));
+        }
+    } else {
+        for t in g.data() {
+            let s = map(t.s);
+            let p = transfer(t.p, g, &mut h, &mut xfer);
+            let o = map(t.o);
+            h.insert_encoded(Triple::new(s, p, o));
+        }
     }
     // TYP: quotient of type triples; classes keep their URIs.
     let tau = h.rdf_type();
-    for t in g.types() {
-        let s = map(t.s, &node_map);
-        let c = transfer(t.o, g, &mut h);
-        h.insert_encoded(Triple::new(s, tau, c));
+    if packable {
+        let mut keys: Vec<u64> = Vec::with_capacity(g.types().len());
+        for t in g.types() {
+            let s = map(t.s).0 as u64;
+            let c = transfer(t.o, g, &mut h, &mut xfer).0 as u64;
+            keys.push((s << PACK_BITS) | c);
+        }
+        keys.sort_unstable();
+        keys.dedup();
+        for k in keys {
+            h.insert_encoded(Triple::new(
+                TermId((k >> PACK_BITS) as u32),
+                tau,
+                TermId((k & MASK) as u32),
+            ));
+        }
+    } else {
+        for t in g.types() {
+            let s = map(t.s);
+            let c = transfer(t.o, g, &mut h, &mut xfer);
+            h.insert_encoded(Triple::new(s, tau, c));
+        }
     }
 
-    Summary::new(kind, h, node_map)
+    Summary::from_quotient(kind, h, partition, &class_node, g.dict().len())
 }
 
 /// Checks the defining property of a quotient (Definition 4): `H` has an

@@ -94,16 +94,14 @@ impl Lemma1Check {
 fn check_side(
     schema: &Schema,
     g_cliques: &[Vec<TermId>],
-    clique_of_inf: &FxHashMap<TermId, CliqueId>,
+    clique_of_inf: impl Fn(TermId) -> Option<CliqueId>,
 ) -> Lemma1Check {
     // Item 1: all members of a G clique map into the same G∞ clique.
     let mut containment_holds = true;
     let mut observed: Vec<Option<CliqueId>> = Vec::with_capacity(g_cliques.len());
     for members in g_cliques {
-        let inf_ids: FxHashSet<CliqueId> = members
-            .iter()
-            .filter_map(|p| clique_of_inf.get(p).copied())
-            .collect();
+        let inf_ids: FxHashSet<CliqueId> =
+            members.iter().filter_map(|&p| clique_of_inf(p)).collect();
         if inf_ids.len() != 1 {
             containment_holds = false;
             observed.push(None);
@@ -141,16 +139,12 @@ pub fn verify_lemma1(g: &Graph) -> (Lemma1Check, Lemma1Check) {
     let inf_cliques = Cliques::compute(&sat, crate::cliques::CliqueScope::AllNodes);
     // Map G property ids into the saturated graph (same dictionary: G is
     // cloned by saturate, ids preserved).
-    let source = check_side(
-        &schema,
-        &g_cliques.source_cliques,
-        &inf_cliques.source_clique_of_property,
-    );
-    let target = check_side(
-        &schema,
-        &g_cliques.target_cliques,
-        &inf_cliques.target_clique_of_property,
-    );
+    let source = check_side(&schema, &g_cliques.source_cliques, |p| {
+        inf_cliques.source_clique_of(p)
+    });
+    let target = check_side(&schema, &g_cliques.target_cliques, |p| {
+        inf_cliques.target_clique_of(p)
+    });
     (source, target)
 }
 

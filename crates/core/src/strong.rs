@@ -9,30 +9,16 @@
 //! property label (§5.1), since the sources of a property may be split
 //! across several (TC, SC) pairs.
 
-use crate::cliques::{CliqueScope, Cliques};
-use crate::equivalence::{data_nodes_ordered, strong_partition};
-use crate::naming::n_uri;
-use crate::quotient::quotient_summary;
-use crate::summary::{Summary, SummaryKind};
+use crate::context::SummaryContext;
+use crate::summary::Summary;
 use rdf_model::Graph;
 
 /// Builds the strong summary of `g` (batch, clique-based).
+///
+/// Thin wrapper over a throwaway [`SummaryContext`]; to build several
+/// summaries of the same graph, create one context and reuse it.
 pub fn strong_summary(g: &Graph) -> Summary {
-    let cliques = Cliques::compute(g, CliqueScope::AllNodes);
-    let nodes = data_nodes_ordered(g);
-    let partition = strong_partition(&cliques, &nodes);
-    quotient_summary(g, SummaryKind::Strong, &partition, |_, members| {
-        // All members share one (TC, SC) signature; name from the cliques'
-        // property sets.
-        let (tc, sc) = crate::equivalence::signature(&cliques, members[0]);
-        let tc_props = tc
-            .map(|i| cliques.target_members(i).to_vec())
-            .unwrap_or_default();
-        let sc_props = sc
-            .map(|i| cliques.source_members(i).to_vec())
-            .unwrap_or_default();
-        n_uri(g.dict(), &tc_props, &sc_props)
-    })
+    SummaryContext::new(g).strong_summary()
 }
 
 /// Upper bounds from §5.1: the strong summary has at most

@@ -7,7 +7,7 @@
 //! summary node) and `dr` (summary node → represented nodes) structures
 //! from §6.1.
 
-use rdf_model::{FxHashMap, Graph, GraphStats, TermId};
+use rdf_model::{FxHashMap, Graph, GraphStats, TermId, NO_DENSE_ID};
 
 /// Which of the paper's summaries a [`Summary`] is.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -92,59 +92,118 @@ impl SummaryStats {
 }
 
 /// A summary `H_G` of some graph `G`, with the node correspondence.
+///
+/// Both correspondence directions are dense `Vec`-indexed tables (the
+/// `rd` side keyed by the G dictionary id, the `dr` side by the H
+/// dictionary id), so lookups are array reads — part of the dense
+/// summarization pipeline.
 #[derive(Clone, Debug)]
 pub struct Summary {
     /// Which summary this is.
     pub kind: SummaryKind,
     /// The summary RDF graph (its own dictionary).
     pub graph: Graph,
-    /// `rd`: G data node → H node.
-    pub(crate) node_map: FxHashMap<TermId, TermId>,
-    /// `dr`: H node → represented G data nodes.
-    pub(crate) rev_map: FxHashMap<TermId, Vec<TermId>>,
+    /// `rd`: G-term-indexed → H node id, [`NO_DENSE_ID`] if unrepresented.
+    node_of: Vec<u32>,
+    /// `dr`: H-term-indexed → represented G data nodes, sorted; empty for
+    /// H terms that represent nothing (class nodes, properties).
+    extent_of: Vec<Vec<TermId>>,
+    /// Distinct H representatives (non-empty extents).
+    n_nodes: usize,
+    /// Represented G data nodes.
+    n_repr: usize,
 }
 
 impl Summary {
-    /// Creates a summary from its parts (used by the builders).
+    /// Creates a summary from a hash-map correspondence (used by builders
+    /// that accumulate the map incrementally, e.g. streaming).
     pub(crate) fn new(
         kind: SummaryKind,
         graph: Graph,
         node_map: FxHashMap<TermId, TermId>,
     ) -> Self {
-        let mut rev_map: FxHashMap<TermId, Vec<TermId>> = FxHashMap::default();
+        let n_g_terms = node_map.keys().map(|k| k.index() + 1).max().unwrap_or(0);
+        let mut node_of = vec![NO_DENSE_ID; n_g_terms];
+        let mut extent_of: Vec<Vec<TermId>> = vec![Vec::new(); graph.dict().len()];
         for (&gn, &hn) in &node_map {
-            rev_map.entry(hn).or_default().push(gn);
+            node_of[gn.index()] = hn.0;
+            extent_of[hn.index()].push(gn);
         }
-        for v in rev_map.values_mut() {
-            v.sort_unstable();
+        Self::finish(kind, graph, node_of, extent_of)
+    }
+
+    /// Creates a summary straight from a partition and its class → H node
+    /// assignment: the dense fast path used by the quotient operator (no
+    /// per-node hashing).
+    pub(crate) fn from_quotient(
+        kind: SummaryKind,
+        graph: Graph,
+        partition: &crate::equivalence::Partition,
+        class_node: &[TermId],
+        n_g_terms: usize,
+    ) -> Self {
+        let mut node_of = vec![NO_DENSE_ID; n_g_terms];
+        let mut extent_of: Vec<Vec<TermId>> = vec![Vec::new(); graph.dict().len()];
+        for (c, members) in partition.classes.iter().enumerate() {
+            let hn = class_node[c];
+            for &n in members {
+                node_of[n.index()] = hn.0;
+            }
+            extent_of[hn.index()].extend_from_slice(members);
+        }
+        Self::finish(kind, graph, node_of, extent_of)
+    }
+
+    fn finish(
+        kind: SummaryKind,
+        graph: Graph,
+        node_of: Vec<u32>,
+        mut extent_of: Vec<Vec<TermId>>,
+    ) -> Self {
+        let mut n_nodes = 0;
+        let mut n_repr = 0;
+        for v in extent_of.iter_mut() {
+            if !v.is_empty() {
+                v.sort_unstable();
+                v.dedup();
+                n_nodes += 1;
+                n_repr += v.len();
+            }
         }
         Summary {
             kind,
             graph,
-            node_map,
-            rev_map,
+            node_of,
+            extent_of,
+            n_nodes,
+            n_repr,
         }
     }
 
     /// The summary node representing a G data node (`rd` lookup).
     pub fn representative(&self, g_node: TermId) -> Option<TermId> {
-        self.node_map.get(&g_node).copied()
+        match self.node_of.get(g_node.index()) {
+            Some(&h) if h != NO_DENSE_ID => Some(TermId(h)),
+            _ => None,
+        }
     }
 
     /// The G data nodes represented by a summary node (`dr` lookup),
     /// sorted by id; empty for nodes that represent nothing (class nodes).
     pub fn extent(&self, h_node: TermId) -> &[TermId] {
-        self.rev_map.get(&h_node).map_or(&[], |v| v)
+        self.extent_of
+            .get(h_node.index())
+            .map_or(&[], |v| v.as_slice())
     }
 
     /// Number of summary data nodes (distinct representatives).
     pub fn n_summary_nodes(&self) -> usize {
-        self.rev_map.len()
+        self.n_nodes
     }
 
     /// Number of represented G data nodes.
     pub fn n_represented(&self) -> usize {
-        self.node_map.len()
+        self.n_repr
     }
 
     /// Size statistics (Figures 11/12 series).
@@ -163,12 +222,14 @@ impl Summary {
     /// Well-formedness of the correspondence: every represented node maps
     /// into an existing extent, extents partition the represented nodes.
     pub fn check_correspondence_invariants(&self) -> bool {
-        let total: usize = self.rev_map.values().map(Vec::len).sum();
-        total == self.node_map.len()
-            && self.node_map.iter().all(|(gn, hn)| {
-                self.rev_map
-                    .get(hn)
-                    .is_some_and(|v| v.binary_search(gn).is_ok())
+        let total: usize = self.extent_of.iter().map(Vec::len).sum();
+        total == self.n_repr
+            && self.node_of.iter().enumerate().all(|(i, &h)| {
+                h == NO_DENSE_ID
+                    || self
+                        .extent_of
+                        .get(TermId(h).index())
+                        .is_some_and(|v| v.binary_search(&TermId(i as u32)).is_ok())
             })
     }
 }

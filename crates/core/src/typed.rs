@@ -23,15 +23,10 @@
 //! untyped by ≡UW/≡US) yields exactly `UW_{T_G}` / `US_{T_G}` — and avoids
 //! the fresh-URI nondeterminism of `C(∅)` nodes in the intermediate T_G.
 
-use crate::cliques::{CliqueScope, Cliques};
-use crate::equivalence::{
-    class_sets, data_nodes_ordered, strong_partition, weak_partition, Partition,
-};
-use crate::naming::{c_uri, n_uri};
-use crate::quotient::quotient_summary;
+use crate::cliques::CliqueScope;
+use crate::context::SummaryContext;
 use crate::summary::{Summary, SummaryKind};
-use crate::weak::class_property_sets;
-use rdf_model::{FxHashMap, Graph, TermId};
+use rdf_model::Graph;
 
 /// Which reading of Definition 13 the typed summaries use.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -46,7 +41,7 @@ pub enum TypedSemantics {
 }
 
 impl TypedSemantics {
-    fn scope(self) -> CliqueScope {
+    pub(crate) fn scope(self) -> CliqueScope {
         match self {
             TypedSemantics::ImplementationFigure7 => CliqueScope::UntypedOnly,
             TypedSemantics::LiteralDefinition13 => CliqueScope::AllNodes,
@@ -57,98 +52,12 @@ impl TypedSemantics {
 /// The type-based summary T_G (Definition 12): typed resources grouped by
 /// class set, untyped resources copied (each gets a fresh `C(∅)` URI).
 pub fn type_summary(g: &Graph) -> Summary {
-    let sets = class_sets(g);
-    let nodes = data_nodes_ordered(g);
-    #[derive(Hash, PartialEq, Eq)]
-    enum Key {
-        Typed(Vec<TermId>),
-        Untyped(TermId),
-    }
-    let partition = Partition::group_by(&nodes, |n| match sets.get(&n) {
-        Some(cs) => Key::Typed(cs.clone()),
-        None => Key::Untyped(n),
-    });
-    let mut fresh = 0usize;
-    quotient_summary(g, SummaryKind::TypeBased, &partition, |_, members| {
-        match sets.get(&members[0]) {
-            Some(cs) => c_uri(g.dict(), cs),
-            None => {
-                // C(∅): "given an empty set of URIs, returns a new URI on
-                // every call."
-                fresh += 1;
-                format!("{}c?fresh={}", crate::naming::SUMMARY_NS, fresh)
-            }
-        }
-    })
-}
-
-/// A combined typed/untyped partition: typed nodes by class set, untyped
-/// nodes by the given untyped partition.
-fn combined_partition(
-    g: &Graph,
-    untyped_partition: &Partition,
-    sets: &FxHashMap<TermId, Vec<TermId>>,
-) -> Partition {
-    let nodes = data_nodes_ordered(g);
-    #[derive(Hash, PartialEq, Eq)]
-    enum Key {
-        Typed(Vec<TermId>),
-        Untyped(usize),
-    }
-    Partition::group_by(&nodes, |n| match sets.get(&n) {
-        Some(cs) => Key::Typed(cs.clone()),
-        None => Key::Untyped(untyped_partition.class_of[&n]),
-    })
-}
-
-fn typed_quotient(
-    g: &Graph,
-    kind: SummaryKind,
-    cliques: &Cliques,
-    partition: &Partition,
-    sets: &FxHashMap<TermId, Vec<TermId>>,
-    strong_naming: bool,
-) -> Summary {
-    quotient_summary(g, kind, partition, |_, members| {
-        match sets.get(&members[0]) {
-            Some(cs) => c_uri(g.dict(), cs),
-            None => {
-                if strong_naming {
-                    let (tc, sc) = crate::equivalence::signature(cliques, members[0]);
-                    let tc_props = tc
-                        .map(|i| cliques.target_members(i).to_vec())
-                        .unwrap_or_default();
-                    let sc_props = sc
-                        .map(|i| cliques.source_members(i).to_vec())
-                        .unwrap_or_default();
-                    n_uri(g.dict(), &tc_props, &sc_props)
-                } else {
-                    let (tc, sc) = class_property_sets(cliques, members);
-                    n_uri(g.dict(), &tc, &sc)
-                }
-            }
-        }
-    })
+    SummaryContext::new(g).type_summary()
 }
 
 /// The typed weak summary TW_G (Definition 14) under the given semantics.
 pub fn typed_weak_summary_with(g: &Graph, semantics: TypedSemantics) -> Summary {
-    let cliques = Cliques::compute(g, semantics.scope());
-    let sets = class_sets(g);
-    let untyped: Vec<TermId> = data_nodes_ordered(g)
-        .into_iter()
-        .filter(|n| !sets.contains_key(n))
-        .collect();
-    let uw = weak_partition(&cliques, &untyped);
-    let partition = combined_partition(g, &uw, &sets);
-    typed_quotient(
-        g,
-        SummaryKind::TypedWeak,
-        &cliques,
-        &partition,
-        &sets,
-        false,
-    )
+    SummaryContext::new(g).typed_summary(SummaryKind::TypedWeak, semantics)
 }
 
 /// The typed weak summary TW_G with the default (Figure 7) semantics.
@@ -158,22 +67,7 @@ pub fn typed_weak_summary(g: &Graph) -> Summary {
 
 /// The typed strong summary TS_G (Definition 17) under the given semantics.
 pub fn typed_strong_summary_with(g: &Graph, semantics: TypedSemantics) -> Summary {
-    let cliques = Cliques::compute(g, semantics.scope());
-    let sets = class_sets(g);
-    let untyped: Vec<TermId> = data_nodes_ordered(g)
-        .into_iter()
-        .filter(|n| !sets.contains_key(n))
-        .collect();
-    let us = strong_partition(&cliques, &untyped);
-    let partition = combined_partition(g, &us, &sets);
-    typed_quotient(
-        g,
-        SummaryKind::TypedStrong,
-        &cliques,
-        &partition,
-        &sets,
-        true,
-    )
+    SummaryContext::new(g).typed_summary(SummaryKind::TypedStrong, semantics)
 }
 
 /// The typed strong summary TS_G with the default (Figure 7) semantics.

@@ -5,11 +5,9 @@
 //! in W_G**: all sources of a property `p` are weakly equivalent, and so are
 //! all its targets, so the summary has exactly `|D_G|⁰_p` data edges.
 
-use crate::cliques::{CliqueScope, Cliques};
-use crate::equivalence::{data_nodes_ordered, weak_partition};
-use crate::naming::n_uri;
-use crate::quotient::quotient_summary;
-use crate::summary::{Summary, SummaryKind};
+use crate::cliques::Cliques;
+use crate::context::SummaryContext;
+use crate::summary::Summary;
 use rdf_model::{Graph, TermId};
 
 /// Collects the union of target-clique and source-clique property sets over
@@ -41,14 +39,11 @@ pub(crate) fn class_property_sets(
 }
 
 /// Builds the weak summary of `g` (batch, clique-based).
+///
+/// Thin wrapper over a throwaway [`SummaryContext`]; to build several
+/// summaries of the same graph, create one context and reuse it.
 pub fn weak_summary(g: &Graph) -> Summary {
-    let cliques = Cliques::compute(g, CliqueScope::AllNodes);
-    let nodes = data_nodes_ordered(g);
-    let partition = weak_partition(&cliques, &nodes);
-    quotient_summary(g, SummaryKind::Weak, &partition, |_, members| {
-        let (tc, sc) = class_property_sets(&cliques, members);
-        n_uri(g.dict(), &tc, &sc)
-    })
+    SummaryContext::new(g).weak_summary()
 }
 
 /// Proposition 4: each data property of G appears exactly once in W_G.

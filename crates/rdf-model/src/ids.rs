@@ -33,6 +33,85 @@ impl TermId {
     }
 }
 
+/// Sentinel for "no dense id assigned" in [`DenseIdMap`] slot tables and
+/// other `Vec<u32>` side tables keyed by [`TermId::index`].
+pub const NO_DENSE_ID: u32 = u32::MAX;
+
+/// A `Vec`-backed `TermId → dense index` map.
+///
+/// Because term ids are already dense (`0..dictionary.len()`), a flat slot
+/// table replaces the `FxHashMap<TermId, usize>` lookups that dominate the
+/// summarization hot paths: `get` is one bounds-checked array read. Dense
+/// indices are assigned `0, 1, 2, …` in first-interned order, so the map
+/// doubles as an ordered sub-numbering (e.g. "the data nodes of G in
+/// first-seen order", or "the data properties in first-seen order").
+#[derive(Clone, Debug, Default)]
+pub struct DenseIdMap {
+    /// `term index → dense id`, [`NO_DENSE_ID`] when unassigned.
+    slots: Vec<u32>,
+    /// `dense id → term`, in assignment order.
+    items: Vec<TermId>,
+}
+
+impl DenseIdMap {
+    /// An empty map with slots for `n_terms` dictionary ids.
+    pub fn with_capacity(n_terms: usize) -> Self {
+        DenseIdMap {
+            slots: vec![NO_DENSE_ID; n_terms],
+            items: Vec::new(),
+        }
+    }
+
+    /// The dense id of `t`, assigning the next one if `t` is new.
+    ///
+    /// # Panics
+    /// Panics if `t` is outside the capacity given at construction, or if
+    /// more than `u32::MAX - 1` terms are interned.
+    #[inline]
+    pub fn intern(&mut self, t: TermId) -> u32 {
+        let slot = &mut self.slots[t.index()];
+        if *slot == NO_DENSE_ID {
+            *slot = u32::try_from(self.items.len()).expect("dense id overflow");
+            assert!(*slot != NO_DENSE_ID, "dense id overflow");
+            self.items.push(t);
+        }
+        *slot
+    }
+
+    /// The dense id of `t`, if assigned. Out-of-capacity ids return `None`.
+    #[inline]
+    pub fn get(&self, t: TermId) -> Option<u32> {
+        match self.slots.get(t.index()) {
+            Some(&d) if d != NO_DENSE_ID => Some(d),
+            _ => None,
+        }
+    }
+
+    /// Number of assigned dense ids.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when no ids are assigned.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// The interned terms, indexed by dense id (assignment order).
+    #[inline]
+    pub fn items(&self) -> &[TermId] {
+        &self.items
+    }
+
+    /// Consumes the map, returning `(slot table, items)`. The slot table is
+    /// indexed by [`TermId::index`] and holds [`NO_DENSE_ID`] for
+    /// unassigned terms.
+    pub fn into_parts(self) -> (Vec<u32>, Vec<TermId>) {
+        (self.slots, self.items)
+    }
+}
+
 impl fmt::Debug for TermId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "t{}", self.0)
@@ -67,5 +146,37 @@ mod tests {
         assert!(TermId(3) < TermId(4));
         assert_eq!(format!("{:?}", TermId(9)), "t9");
         assert_eq!(format!("{}", TermId(9)), "9");
+    }
+
+    #[test]
+    fn dense_map_interns_in_first_seen_order() {
+        let mut m = DenseIdMap::with_capacity(10);
+        assert!(m.is_empty());
+        assert_eq!(m.intern(TermId(7)), 0);
+        assert_eq!(m.intern(TermId(2)), 1);
+        assert_eq!(m.intern(TermId(7)), 0, "re-intern is idempotent");
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.items(), &[TermId(7), TermId(2)]);
+        assert_eq!(m.get(TermId(2)), Some(1));
+        assert_eq!(m.get(TermId(3)), None);
+        // Out-of-capacity lookups are None, not a panic.
+        assert_eq!(m.get(TermId(99)), None);
+    }
+
+    #[test]
+    fn dense_map_into_parts() {
+        let mut m = DenseIdMap::with_capacity(4);
+        m.intern(TermId(3));
+        m.intern(TermId(0));
+        let (slots, items) = m.into_parts();
+        assert_eq!(slots, vec![1, NO_DENSE_ID, NO_DENSE_ID, 0]);
+        assert_eq!(items, vec![TermId(3), TermId(0)]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn dense_map_intern_out_of_capacity_panics() {
+        let mut m = DenseIdMap::with_capacity(1);
+        m.intern(TermId(1));
     }
 }

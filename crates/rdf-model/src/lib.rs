@@ -36,11 +36,11 @@ pub use dictionary::Dictionary;
 pub use error::ModelError;
 pub use graph::{Component, Graph, WellKnown};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
-pub use ids::TermId;
+pub use ids::{DenseIdMap, TermId, NO_DENSE_ID};
 pub use namespaces::PrefixMap;
 pub use profile::{Profile, PropertyUsage};
 pub use rng::SplitMix64;
-pub use stats::{distinct_counts, DistinctCounts, GraphStats};
+pub use stats::{distinct_counts, distinct_counts_dense, DistinctCounts, GraphStats};
 pub use term::{LiteralKind, SharedTerm, Term};
 pub use triple::Triple;
 

@@ -38,6 +38,35 @@ pub fn distinct_counts(triples: &[Triple]) -> DistinctCounts {
     }
 }
 
+/// [`distinct_counts`] with `Vec`-indexed occurrence flags instead of hash
+/// sets — the dense-ID fast path for dictionary-encoded triples, where
+/// `n_terms` (usually `dictionary.len()`) bounds every id in `triples`.
+pub fn distinct_counts_dense(triples: &[Triple], n_terms: usize) -> DistinctCounts {
+    const S: u8 = 1;
+    const P: u8 = 2;
+    const O: u8 = 4;
+    let mut flags = vec![0u8; n_terms];
+    let mut c = DistinctCounts::default();
+    for t in triples {
+        let fs = &mut flags[t.s.index()];
+        if *fs & S == 0 {
+            *fs |= S;
+            c.subjects += 1;
+        }
+        let fp = &mut flags[t.p.index()];
+        if *fp & P == 0 {
+            *fp |= P;
+            c.properties += 1;
+        }
+        let fo = &mut flags[t.o.index()];
+        if *fo & O == 0 {
+            *fo |= O;
+            c.objects += 1;
+        }
+    }
+    c
+}
+
 /// A full set of paper-notation statistics for a graph.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct GraphStats {
@@ -66,24 +95,62 @@ pub struct GraphStats {
 
 impl GraphStats {
     /// Measures `g`.
+    ///
+    /// One dense pass per component: every "distinct …" count is tracked by
+    /// a `Vec`-indexed flag table keyed by the dictionary id rather than a
+    /// hash set, so measuring a summary (or the input graph) costs a few
+    /// linear scans.
     pub fn of(g: &Graph) -> Self {
+        const NODE: u8 = 1;
+        const DATA_NODE: u8 = 2;
+        const CLASS: u8 = 4;
+        const PROP: u8 = 8;
+        let mut flags = vec![0u8; g.dict().len()];
+        let mark = |flags: &mut Vec<u8>, id: TermId, bit: u8| -> bool {
+            let f = &mut flags[id.index()];
+            let fresh = *f & bit == 0;
+            *f |= bit;
+            fresh
+        };
+        let mut nodes = 0usize;
+        let mut data_nodes = 0usize;
+        let mut class_nodes = 0usize;
+        let mut property_nodes = 0usize;
+        for t in g.data() {
+            for id in [t.s, t.o] {
+                nodes += mark(&mut flags, id, NODE) as usize;
+                data_nodes += mark(&mut flags, id, DATA_NODE) as usize;
+            }
+        }
+        for t in g.types() {
+            nodes += mark(&mut flags, t.s, NODE) as usize;
+            data_nodes += mark(&mut flags, t.s, DATA_NODE) as usize;
+            nodes += mark(&mut flags, t.o, NODE) as usize;
+            class_nodes += mark(&mut flags, t.o, CLASS) as usize;
+        }
+        let wk = g.well_known();
+        for t in g.schema() {
+            nodes += mark(&mut flags, t.s, NODE) as usize;
+            nodes += mark(&mut flags, t.o, NODE) as usize;
+            if t.p == wk.sub_property_of {
+                property_nodes += mark(&mut flags, t.s, PROP) as usize;
+                property_nodes += mark(&mut flags, t.o, PROP) as usize;
+            } else if t.p == wk.domain || t.p == wk.range {
+                property_nodes += mark(&mut flags, t.s, PROP) as usize;
+            }
+        }
         GraphStats {
-            nodes: g.nodes().len(),
+            nodes,
             edges: g.len(),
-            data_nodes: g.data_nodes().len(),
-            class_nodes: g.class_nodes().len(),
-            property_nodes: g.property_nodes().len(),
+            data_nodes,
+            class_nodes,
+            property_nodes,
             data_edges: g.data().len(),
             type_edges: g.types().len(),
             schema_edges: g.schema().len(),
-            data_distinct: distinct_counts(g.data()),
-            distinct_classes: {
-                let mut o: FxHashSet<TermId> = FxHashSet::default();
-                for t in g.types() {
-                    o.insert(t.o);
-                }
-                o.len()
-            },
+            data_distinct: distinct_counts_dense(g.data(), g.dict().len()),
+            // |T_G|⁰_o coincides with the class-node count by definition.
+            distinct_classes: class_nodes,
         }
     }
 }
@@ -126,5 +193,16 @@ mod tests {
         assert_eq!(c.subjects, 2);
         assert_eq!(c.properties, 1);
         assert_eq!(c.objects, 2);
+    }
+
+    #[test]
+    fn dense_counts_agree_with_hashed() {
+        let t = |s, p, o| Triple::new(TermId(s), TermId(p), TermId(o));
+        let triples = [t(1, 2, 3), t(1, 2, 4), t(5, 2, 3), t(3, 1, 1)];
+        assert_eq!(
+            distinct_counts(&triples),
+            distinct_counts_dense(&triples, 6)
+        );
+        assert_eq!(distinct_counts_dense(&[], 0), DistinctCounts::default());
     }
 }

@@ -87,6 +87,20 @@ impl SortedIndex {
         &self.triples[lo..hi]
     }
 
+    /// Iterates the maximal runs of triples sharing their first key
+    /// component, in index order.
+    ///
+    /// This is the grouped-scan primitive the summarization pipeline uses:
+    /// an SPO index yields one run per subject (all its triples together),
+    /// an OSP index one run per object, a POS index one run per property —
+    /// without any per-node hash lookups.
+    pub fn runs1(&self) -> Runs1<'_> {
+        Runs1 {
+            order: self.order,
+            rest: &self.triples,
+        }
+    }
+
     /// Is the exact triple present? (Binary search on the full key.)
     pub fn contains(&self, t: Triple) -> bool {
         self.triples
@@ -99,6 +113,27 @@ impl SortedIndex {
         self.triples
             .windows(2)
             .all(|w| key(self.order, w[0]) <= key(self.order, w[1]))
+    }
+}
+
+/// Iterator over the maximal first-key-component runs of a [`SortedIndex`].
+/// See [`SortedIndex::runs1`].
+#[derive(Clone, Debug)]
+pub struct Runs1<'a> {
+    order: Order,
+    rest: &'a [Triple],
+}
+
+impl<'a> Iterator for Runs1<'a> {
+    type Item = &'a [Triple];
+
+    fn next(&mut self) -> Option<&'a [Triple]> {
+        let first = *self.rest.first()?;
+        let k1 = key(self.order, first).0;
+        let end = self.rest.partition_point(|&t| key(self.order, t).0 <= k1);
+        let (run, rest) = self.rest.split_at(end);
+        self.rest = rest;
+        Some(run)
     }
 }
 
@@ -162,5 +197,30 @@ mod tests {
         assert!(idx.is_empty());
         assert!(idx.range1(0).is_empty());
         assert!(!idx.contains(t(0, 0, 0)));
+        assert_eq!(idx.runs1().count(), 0);
+    }
+
+    #[test]
+    fn runs1_partitions_by_first_component() {
+        let idx = SortedIndex::build(Order::Spo, &sample());
+        let runs: Vec<&[Triple]> = idx.runs1().collect();
+        // Subjects 1, 2, 3.
+        assert_eq!(runs.len(), 3);
+        assert_eq!(runs[0].len(), 3);
+        assert!(runs[0].iter().all(|t| t.s == TermId(1)));
+        assert_eq!(runs[1], &[t(2, 1, 1)]);
+        assert_eq!(runs[2], &[t(3, 2, 1)]);
+        // Concatenation reproduces the full index.
+        let total: usize = runs.iter().map(|r| r.len()).sum();
+        assert_eq!(total, idx.len());
+    }
+
+    #[test]
+    fn runs1_osp_groups_objects() {
+        let idx = SortedIndex::build(Order::Osp, &sample());
+        for run in idx.runs1() {
+            let o = run[0].o;
+            assert!(run.iter().all(|t| t.o == o));
+        }
     }
 }

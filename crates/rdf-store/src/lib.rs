@@ -16,7 +16,7 @@ pub mod snapshot;
 pub mod store;
 
 pub use bulk::{BulkLoader, LoadReport};
-pub use index::{Order, SortedIndex};
+pub use index::{Order, Runs1, SortedIndex};
 pub use pattern::TriplePattern;
 pub use snapshot::SnapshotError;
 pub use store::TripleStore;

@@ -61,6 +61,24 @@ impl TripleStore {
         self.osp = SortedIndex::build(Order::Osp, &all);
     }
 
+    /// The SPO permutation index (triples grouped by subject). The
+    /// summarization pipeline scans its [`SortedIndex::runs1`] runs to
+    /// visit every node's outgoing triples contiguously.
+    pub fn spo(&self) -> &SortedIndex {
+        &self.spo
+    }
+
+    /// The POS permutation index (triples grouped by property).
+    pub fn pos(&self) -> &SortedIndex {
+        &self.pos
+    }
+
+    /// The OSP permutation index (triples grouped by object); the incoming
+    /// counterpart of [`TripleStore::spo`] for pipeline scans.
+    pub fn osp(&self) -> &SortedIndex {
+        &self.osp
+    }
+
     /// Number of stored triples.
     pub fn len(&self) -> usize {
         self.spo.len()

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! rdfsummary stats      <graph>
-//! rdfsummary summarize  <graph> [--kind w|s|tw|ts|t] [--out FILE] [--dot FILE] [--report]
+//! rdfsummary summarize  <graph> [--kind w|s|tw|ts|t] [--all] [--out FILE] [--dot FILE] [--report]
 //! rdfsummary saturate   <graph> [--out FILE]
 //! rdfsummary check      <graph>
 //! rdfsummary query      <graph> QUERY [--saturate] [--limit N]
@@ -33,6 +33,7 @@ USAGE:
   rdfsummary stats      <graph> [--profile]             graph statistics
   rdfsummary summarize  <graph> [--kind w|s|tw|ts|t]    build a summary
                          [--out FILE] [--dot FILE] [--turtle FILE] [--report]
+                         [--all]  build W+S+TW+TS via one shared context
   rdfsummary saturate   <graph> [--out FILE]            compute G∞
   rdfsummary check      <graph>                         verify formal properties
   rdfsummary query      <graph> QUERY [--saturate]      evaluate a BGP query
@@ -130,12 +131,48 @@ fn cmd_stats(path: &str, rest: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// `summarize --all`: builds W, S, TW and TS through one shared
+/// [`rdfsum_core::SummaryContext`], so the dense numbering, CSR adjacency
+/// and property cliques (both scopes) are computed once, not four times.
+fn cmd_summarize_all(path: &str, g: &Graph) -> Result<(), String> {
+    let t0 = std::time::Instant::now();
+    let ctx = rdfsum_core::SummaryContext::new(g);
+    let t_ctx = t0.elapsed().as_secs_f64();
+    println!(
+        "all summaries of {path} (input {} triples; shared context built in {t_ctx:.3}s):",
+        g.len()
+    );
+    for kind in SummaryKind::ALL {
+        let t0 = std::time::Instant::now();
+        let s = ctx.summarize(kind);
+        let dt = t0.elapsed().as_secs_f64();
+        let st = s.stats();
+        println!(
+            "  {kind:>3}: {:>8} nodes  {:>8} edges  in {dt:.3}s",
+            st.all_nodes, st.all_edges
+        );
+    }
+    Ok(())
+}
+
 fn cmd_summarize(path: &str, rest: &[String]) -> Result<(), String> {
+    if has_flag(rest, "--all") {
+        // --all prints a comparison table; the single-summary output flags
+        // have no meaning for it, so reject them instead of silently
+        // ignoring a requested file.
+        for flag in ["--kind", "--out", "--dot", "--turtle", "--report"] {
+            if has_flag(rest, flag) {
+                return Err(format!("summarize --all cannot be combined with {flag}"));
+            }
+        }
+        let g = load(path)?;
+        return cmd_summarize_all(path, &g);
+    }
+    let g = load(path)?;
     let kind = match flag_value(rest, "--kind") {
         Some(k) => parse_kind(&k).ok_or(format!("unknown summary kind `{k}`"))?,
         None => SummaryKind::Weak,
     };
-    let g = load(path)?;
     let t0 = std::time::Instant::now();
     let s = summarize(&g, kind);
     let dt = t0.elapsed().as_secs_f64();

@@ -73,6 +73,36 @@ fn summarize_with_outputs() {
 }
 
 #[test]
+fn summarize_all_shares_one_context() {
+    let dir = workdir();
+    let file = sample_file(&dir);
+    let out = bin()
+        .args(["summarize", file.to_str().unwrap(), "--all"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("shared context"), "got: {text}");
+    for kind in ["W:", "S:", "TW:", "TS:"] {
+        assert!(text.contains(kind), "missing {kind} in:\n{text}");
+    }
+
+    // --all rejects single-summary output flags instead of silently
+    // ignoring them.
+    let out = bin()
+        .args(["summarize", file.to_str().unwrap(), "--all"])
+        .args(["--out", "/tmp/ignored.nt"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--all cannot be combined"));
+}
+
+#[test]
 fn generate_snapshot_stats_pipeline() {
     let dir = workdir();
     let snap = dir.join("bsbm.snap");
