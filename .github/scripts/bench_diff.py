@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Diff a bench-capture JSONL file against the checked-in baseline.
+
+Usage: bench_diff.py <captured.jsonl> <baseline.json>
+
+The capture file is the shim-criterion `BENCH_JSON` output: one JSON
+object per finished benchmark. The baseline is the checked-in
+`BENCH_pr*.json` snapshot with a `measurements` array. For every
+(group, bench) pair present in both, a slowdown beyond the threshold
+emits a GitHub Actions `::warning::` annotation. Always exits 0 — CI
+runners are noisy shared machines, so regressions warn, never fail.
+"""
+
+import json
+import sys
+
+THRESHOLD = 1.25  # warn when captured mean exceeds baseline by >25%
+
+
+def main() -> int:
+    captured_path, baseline_path = sys.argv[1], sys.argv[2]
+    with open(baseline_path) as f:
+        baseline = {
+            (m["group"], m["bench"]): m["mean_ns"]
+            for m in json.load(f)["measurements"]
+        }
+    captured = []
+    with open(captured_path) as f:
+        for line in f:
+            line = line.strip()
+            if line:
+                captured.append(json.loads(line))
+
+    compared = regressions = 0
+    for m in captured:
+        key = (m["group"], m["bench"])
+        if key not in baseline:
+            continue
+        compared += 1
+        base, now = baseline[key], m["mean_ns"]
+        ratio = now / base if base else float("inf")
+        if ratio > THRESHOLD:
+            regressions += 1
+            print(
+                f"::warning title=Bench regression::{key[0]}/{key[1]}: "
+                f"{now / 1e3:.1f} µs vs baseline {base / 1e3:.1f} µs "
+                f"({ratio:.2f}x, threshold {THRESHOLD:.2f}x)"
+            )
+    print(
+        f"bench-diff: compared {compared} benchmarks against "
+        f"{baseline_path}; {regressions} above the {THRESHOLD:.2f}x threshold"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

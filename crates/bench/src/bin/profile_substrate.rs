@@ -1,0 +1,54 @@
+//! Stage-by-stage wall-clock breakdown of one weak-summary build, to
+//! locate where the substrate + quotient time goes at a given BSBM scale.
+//!
+//! Usage: `cargo run --release -p rdfsum-bench --bin profile_substrate [products]`
+
+use rdfsum_core::cliques::CliqueScope;
+use rdfsum_core::equivalence::weak_partition;
+use rdfsum_core::SummaryContext;
+use rdfsum_workloads::BsbmConfig;
+use std::time::Instant;
+
+fn main() {
+    let products: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(300);
+    let g = rdfsum_workloads::generate_bsbm(&BsbmConfig::with_products(products));
+    println!(
+        "BSBM products={products}: {} triples ({} data)",
+        g.len(),
+        g.data().len()
+    );
+    let reps: u32 = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(200);
+    let time = |label: &str, f: &mut dyn FnMut()| {
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            f();
+        }
+        println!(
+            "{label:>24}: {:>10.1} us",
+            t0.elapsed().as_secs_f64() * 1e6 / f64::from(reps)
+        );
+    };
+    time("ctx.new", &mut || {
+        std::hint::black_box(SummaryContext::new(&g));
+    });
+    let ctx = SummaryContext::new(&g);
+    time("ctx.new + cliques", &mut || {
+        std::hint::black_box(rdfsum_core::Cliques::compute(&g, CliqueScope::AllNodes));
+    });
+    let cliques = rdfsum_core::Cliques::compute(&g, CliqueScope::AllNodes);
+    time("weak_partition", &mut || {
+        std::hint::black_box(weak_partition(&cliques, ctx.data_nodes()));
+    });
+    time("weak via ctx (full)", &mut || {
+        std::hint::black_box(ctx.weak_summary());
+    });
+    time("weak total (throwaway)", &mut || {
+        std::hint::black_box(rdfsum_core::weak_summary(&g));
+    });
+}

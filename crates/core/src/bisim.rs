@@ -113,7 +113,7 @@ pub fn bisim_summary(g: &Graph, depth: BisimDepth) -> Summary {
     // Name nodes by their (stable, content-derived) color via the first
     // member's class, padded with a dense index for readability.
     quotient_summary(g, SummaryKind::Bisimulation, &partition, |i, _| {
-        format!("{SUMMARY_NS}bisim?k={tag}&c={i}")
+        rdf_model::Term::iri(format!("{SUMMARY_NS}bisim?k={tag}&c={i}"))
     })
 }
 

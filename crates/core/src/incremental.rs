@@ -191,7 +191,7 @@ impl IncrementalWeak {
             // Prop-less roots are exactly the typed-only resources; they
             // all coalesce onto Nτ here (same URI ⇒ same summary node).
             let uri = if !in_props.contains_key(&root) && !out_props.contains_key(&root) {
-                n_tau_uri()
+                n_tau_uri().to_string()
             } else {
                 let tc = in_props.get(&root).cloned().unwrap_or_default();
                 let sc = out_props.get(&root).cloned().unwrap_or_default();

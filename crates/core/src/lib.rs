@@ -45,6 +45,21 @@
 //! ([`context::SummaryContext::from_store`]), which hands the pipeline
 //! each node's triples as contiguous grouped runs.
 //!
+//! ## Symbolic minted names
+//!
+//! Summary nodes are named by [`rdf_model::Term::Minted`] terms: the
+//! representation functions `N`/`C` ([`naming::n_term`] /
+//! [`naming::c_term`]) return an *interned set key* — shared pointers into
+//! the summarized graph's dictionary — instead of an eagerly formatted
+//! URI string. Injectivity lives in the interned-key ordering (one
+//! canonical key per equivalence class per build); the familiar
+//! `urn:rdfsummary:` URI is rendered lazily on serialization, byte-
+//! identical to the historical eager strings. Emission never allocates or
+//! hashes a URI string, and constants transfer between the G and H
+//! dictionaries as shared `Arc`s. The substrate's remaining serial work
+//! is chunked across threads behind measured thresholds ([`parallel`]):
+//! the CSR adjacency fill and the quotient's packed-triple sort-dedup.
+//!
 //! The pre-refactor hash-map builders are preserved verbatim in
 //! [`reference`] as the golden-equivalence test oracle.
 //!
@@ -105,7 +120,8 @@ pub use inflate::{inflate, InflateConfig};
 pub use iso::summary_isomorphic;
 pub use parallel::{
     effective_threads, parallel_cliques, parallel_cliques_forced, parallel_weak_summary,
-    PARALLEL_CLIQUE_THRESHOLD,
+    sort_dedup_packed, sort_dedup_packed_forced, substrate_threads, PARALLEL_CLIQUE_THRESHOLD,
+    PARALLEL_CSR_THRESHOLD, PARALLEL_SORT_THRESHOLD,
 };
 pub use reference::{reference_summary, reference_summary_with};
 pub use report::{render_report, ReportOptions};

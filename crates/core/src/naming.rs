@@ -1,4 +1,4 @@
-//! Representation functions: minting URIs for summary nodes.
+//! Representation functions: minting the terms that name summary nodes.
 //!
 //! §4.1 of the paper introduces `N`, "any injective function taking as
 //! input two sets of URIs (a set of target data properties and a set of
@@ -6,22 +6,63 @@
 //! `C`, which maps a non-empty class set to a URI and returns a fresh URI
 //! on every call for the empty set.
 //!
-//! Our `N` and `C` are *deterministic*: the minted URI embeds the sorted
-//! input URIs. Injectivity follows because `|` cannot occur inside an IRI
-//! (the IRIREF production forbids it, and our parser enforces that), so the
-//! joined string parses back unambiguously. Determinism is what lets the
-//! completeness tests compare `W_{G∞}` and `W_{(W_G)∞}` by plain graph
-//! equality — both sides name each node from the same property sets.
+//! Since the symbolic-minting refactor, the builders' `N` and `C` are
+//! [`n_term`] / [`c_term`]: they return a [`rdf_model::Term::Minted`]
+//! holding the *interned set key itself* — shared pointers into the
+//! summarized graph's dictionary — instead of an eagerly formatted string.
+//! **Injectivity now lives in the interned-key ordering:** within one
+//! summary build every equivalence class mints its key exactly once from
+//! canonical (sorted, deduplicated) id sets, and minted identity is the
+//! key allocation, so distinct property/class sets yield distinct summary
+//! nodes by construction — no string comparison involved. The URI string
+//! is rendered only on `Display`/serialization, byte-identical to the
+//! historical eager form: member IRIs sorted lexicographically, joined
+//! with `|` (which the IRIREF production forbids inside an IRI, so the
+//! rendered form also parses back unambiguously, preserving the old
+//! string-level injectivity argument for everything downstream of
+//! serialization).
+//!
+//! The eager string functions [`n_uri`] / [`c_uri`] are retained for the
+//! pre-refactor reference oracle ([`crate::reference`]), the streaming /
+//! incremental builders, and tests; determinism of both paths is what
+//! lets the completeness tests compare `W_{G∞}` and `W_{(W_G)∞}` by plain
+//! graph equality.
 
-use rdf_model::{Dictionary, TermId};
+use rdf_model::{Dictionary, MintedTerm, SharedTerm, Term, TermId};
+use std::sync::Arc;
 
-/// Namespace prefix of all minted summary URIs.
-pub const SUMMARY_NS: &str = "urn:rdfsummary:";
+pub use rdf_model::{N_TAU_URI, SUMMARY_NS};
 
 /// The URI of `Nτ`, the node representing all typed-only resources
 /// (TC = SC = ∅) in weak and strong summaries.
-pub fn n_tau_uri() -> String {
-    format!("{SUMMARY_NS}ntau")
+pub fn n_tau_uri() -> &'static str {
+    N_TAU_URI
+}
+
+/// Clones the shared handles of `ids` out of the dictionary — the interned
+/// set key fed to the minted constructors. No string data is copied, and
+/// the slice iterator's exact length lets `collect` build the `Arc` slice
+/// directly (one allocation, no intermediate `Vec`).
+fn shared_set(dict: &Dictionary, ids: &[TermId]) -> Arc<[SharedTerm]> {
+    ids.iter().map(|&id| Arc::clone(dict.shared(id))).collect()
+}
+
+/// Symbolic `N(TC, SC)` — the minted term representing nodes with incoming
+/// property set `tc` and outgoing property set `sc` (either may be empty;
+/// both empty yields the `Nτ` term). Renders identically to [`n_uri`].
+pub fn n_term(dict: &Dictionary, tc: &[TermId], sc: &[TermId]) -> Term {
+    Term::Minted(MintedTerm::node(shared_set(dict, tc), shared_set(dict, sc)))
+}
+
+/// Symbolic `C(X)` for a non-empty class set `X`. Renders identically to
+/// [`c_uri`].
+///
+/// The paper's `C` returns a fresh URI for `C(∅)`; in our builders the
+/// empty case never reaches `C` (untyped nodes are handled by the untyped
+/// summarizers), so we require non-emptiness.
+pub fn c_term(dict: &Dictionary, classes: &[TermId]) -> Term {
+    assert!(!classes.is_empty(), "C(∅) must use fresh URIs, not c_term");
+    Term::Minted(MintedTerm::class_set(shared_set(dict, classes)))
 }
 
 fn join_sorted(dict: &Dictionary, ids: &[TermId]) -> String {
@@ -38,12 +79,11 @@ fn join_sorted(dict: &Dictionary, ids: &[TermId]) -> String {
     uris.join("|")
 }
 
-/// `N(TC, SC)` — the URI representing nodes with incoming property set
-/// `tc` and outgoing property set `sc` (either may be empty; both empty
-/// yields [`n_tau_uri`]).
+/// Eager-string `N(TC, SC)` — the rendered URI of [`n_term`]'s result.
+/// Used by the reference oracle and the streaming/incremental builders.
 pub fn n_uri(dict: &Dictionary, tc: &[TermId], sc: &[TermId]) -> String {
     if tc.is_empty() && sc.is_empty() {
-        return n_tau_uri();
+        return n_tau_uri().to_string();
     }
     format!(
         "{SUMMARY_NS}n?in={}&out={}",
@@ -52,11 +92,8 @@ pub fn n_uri(dict: &Dictionary, tc: &[TermId], sc: &[TermId]) -> String {
     )
 }
 
-/// `C(X)` for a non-empty class set `X`.
-///
-/// The paper's `C` returns a fresh URI for `C(∅)`; in our builders the
-/// empty case never reaches `C` (untyped nodes are handled by the untyped
-/// summarizers), so we require non-emptiness.
+/// Eager-string `C(X)` for a non-empty class set `X` — the rendered URI of
+/// [`c_term`]'s result.
 pub fn c_uri(dict: &Dictionary, classes: &[TermId]) -> String {
     assert!(!classes.is_empty(), "C(∅) must use fresh URIs, not c_uri");
     format!("{SUMMARY_NS}c?types={}", join_sorted(dict, classes))
@@ -159,12 +196,60 @@ mod tests {
         c_uri(&d, &[]);
     }
 
+    /// The symbolic terms render byte-identically to the eager strings, on
+    /// every input shape (the seam the golden-equivalence suite relies on).
+    #[test]
+    fn symbolic_rendering_matches_eager_strings() {
+        let (d, ids) = dict_with(&["http://x/b", "http://x/a", "http://x/c"]);
+        let cases: &[(&[TermId], &[TermId])] = &[
+            (&[], &[]),
+            (&[ids[0]], &[]),
+            (&[], &[ids[1]]),
+            (&[ids[0], ids[1]], &[ids[2]]),
+            (&[ids[2], ids[0], ids[1]], &[ids[1], ids[0]]),
+        ];
+        for (tc, sc) in cases {
+            let term = n_term(&d, tc, sc);
+            assert_eq!(term.as_iri().unwrap(), n_uri(&d, tc, sc));
+        }
+        let term = c_term(&d, &[ids[1], ids[0]]);
+        assert_eq!(term.as_iri().unwrap(), c_uri(&d, &[ids[0], ids[1]]));
+    }
+
+    /// The minted-key hot-path seam: constructing, hashing, and interning
+    /// a symbolic term must not render (= allocate) its URI string.
+    #[test]
+    fn minting_does_not_render() {
+        let (d, ids) = dict_with(&["http://x/a", "http://x/b"]);
+        let term = n_term(&d, &[ids[0]], &[ids[1]]);
+        let mut h = Dictionary::new();
+        let id = h.encode(term.clone());
+        assert_eq!(h.lookup(&term), Some(id));
+        let Term::Minted(m) = h.decode(id) else {
+            panic!("minted term expected");
+        };
+        assert!(
+            !m.is_rendered(),
+            "dictionary interning must not render the minted URI"
+        );
+        // Serialization renders on demand…
+        assert_eq!(
+            h.decode(id).as_iri().unwrap(),
+            n_uri(&d, &[ids[0]], &[ids[1]])
+        );
+        // …and the cache sticks.
+        let Term::Minted(m) = h.decode(id) else {
+            panic!("minted term expected");
+        };
+        assert!(m.is_rendered());
+    }
+
     #[test]
     fn labels_are_compact() {
         let (d, ids) = dict_with(&["http://x/reviewed", "http://x/published", "http://x/author"]);
         let uri = n_uri(&d, &[ids[0], ids[1]], &[ids[2]]);
         assert_eq!(display_label(&uri), "N[in=published,reviewed][out=author]");
-        assert_eq!(display_label(&n_tau_uri()), "Nτ");
+        assert_eq!(display_label(n_tau_uri()), "Nτ");
         let c = c_uri(&d, &[ids[2]]);
         assert_eq!(display_label(&c), "C{author}");
         assert_eq!(display_label("http://plain/uri"), "http://plain/uri");

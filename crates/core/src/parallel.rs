@@ -22,10 +22,18 @@
 //! sub-millisecond job; the fallback makes the auto-selected path never
 //! slower than sequential at small scales, while [`parallel_cliques_forced`]
 //! remains available to measure the true parallel crossover.
+//!
+//! The same measured-threshold discipline covers the two remaining serial
+//! substrate stages: the chunked CSR adjacency fill of
+//! [`crate::context::SummaryContext`] (gated on
+//! [`PARALLEL_CSR_THRESHOLD`] / [`substrate_threads`]) and the quotient's
+//! packed-triple sort-dedup ([`sort_dedup_packed`], gated on
+//! [`PARALLEL_SORT_THRESHOLD`]). Both fall back to the sequential code
+//! below their thresholds and produce bit-identical results either way.
 
 use crate::cliques::{CliqueScope, Cliques};
 use crate::equivalence::{data_nodes_ordered, weak_partition};
-use crate::naming::n_uri;
+use crate::naming::n_term;
 use crate::quotient::quotient_summary;
 use crate::summary::{Summary, SummaryKind};
 use crate::unionfind::UnionFind;
@@ -60,6 +68,114 @@ pub fn effective_threads(n_data_triples: usize, requested: usize) -> usize {
         let cap = 2.max(n_data_triples / TRIPLES_PER_EXTRA_WORKER);
         requested.max(1).min(cap)
     }
+}
+
+/// Below this many CSR entries (one per data triple and direction), the
+/// chunked parallel adjacency fill of
+/// [`crate::context::SummaryContext::new`] loses to the single-threaded
+/// cursor sweep: the parallel path pays the row-range bucketing pass and
+/// `2 × workers` thread spawns, each worth thousands of plain cursor
+/// writes. Measured with `profile_substrate` on BSBM scales (where the
+/// 30k scale's ~25 k entries sit comfortably below break-even).
+pub const PARALLEL_CSR_THRESHOLD: usize = 65_536;
+
+/// Below this many packed quotient keys, `sort_unstable` + `dedup` on one
+/// thread beats the chunked sort-merge (the merge pass plus a thread
+/// spawn cost more than the saved sorting). Measured with the
+/// `quotient_h_graph` bench on BSBM scales.
+pub const PARALLEL_SORT_THRESHOLD: usize = 16_384;
+
+/// The worker count the substrate stages (CSR fill, packed sort) use for
+/// `n` work items with the given threshold: `1` below it; otherwise 2
+/// workers plus one more per [`TRIPLES_PER_EXTRA_WORKER`] items. Unlike
+/// the clique scan's [`effective_threads`], this also caps at the
+/// machine's available parallelism — the substrate stages are pure
+/// throughput splits with no algorithmic win from oversubscription, so a
+/// single-core host always runs them sequentially.
+pub fn substrate_threads(n: usize, threshold: usize) -> usize {
+    if n < threshold {
+        1
+    } else {
+        let avail = std::thread::available_parallelism().map_or(2, usize::from);
+        // The CSR fill's row → worker table is u8-indexed; 256 workers is
+        // far past any measured scaling win anyway.
+        (2 + n / TRIPLES_PER_EXTRA_WORKER).min(avail).clamp(1, 256)
+    }
+}
+
+/// Sorts and deduplicates the quotient's packed triple keys, splitting
+/// into per-thread chunk sorts followed by pairwise merge-dedup rounds
+/// when the key count clears [`PARALLEL_SORT_THRESHOLD`]. The result is
+/// exactly `keys.sort_unstable(); keys.dedup()` either way.
+pub fn sort_dedup_packed(keys: &mut Vec<u64>) {
+    sort_dedup_packed_forced(keys, substrate_threads(keys.len(), PARALLEL_SORT_THRESHOLD));
+}
+
+/// [`sort_dedup_packed`] with an explicit worker count — for tests and
+/// crossover measurements (the auto path only goes parallel when the key
+/// count clears the threshold *and* the machine has spare cores).
+pub fn sort_dedup_packed_forced(keys: &mut Vec<u64>, threads: usize) {
+    if threads <= 1 || keys.len() < 2 {
+        keys.sort_unstable();
+        keys.dedup();
+        return;
+    }
+    let chunk_size = keys.len().div_ceil(threads).max(1);
+    let mut runs: Vec<Vec<u64>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = keys
+            .chunks(chunk_size)
+            .map(|chunk| {
+                scope.spawn(move || {
+                    let mut run = chunk.to_vec();
+                    run.sort_unstable();
+                    run.dedup();
+                    run
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    // Pairwise merge-dedup rounds until one sorted run remains. Dedup
+    // inside every merge keeps intermediate runs minimal; the final run
+    // equals the global sort+dedup.
+    while runs.len() > 1 {
+        let mut next: Vec<Vec<u64>> = Vec::with_capacity(runs.len().div_ceil(2));
+        let mut iter = runs.into_iter();
+        while let Some(a) = iter.next() {
+            match iter.next() {
+                Some(b) => next.push(merge_dedup(&a, &b)),
+                None => next.push(a),
+            }
+        }
+        runs = next;
+    }
+    *keys = runs.pop().unwrap_or_default();
+}
+
+/// Merges two sorted, deduplicated runs into one, dropping duplicates.
+fn merge_dedup(a: &[u64], b: &[u64]) -> Vec<u64> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => {
+                out.push(a[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(b[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
 }
 
 /// Computes [`Cliques`] using up to `threads` workers, falling back to the
@@ -197,7 +313,7 @@ pub fn parallel_weak_summary(g: &Graph, threads: usize) -> Summary {
     let partition = weak_partition(&cliques, &nodes);
     quotient_summary(g, SummaryKind::Weak, &partition, |_, members| {
         let (tc, sc) = class_property_sets(&cliques, members);
-        n_uri(g.dict(), &tc, &sc)
+        n_term(g.dict(), &tc, &sc)
     })
 }
 
@@ -276,6 +392,41 @@ mod tests {
         let seq = Cliques::compute(&g, CliqueScope::UntypedOnly);
         assert_eq!(par.source_cliques, seq.source_cliques);
         assert_eq!(par.target_cliques, seq.target_cliques);
+    }
+
+    /// The chunked sort-merge equals `sort_unstable` + `dedup` exactly,
+    /// for every worker count and duplicate-heavy inputs.
+    #[test]
+    fn forced_parallel_sort_dedup_matches_sequential() {
+        let mut rng = rdf_model::SplitMix64::new(0x50D);
+        for case in 0..32 {
+            let len = case * 11;
+            let keys: Vec<u64> = (0..len).map(|_| rng.index(40) as u64).collect();
+            let mut expect = keys.clone();
+            expect.sort_unstable();
+            expect.dedup();
+            for threads in [1, 2, 3, 7] {
+                let mut got = keys.clone();
+                sort_dedup_packed_forced(&mut got, threads);
+                assert_eq!(got, expect, "case {case}, {threads} threads");
+            }
+        }
+    }
+
+    /// The substrate stages refuse to go parallel below their threshold or
+    /// beyond the machine's spare cores, and scale workers slowly above.
+    #[test]
+    fn substrate_thread_selection() {
+        assert_eq!(substrate_threads(0, PARALLEL_SORT_THRESHOLD), 1);
+        assert_eq!(
+            substrate_threads(PARALLEL_SORT_THRESHOLD - 1, PARALLEL_SORT_THRESHOLD),
+            1
+        );
+        let avail = std::thread::available_parallelism().map_or(2, usize::from);
+        let t = substrate_threads(PARALLEL_SORT_THRESHOLD, PARALLEL_SORT_THRESHOLD);
+        assert!(t >= 1 && t <= avail.max(1));
+        let big = substrate_threads(10 * TRIPLES_PER_EXTRA_WORKER, PARALLEL_CSR_THRESHOLD);
+        assert!(big <= avail.max(1));
     }
 
     #[test]

@@ -9,23 +9,30 @@
 //!   `n1 --p--> n2 ∈ G`, and a τ edge `n_S --τ--> c` iff some member of `S`
 //!   has type `c`. Class nodes and property URIs keep their identity.
 //!
-//! The summary graph gets its own dictionary; the `class_uri` callback
-//! provides the URI of each partition class (the paper's representation
-//! functions `N` / `C`).
+//! The summary graph gets its own dictionary; the `class_term` callback is
+//! the *minted-key provider*: it returns the [`Term`] naming each
+//! partition class (the paper's representation functions `N` / `C`). The
+//! production builders hand back symbolic [`Term::Minted`] keys (see
+//! [`crate::naming`]), so no URI string is allocated or hashed anywhere in
+//! this construction; tests and ad-hoc callers may return plain
+//! [`Term::Iri`]s.
 
 use crate::equivalence::Partition;
 use crate::summary::{Summary, SummaryKind};
 use rdf_model::{Graph, Term, TermId, Triple, NO_DENSE_ID};
+use std::sync::Arc;
 
 /// Builds the quotient summary of `g` under `partition`.
 ///
 /// `partition` must cover every data node of `g` (subjects/objects of D_G
-/// and subjects of T_G); `class_uri(i, members)` must return a distinct URI
-/// per class `i`.
+/// and subjects of T_G); `class_term(i, members)` must return a distinct
+/// term per class `i`.
 ///
 /// The hot translation loops do `Vec`-indexed reads only: the node → class
 /// map is the partition's dense array, and the cross-dictionary constant
-/// cache is a flat table keyed by the G dictionary id.
+/// cache is a flat table keyed by the G dictionary id. Constants transfer
+/// between dictionaries as shared `Arc`s
+/// ([`rdf_model::Dictionary::encode_shared`]), never copying string data.
 ///
 /// # Panics
 /// Panics when the partition misses a data node.
@@ -33,15 +40,74 @@ pub fn quotient_summary(
     g: &Graph,
     kind: SummaryKind,
     partition: &Partition,
-    mut class_uri: impl FnMut(usize, &[TermId]) -> String,
+    class_term: impl FnMut(usize, &[TermId]) -> Term,
+) -> Summary {
+    quotient_summary_impl(g, kind, partition, class_term, false)
+}
+
+/// How the quotient's data component is derived.
+pub(crate) enum DataPlan<'a> {
+    /// Scan every data triple of `G` and dedup the quotiented copies —
+    /// the generic path.
+    Scan,
+    /// The data edges are already known per class pair: emit exactly
+    /// `(class, G property, class)` once each. The weak summary uses this
+    /// (Proposition 4: all sources of a property are weakly equivalent,
+    /// and so are all its targets, so `W_G` has exactly one edge per
+    /// distinct property — derivable from the cliques without touching
+    /// the `O(|D_G|)` triples again).
+    Edges(&'a [(u32, TermId, u32)]),
+}
+
+/// [`quotient_summary`] with an explicit switch forcing the non-packable
+/// (hash-dedup) emission path — the seam the packed-vs-fallback
+/// equivalence tests drive directly, since exceeding the 21-bit id bound
+/// organically needs a >2M-term dictionary.
+pub(crate) fn quotient_summary_impl(
+    g: &Graph,
+    kind: SummaryKind,
+    partition: &Partition,
+    class_term: impl FnMut(usize, &[TermId]) -> Term,
+    force_unpacked: bool,
+) -> Summary {
+    quotient_summary_planned(
+        g,
+        kind,
+        partition,
+        class_term,
+        DataPlan::Scan,
+        force_unpacked,
+    )
+}
+
+/// The full-control quotient constructor: emission plan for the data
+/// component plus the packed/unpacked switch.
+pub(crate) fn quotient_summary_planned(
+    g: &Graph,
+    kind: SummaryKind,
+    partition: &Partition,
+    mut class_term: impl FnMut(usize, &[TermId]) -> Term,
+    data_plan: DataPlan<'_>,
+    force_unpacked: bool,
 ) -> Summary {
     let mut h = Graph::new();
 
     // H node per partition class.
     let mut class_node: Vec<TermId> = Vec::with_capacity(partition.classes.len());
     for (i, members) in partition.classes.iter().enumerate() {
-        let uri = class_uri(i, members);
-        class_node.push(h.dict_mut().encode(Term::iri(uri)));
+        class_node.push(h.dict_mut().encode(class_term(i, members)));
+    }
+    // Minted-key seam: naming + interning the class nodes must stay fully
+    // symbolic — rendering here would put a String allocation back on the
+    // per-class hot path.
+    #[cfg(debug_assertions)]
+    for &cn in &class_node {
+        if let Term::Minted(m) = h.dict().decode(cn) {
+            debug_assert!(
+                !m.is_rendered(),
+                "minted class node rendered its URI during quotient construction"
+            );
+        }
     }
 
     // Cross-dictionary cache for constants that keep their identity
@@ -52,7 +118,7 @@ pub fn quotient_summary(
         if slot != NO_DENSE_ID {
             return TermId(slot);
         }
-        let hid = h.dict_mut().encode(g.dict().decode(id).clone());
+        let hid = h.dict_mut().encode_shared(Arc::clone(g.dict().shared(id)));
         xfer[id.index()] = hid.0;
         hid
     };
@@ -72,38 +138,60 @@ pub fn quotient_summary(
         let o = transfer(t.o, g, &mut h, &mut xfer);
         h.insert_encoded(Triple::new(s, p, o));
     }
-    // Every H id stays below this bound (classes + transferred G terms +
-    // the well-known properties); when it fits 21 bits, a whole H triple
-    // packs into one u64 and the massive duplication of quotiented triples
-    // is eliminated by a sort instead of 25k+ hash probes.
+    // Every H id stays below this bound — minted class-node ids are the
+    // first `class_node.len()` H ids, transferred G constants (at most one
+    // H id per G term) and the well-known properties account for the rest —
+    // so when it fits 21 bits, a whole H triple packs into one u64 and the
+    // massive duplication of quotiented triples is eliminated by a
+    // (chunked, parallel above the measured threshold) sort instead of
+    // 25k+ hash probes.
     let id_bound = class_node.len() + g.dict().len() + 8;
     const PACK_BITS: u32 = 21;
     const MASK: u64 = (1 << PACK_BITS) - 1;
-    let packable = id_bound < (1usize << PACK_BITS);
+    let packable = !force_unpacked && id_bound < (1usize << PACK_BITS);
     // DAT: quotient of data triples.
-    if packable {
-        let mut keys: Vec<u64> = Vec::with_capacity(g.data().len());
-        for t in g.data() {
-            let s = map(t.s).0 as u64;
-            let p = transfer(t.p, g, &mut h, &mut xfer).0 as u64;
-            let o = map(t.o).0 as u64;
-            keys.push((s << (2 * PACK_BITS)) | (p << PACK_BITS) | o);
+    match data_plan {
+        DataPlan::Edges(edges) => {
+            // One known edge per class pair and property: translate, sort
+            // by H ids (matching the packed path's ascending emission
+            // order exactly), insert. No per-triple work at all.
+            let mut out: Vec<(u32, u32, u32)> = edges
+                .iter()
+                .map(|&(s, p, o)| {
+                    let hp = transfer(p, g, &mut h, &mut xfer);
+                    (class_node[s as usize].0, hp.0, class_node[o as usize].0)
+                })
+                .collect();
+            out.sort_unstable();
+            out.dedup();
+            for (s, p, o) in out {
+                h.insert_encoded(Triple::new(TermId(s), TermId(p), TermId(o)));
+            }
         }
-        keys.sort_unstable();
-        keys.dedup();
-        for k in keys {
-            h.insert_encoded(Triple::new(
-                TermId((k >> (2 * PACK_BITS)) as u32),
-                TermId(((k >> PACK_BITS) & MASK) as u32),
-                TermId((k & MASK) as u32),
-            ));
+        DataPlan::Scan if packable => {
+            let mut keys: Vec<u64> = Vec::with_capacity(g.data().len());
+            for t in g.data() {
+                let s = map(t.s).0 as u64;
+                let p = transfer(t.p, g, &mut h, &mut xfer).0 as u64;
+                let o = map(t.o).0 as u64;
+                keys.push((s << (2 * PACK_BITS)) | (p << PACK_BITS) | o);
+            }
+            crate::parallel::sort_dedup_packed(&mut keys);
+            for k in keys {
+                h.insert_encoded(Triple::new(
+                    TermId((k >> (2 * PACK_BITS)) as u32),
+                    TermId(((k >> PACK_BITS) & MASK) as u32),
+                    TermId((k & MASK) as u32),
+                ));
+            }
         }
-    } else {
-        for t in g.data() {
-            let s = map(t.s);
-            let p = transfer(t.p, g, &mut h, &mut xfer);
-            let o = map(t.o);
-            h.insert_encoded(Triple::new(s, p, o));
+        DataPlan::Scan => {
+            for t in g.data() {
+                let s = map(t.s);
+                let p = transfer(t.p, g, &mut h, &mut xfer);
+                let o = map(t.o);
+                h.insert_encoded(Triple::new(s, p, o));
+            }
         }
     }
     // TYP: quotient of type triples; classes keep their URIs.
@@ -115,8 +203,7 @@ pub fn quotient_summary(
             let c = transfer(t.o, g, &mut h, &mut xfer).0 as u64;
             keys.push((s << PACK_BITS) | c);
         }
-        keys.sort_unstable();
-        keys.dedup();
+        crate::parallel::sort_dedup_packed(&mut keys);
         for k in keys {
             h.insert_encoded(Triple::new(
                 TermId((k >> PACK_BITS) as u32),
@@ -141,42 +228,61 @@ pub fn quotient_summary(
 /// verifies "only if" — every summary edge has at least one witness pair —
 /// plus full coverage of `G`'s data/type triples. Used by tests and
 /// property checks.
+///
+/// Node lookups go through the summary's dense `rd` array, and the
+/// G-constant → H-id resolution is memoized in a term-indexed table, so
+/// the witness sweep costs one `decode`/`lookup` per *distinct* property
+/// or class rather than one per triple.
 pub fn verify_quotient(g: &Graph, summary: &Summary) -> bool {
-    // Every G data/type triple is represented in H.
     let h = &summary.graph;
-    let witness_ok = g.data().iter().all(|t| {
+    // Memoized G term → H id for identity-preserving constants.
+    let mut h_of: Vec<u32> = vec![NO_DENSE_ID; g.dict().len()];
+    let mut resolve = |id: TermId| -> Option<TermId> {
+        let slot = h_of[id.index()];
+        if slot != NO_DENSE_ID {
+            return Some(TermId(slot));
+        }
+        let hid = h.dict().lookup(g.dict().decode(id))?;
+        h_of[id.index()] = hid.0;
+        Some(hid)
+    };
+    // Every G data/type triple is represented in H.
+    let tau = h.rdf_type();
+    for t in g.data() {
         let (Some(s), Some(o)) = (summary.representative(t.s), summary.representative(t.o)) else {
             return false;
         };
-        let Some(p) = h.dict().lookup(g.dict().decode(t.p)) else {
+        let Some(p) = resolve(t.p) else {
             return false;
         };
-        h.contains(Triple::new(s, p, o))
-    }) && g.types().iter().all(|t| {
+        if !h.contains(Triple::new(s, p, o)) {
+            return false;
+        }
+    }
+    for t in g.types() {
         let Some(s) = summary.representative(t.s) else {
             return false;
         };
-        let Some(c) = h.dict().lookup(g.dict().decode(t.o)) else {
+        let Some(c) = resolve(t.o) else {
             return false;
         };
-        h.contains(Triple::new(s, h.rdf_type(), c))
-    });
-    if !witness_ok {
-        return false;
+        if !h.contains(Triple::new(s, tau, c)) {
+            return false;
+        }
     }
     // Every H data edge has a witness in G.
     let mut g_edges: rdf_model::FxHashSet<(TermId, TermId, TermId)> = Default::default();
     for t in g.data() {
         let s = summary.representative(t.s).unwrap();
         let o = summary.representative(t.o).unwrap();
-        let p = h.dict().lookup(g.dict().decode(t.p)).unwrap();
+        let p = resolve(t.p).unwrap();
         g_edges.insert((s, p, o));
     }
     let data_ok = h.data().iter().all(|t| g_edges.contains(&(t.s, t.p, t.o)));
     let mut g_types: rdf_model::FxHashSet<(TermId, TermId)> = Default::default();
     for t in g.types() {
         let s = summary.representative(t.s).unwrap();
-        let c = h.dict().lookup(g.dict().decode(t.o)).unwrap();
+        let c = resolve(t.o).unwrap();
         g_types.insert((s, c));
     }
     let type_ok = h.types().iter().all(|t| g_types.contains(&(t.s, t.o)));
@@ -207,7 +313,9 @@ mod tests {
         let g = sample_graph();
         let nodes = data_nodes_ordered(&g);
         let p = Partition::group_by(&nodes, |n| n);
-        let s = quotient_summary(&g, SummaryKind::Weak, &p, |i, _| format!("urn:q:{i}"));
+        let s = quotient_summary(&g, SummaryKind::Weak, &p, |i, _| {
+            Term::iri(format!("urn:q:{i}"))
+        });
         assert_eq!(s.graph.data().len(), g.data().len());
         assert_eq!(s.graph.types().len(), g.types().len());
         assert!(verify_quotient(&g, &s));
@@ -220,7 +328,7 @@ mod tests {
         let g = sample_graph();
         let nodes = data_nodes_ordered(&g);
         let p = Partition::group_by(&nodes, |_| 0u8);
-        let s = quotient_summary(&g, SummaryKind::Weak, &p, |_, _| "urn:q:all".into());
+        let s = quotient_summary(&g, SummaryKind::Weak, &p, |_, _| Term::iri("urn:q:all"));
         // One node; self-loops for the 6 distinct properties.
         assert_eq!(s.graph.data().len(), 6);
         // 3 distinct classes → 3 τ edges.
@@ -233,7 +341,9 @@ mod tests {
         let g = crate::fixtures::figure5_graph();
         let nodes = data_nodes_ordered(&g);
         let p = Partition::group_by(&nodes, |n| n);
-        let s = quotient_summary(&g, SummaryKind::Weak, &p, |i, _| format!("urn:q:{i}"));
+        let s = quotient_summary(&g, SummaryKind::Weak, &p, |i, _| {
+            Term::iri(format!("urn:q:{i}"))
+        });
         assert_eq!(s.graph.schema().len(), 2);
         assert!(verify_quotient(&g, &s));
     }
@@ -243,11 +353,98 @@ mod tests {
         let g = sample_graph();
         let nodes = data_nodes_ordered(&g);
         let p = Partition::group_by(&nodes, |n| n);
-        let mut s = quotient_summary(&g, SummaryKind::Weak, &p, |i, _| format!("urn:q:{i}"));
+        let mut s = quotient_summary(&g, SummaryKind::Weak, &p, |i, _| {
+            Term::iri(format!("urn:q:{i}"))
+        });
         // Sabotage: add an unjustified edge to H.
         let a = s.graph.dict_mut().encode(Term::iri("urn:q:0"));
         let b = s.graph.dict_mut().encode(Term::iri("urn:fake:prop"));
         s.graph.insert_encoded(Triple::new(a, b, a));
         assert!(!verify_quotient(&g, &s));
+    }
+
+    /// The forced non-packable path (graph-set hash dedup) emits exactly
+    /// the triples of the packed sort-dedup path, for every summary kind
+    /// the dense pipeline builds.
+    #[test]
+    fn forced_unpacked_matches_packed_on_all_kinds() {
+        let g = sample_graph();
+        let ctx = crate::context::SummaryContext::new(&g);
+        for kind in [
+            SummaryKind::Weak,
+            SummaryKind::Strong,
+            SummaryKind::TypedWeak,
+            SummaryKind::TypedStrong,
+            SummaryKind::TypeBased,
+        ] {
+            let packed = ctx.summarize(kind);
+            let unpacked = ctx.summarize_forced_unpacked(kind);
+            let canon = |s: &Summary| {
+                let mut v: Vec<String> = rdf_io::write_graph(&s.graph)
+                    .lines()
+                    .map(String::from)
+                    .collect();
+                v.sort();
+                v
+            };
+            assert_eq!(canon(&packed), canon(&unpacked), "{kind}");
+        }
+    }
+
+    /// A dictionary pushed past the 21-bit pack bound must route through
+    /// the hash-fallback path organically and still produce the same
+    /// triples as the packed path does for the same logical graph.
+    #[test]
+    fn id_bound_overflow_takes_hash_fallback() {
+        // Two copies of the same logical graph; one padded with >2^21
+        // dictionary entries so id_bound >= 2^21.
+        let build = |pad: usize| {
+            let mut g = rdf_model::Graph::new();
+            for i in 0..pad {
+                g.dict_mut().encode(Term::iri(format!("urn:pad:{i}")));
+            }
+            for i in 0..40u32 {
+                g.add_iri_triple(
+                    &format!("urn:n:{}", i % 8),
+                    &format!("urn:p:{}", i % 3),
+                    &format!("urn:n:{}", (i + 1) % 8),
+                );
+                // Duplicated quotient triples so the dedup paths do work.
+                g.add_iri_triple(
+                    &format!("urn:n:{}", (i + 4) % 8),
+                    &format!("urn:p:{}", i % 3),
+                    &format!("urn:n:{}", (i + 5) % 8),
+                );
+            }
+            g.add_iri_triple("urn:n:0", rdf_model::vocab::RDF_TYPE, "urn:C:a");
+            g.add_iri_triple("urn:n:1", rdf_model::vocab::RDF_TYPE, "urn:C:a");
+            g
+        };
+        let small = build(0);
+        let big = build(1 << 21);
+        assert!(
+            big.dict().len() >= (1 << 21),
+            "padding must overflow the pack bound"
+        );
+        let summarize = |g: &rdf_model::Graph| {
+            let nodes = data_nodes_ordered(g);
+            let p = Partition::group_by(&nodes, |n| n.0 % 4);
+            quotient_summary(g, SummaryKind::Weak, &p, |i, _| {
+                Term::iri(format!("urn:q:{i}"))
+            })
+        };
+        let packed = summarize(&small);
+        let fallback = summarize(&big);
+        assert!(verify_quotient(&big, &fallback));
+        // Triple-for-triple equality of the rendered graphs.
+        let canon = |s: &Summary| {
+            let mut v: Vec<String> = rdf_io::write_graph(&s.graph)
+                .lines()
+                .map(String::from)
+                .collect();
+            v.sort();
+            v
+        };
+        assert_eq!(canon(&packed), canon(&fallback));
     }
 }

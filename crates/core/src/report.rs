@@ -16,9 +16,10 @@ pub struct ReportOptions {
 }
 
 fn short(prefixes: &PrefixMap, term: &Term) -> String {
-    match term {
-        Term::Iri(iri) => display_label(&prefixes.compact(iri)),
-        other => other.to_string(),
+    // `as_iri` also covers minted summary terms (rendered lazily).
+    match term.as_iri() {
+        Some(iri) => display_label(&prefixes.compact(iri)),
+        None => term.to_string(),
     }
 }
 

@@ -234,7 +234,7 @@ fn assemble(
                 n_uri(g.dict(), &tc, &sc)
             }
         } else if typed_only_node.map(|d| st.uf.find_const(d)) == Some(root) {
-            n_tau_uri()
+            n_tau_uri().to_string()
         } else {
             let tc = in_props.get(&root).cloned().unwrap_or_default();
             let sc = out_props.get(&root).cloned().unwrap_or_default();

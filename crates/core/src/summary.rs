@@ -96,7 +96,11 @@ impl SummaryStats {
 /// Both correspondence directions are dense `Vec`-indexed tables (the
 /// `rd` side keyed by the G dictionary id, the `dr` side by the H
 /// dictionary id), so lookups are array reads — part of the dense
-/// summarization pipeline.
+/// summarization pipeline. The `dr` side is a CSR layout (one offsets
+/// table plus one flat member array) rather than a `Vec` per H term, so
+/// building it costs two flat passes and zero per-node heap allocations —
+/// which matters for the type-based summaries, where class counts run
+/// into the thousands.
 #[derive(Clone, Debug)]
 pub struct Summary {
     /// Which summary this is.
@@ -105,13 +109,14 @@ pub struct Summary {
     pub graph: Graph,
     /// `rd`: G-term-indexed → H node id, [`NO_DENSE_ID`] if unrepresented.
     node_of: Vec<u32>,
-    /// `dr`: H-term-indexed → represented G data nodes, sorted; empty for
-    /// H terms that represent nothing (class nodes, properties).
-    extent_of: Vec<Vec<TermId>>,
+    /// `dr` offsets: H-term-indexed into [`Summary::extent_members`]
+    /// (`len = H dictionary len + 1`).
+    extent_offsets: Vec<u32>,
+    /// `dr` members: each H term's represented G data nodes, sorted,
+    /// concatenated in H id order.
+    extent_members: Vec<TermId>,
     /// Distinct H representatives (non-empty extents).
     n_nodes: usize,
-    /// Represented G data nodes.
-    n_repr: usize,
 }
 
 impl Summary {
@@ -124,12 +129,12 @@ impl Summary {
     ) -> Self {
         let n_g_terms = node_map.keys().map(|k| k.index() + 1).max().unwrap_or(0);
         let mut node_of = vec![NO_DENSE_ID; n_g_terms];
-        let mut extent_of: Vec<Vec<TermId>> = vec![Vec::new(); graph.dict().len()];
+        let mut pairs: Vec<(u32, TermId)> = Vec::with_capacity(node_map.len());
         for (&gn, &hn) in &node_map {
             node_of[gn.index()] = hn.0;
-            extent_of[hn.index()].push(gn);
+            pairs.push((hn.0, gn));
         }
-        Self::finish(kind, graph, node_of, extent_of)
+        Self::finish(kind, graph, node_of, &pairs)
     }
 
     /// Creates a summary straight from a partition and its class → H node
@@ -143,40 +148,48 @@ impl Summary {
         n_g_terms: usize,
     ) -> Self {
         let mut node_of = vec![NO_DENSE_ID; n_g_terms];
-        let mut extent_of: Vec<Vec<TermId>> = vec![Vec::new(); graph.dict().len()];
+        let mut pairs: Vec<(u32, TermId)> = Vec::with_capacity(partition.n_members());
         for (c, members) in partition.classes.iter().enumerate() {
             let hn = class_node[c];
             for &n in members {
                 node_of[n.index()] = hn.0;
+                pairs.push((hn.0, n));
             }
-            extent_of[hn.index()].extend_from_slice(members);
         }
-        Self::finish(kind, graph, node_of, extent_of)
+        Self::finish(kind, graph, node_of, &pairs)
     }
 
-    fn finish(
-        kind: SummaryKind,
-        graph: Graph,
-        node_of: Vec<u32>,
-        mut extent_of: Vec<Vec<TermId>>,
-    ) -> Self {
+    /// Builds the CSR extent table from `(H id, G node)` pairs. Each G
+    /// node maps to exactly one H node (`node_of` is a function), so the
+    /// rows need sorting but never deduplication.
+    fn finish(kind: SummaryKind, graph: Graph, node_of: Vec<u32>, pairs: &[(u32, TermId)]) -> Self {
+        let n_h = graph.dict().len();
+        let mut extent_offsets = vec![0u32; n_h + 1];
+        for &(h, _) in pairs {
+            extent_offsets[h as usize + 1] += 1;
+        }
         let mut n_nodes = 0;
-        let mut n_repr = 0;
-        for v in extent_of.iter_mut() {
-            if !v.is_empty() {
-                v.sort_unstable();
-                v.dedup();
-                n_nodes += 1;
-                n_repr += v.len();
-            }
+        for i in 0..n_h {
+            n_nodes += (extent_offsets[i + 1] > 0) as usize;
+            extent_offsets[i + 1] += extent_offsets[i];
+        }
+        let mut extent_members = vec![TermId(0); pairs.len()];
+        let mut cursor = extent_offsets[..n_h].to_vec();
+        for &(h, g) in pairs {
+            extent_members[cursor[h as usize] as usize] = g;
+            cursor[h as usize] += 1;
+        }
+        for i in 0..n_h {
+            extent_members[extent_offsets[i] as usize..extent_offsets[i + 1] as usize]
+                .sort_unstable();
         }
         Summary {
             kind,
             graph,
             node_of,
-            extent_of,
+            extent_offsets,
+            extent_members,
             n_nodes,
-            n_repr,
         }
     }
 
@@ -191,9 +204,11 @@ impl Summary {
     /// The G data nodes represented by a summary node (`dr` lookup),
     /// sorted by id; empty for nodes that represent nothing (class nodes).
     pub fn extent(&self, h_node: TermId) -> &[TermId] {
-        self.extent_of
-            .get(h_node.index())
-            .map_or(&[], |v| v.as_slice())
+        let i = h_node.index();
+        if i + 1 >= self.extent_offsets.len() {
+            return &[];
+        }
+        &self.extent_members[self.extent_offsets[i] as usize..self.extent_offsets[i + 1] as usize]
     }
 
     /// Number of summary data nodes (distinct representatives).
@@ -203,7 +218,7 @@ impl Summary {
 
     /// Number of represented G data nodes.
     pub fn n_represented(&self) -> usize {
-        self.n_repr
+        self.extent_members.len()
     }
 
     /// Size statistics (Figures 11/12 series).
@@ -222,14 +237,14 @@ impl Summary {
     /// Well-formedness of the correspondence: every represented node maps
     /// into an existing extent, extents partition the represented nodes.
     pub fn check_correspondence_invariants(&self) -> bool {
-        let total: usize = self.extent_of.iter().map(Vec::len).sum();
-        total == self.n_repr
+        let covered = self.node_of.iter().filter(|&&h| h != NO_DENSE_ID).count();
+        covered == self.n_represented()
             && self.node_of.iter().enumerate().all(|(i, &h)| {
                 h == NO_DENSE_ID
                     || self
-                        .extent_of
-                        .get(TermId(h).index())
-                        .is_some_and(|v| v.binary_search(&TermId(i as u32)).is_ok())
+                        .extent(TermId(h))
+                        .binary_search(&TermId(i as u32))
+                        .is_ok()
             })
     }
 }

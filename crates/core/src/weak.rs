@@ -4,11 +4,20 @@
 //! (Proposition 4) is that **every data property of G appears exactly once
 //! in W_G**: all sources of a property `p` are weakly equivalent, and so are
 //! all its targets, so the summary has exactly `|D_G|⁰_p` data edges.
+//!
+//! Proposition 4 also powers the build: [`build_weak`] derives `W_G`'s
+//! data edges and the per-class naming sets straight from the cliques in
+//! `O(#properties)`, never re-scanning `D_G` for emission, and the
+//! single-summary [`weak_summary`] entry point computes its cliques with a
+//! lean two-pass scan over the raw triples (no CSR substrate at all).
 
 use crate::cliques::Cliques;
-use crate::context::SummaryContext;
-use crate::summary::Summary;
-use rdf_model::{Graph, TermId};
+use crate::equivalence::weak_partition;
+use crate::naming::n_term;
+use crate::quotient::{quotient_summary_planned, DataPlan};
+use crate::summary::{Summary, SummaryKind};
+use crate::unionfind::UnionFind;
+use rdf_model::{DenseIdMap, Graph, TermId, NO_DENSE_ID};
 
 /// Collects the union of target-clique and source-clique property sets over
 /// the members of one equivalence class — the sets fed to the
@@ -38,12 +47,147 @@ pub(crate) fn class_property_sets(
     (tc_props, sc_props)
 }
 
+/// Assembles W_G from all-nodes cliques: weak partition, per-property
+/// data edges (Proposition 4), per-class union naming sets — all in
+/// `O(#nodes + #properties)` beyond the quotient's type emission.
+/// Shared by the lean [`weak_summary`] path and the
+/// [`crate::context::SummaryContext`] builder (which passes its cached
+/// cliques). `nodes` is the data-node numbering order, `props` the
+/// distinct data properties in first-seen order.
+pub(crate) fn build_weak(
+    g: &Graph,
+    cliques: &Cliques,
+    nodes: &[TermId],
+    props: &[TermId],
+    force_unpacked: bool,
+) -> Summary {
+    let partition = weak_partition(cliques, nodes);
+    // Clique → partition class, from one witness node per clique. Every
+    // clique of the all-nodes scope is witnessed, so the scan can stop as
+    // soon as all slots are filled.
+    let mut class_of_sc = vec![NO_DENSE_ID; cliques.source_cliques.len()];
+    let mut class_of_tc = vec![NO_DENSE_ID; cliques.target_cliques.len()];
+    let mut missing = class_of_sc.len() + class_of_tc.len();
+    for &node in nodes {
+        if missing == 0 {
+            break;
+        }
+        if let Some(c) = cliques.sc(node) {
+            if class_of_sc[c] == NO_DENSE_ID {
+                class_of_sc[c] = partition.class_of(node).expect("covered") as u32;
+                missing -= 1;
+            }
+        }
+        if let Some(c) = cliques.tc(node) {
+            if class_of_tc[c] == NO_DENSE_ID {
+                class_of_tc[c] = partition.class_of(node).expect("covered") as u32;
+                missing -= 1;
+            }
+        }
+    }
+    // Proposition 4: all sources of a property are weakly equivalent and
+    // so are all its targets, so W_G's data component is exactly one edge
+    // per distinct property — derived from the cliques instead of
+    // re-scanning (and sort-deduplicating) all of D_G.
+    let edges: Vec<(u32, TermId, u32)> = props
+        .iter()
+        .map(|&p| {
+            let sc = cliques
+                .source_clique_of(p)
+                .expect("data property has a source clique");
+            let tc = cliques
+                .target_clique_of(p)
+                .expect("data property has a target clique");
+            (class_of_sc[sc], p, class_of_tc[tc])
+        })
+        .collect();
+    // The union property sets `N(∪TC(n), ∪SC(n))` per class, gathered
+    // from the clique → class maps in O(#properties) — equivalent to
+    // (but cheaper than) unioning over every class member.
+    let mut tc_sets: Vec<Vec<TermId>> = vec![Vec::new(); partition.len()];
+    let mut sc_sets: Vec<Vec<TermId>> = vec![Vec::new(); partition.len()];
+    for (c, &class) in class_of_sc.iter().enumerate() {
+        if class != NO_DENSE_ID {
+            sc_sets[class as usize].extend_from_slice(cliques.source_members(c));
+        }
+    }
+    for (c, &class) in class_of_tc.iter().enumerate() {
+        if class != NO_DENSE_ID {
+            tc_sets[class as usize].extend_from_slice(cliques.target_members(c));
+        }
+    }
+    for set in tc_sets.iter_mut().chain(sc_sets.iter_mut()) {
+        set.sort_unstable();
+        set.dedup();
+    }
+    // The forced-unpacked seam deliberately drops the Prop-4 edge plan and
+    // re-derives the data component by scanning D_G through the hash
+    // fallback — so the packed-vs-fallback test doubles as a
+    // derived-edges-vs-full-scan cross-check.
+    let plan = if force_unpacked {
+        DataPlan::Scan
+    } else {
+        DataPlan::Edges(&edges)
+    };
+    quotient_summary_planned(
+        g,
+        SummaryKind::Weak,
+        &partition,
+        |i, _| n_term(g.dict(), &tc_sets[i], &sc_sets[i]),
+        plan,
+        force_unpacked,
+    )
+}
+
 /// Builds the weak summary of `g` (batch, clique-based).
 ///
-/// Thin wrapper over a throwaway [`SummaryContext`]; to build several
-/// summaries of the same graph, create one context and reuse it.
+/// This single-summary entry point skips the full
+/// [`crate::context::SummaryContext`] substrate: the weak build only needs
+/// the all-nodes cliques and the node numbering, which a lean two-pass
+/// scan over the raw triples provides without degree counting or CSR
+/// adjacency. To build several summaries of the same graph, create one
+/// `SummaryContext` and reuse it instead.
 pub fn weak_summary(g: &Graph) -> Summary {
-    SummaryContext::new(g).weak_summary()
+    let n_terms = g.dict().len();
+    // Pass 1: dense property numbering (first-seen order — the same order
+    // the context's substrate assigns).
+    let mut prop_map = DenseIdMap::with_capacity(n_terms);
+    for t in g.data() {
+        prop_map.intern(t.p);
+    }
+    let (prop_of_term, props) = prop_map.into_parts();
+    let np = props.len();
+    // Pass 2: node numbering + the clique union–finds and representative
+    // tables, exactly as the CSR sweep would produce them.
+    let mut node_map = DenseIdMap::with_capacity(n_terms);
+    let mut src_uf = UnionFind::new(np);
+    let mut tgt_uf = UnionFind::new(np);
+    let mut subj_repr = vec![NO_DENSE_ID; n_terms];
+    let mut obj_repr = vec![NO_DENSE_ID; n_terms];
+    for t in g.data() {
+        node_map.intern(t.s);
+        node_map.intern(t.o);
+        let pi = prop_of_term[t.p.index()];
+        let slot = &mut subj_repr[t.s.index()];
+        if *slot == NO_DENSE_ID {
+            *slot = pi;
+        } else {
+            src_uf.union(pi as usize, *slot as usize);
+        }
+        let slot = &mut obj_repr[t.o.index()];
+        if *slot == NO_DENSE_ID {
+            *slot = pi;
+        } else {
+            tgt_uf.union(pi as usize, *slot as usize);
+        }
+    }
+    for t in g.types() {
+        node_map.intern(t.s);
+    }
+    // Equivalence with `Cliques::compute` (the CSR sweep) is pinned by the
+    // golden-equivalence suite and the lean-vs-context unit test below.
+    let cliques = Cliques::from_parts(&props, src_uf, tgt_uf, subj_repr, obj_repr);
+    build_weak(g, &cliques, node_map.items(), &props, false)
 }
 
 /// Proposition 4: each data property of G appears exactly once in W_G.
@@ -143,6 +287,34 @@ mod tests {
         let g = sample_graph();
         let s = weak_summary(&g);
         assert!(check_unique_data_properties(&g, &s));
+    }
+
+    /// The lean two-pass path of [`weak_summary`] and the full
+    /// [`crate::context::SummaryContext`] substrate produce byte-identical
+    /// summaries, including on graphs with typed-only resources, literals,
+    /// and schema.
+    #[test]
+    fn lean_path_matches_context_path() {
+        let canon = |s: &Summary| {
+            let mut v: Vec<String> = rdf_io::write_graph(&s.graph)
+                .lines()
+                .map(String::from)
+                .collect();
+            v.sort();
+            v
+        };
+        for g in [
+            sample_graph(),
+            crate::fixtures::figure5_graph(),
+            crate::fixtures::figure8_graph(),
+            crate::fixtures::book_graph(),
+        ] {
+            let lean = weak_summary(&g);
+            let via_ctx = crate::context::SummaryContext::new(&g).weak_summary();
+            assert_eq!(canon(&lean), canon(&via_ctx));
+            assert_eq!(lean.n_summary_nodes(), via_ctx.n_summary_nodes());
+            assert!(lean.check_correspondence_invariants());
+        }
     }
 
     #[test]

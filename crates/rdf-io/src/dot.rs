@@ -37,6 +37,7 @@ fn quote(s: &str) -> String {
 fn label(g: &Graph, prefixes: &PrefixMap, id: TermId) -> String {
     match g.dict().decode(id) {
         Term::Iri(iri) => prefixes.compact(iri),
+        Term::Minted(m) => prefixes.compact(m.uri()),
         Term::Blank(b) => format!("_:{b}"),
         Term::Literal { lexical, .. } => format!("\"{lexical}\""),
     }

@@ -23,18 +23,8 @@ fn valid_local(local: &str) -> bool {
 
 fn term_str(t: &Term, prefixes: &PrefixMap) -> String {
     match t {
-        Term::Iri(iri) => {
-            let compacted = prefixes.compact(iri);
-            if compacted != *iri {
-                // Only use the qname when its local part is emit-safe.
-                if let Some((_, local)) = compacted.split_once(':') {
-                    if valid_local(local) {
-                        return compacted;
-                    }
-                }
-            }
-            format!("<{}>", crate::writer::escape_iri(iri))
-        }
+        Term::Iri(iri) => iri_str(iri, prefixes),
+        Term::Minted(m) => iri_str(m.uri(), prefixes),
         Term::Blank(b) => format!("_:{b}"),
         Term::Literal { lexical, kind } => {
             let body = crate::writer::escape_literal(lexical);
@@ -47,6 +37,20 @@ fn term_str(t: &Term, prefixes: &PrefixMap) -> String {
             }
         }
     }
+}
+
+/// IRI rendering shared by the plain and minted arms of [`term_str`].
+fn iri_str(iri: &str, prefixes: &PrefixMap) -> String {
+    let compacted = prefixes.compact(iri);
+    if compacted != *iri {
+        // Only use the qname when its local part is emit-safe.
+        if let Some((_, local)) = compacted.split_once(':') {
+            if valid_local(local) {
+                return compacted;
+            }
+        }
+    }
+    format!("<{}>", crate::writer::escape_iri(iri))
 }
 
 /// Serializes `g` as Turtle using the given prefixes.

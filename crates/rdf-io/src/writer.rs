@@ -45,6 +45,7 @@ pub fn escape_iri(s: &str) -> String {
 pub fn write_term(term: &Term) -> String {
     match term {
         Term::Iri(iri) => format!("<{}>", escape_iri(iri)),
+        Term::Minted(m) => format!("<{}>", escape_iri(m.uri())),
         Term::Blank(label) => format!("_:{label}"),
         Term::Literal { lexical, kind } => {
             let body = escape_literal(lexical);

@@ -47,9 +47,43 @@ impl Dictionary {
         id
     }
 
+    /// Interns an already-shared term, returning its id. Unlike
+    /// [`Dictionary::encode`] this never clones the term's string data —
+    /// the `Arc` itself is stored — which is how summary emission
+    /// transfers constants between dictionaries without string round-trips.
+    pub fn encode_shared(&mut self, term: SharedTerm) -> TermId {
+        if let Some(&id) = self.reverse.get(&term) {
+            return id;
+        }
+        let id = TermId::from_index(self.forward.len());
+        self.forward.push(Arc::clone(&term));
+        self.reverse.insert(term, id);
+        id
+    }
+
     /// Looks up a term's id without interning it.
+    ///
+    /// Lookup uses the term's structural identity. Note that a minted
+    /// summary term ([`Term::Minted`]) is **not** equal to a plain
+    /// [`Term::Iri`] carrying its rendered URI — minted identity is the
+    /// interned set key, not the string (see [`crate::minted`]) — so
+    /// probing a summary graph's dictionary with `Term::iri("urn:rdfsummary:…")`
+    /// finds nothing. To address summary nodes by rendered name, compare
+    /// rendered strings (`Term::as_iri`) or go through a serialization
+    /// round-trip, which re-materializes plain IRIs.
     pub fn lookup(&self, term: &Term) -> Option<TermId> {
         self.reverse.get(term).copied()
+    }
+
+    /// The shared handle of an interned term, for zero-copy transfer into
+    /// another dictionary (see [`Dictionary::encode_shared`]) or into a
+    /// [`crate::minted::MintedTerm`] key.
+    ///
+    /// # Panics
+    /// Panics if `id` was not produced by this dictionary.
+    #[inline]
+    pub fn shared(&self, id: TermId) -> &SharedTerm {
+        &self.forward[id.index()]
     }
 
     /// Decodes an id back into its term.

@@ -12,6 +12,9 @@
 //! * [`Triple`] — a 12-byte encoded triple;
 //! * [`Graph`] — a triple set partitioned into `⟨D_G, S_G, T_G⟩` (data /
 //!   schema / type components, §2.1 of the paper);
+//! * [`MintedTerm`] — symbolic summary-node URIs (interned property/class
+//!   set keys, lazily rendered) backing the representation functions `N`
+//!   and `C`;
 //! * [`GraphStats`] — the paper's size/cardinality notations;
 //! * [`PrefixMap`] — namespace handling for display;
 //! * fast hash maps ([`FxHashMap`]/[`FxHashSet`]) tuned for integer keys.
@@ -24,6 +27,7 @@ pub mod error;
 pub mod graph;
 pub mod hash;
 pub mod ids;
+pub mod minted;
 pub mod namespaces;
 pub mod profile;
 pub mod rng;
@@ -37,6 +41,7 @@ pub use error::ModelError;
 pub use graph::{Component, Graph, WellKnown};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use ids::{DenseIdMap, TermId, NO_DENSE_ID};
+pub use minted::{MintedKey, MintedTerm, N_TAU_URI, SUMMARY_NS};
 pub use namespaces::PrefixMap;
 pub use profile::{Profile, PropertyUsage};
 pub use rng::SplitMix64;

@@ -26,6 +26,13 @@ pub enum LiteralKind {
 /// Equality and hashing are structural, which is exactly the identity the
 /// dictionary needs. Blank nodes compare by label; graph loaders are expected
 /// to keep labels unique per input (the N-Triples parser does).
+///
+/// The [`Minted`](Term::Minted) variant is a *symbolic* IRI: a summary node
+/// whose URI is derived from an interned property/class-set key and rendered
+/// lazily (see [`crate::minted`]). It behaves as an IRI everywhere an IRI is
+/// expected ([`Term::is_iri`], [`Term::as_iri`], `Display`, serialization),
+/// but its equality/hash identity is the interned key, not the rendered
+/// string.
 #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum Term {
     /// An IRI (we keep the common "URI" terminology of the paper in docs).
@@ -39,6 +46,8 @@ pub enum Term {
         /// Simple, language-tagged, or datatyped.
         kind: LiteralKind,
     },
+    /// A symbolically minted summary node URI (lazy rendering).
+    Minted(crate::minted::MintedTerm),
 }
 
 impl Term {
@@ -76,9 +85,10 @@ impl Term {
         }
     }
 
-    /// Is this term an IRI?
+    /// Is this term an IRI? (Minted summary terms render as IRIs and
+    /// count as such.)
     pub fn is_iri(&self) -> bool {
-        matches!(self, Term::Iri(_))
+        matches!(self, Term::Iri(_) | Term::Minted(_))
     }
 
     /// Is this term a literal?
@@ -91,10 +101,12 @@ impl Term {
         matches!(self, Term::Blank(_))
     }
 
-    /// The IRI string, if this term is an IRI.
+    /// The IRI string, if this term is an IRI. For minted terms this
+    /// renders (and caches) the URI — keep it off construction hot paths.
     pub fn as_iri(&self) -> Option<&str> {
         match self {
             Term::Iri(s) => Some(s),
+            Term::Minted(m) => Some(m.uri()),
             _ => None,
         }
     }
@@ -123,6 +135,7 @@ impl fmt::Display for Term {
                 LiteralKind::Lang(lang) => write!(f, "\"{lexical}\"@{lang}"),
                 LiteralKind::Typed(dt) => write!(f, "\"{lexical}\"^^<{dt}>"),
             },
+            Term::Minted(m) => write!(f, "<{}>", m.uri()),
         }
     }
 }

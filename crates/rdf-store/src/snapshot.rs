@@ -82,6 +82,13 @@ fn put_term(buf: &mut BytesMut, t: &Term) {
             buf.put_u8(0);
             put_str(buf, iri);
         }
+        // Minted summary terms persist as their rendered IRI: the snapshot
+        // byte stream is identical to the eager-string era, and decoding
+        // yields a plain `Term::Iri` with the same rendering.
+        Term::Minted(m) => {
+            buf.put_u8(0);
+            put_str(buf, m.uri());
+        }
         Term::Blank(label) => {
             buf.put_u8(1);
             put_str(buf, label);

@@ -43,9 +43,10 @@ fn main() {
     let mut nodes: Vec<TermId> = weak.graph.data_nodes().into_iter().collect();
     nodes.sort_unstable();
     for n in nodes {
-        let uri = match weak.graph.dict().decode(n) {
-            Term::Iri(iri) => iri.clone(),
-            other => other.to_string(),
+        let term = weak.graph.dict().decode(n);
+        let uri = match term.as_iri() {
+            Some(iri) => iri.to_string(),
+            None => term.to_string(),
         };
         let extent = weak.extent(n).len();
         if extent > 0 {
@@ -60,9 +61,10 @@ fn main() {
     println!("\n-- connections (one line per distinct property) --");
     for t in weak.graph.data() {
         let lbl = |id: TermId| -> String {
-            match weak.graph.dict().decode(id) {
-                Term::Iri(iri) => display_label(&prefixes.compact(iri)),
-                other => other.to_string(),
+            let term = weak.graph.dict().decode(id);
+            match term.as_iri() {
+                Some(iri) => display_label(&prefixes.compact(iri)),
+                None => term.to_string(),
             }
         };
         println!("  {} --{}--> {}", lbl(t.s), lbl(t.p), lbl(t.o));

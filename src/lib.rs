@@ -9,13 +9,17 @@
 //! This façade crate re-exports the workspace's public APIs; see the
 //! member crates for the full documentation:
 //!
-//! * [`rdf_model`] — terms, dictionary encoding, graphs `⟨D_G, S_G, T_G⟩`;
+//! * [`rdf_model`] — terms (including symbolic, lazily rendered
+//!   [`rdf_model::Term::Minted`] summary names), dictionary encoding,
+//!   graphs `⟨D_G, S_G, T_G⟩`;
 //! * [`rdf_io`] — N-Triples parsing/serialization, DOT export;
 //! * [`rdf_store`] — permutation-indexed triple store;
 //! * [`rdf_schema`] — RDFS constraints and saturation `G → G∞`;
 //! * [`rdf_query`] — BGP/RBGP queries, evaluation, workload sampling;
 //! * [`rdfsum_core`] — cliques, equivalences, the four summaries, formal
-//!   property checkers;
+//!   property checkers; summary nodes are minted symbolically (interned
+//!   property/class-set keys, URI strings rendered only on output — see
+//!   `rdfsum_core::naming`);
 //! * [`rdfsum_workloads`] — BSBM-like / LUBM-like / shape generators.
 //!
 //! ## Quickstart
