@@ -39,6 +39,47 @@
 //! triples. Node numbering then follows index (ascending id) order rather
 //! than first-seen order; the W/S/TW/TS summaries are identical either way
 //! because their minted names are canonical in the property/class sets.
+//!
+//! # Sharded builds and the shard/merge algebra
+//!
+//! [`SummaryContext::sharded`] / [`SummaryContext::sharded_from_store`]
+//! build the **identical** substrate from `S` independent partial
+//! substrates, one per contiguous input shard, merged after a parallel
+//! scan. Three observations make the merge exact (not merely equivalent):
+//!
+//! 1. **First-seen numbering remaps preserve determinism.** Each shard
+//!    numbers the nodes/properties of its chunk with a *local*
+//!    [`DenseIdMap`] in local first-seen order. First-seen order over a
+//!    concatenation of chunks is the in-order merge of the per-chunk
+//!    first-seen orders, so absorbing the shard maps into one global map
+//!    *in shard order* ([`DenseIdMap::absorb`]) assigns every node the
+//!    exact dense id the sequential pass would have — the per-shard ids
+//!    are rewritten through the returned remap tables in one parallel
+//!    post-pass. Numbering, and hence every downstream artifact, is
+//!    deterministic and shard-count-invariant.
+//! 2. **CSR stitching is an order-preserving concatenation.** A shard's
+//!    remapped `(row, property)` entries keep their chunk-scan order, and
+//!    shard concatenation order equals global scan order, so handing the
+//!    merged entry list to the chunked [`fill_csr_threaded`] produces the
+//!    byte-identical offsets/values arrays of the sequential build.
+//! 3. **Clique union–finds are mergeable.** Property-relatedness is a
+//!    union of per-row co-occurrence constraints, so partial union–finds
+//!    over disjoint row ranges merge by unioning each element with its
+//!    partial root — exactly how [`crate::parallel::parallel_cliques`]
+//!    combines its chunk partials. [`SummaryContext::cliques`] computes
+//!    the sweep that way: row ranges (balanced by CSR entry count) feed
+//!    per-worker union–finds plus range-local representative tables, and
+//!    the merge unions `np` roots per worker and scatters the
+//!    representatives — identical output to the sequential sweep because
+//!    every row is owned by exactly one worker.
+//!
+//! The store-driven sharded path additionally relies on
+//! [`rdf_store::SortedIndex::shards`] cutting only at subject (object)
+//! run boundaries, so each run — and therefore each node's contiguous
+//! triple group — lands whole in exactly one shard and no cross-shard
+//! reconciliation of rows is needed. `S = 1` (the auto fallback below
+//! [`crate::parallel::PARALLEL_SHARD_THRESHOLD`] data triples, and the
+//! default on single-core hosts) is the plain sequential path.
 
 use crate::cliques::{CliqueScope, Cliques};
 use crate::equivalence::{strong_partition, weak_partition, Partition};
@@ -122,9 +163,31 @@ pub struct SummaryContext<'g> {
     in_props: Vec<u32>,
     /// Dense node id → is a typed resource (subject of some τ triple).
     typed: Vec<bool>,
+    /// Worker count for the lazily computed clique sweeps: the shard count
+    /// for sharded builds, `0` (= auto via
+    /// [`crate::parallel::substrate_threads`]) for sequential ones.
+    threads: usize,
     all_cliques: OnceCell<Cliques>,
     untyped_cliques: OnceCell<Cliques>,
     class_sets: OnceCell<ClassSets>,
+}
+
+/// One shard's partial substrate: chunk-local numbering, degrees, and CSR
+/// entries, merged by [`SummaryContext::sharded`] via
+/// [`DenseIdMap::absorb`] remaps.
+#[derive(Default)]
+struct ShardPart {
+    node_map: DenseIdMap,
+    prop_map: DenseIdMap,
+    /// Local node id → outgoing (incoming) data-triple count.
+    out_deg: Vec<u32>,
+    in_deg: Vec<u32>,
+    /// `(local node, local property)` per data triple, in chunk-scan order.
+    out_entries: Vec<(u32, u32)>,
+    in_entries: Vec<(u32, u32)>,
+    /// Local ids of typed subjects (store-driven shards only; the graph
+    /// path types sequentially during the merge).
+    typed: Vec<u32>,
 }
 
 impl<'g> SummaryContext<'g> {
@@ -216,6 +279,122 @@ impl<'g> SummaryContext<'g> {
             in_offsets,
             in_props,
             typed,
+            threads: 0,
+            all_cliques: OnceCell::new(),
+            untyped_cliques: OnceCell::new(),
+            class_sets: OnceCell::new(),
+        }
+    }
+
+    /// Builds the context shard-parallel: `threads` contiguous chunks of
+    /// D_G are scanned into independent partial substrates concurrently,
+    /// then merged into the **identical** substrate [`SummaryContext::new`]
+    /// builds (see the [module docs](self) for why the merge is exact).
+    /// The lazily computed clique sweeps also use `threads` workers.
+    ///
+    /// Falls back to the sequential single-shard path below
+    /// [`crate::parallel::PARALLEL_SHARD_THRESHOLD`] data triples, so
+    /// small graphs and single-core hosts never pay the per-shard fixed
+    /// costs. All five summaries built from a sharded context are
+    /// triple-for-triple, naming-identical to the sequential ones.
+    pub fn sharded(g: &'g Graph, threads: usize) -> Self {
+        match crate::parallel::shard_count(g.data().len(), threads) {
+            0 | 1 => Self::new(g),
+            s => Self::sharded_forced(g, s),
+        }
+    }
+
+    /// [`SummaryContext::sharded`] without the size-threshold fallback —
+    /// the seam the forced-shard tests and crossover benchmarks drive,
+    /// since the auto path shards only above the threshold. Prefer
+    /// [`SummaryContext::sharded`].
+    pub fn sharded_forced(g: &'g Graph, shards: usize) -> Self {
+        let shards = shards.clamp(1, 256);
+        if shards <= 1 {
+            return Self::new(g);
+        }
+        let n_terms = g.dict().len();
+        let data = g.data();
+        // Parallel scan: shard w owns the contiguous chunk
+        // `data[len·w/S .. len·(w+1)/S]` (possibly empty when S exceeds
+        // the triple count) and numbers it locally, replicating the
+        // sequential pass's intern order (s, o, p per triple).
+        let parts: Vec<ShardPart> = std::thread::scope(|ts| {
+            let handles: Vec<_> = (0..shards)
+                .map(|w| {
+                    let chunk = &data[data.len() * w / shards..data.len() * (w + 1) / shards];
+                    ts.spawn(move || {
+                        let mut part = ShardPart {
+                            node_map: DenseIdMap::with_capacity(n_terms),
+                            prop_map: DenseIdMap::with_capacity(n_terms),
+                            out_entries: Vec::with_capacity(chunk.len()),
+                            in_entries: Vec::with_capacity(chunk.len()),
+                            ..ShardPart::default()
+                        };
+                        for t in chunk {
+                            let s = part.node_map.intern(t.s);
+                            if s as usize == part.out_deg.len() {
+                                part.out_deg.push(0);
+                                part.in_deg.push(0);
+                            }
+                            part.out_deg[s as usize] += 1;
+                            let o = part.node_map.intern(t.o);
+                            if o as usize == part.out_deg.len() {
+                                part.out_deg.push(0);
+                                part.in_deg.push(0);
+                            }
+                            part.in_deg[o as usize] += 1;
+                            let p = part.prop_map.intern(t.p);
+                            part.out_entries.push((s, p));
+                            part.in_entries.push((o, p));
+                        }
+                        part
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        // Merge: absorbing the shard numberings in shard order reproduces
+        // the global first-seen numbering; types are numbered after all
+        // data nodes, exactly like the sequential pass.
+        let mut node_map = DenseIdMap::with_capacity(n_terms);
+        let mut prop_map = DenseIdMap::with_capacity(n_terms);
+        let node_remaps: Vec<Vec<u32>> =
+            parts.iter().map(|p| node_map.absorb(&p.node_map)).collect();
+        let prop_remaps: Vec<Vec<u32>> =
+            parts.iter().map(|p| prop_map.absorb(&p.prop_map)).collect();
+        let mut typed_nodes = Vec::new();
+        for t in g.types() {
+            typed_nodes.push(node_map.intern(t.s) as usize);
+        }
+        let n = node_map.len();
+        let mut typed = vec![false; n];
+        for v in typed_nodes {
+            typed[v] = true;
+        }
+        let mut out_deg = vec![0u32; n];
+        let mut in_deg = vec![0u32; n];
+        for (part, remap) in parts.iter().zip(&node_remaps) {
+            for (l, &d) in part.out_deg.iter().enumerate() {
+                out_deg[remap[l] as usize] += d;
+            }
+            for (l, &d) in part.in_deg.iter().enumerate() {
+                in_deg[remap[l] as usize] += d;
+            }
+        }
+        let (out_entries, in_entries) = remap_entries(&parts, &node_remaps, &prop_remaps);
+        let (out_offsets, out_props) = fill_csr_threaded(&out_deg, &out_entries, shards);
+        let (in_offsets, in_props) = fill_csr_threaded(&in_deg, &in_entries, shards);
+        SummaryContext {
+            g,
+            nodes: node_map.into_parts().1,
+            props: prop_map.into_parts().1,
+            out_offsets,
+            out_props,
+            in_offsets,
+            in_props,
+            typed,
+            threads: shards,
             all_cliques: OnceCell::new(),
             untyped_cliques: OnceCell::new(),
             class_sets: OnceCell::new(),
@@ -309,6 +488,170 @@ impl<'g> SummaryContext<'g> {
             in_offsets,
             in_props,
             typed,
+            threads: 0,
+            all_cliques: OnceCell::new(),
+            untyped_cliques: OnceCell::new(),
+            class_sets: OnceCell::new(),
+        }
+    }
+
+    /// [`SummaryContext::from_store`] built shard-parallel from the
+    /// store's subject-range ([`rdf_store::SortedIndex::shards`]) SPO and
+    /// object-range OSP shards: each shard scans its runs into a partial
+    /// substrate concurrently, and the absorb/remap merge reproduces the
+    /// sequential index-order numbering exactly (module docs). Falls back
+    /// to [`SummaryContext::from_store`] below
+    /// [`crate::parallel::PARALLEL_SHARD_THRESHOLD`] data triples.
+    pub fn sharded_from_store(store: &'g TripleStore, threads: usize) -> Self {
+        match crate::parallel::shard_count(store.graph().data().len(), threads) {
+            0 | 1 => Self::from_store(store),
+            s => Self::sharded_from_store_forced(store, s),
+        }
+    }
+
+    /// [`SummaryContext::sharded_from_store`] without the size-threshold
+    /// fallback — the forced-shard test/bench seam. Prefer
+    /// [`SummaryContext::sharded_from_store`].
+    pub fn sharded_from_store_forced(store: &'g TripleStore, shards: usize) -> Self {
+        let shards = shards.clamp(1, 256);
+        if shards <= 1 {
+            return Self::from_store(store);
+        }
+        let g = store.graph();
+        let n_terms = g.dict().len();
+        let wk = g.well_known();
+        let spo_shards = store.spo().shards(shards);
+        let osp_shards = store.osp().shards(shards);
+        // Parallel scan: worker w owns SPO shard w (subjects: outgoing
+        // CSR + typed flags) and OSP shard w (objects: incoming CSR).
+        // Shards cut only at run boundaries, so every node's contiguous
+        // triple group lands whole in exactly one shard.
+        let parts: Vec<(ShardPart, ShardPart)> = std::thread::scope(|ts| {
+            let handles: Vec<_> = spo_shards
+                .iter()
+                .zip(&osp_shards)
+                .map(|(&spo_shard, &osp_shard)| {
+                    let wk = &wk;
+                    ts.spawn(move || {
+                        let mut spo = ShardPart {
+                            node_map: DenseIdMap::with_capacity(n_terms),
+                            prop_map: DenseIdMap::with_capacity(n_terms),
+                            ..ShardPart::default()
+                        };
+                        let mut prop_buf: Vec<u32> = Vec::new();
+                        for run in store.spo().runs_in(spo_shard) {
+                            let mut is_typed = false;
+                            prop_buf.clear();
+                            for t in run {
+                                match wk.component_of(t.p) {
+                                    Component::Data => {
+                                        prop_buf.push(spo.prop_map.intern(t.p));
+                                    }
+                                    Component::Type => is_typed = true,
+                                    Component::Schema => {}
+                                }
+                            }
+                            if !prop_buf.is_empty() || is_typed {
+                                let v = spo.node_map.intern(run[0].s);
+                                if v as usize == spo.out_deg.len() {
+                                    spo.out_deg.push(0);
+                                }
+                                spo.out_deg[v as usize] += prop_buf.len() as u32;
+                                spo.out_entries.extend(prop_buf.iter().map(|&p| (v, p)));
+                                if is_typed {
+                                    spo.typed.push(v);
+                                }
+                            }
+                        }
+                        let mut osp = ShardPart {
+                            node_map: DenseIdMap::with_capacity(n_terms),
+                            prop_map: DenseIdMap::with_capacity(n_terms),
+                            ..ShardPart::default()
+                        };
+                        for run in store.osp().runs_in(osp_shard) {
+                            prop_buf.clear();
+                            for t in run {
+                                if wk.component_of(t.p) == Component::Data {
+                                    prop_buf.push(osp.prop_map.intern(t.p));
+                                }
+                            }
+                            if !prop_buf.is_empty() {
+                                let v = osp.node_map.intern(run[0].o);
+                                if v as usize == osp.in_deg.len() {
+                                    osp.in_deg.push(0);
+                                }
+                                osp.in_deg[v as usize] += prop_buf.len() as u32;
+                                osp.in_entries.extend(prop_buf.iter().map(|&p| (v, p)));
+                            }
+                        }
+                        (spo, osp)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        // Merge in the sequential scan order: all SPO shards (subjects
+        // ascending), then all OSP shards (object-only nodes after every
+        // subject). OSP prop absorbs are no-ops — every data property
+        // already appeared in some SPO run.
+        let mut node_map = DenseIdMap::with_capacity(n_terms);
+        let mut prop_map = DenseIdMap::with_capacity(n_terms);
+        let mut typed_nodes: Vec<usize> = Vec::new();
+        let spo_node_remaps: Vec<Vec<u32>> = parts
+            .iter()
+            .map(|(spo, _)| {
+                let remap = node_map.absorb(&spo.node_map);
+                typed_nodes.extend(spo.typed.iter().map(|&v| remap[v as usize] as usize));
+                remap
+            })
+            .collect();
+        let spo_prop_remaps: Vec<Vec<u32>> = parts
+            .iter()
+            .map(|(spo, _)| prop_map.absorb(&spo.prop_map))
+            .collect();
+        let osp_node_remaps: Vec<Vec<u32>> = parts
+            .iter()
+            .map(|(_, osp)| node_map.absorb(&osp.node_map))
+            .collect();
+        let osp_prop_remaps: Vec<Vec<u32>> = parts
+            .iter()
+            .map(|(_, osp)| prop_map.absorb(&osp.prop_map))
+            .collect();
+        let n = node_map.len();
+        let mut typed = vec![false; n];
+        for v in typed_nodes {
+            typed[v] = true;
+        }
+        let mut out_deg = vec![0u32; n];
+        let mut in_deg = vec![0u32; n];
+        for (w, (spo, osp)) in parts.iter().enumerate() {
+            for (l, &d) in spo.out_deg.iter().enumerate() {
+                out_deg[spo_node_remaps[w][l] as usize] += d;
+            }
+            for (l, &d) in osp.in_deg.iter().enumerate() {
+                in_deg[osp_node_remaps[w][l] as usize] += d;
+            }
+        }
+        let spo_parts: Vec<&ShardPart> = parts.iter().map(|(spo, _)| spo).collect();
+        let osp_parts: Vec<&ShardPart> = parts.iter().map(|(_, osp)| osp).collect();
+        let out_entries = remap_side(&spo_parts, &spo_node_remaps, &spo_prop_remaps, |p| {
+            &p.out_entries
+        });
+        let in_entries = remap_side(&osp_parts, &osp_node_remaps, &osp_prop_remaps, |p| {
+            &p.in_entries
+        });
+        let (out_offsets, out_props) = fill_csr_threaded(&out_deg, &out_entries, shards);
+        let (in_offsets, in_props) = fill_csr_threaded(&in_deg, &in_entries, shards);
+        SummaryContext {
+            g,
+            nodes: node_map.into_parts().1,
+            props: prop_map.into_parts().1,
+            out_offsets,
+            out_props,
+            in_offsets,
+            in_props,
+            typed,
+            threads: shards,
             all_cliques: OnceCell::new(),
             untyped_cliques: OnceCell::new(),
             class_sets: OnceCell::new(),
@@ -353,6 +696,12 @@ impl<'g> SummaryContext<'g> {
     }
 
     /// The cliques of `G` under `scope`, computed on first use and cached.
+    ///
+    /// The sweep is the clique-partial merge machinery of
+    /// [`crate::parallel`] ported onto the CSR rows: above
+    /// [`crate::parallel::PARALLEL_CLIQUE_THRESHOLD`] data triples (or
+    /// always, for sharded contexts) contiguous row ranges feed per-worker
+    /// union–find partials that merge into the sequential result exactly.
     pub fn cliques(&self, scope: CliqueScope) -> &Cliques {
         let cell = match scope {
             CliqueScope::AllNodes => &self.all_cliques,
@@ -361,31 +710,145 @@ impl<'g> SummaryContext<'g> {
         cell.get_or_init(|| self.compute_cliques(scope))
     }
 
-    /// Computes the cliques for `scope` from the CSR layout: two linear
-    /// sweeps (out rows feed the source union–find, in rows the target
-    /// one), no hash lookups.
+    /// Computes the cliques for `scope` from the CSR layout, with the
+    /// worker count auto-selected (the context's shard count, or the
+    /// measured-threshold policy for sequential contexts).
     pub(crate) fn compute_cliques(&self, scope: CliqueScope) -> Cliques {
+        let threads = if self.threads > 0 {
+            self.threads
+        } else {
+            crate::parallel::substrate_threads(
+                self.out_props.len(),
+                crate::parallel::PARALLEL_CLIQUE_THRESHOLD,
+            )
+        };
+        self.compute_cliques_threaded(scope, threads)
+    }
+
+    /// The clique sweep with an explicit worker count — the seam the
+    /// forced-thread tests drive. One worker runs the two linear CSR
+    /// sweeps sequentially (out rows feed the source union–find, in rows
+    /// the target one, no hash lookups); more workers split the rows into
+    /// contiguous ranges balanced by entry count, scan each range into a
+    /// union–find partial plus range-local representative tables, and
+    /// merge exactly like [`crate::parallel::parallel_cliques_forced`]
+    /// merges its chunk partials. Every row is owned by one worker, so
+    /// the representative tables scatter without reconciliation and the
+    /// result — including clique numbering — equals the sequential sweep.
+    pub(crate) fn compute_cliques_threaded(&self, scope: CliqueScope, threads: usize) -> Cliques {
         let np = self.props.len();
+        let n = self.nodes.len();
         let n_terms = self.g.dict().len();
+        let threads = threads.clamp(1, 256).min(n.max(1));
         let mut src_uf = UnionFind::new(np);
         let mut tgt_uf = UnionFind::new(np);
         let mut subject_repr = vec![NO_DENSE_ID; n_terms];
         let mut object_repr = vec![NO_DENSE_ID; n_terms];
-        for v in 0..self.nodes.len() {
-            if scope == CliqueScope::UntypedOnly && self.typed[v] {
-                continue;
-            }
-            if let Some((&first, rest)) = self.out_row(v).split_first() {
-                for &p in rest {
-                    src_uf.union(first as usize, p as usize);
+        if threads <= 1 {
+            for v in 0..n {
+                if scope == CliqueScope::UntypedOnly && self.typed[v] {
+                    continue;
                 }
-                subject_repr[self.nodes[v].index()] = first;
-            }
-            if let Some((&first, rest)) = self.in_row(v).split_first() {
-                for &p in rest {
-                    tgt_uf.union(first as usize, p as usize);
+                if let Some((&first, rest)) = self.out_row(v).split_first() {
+                    for &p in rest {
+                        src_uf.union(first as usize, p as usize);
+                    }
+                    subject_repr[self.nodes[v].index()] = first;
                 }
-                object_repr[self.nodes[v].index()] = first;
+                if let Some((&first, rest)) = self.in_row(v).split_first() {
+                    for &p in rest {
+                        tgt_uf.union(first as usize, p as usize);
+                    }
+                    object_repr[self.nodes[v].index()] = first;
+                }
+            }
+            return Cliques::from_parts(&self.props, src_uf, tgt_uf, subject_repr, object_repr);
+        }
+        // Row-range boundaries balanced by out-entry count, like the CSR
+        // fill's worker split.
+        let total = self.out_props.len();
+        let mut bounds = vec![0usize; threads + 1];
+        bounds[threads] = n;
+        for w in 1..threads {
+            let target = (total * w / threads) as u32;
+            bounds[w] = self
+                .out_offsets
+                .partition_point(|&o| o < target)
+                .clamp(bounds[w - 1], n);
+        }
+        /// Per-worker partial: union–finds over the shared dense property
+        /// numbering plus range-local (dense-node-indexed) repr tables.
+        struct Partial {
+            src_uf: UnionFind,
+            tgt_uf: UnionFind,
+            subj: Vec<u32>,
+            obj: Vec<u32>,
+        }
+        let (typed, out_offsets, out_props) = (&self.typed, &self.out_offsets, &self.out_props);
+        let (in_offsets, in_props) = (&self.in_offsets, &self.in_props);
+        let partials: Vec<Partial> = std::thread::scope(|ts| {
+            let handles: Vec<_> = (0..threads)
+                .map(|w| {
+                    let (lo, hi) = (bounds[w], bounds[w + 1]);
+                    ts.spawn(move || {
+                        let mut part = Partial {
+                            src_uf: UnionFind::new(np),
+                            tgt_uf: UnionFind::new(np),
+                            subj: vec![NO_DENSE_ID; hi - lo],
+                            obj: vec![NO_DENSE_ID; hi - lo],
+                        };
+                        for v in lo..hi {
+                            if scope == CliqueScope::UntypedOnly && typed[v] {
+                                continue;
+                            }
+                            let out_row =
+                                &out_props[out_offsets[v] as usize..out_offsets[v + 1] as usize];
+                            if let Some((&first, rest)) = out_row.split_first() {
+                                for &p in rest {
+                                    part.src_uf.union(first as usize, p as usize);
+                                }
+                                part.subj[v - lo] = first;
+                            }
+                            let in_row =
+                                &in_props[in_offsets[v] as usize..in_offsets[v + 1] as usize];
+                            if let Some((&first, rest)) = in_row.split_first() {
+                                for &p in rest {
+                                    part.tgt_uf.union(first as usize, p as usize);
+                                }
+                                part.obj[v - lo] = first;
+                            }
+                        }
+                        part
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        // Merge: union each partial's elements with their partial roots
+        // (the parallel.rs combine step), then scatter the range-local
+        // representatives into the term-indexed tables — disjoint rows, so
+        // plain overwrites.
+        for (w, mut part) in partials.into_iter().enumerate() {
+            for i in 0..np {
+                let r = part.src_uf.find(i);
+                if r != i {
+                    src_uf.union(i, r);
+                }
+                let r = part.tgt_uf.find(i);
+                if r != i {
+                    tgt_uf.union(i, r);
+                }
+            }
+            let lo = bounds[w];
+            for (d, &repr) in part.subj.iter().enumerate() {
+                if repr != NO_DENSE_ID {
+                    subject_repr[self.nodes[lo + d].index()] = repr;
+                }
+            }
+            for (d, &repr) in part.obj.iter().enumerate() {
+                if repr != NO_DENSE_ID {
+                    object_repr[self.nodes[lo + d].index()] = repr;
+                }
             }
         }
         Cliques::from_parts(&self.props, src_uf, tgt_uf, subject_repr, object_repr)
@@ -722,6 +1185,54 @@ pub(crate) fn fill_csr_threaded(
     (offsets, values)
 }
 
+/// A list of `(row, value)` CSR entries in scan order.
+type EntryList = Vec<(u32, u32)>;
+
+/// Rewrites every shard's local `(row, value)` CSR entries to global ids
+/// through the absorb remap tables, concatenated in shard order — which
+/// *is* the sequential scan order, so the stitched entry list is
+/// bit-identical to the one a single pass would record. Each shard writes
+/// a disjoint range of the output, in parallel.
+fn remap_side<'p>(
+    parts: &[&'p ShardPart],
+    node_remaps: &[Vec<u32>],
+    prop_remaps: &[Vec<u32>],
+    entries_of: impl Fn(&'p ShardPart) -> &'p [(u32, u32)],
+) -> EntryList {
+    let total: usize = parts.iter().map(|&p| entries_of(p).len()).sum();
+    let mut out = vec![(0u32, 0u32); total];
+    std::thread::scope(|ts| {
+        let mut rest: &mut [(u32, u32)] = &mut out;
+        for (w, &part) in parts.iter().enumerate() {
+            let entries = entries_of(part);
+            let (slice, tail) = rest.split_at_mut(entries.len());
+            rest = tail;
+            let (nr, pr) = (&node_remaps[w], &prop_remaps[w]);
+            ts.spawn(move || {
+                for (dst, &(v, p)) in slice.iter_mut().zip(entries) {
+                    *dst = (nr[v as usize], pr[p as usize]);
+                }
+            });
+        }
+    });
+    out
+}
+
+/// Both CSR sides of the graph-path shard partials, remapped and stitched.
+fn remap_entries(
+    parts: &[ShardPart],
+    node_remaps: &[Vec<u32>],
+    prop_remaps: &[Vec<u32>],
+) -> (EntryList, EntryList) {
+    let refs: Vec<&ShardPart> = parts.iter().collect();
+    (
+        remap_side(&refs, node_remaps, prop_remaps, |p| {
+            p.out_entries.as_slice()
+        }),
+        remap_side(&refs, node_remaps, prop_remaps, |p| p.in_entries.as_slice()),
+    )
+}
+
 /// The strong-summary name of a node: the symbolic `N(TC(n), SC(n))` from
 /// the member's own clique signature (all members of a strong class share
 /// it).
@@ -885,6 +1396,131 @@ mod tests {
             let row = &props[offsets[v] as usize..offsets[v + 1] as usize];
             assert_eq!(row, ctx.out_row(v), "row {v}");
         }
+    }
+
+    /// The sharded build is *bit-identical* to the sequential one — same
+    /// numbering, CSR arrays, and typed flags — for every forced shard
+    /// count, including counts past the triple count (empty shards).
+    #[test]
+    fn sharded_forced_substrate_is_bit_identical() {
+        for g in [
+            sample_graph(),
+            crate::fixtures::figure5_graph(),
+            Graph::new(),
+        ] {
+            let seq = SummaryContext::new(&g);
+            for shards in [2, 3, 7, 32] {
+                let sh = SummaryContext::sharded_forced(&g, shards);
+                assert_eq!(sh.nodes, seq.nodes, "{shards} shards");
+                assert_eq!(sh.props, seq.props, "{shards} shards");
+                assert_eq!(sh.out_offsets, seq.out_offsets, "{shards} shards");
+                assert_eq!(sh.out_props, seq.out_props, "{shards} shards");
+                assert_eq!(sh.in_offsets, seq.in_offsets, "{shards} shards");
+                assert_eq!(sh.in_props, seq.in_props, "{shards} shards");
+                assert_eq!(sh.typed, seq.typed, "{shards} shards");
+            }
+        }
+    }
+
+    /// Summaries from a forced-shard context equal the sequential ones
+    /// triple for triple, for all five kinds (naming included).
+    #[test]
+    fn sharded_forced_summaries_match_sequential() {
+        let g = sample_graph();
+        let seq = SummaryContext::new(&g);
+        let canon = |s: &Summary| {
+            let mut v: Vec<String> = rdf_io::write_graph(&s.graph)
+                .lines()
+                .map(String::from)
+                .collect();
+            v.sort();
+            v
+        };
+        for shards in [2, 3, 7] {
+            let sh = SummaryContext::sharded_forced(&g, shards);
+            for kind in SummaryKind::ALL {
+                assert_eq!(
+                    canon(&sh.summarize(kind)),
+                    canon(&seq.summarize(kind)),
+                    "{kind} at {shards} shards"
+                );
+            }
+            assert_eq!(
+                canon(&sh.type_summary()),
+                canon(&seq.type_summary()),
+                "type-based at {shards} shards"
+            );
+        }
+    }
+
+    /// The store-driven sharded build reproduces the sequential
+    /// store-driven substrate bit for bit, shard count by shard count.
+    #[test]
+    fn sharded_from_store_forced_is_bit_identical() {
+        let g = sample_graph();
+        let store = TripleStore::new(g.clone());
+        let seq = SummaryContext::from_store(&store);
+        for shards in [2, 3, 7, 32] {
+            let sh = SummaryContext::sharded_from_store_forced(&store, shards);
+            assert_eq!(sh.nodes, seq.nodes, "{shards} shards");
+            assert_eq!(sh.props, seq.props, "{shards} shards");
+            assert_eq!(sh.out_offsets, seq.out_offsets, "{shards} shards");
+            assert_eq!(sh.out_props, seq.out_props, "{shards} shards");
+            assert_eq!(sh.in_offsets, seq.in_offsets, "{shards} shards");
+            assert_eq!(sh.in_props, seq.in_props, "{shards} shards");
+            assert_eq!(sh.typed, seq.typed, "{shards} shards");
+        }
+        // Empty store: every shard is empty, the build still stands up.
+        let empty_store = TripleStore::new(Graph::new());
+        let sh = SummaryContext::sharded_from_store_forced(&empty_store, 3);
+        assert!(sh.data_nodes().is_empty() && sh.data_properties().is_empty());
+    }
+
+    /// The auto path falls back to the sequential build below the shard
+    /// threshold, whatever was requested.
+    #[test]
+    fn sharded_auto_falls_back_on_small_graphs() {
+        let g = sample_graph();
+        let auto = SummaryContext::sharded(&g, 8);
+        let seq = SummaryContext::new(&g);
+        assert_eq!(auto.nodes, seq.nodes);
+        assert_eq!(auto.threads, 0, "fallback is the plain sequential path");
+        let store = TripleStore::new(g.clone());
+        let auto = SummaryContext::sharded_from_store(&store, 8);
+        assert_eq!(auto.threads, 0);
+    }
+
+    /// The row-range clique sweep equals the sequential sweep exactly —
+    /// clique numbering included — for every worker count and both scopes.
+    #[test]
+    fn forced_thread_cliques_match_sequential() {
+        let g = sample_graph();
+        let ctx = SummaryContext::new(&g);
+        for scope in [CliqueScope::AllNodes, CliqueScope::UntypedOnly] {
+            let seq = ctx.compute_cliques_threaded(scope, 1);
+            for threads in [2, 3, 5, 16] {
+                let par = ctx.compute_cliques_threaded(scope, threads);
+                assert_eq!(
+                    par.source_cliques, seq.source_cliques,
+                    "{scope:?}/{threads}"
+                );
+                assert_eq!(
+                    par.target_cliques, seq.target_cliques,
+                    "{scope:?}/{threads}"
+                );
+                for &n in ctx.data_nodes() {
+                    assert_eq!(par.sc(n), seq.sc(n), "{scope:?}/{threads}");
+                    assert_eq!(par.tc(n), seq.tc(n), "{scope:?}/{threads}");
+                }
+            }
+        }
+        // A sharded context runs its sweep with the shard count; the
+        // cached cliques still match the sequential ones.
+        let sh = SummaryContext::sharded_forced(&g, 3);
+        let a = sh.cliques(CliqueScope::AllNodes);
+        let b = ctx.cliques(CliqueScope::AllNodes);
+        assert_eq!(a.source_cliques, b.source_cliques);
+        assert_eq!(a.target_cliques, b.target_cliques);
     }
 
     #[test]

@@ -15,10 +15,11 @@
 //! (removing a triple can split cliques, which union–find cannot undo);
 //! rebuild for that — still cheap, as summarization is linear.
 
-use crate::naming::{n_tau_uri, n_uri};
+use crate::naming::n_term;
 use crate::summary::{Summary, SummaryKind};
 use crate::unionfind::UnionFind;
 use rdf_model::{Component, FxHashMap, Graph, Term, TermId, Triple};
+use std::sync::Arc;
 
 /// An online weak summarizer.
 #[derive(Debug)]
@@ -189,34 +190,39 @@ impl IncrementalWeak {
         roots.dedup();
         for root in roots {
             // Prop-less roots are exactly the typed-only resources; they
-            // all coalesce onto Nτ here (same URI ⇒ same summary node).
-            let uri = if !in_props.contains_key(&root) && !out_props.contains_key(&root) {
-                n_tau_uri().to_string()
-            } else {
-                let tc = in_props.get(&root).cloned().unwrap_or_default();
-                let sc = out_props.get(&root).cloned().unwrap_or_default();
-                n_uri(self.graph.dict(), &tc, &sc)
-            };
-            h_node.insert(root, h.dict_mut().encode(Term::iri(uri)));
+            // all coalesce onto Nτ here: `n_term(∅, ∅)` normalizes to the
+            // structurally-equal Nτ key, so every such root encodes to
+            // one summary node. Names mint symbolically (shared `Arc`
+            // set keys, lazily rendered) and each root mints once, so
+            // pointer-identity coincides with name identity — rendered
+            // output is byte-identical to the old eager strings.
+            let tc = in_props.get(&root).cloned().unwrap_or_default();
+            let sc = out_props.get(&root).cloned().unwrap_or_default();
+            let name = n_term(self.graph.dict(), &tc, &sc);
+            h_node.insert(root, h.dict_mut().encode(name));
         }
 
+        // Constants transfer dictionary-to-dictionary as shared `Arc`s.
+        let dict = self.graph.dict();
+        let transfer =
+            |h: &mut Graph, id: TermId| h.dict_mut().encode_shared(Arc::clone(dict.shared(id)));
         for t in self.graph.schema() {
-            let s = h.dict_mut().encode(self.graph.dict().decode(t.s).clone());
-            let p = h.dict_mut().encode(self.graph.dict().decode(t.p).clone());
-            let o = h.dict_mut().encode(self.graph.dict().decode(t.o).clone());
+            let s = transfer(&mut h, t.s);
+            let p = transfer(&mut h, t.p);
+            let o = transfer(&mut h, t.o);
             h.insert_encoded(Triple::new(s, p, o));
         }
         for (&p, &(s, o)) in &self.dtp {
             let s = h_node[&self.uf.find_const(s)];
             let o = h_node[&self.uf.find_const(o)];
-            let p = h.dict_mut().encode(self.graph.dict().decode(p).clone());
+            let p = transfer(&mut h, p);
             h.insert_encoded(Triple::new(s, p, o));
         }
         let tau = h.rdf_type();
         for (&d, classes) in &self.dcls {
             let s = h_node[&self.uf.find_const(d)];
             for &c in classes {
-                let c = h.dict_mut().encode(self.graph.dict().decode(c).clone());
+                let c = transfer(&mut h, c);
                 h.insert_encoded(Triple::new(s, tau, c));
             }
         }

@@ -45,6 +45,17 @@
 //! ([`context::SummaryContext::from_store`]), which hands the pipeline
 //! each node's triples as contiguous grouped runs.
 //!
+//! The substrate is **shard-mergeable**:
+//! [`context::SummaryContext::sharded`] (and `sharded_from_store`, fed by
+//! the store's subject-range index shards) builds S independent partial
+//! substrates concurrently and merges them — per-chunk dense numbering
+//! remapped through [`rdf_model::DenseIdMap::absorb`], CSR stitched in
+//! shard order, clique union–finds merged like the parallel clique
+//! partials — into the *identical* substrate the sequential pass builds,
+//! so all five summaries come out triple-for-triple, naming-identical at
+//! any shard count. Small graphs and single-core hosts auto-fall back to
+//! the sequential S = 1 path.
+//!
 //! ## Symbolic minted names
 //!
 //! Summary nodes are named by [`rdf_model::Term::Minted`] terms: the

@@ -23,10 +23,11 @@
 //! serialization).
 //!
 //! The eager string functions [`n_uri`] / [`c_uri`] are retained for the
-//! pre-refactor reference oracle ([`crate::reference`]), the streaming /
-//! incremental builders, and tests; determinism of both paths is what
-//! lets the completeness tests compare `W_{G∞}` and `W_{(W_G)∞}` by plain
-//! graph equality.
+//! pre-refactor reference oracle ([`crate::reference`]) and for tests
+//! pinning the rendered form — every live builder, batch and
+//! streaming/incremental alike, now mints symbolically; determinism of
+//! both paths is what lets the completeness tests compare `W_{G∞}` and
+//! `W_{(W_G)∞}` by plain graph equality.
 
 use rdf_model::{Dictionary, MintedTerm, SharedTerm, Term, TermId};
 use std::sync::Arc;
@@ -80,7 +81,8 @@ fn join_sorted(dict: &Dictionary, ids: &[TermId]) -> String {
 }
 
 /// Eager-string `N(TC, SC)` — the rendered URI of [`n_term`]'s result.
-/// Used by the reference oracle and the streaming/incremental builders.
+/// Used only by the pre-refactor reference oracle and by tests pinning
+/// the rendered form; every live builder mints symbolically.
 pub fn n_uri(dict: &Dictionary, tc: &[TermId], sc: &[TermId]) -> String {
     if tc.is_empty() && sc.is_empty() {
         return n_tau_uri().to_string();

@@ -70,6 +70,31 @@ pub fn effective_threads(n_data_triples: usize, requested: usize) -> usize {
     }
 }
 
+/// Below this many data triples, the shard-parallel substrate build of
+/// [`crate::context::SummaryContext::sharded`] is not worth its fixed
+/// costs — per-shard `DenseIdMap` slot tables (`O(dictionary)` each) plus
+/// the absorb/remap merge pass — and the build runs the sequential
+/// single-shard path instead. Chosen to match the CSR fill's break-even:
+/// the sharded build subsumes the chunked fill, so below the fill's
+/// threshold there is nothing left for shards to win.
+pub const PARALLEL_SHARD_THRESHOLD: usize = 65_536;
+
+/// The shard count [`crate::context::SummaryContext::sharded`] actually
+/// uses for a graph with `n_data_triples` when `requested` shards are
+/// asked for: `1` (the sequential single-shard special case) below
+/// [`PARALLEL_SHARD_THRESHOLD`], otherwise the request clamped to the
+/// 256-worker cap shared with the CSR fill. Unlike [`substrate_threads`]
+/// this honors explicit requests beyond the machine's core count — the
+/// CLI routes a user's `--threads N` through here, and the auto default
+/// (available cores) keeps 1-CPU hosts on the sequential path.
+pub fn shard_count(n_data_triples: usize, requested: usize) -> usize {
+    if n_data_triples < PARALLEL_SHARD_THRESHOLD {
+        1
+    } else {
+        requested.clamp(1, 256)
+    }
+}
+
 /// Below this many CSR entries (one per data triple and direction), the
 /// chunked parallel adjacency fill of
 /// [`crate::context::SummaryContext::new`] loses to the single-threaded
@@ -427,6 +452,17 @@ mod tests {
         assert!(t >= 1 && t <= avail.max(1));
         let big = substrate_threads(10 * TRIPLES_PER_EXTRA_WORKER, PARALLEL_CSR_THRESHOLD);
         assert!(big <= avail.max(1));
+    }
+
+    /// The sharded-build policy: sequential below the threshold, the
+    /// explicit request (clamped to the worker-table cap) above it.
+    #[test]
+    fn shard_count_policy() {
+        assert_eq!(shard_count(PARALLEL_SHARD_THRESHOLD - 1, 8), 1);
+        assert_eq!(shard_count(100, 999), 1);
+        assert_eq!(shard_count(PARALLEL_SHARD_THRESHOLD, 8), 8);
+        assert_eq!(shard_count(PARALLEL_SHARD_THRESHOLD, 0), 1);
+        assert_eq!(shard_count(1 << 20, 999), 256);
     }
 
     #[test]

@@ -22,10 +22,11 @@
 //! type triples first (the paper's TW ordering), then data triples, never
 //! merging typed nodes.
 
-use crate::naming::{c_uri, n_tau_uri, n_uri};
+use crate::naming::{c_term, n_term};
 use crate::summary::{Summary, SummaryKind};
 use crate::unionfind::UnionFind;
 use rdf_model::{FxHashMap, Graph, Term, TermId, Triple};
+use std::sync::Arc;
 
 /// Internal: mutable summarization state shared by the streaming builders.
 struct Stream {
@@ -218,30 +219,23 @@ fn assemble(
         out_props.entry(st.find(d)).or_default().push(p);
     }
 
-    // Name each root.
-    let mut names: FxHashMap<usize, String> = FxHashMap::default();
-    let name_of = |root: usize, st: &Stream, names: &mut FxHashMap<usize, String>| -> String {
-        if let Some(n) = names.get(&root) {
-            return n.clone();
-        }
-        let name = if let Some(named) = &class_named {
+    // Name each root, minting symbolically: `n_term`/`c_term` return
+    // `Term::Minted` set keys (shared `Arc`s into G's dictionary) whose
+    // URIs render lazily — and byte-identically to the old eager strings.
+    // Each root mints exactly once, so minted pointer-identity coincides
+    // with name identity (`Nτ` keys are structurally equal by design).
+    let name_of = |root: usize, st: &Stream| -> Term {
+        if let Some(named) = &class_named {
             // Typed-weak: class-set nodes are C(X); others are N(in, out).
             if let Some(cs) = named.get(&root) {
-                c_uri(g.dict(), cs)
-            } else {
-                let tc = in_props.get(&root).cloned().unwrap_or_default();
-                let sc = out_props.get(&root).cloned().unwrap_or_default();
-                n_uri(g.dict(), &tc, &sc)
+                return c_term(g.dict(), cs);
             }
         } else if typed_only_node.map(|d| st.uf.find_const(d)) == Some(root) {
-            n_tau_uri().to_string()
-        } else {
-            let tc = in_props.get(&root).cloned().unwrap_or_default();
-            let sc = out_props.get(&root).cloned().unwrap_or_default();
-            n_uri(g.dict(), &tc, &sc)
-        };
-        names.insert(root, name.clone());
-        name
+            return n_term(g.dict(), &[], &[]); // normalizes to Nτ
+        }
+        let tc = in_props.get(&root).cloned().unwrap_or_default();
+        let sc = out_props.get(&root).cloned().unwrap_or_default();
+        n_term(g.dict(), &tc, &sc)
     };
 
     let mut h = Graph::new();
@@ -253,23 +247,26 @@ fn assemble(
         r
     };
     for root in roots {
-        let uri = name_of(root, &st, &mut names);
-        let id = h.dict_mut().encode(Term::iri(uri));
+        let id = h.dict_mut().encode(name_of(root, &st));
         h_node.insert(root, id);
     }
 
+    // Constants transfer dictionary-to-dictionary as shared `Arc`s.
+    let transfer = |h: &mut Graph, id: TermId| -> TermId {
+        h.dict_mut().encode_shared(Arc::clone(g.dict().shared(id)))
+    };
     // Schema copied verbatim.
     for t in g.schema() {
-        let s = h.dict_mut().encode(g.dict().decode(t.s).clone());
-        let p = h.dict_mut().encode(g.dict().decode(t.p).clone());
-        let o = h.dict_mut().encode(g.dict().decode(t.o).clone());
+        let s = transfer(&mut h, t.s);
+        let p = transfer(&mut h, t.p);
+        let o = transfer(&mut h, t.o);
         h.insert_encoded(Triple::new(s, p, o));
     }
     // Data edges.
     for (s, p, o) in edges {
         let s = h_node[&st.uf.find_const(s)];
         let o = h_node[&st.uf.find_const(o)];
-        let p = h.dict_mut().encode(g.dict().decode(p).clone());
+        let p = transfer(&mut h, p);
         h.insert_encoded(Triple::new(s, p, o));
     }
     // Type edges.
@@ -277,7 +274,7 @@ fn assemble(
     for (d, classes) in dcls {
         let s = h_node[&st.uf.find_const(d)];
         for c in classes {
-            let c = h.dict_mut().encode(g.dict().decode(c).clone());
+            let c = transfer(&mut h, c);
             h.insert_encoded(Triple::new(s, tau, c));
         }
     }

@@ -45,6 +45,51 @@ impl SortedIndex {
         SortedIndex { order, triples: v }
     }
 
+    /// [`SortedIndex::build`] with the sort split across up to `threads`
+    /// workers: each chunk is sorted (and deduplicated) concurrently, then
+    /// pairwise merge-dedup rounds combine the runs. A key is a full
+    /// permutation of the triple, so key-equality is triple-equality and
+    /// the result is exactly the sequential sort + dedup.
+    pub fn build_threaded(order: Order, triples: &[Triple], threads: usize) -> Self {
+        let threads = threads.clamp(1, 256);
+        if threads <= 1 || triples.len() < 2 {
+            return Self::build(order, triples);
+        }
+        let chunk_size = triples.len().div_ceil(threads).max(1);
+        let mut runs: Vec<Vec<Triple>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = triples
+                .chunks(chunk_size)
+                .map(|chunk| {
+                    scope.spawn(move || {
+                        let mut run = chunk.to_vec();
+                        run.sort_unstable_by_key(|&t| key(order, t));
+                        run.dedup();
+                        run
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        while runs.len() > 1 {
+            runs = std::thread::scope(|scope| {
+                let mut handles = Vec::with_capacity(runs.len().div_ceil(2));
+                let mut iter = runs.into_iter();
+                while let Some(a) = iter.next() {
+                    let b = iter.next();
+                    handles.push(scope.spawn(move || match b {
+                        Some(b) => merge_dedup(order, &a, &b),
+                        None => a,
+                    }));
+                }
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            });
+        }
+        SortedIndex {
+            order,
+            triples: runs.pop().unwrap_or_default(),
+        }
+    }
+
     /// The sort order of this index.
     pub fn order(&self) -> Order {
         self.order
@@ -101,6 +146,47 @@ impl SortedIndex {
         }
     }
 
+    /// Partitions the index into exactly `n` contiguous shards, split only
+    /// at first-key-component boundaries and balanced by triple count.
+    ///
+    /// On an SPO index the shards are **subject-range shards**: every
+    /// subject's triples land whole in exactly one shard, so per-shard
+    /// grouped scans ([`SortedIndex::runs_in`]) see the same runs a global
+    /// [`SortedIndex::runs1`] scan would, shard-concatenation order equals
+    /// index order, and shard results merge without reconciliation. Heavy
+    /// first-key skew (or `n` larger than the number of distinct first
+    /// keys) yields some empty shards — callers must tolerate them.
+    pub fn shards(&self, n: usize) -> Vec<&[Triple]> {
+        let n = n.max(1);
+        let total = self.triples.len();
+        let mut bounds = vec![0usize; n + 1];
+        bounds[n] = total;
+        for w in 1..n {
+            let lo = bounds[w - 1];
+            let target = (total * w / n).max(lo);
+            bounds[w] = if target >= total {
+                total
+            } else {
+                // Round the cut up to the end of the run containing it.
+                let k1 = key(self.order, self.triples[target]).0;
+                self.triples
+                    .partition_point(|&t| key(self.order, t).0 <= k1)
+            };
+        }
+        (0..n)
+            .map(|w| &self.triples[bounds[w]..bounds[w + 1]])
+            .collect()
+    }
+
+    /// The grouped-run iterator of [`SortedIndex::runs1`], restricted to
+    /// one shard slice produced by [`SortedIndex::shards`].
+    pub fn runs_in<'a>(&self, shard: &'a [Triple]) -> Runs1<'a> {
+        Runs1 {
+            order: self.order,
+            rest: shard,
+        }
+    }
+
     /// Is the exact triple present? (Binary search on the full key.)
     pub fn contains(&self, t: Triple) -> bool {
         self.triples
@@ -114,6 +200,33 @@ impl SortedIndex {
             .windows(2)
             .all(|w| key(self.order, w[0]) <= key(self.order, w[1]))
     }
+}
+
+/// Merges two sorted, deduplicated triple runs into one, dropping
+/// duplicates (keys are full permutations, so key-equal means equal).
+fn merge_dedup(order: Order, a: &[Triple], b: &[Triple]) -> Vec<Triple> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match key(order, a[i]).cmp(&key(order, b[j])) {
+            std::cmp::Ordering::Less => {
+                out.push(a[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(b[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
 }
 
 /// Iterator over the maximal first-key-component runs of a [`SortedIndex`].
@@ -213,6 +326,87 @@ mod tests {
         // Concatenation reproduces the full index.
         let total: usize = runs.iter().map(|r| r.len()).sum();
         assert_eq!(total, idx.len());
+    }
+
+    /// Shards split only at run boundaries, concatenate back to the full
+    /// index, and over-sharding yields (tolerated) empty shards.
+    #[test]
+    fn shards_partition_at_run_boundaries() {
+        let idx = SortedIndex::build(Order::Spo, &sample());
+        for n in [1, 2, 3, 7] {
+            let shards = idx.shards(n);
+            assert_eq!(shards.len(), n);
+            let total: usize = shards.iter().map(|s| s.len()).sum();
+            assert_eq!(total, idx.len(), "{n} shards");
+            // Concatenation order is index order.
+            let concat: Vec<Triple> = shards.iter().flat_map(|s| s.iter().copied()).collect();
+            assert_eq!(concat, idx.as_slice());
+            // No subject is split across two shards.
+            let mut seen: Vec<u32> = Vec::new();
+            for shard in &shards {
+                let mut subjects: Vec<u32> = shard.iter().map(|t| t.s.0).collect();
+                subjects.dedup();
+                for s in subjects {
+                    assert!(!seen.contains(&s), "subject {s} split across shards");
+                    seen.push(s);
+                }
+            }
+            // Per-shard runs are exactly the global runs, in order.
+            let global: Vec<&[Triple]> = idx.runs1().collect();
+            let sharded: Vec<&[Triple]> = shards.iter().flat_map(|s| idx.runs_in(s)).collect();
+            assert_eq!(sharded, global);
+        }
+        // 3 distinct subjects: asking for 7 shards leaves ≥4 empty.
+        let shards = idx.shards(7);
+        assert!(shards.iter().filter(|s| s.is_empty()).count() >= 4);
+        // Empty index: all shards empty.
+        let empty = SortedIndex::build(Order::Spo, &[]);
+        assert!(empty.shards(3).iter().all(|s| s.is_empty()));
+    }
+
+    /// One first-key run dominating the index cannot be split: every cut
+    /// rounds up to its run boundary.
+    #[test]
+    fn shards_keep_hot_run_whole() {
+        let mut triples: Vec<Triple> = (0..40).map(|o| t(1, 1, o)).collect();
+        triples.push(t(0, 1, 1));
+        triples.push(t(2, 1, 1));
+        let idx = SortedIndex::build(Order::Spo, &triples);
+        for shard in idx.shards(4) {
+            if shard.iter().any(|u| u.s == TermId(1)) {
+                assert_eq!(shard.iter().filter(|u| u.s == TermId(1)).count(), 40);
+            }
+        }
+    }
+
+    /// The chunk-sort + merge build equals the sequential build exactly,
+    /// for every worker count and duplicate-heavy inputs.
+    #[test]
+    fn threaded_build_matches_sequential() {
+        let mut rng = rdf_model::SplitMix64::new(0x1D7);
+        for case in 0..24 {
+            let len = case * 13;
+            let triples: Vec<Triple> = (0..len)
+                .map(|_| {
+                    t(
+                        rng.index(9) as u32,
+                        rng.index(4) as u32,
+                        rng.index(9) as u32,
+                    )
+                })
+                .collect();
+            for order in [Order::Spo, Order::Pos, Order::Osp] {
+                let seq = SortedIndex::build(order, &triples);
+                for threads in [1, 2, 3, 8] {
+                    let par = SortedIndex::build_threaded(order, &triples, threads);
+                    assert_eq!(
+                        par.as_slice(),
+                        seq.as_slice(),
+                        "{order:?}, {threads} threads"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

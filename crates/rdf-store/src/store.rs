@@ -37,6 +37,35 @@ impl TripleStore {
         }
     }
 
+    /// [`TripleStore::new`] with a concurrent bulk load: the three
+    /// permutation indices are built in parallel, each with a share of the
+    /// requested workers ([`SortedIndex::build_threaded`]). Indices are
+    /// identical to the sequential build; `threads <= 1` falls back to it.
+    pub fn with_threads(graph: Graph, threads: usize) -> Self {
+        if threads <= 1 {
+            return Self::new(graph);
+        }
+        let all: Vec<Triple> = graph.iter().collect();
+        let per_index = (threads / 3).max(1);
+        let (spo, pos, osp) = std::thread::scope(|scope| {
+            let all = &all;
+            let spo = scope.spawn(move || SortedIndex::build_threaded(Order::Spo, all, per_index));
+            let pos = scope.spawn(move || SortedIndex::build_threaded(Order::Pos, all, per_index));
+            let osp = scope.spawn(move || SortedIndex::build_threaded(Order::Osp, all, per_index));
+            (
+                spo.join().unwrap(),
+                pos.join().unwrap(),
+                osp.join().unwrap(),
+            )
+        });
+        TripleStore {
+            spo,
+            pos,
+            osp,
+            graph,
+        }
+    }
+
     /// The underlying graph.
     pub fn graph(&self) -> &Graph {
         &self.graph
@@ -265,6 +294,17 @@ mod tests {
         assert!(st.any(TriplePattern::new(None, Some(p), None)));
         let fresh = TermId(u32::MAX - 1);
         assert!(!st.any(TriplePattern::new(Some(fresh), None, None)));
+    }
+
+    #[test]
+    fn with_threads_builds_identical_indices() {
+        let st = store();
+        for threads in [1, 2, 4, 8] {
+            let par = TripleStore::with_threads(st.graph().clone(), threads);
+            assert_eq!(par.spo().as_slice(), st.spo().as_slice(), "{threads}");
+            assert_eq!(par.pos().as_slice(), st.pos().as_slice(), "{threads}");
+            assert_eq!(par.osp().as_slice(), st.osp().as_slice(), "{threads}");
+        }
     }
 
     #[test]

@@ -34,6 +34,9 @@ USAGE:
   rdfsummary summarize  <graph> [--kind w|s|tw|ts|t]    build a summary
                          [--out FILE] [--dot FILE] [--turtle FILE] [--report]
                          [--all]  build W+S+TW+TS via one shared context
+                         [--threads N]  shard the substrate build across N
+                         workers (default: RDFSUM_THREADS or all cores;
+                         small graphs always build sequentially)
   rdfsummary saturate   <graph> [--out FILE]            compute G∞
   rdfsummary check      <graph>                         verify formal properties
   rdfsummary query      <graph> QUERY [--saturate]      evaluate a BGP query
@@ -60,6 +63,26 @@ fn flag_value(args: &[String], name: &str) -> Option<String> {
 
 fn has_flag(args: &[String], name: &str) -> bool {
     args.iter().any(|a| a == name)
+}
+
+/// Worker/shard count for the summarize substrate: `--threads N`, else the
+/// `RDFSUM_THREADS` env var, else all available cores. The count flows
+/// through `SummaryContext::sharded`, whose size threshold keeps small
+/// graphs (and therefore 1-CPU default runs) on the sequential path.
+fn thread_count(rest: &[String]) -> Result<usize, String> {
+    fn parse(v: &str, what: &str) -> Result<usize, String> {
+        match v.parse::<usize>() {
+            Ok(n) if n >= 1 => Ok(n),
+            _ => Err(format!("bad {what} value `{v}` (want an integer >= 1)")),
+        }
+    }
+    if let Some(v) = flag_value(rest, "--threads") {
+        return parse(&v, "--threads");
+    }
+    if let Ok(v) = std::env::var("RDFSUM_THREADS") {
+        return parse(&v, "RDFSUM_THREADS");
+    }
+    Ok(std::thread::available_parallelism().map_or(1, usize::from))
 }
 
 fn parse_kind(s: &str) -> Option<SummaryKind> {
@@ -133,13 +156,14 @@ fn cmd_stats(path: &str, rest: &[String]) -> Result<(), String> {
 
 /// `summarize --all`: builds W, S, TW and TS through one shared
 /// [`rdfsum_core::SummaryContext`], so the dense numbering, CSR adjacency
-/// and property cliques (both scopes) are computed once, not four times.
-fn cmd_summarize_all(path: &str, g: &Graph) -> Result<(), String> {
+/// and property cliques (both scopes) are computed once, not four times —
+/// shard-parallel across `threads` workers on large graphs.
+fn cmd_summarize_all(path: &str, g: &Graph, threads: usize) -> Result<(), String> {
     let t0 = std::time::Instant::now();
-    let ctx = rdfsum_core::SummaryContext::new(g);
+    let ctx = rdfsum_core::SummaryContext::sharded(g, threads);
     let t_ctx = t0.elapsed().as_secs_f64();
     println!(
-        "all summaries of {path} (input {} triples; shared context built in {t_ctx:.3}s):",
+        "all summaries of {path} (input {} triples; shared context built in {t_ctx:.3}s, {threads} worker(s) requested):",
         g.len()
     );
     for kind in SummaryKind::ALL {
@@ -166,15 +190,24 @@ fn cmd_summarize(path: &str, rest: &[String]) -> Result<(), String> {
             }
         }
         let g = load(path)?;
-        return cmd_summarize_all(path, &g);
+        let threads = thread_count(rest)?;
+        return cmd_summarize_all(path, &g, threads);
     }
     let g = load(path)?;
+    let threads = thread_count(rest)?;
     let kind = match flag_value(rest, "--kind") {
         Some(k) => parse_kind(&k).ok_or(format!("unknown summary kind `{k}`"))?,
         None => SummaryKind::Weak,
     };
     let t0 = std::time::Instant::now();
-    let s = summarize(&g, kind);
+    // The sharded substrate only pays off when the build will actually
+    // shard; otherwise (small graph, one worker) keep the classic lean
+    // single-summary path. Identical output either way.
+    let s = if rdfsum_core::parallel::shard_count(g.data().len(), threads) > 1 {
+        rdfsum_core::SummaryContext::sharded(&g, threads).summarize(kind)
+    } else {
+        summarize(&g, kind)
+    };
     let dt = t0.elapsed().as_secs_f64();
     let st = s.stats();
     println!(

@@ -102,6 +102,66 @@ fn summarize_all_shares_one_context() {
     assert!(String::from_utf8_lossy(&out.stderr).contains("--all cannot be combined"));
 }
 
+/// `--threads N` (and the `RDFSUM_THREADS` fallback) route through the
+/// sharded substrate build; output is identical to the sequential run,
+/// and bad values are rejected.
+#[test]
+fn summarize_with_threads_flag() {
+    let dir = workdir();
+    let file = sample_file(&dir);
+    let sequential = bin()
+        .args(["summarize", file.to_str().unwrap(), "--kind", "s"])
+        .args(["--threads", "1"])
+        .output()
+        .unwrap();
+    assert!(sequential.status.success());
+    let threaded = bin()
+        .args(["summarize", file.to_str().unwrap(), "--kind", "s"])
+        .args(["--threads", "4"])
+        .output()
+        .unwrap();
+    assert!(
+        threaded.status.success(),
+        "{}",
+        String::from_utf8_lossy(&threaded.stderr)
+    );
+    let strip_timing = |out: &[u8]| -> String {
+        let text = String::from_utf8_lossy(out).into_owned();
+        // Drop the wall-clock suffix, which legitimately differs.
+        text.split(" in ").next().unwrap_or(&text).to_string()
+    };
+    assert_eq!(
+        strip_timing(&sequential.stdout),
+        strip_timing(&threaded.stdout)
+    );
+
+    // The env fallback is accepted too (value validated the same way).
+    let out = bin()
+        .args(["summarize", file.to_str().unwrap(), "--all"])
+        .env("RDFSUM_THREADS", "2")
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("2 worker(s) requested"));
+
+    for bad in ["0", "lots"] {
+        let out = bin()
+            .args(["summarize", file.to_str().unwrap()])
+            .args(["--threads", bad])
+            .output()
+            .unwrap();
+        assert!(!out.status.success(), "--threads {bad} should be rejected");
+        assert!(String::from_utf8_lossy(&out.stderr).contains("bad --threads"));
+        let out = bin()
+            .args(["summarize", file.to_str().unwrap()])
+            .env("RDFSUM_THREADS", bad)
+            .output()
+            .unwrap();
+        assert!(!out.status.success());
+        assert!(String::from_utf8_lossy(&out.stderr).contains("bad RDFSUM_THREADS"));
+    }
+}
+
 #[test]
 fn generate_snapshot_stats_pipeline() {
     let dir = workdir();

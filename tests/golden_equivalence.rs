@@ -44,6 +44,45 @@ fn assert_golden(name: &str, g: &rdfsummary::rdf_model::Graph) {
         // The correspondence maps stay well-formed too.
         assert!(dense.check_correspondence_invariants(), "{name}/{kind}");
     }
+    assert_sharded_matches(name, g);
+}
+
+/// The shard-merged substrate must be summary-equivalent to the sequential
+/// context — triple for triple, minted name for minted name — for all
+/// five kinds, at forced shard counts the auto path would never pick on
+/// these sizes (so CI exercises the absorb/remap and clique-merge paths
+/// even on single-core hosts). Shard counts past the run/triple count
+/// cover the empty-shard edge case.
+fn assert_sharded_matches(name: &str, g: &rdfsummary::rdf_model::Graph) {
+    let seq = SummaryContext::new(g);
+    for shards in [2, 3, 7] {
+        let ctx = SummaryContext::sharded_forced(g, shards);
+        for kind in KINDS {
+            assert_eq!(
+                canonical(&ctx.summarize(kind)),
+                canonical(&seq.summarize(kind)),
+                "sharded {kind} summary diverged at {shards} shards on {name}"
+            );
+        }
+    }
+}
+
+/// Store-driven sharded builds (subject-range SPO shards + object-range
+/// OSP shards) match the sequential store-driven context for the four
+/// principal kinds.
+fn assert_store_sharded_matches(name: &str, g: &rdfsummary::rdf_model::Graph) {
+    let store = TripleStore::new(g.clone());
+    let seq = SummaryContext::from_store(&store);
+    for shards in [2, 5] {
+        let ctx = SummaryContext::sharded_from_store_forced(&store, shards);
+        for kind in SummaryKind::ALL {
+            assert_eq!(
+                canonical(&ctx.summarize(kind)),
+                canonical(&seq.summarize(kind)),
+                "store-sharded {kind} summary diverged at {shards} shards on {name}"
+            );
+        }
+    }
 }
 
 /// The store-driven context (sorted SPO/OSP index scans, different node
@@ -61,6 +100,7 @@ fn assert_store_context_matches(name: &str, g: &rdfsummary::rdf_model::Graph) {
             "store-driven {kind} summary diverged on {name}"
         );
     }
+    assert_store_sharded_matches(name, g);
 }
 
 #[test]
