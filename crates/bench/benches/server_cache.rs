@@ -1,0 +1,62 @@
+//! `server_cache` group: what the warm-store server saves per request.
+//!
+//! Three rows per scale pin the cost ladder the serving subsystem trades
+//! on: a **cold build** (cache cleared every iteration: context build +
+//! summarize + N-Triples serialization — what a single-shot CLI run pays
+//! after parsing), a **warm cache hit** (fingerprint lookup + `Arc`
+//! clone — what a resident server pays), and the **fingerprint-only**
+//! cost (the content digest over the sorted SPO index — the per-`LOAD`
+//! overhead that buys the content-keyed cache). The acceptance bar for
+//! the serving PR is warm ≥ 10× faster than cold at BSBM-30k.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rdf_store::TripleStore;
+use rdfsum_core::{SummaryKind, SummaryService};
+use rdfsum_workloads::BsbmConfig;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_server_cache(c: &mut Criterion) {
+    for (label, products) in [("bsbm_30k", 300usize), ("bsbm_200k", 2000usize)] {
+        let g = rdfsum_workloads::generate_bsbm(&BsbmConfig::with_products(products));
+        let triples = g.len() as u64;
+
+        let service = SummaryService::new(1);
+        service.load_graph("g", g.clone());
+        let mut group = c.benchmark_group("server_cache");
+        group.throughput(Throughput::Elements(triples));
+        group.bench_with_input(BenchmarkId::new("cold_build", label), &service, |b, svc| {
+            b.iter(|| {
+                svc.clear_cache();
+                let (artifact, hit) = svc.summarize("g", SummaryKind::Weak).unwrap();
+                assert!(!hit);
+                black_box(artifact.ntriples.len())
+            })
+        });
+        // Prime once, then measure pure hits.
+        service.summarize("g", SummaryKind::Weak).unwrap();
+        group.bench_with_input(BenchmarkId::new("warm_hit", label), &service, |b, svc| {
+            b.iter(|| {
+                let (artifact, hit) = svc.summarize("g", SummaryKind::Weak).unwrap();
+                assert!(hit);
+                black_box(artifact.ntriples.len())
+            })
+        });
+
+        let store = TripleStore::new(g);
+        group.bench_with_input(BenchmarkId::new("fingerprint", label), &store, |b, st| {
+            b.iter(|| black_box(st.fingerprint()))
+        });
+        group.finish();
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    targets = bench_server_cache
+}
+criterion_main!(benches);

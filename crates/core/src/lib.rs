@@ -110,6 +110,7 @@ pub mod quotient;
 pub mod reference;
 pub mod report;
 pub mod saturated_cliques;
+pub mod service;
 pub mod streaming;
 pub mod strong;
 pub mod summary;
@@ -137,6 +138,7 @@ pub use parallel::{
 pub use reference::{reference_summary, reference_summary_with};
 pub use report::{render_report, ReportOptions};
 pub use saturated_cliques::{fuse_cliques, saturated_clique, verify_lemma1};
+pub use service::{LoadedGraph, ServiceError, ServiceStats, SummaryArtifact, SummaryService};
 pub use streaming::{streaming_typed_weak_summary, streaming_weak_summary};
 pub use strong::strong_summary;
 pub use summary::{Summary, SummaryKind, SummaryStats};

@@ -1,0 +1,508 @@
+//! The warm-store summarization service: resident graphs + a
+//! fingerprint-keyed summary cache.
+//!
+//! The paper's usage model is *build once, query many times*: a summary is
+//! constructed off-line and then serves an arbitrary number of requests.
+//! The single-shot CLI rebuilds everything per invocation; the
+//! [`SummaryService`] is the long-running counterpart behind the
+//! `rdfsummary serve` TCP front-end. It owns
+//!
+//! * **warm stores** — loaded graphs kept resident as indexed
+//!   [`TripleStore`]s, keyed by a caller-chosen name (the server uses the
+//!   file path), bulk-loaded with [`TripleStore::with_threads`];
+//! * a **summary cache** keyed by `(content fingerprint, kind)` — the
+//!   [`rdf_store::Fingerprint`] digest is load-order independent, so two
+//!   loads of the same data (different files, different triple order)
+//!   share one cache line, and re-loading a file never invalidates
+//!   correct entries;
+//! * a **single-flight build gate**: when several clients request the
+//!   same missing `(fingerprint, kind)` concurrently, exactly one thread
+//!   builds while the rest wait on a condvar and then share the result.
+//!   The [`SummaryService::builds`] counter is the test seam pinning that
+//!   guarantee.
+//!
+//! Cached artifacts hold the summary's serialized N-Triples bytes,
+//! produced by the *same build path and serializer the single-shot CLI
+//! uses* (`summarize --kind K --out FILE`), so a cache hit answers with
+//! bytes identical to what the CLI would write for the same graph — the
+//! invariant the root `tests/server.rs` suite asserts on every fixture ×
+//! kind pair.
+
+use crate::summary::SummaryKind;
+use rdf_model::Graph;
+use rdf_store::{Fingerprint, TripleStore};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// One cached summary: the serialized output plus its headline figures.
+#[derive(Debug)]
+pub struct SummaryArtifact {
+    /// Which summary this is.
+    pub kind: SummaryKind,
+    /// Content fingerprint of the summarized graph.
+    pub fingerprint: Fingerprint,
+    /// The summary as an N-Triples document — byte-identical to the file
+    /// the CLI's `summarize --kind K --out FILE` writes for this graph.
+    pub ntriples: String,
+    /// Node count of the summary graph (`SummaryStats::all_nodes`).
+    pub summary_nodes: usize,
+    /// Edge count of the summary graph (`SummaryStats::all_edges`).
+    pub summary_edges: usize,
+    /// Triple count of the summarized input graph.
+    pub input_triples: usize,
+}
+
+/// Outcome of [`SummaryService::load_graph`].
+#[derive(Clone, Copy, Debug)]
+pub struct LoadedGraph {
+    /// Content fingerprint of the loaded graph.
+    pub fingerprint: Fingerprint,
+    /// Triples in the loaded graph.
+    pub triples: usize,
+    /// True when the name was already bound (the old store is dropped;
+    /// cached summaries survive, keyed by content, not by name).
+    pub replaced: bool,
+}
+
+/// Aggregate service counters, as reported by the server's `STATS` verb.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Currently resident graphs.
+    pub graphs: usize,
+    /// Ready entries in the summary cache.
+    pub cached_summaries: usize,
+    /// Requests answered from the cache.
+    pub hits: u64,
+    /// Requests that had to build.
+    pub misses: u64,
+    /// Summary builds actually performed (the single-flight seam: under
+    /// any concurrency this stays at one per distinct
+    /// `(fingerprint, kind)` ever requested, absent evictions).
+    pub builds: u64,
+}
+
+/// Errors a service request can produce.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServiceError {
+    /// `summarize` named a graph that is not loaded.
+    UnknownGraph(String),
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::UnknownGraph(name) => write!(f, "no graph loaded as `{name}`"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+/// A resident graph: the warm store plus its precomputed fingerprint.
+struct GraphEntry {
+    store: TripleStore,
+    fingerprint: Fingerprint,
+}
+
+/// Cache slot state for one `(fingerprint, kind)` key.
+enum Slot {
+    /// Some thread is building; waiters sleep on the service condvar.
+    Building,
+    /// The finished artifact.
+    Ready(Arc<SummaryArtifact>),
+}
+
+/// The long-running summarization service. See the module docs.
+pub struct SummaryService {
+    threads: usize,
+    graphs: Mutex<HashMap<String, Arc<GraphEntry>>>,
+    cache: Mutex<HashMap<(Fingerprint, SummaryKind), Slot>>,
+    /// Signaled whenever a Building slot resolves (or is abandoned).
+    slot_done: Condvar,
+    builds: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+/// Removes the `Building` marker if the build unwinds, so waiters retry
+/// (one of them becomes the new builder) instead of sleeping forever.
+struct BuildGuard<'a> {
+    service: &'a SummaryService,
+    key: (Fingerprint, SummaryKind),
+    armed: bool,
+}
+
+impl Drop for BuildGuard<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            let mut cache = self.service.cache.lock().unwrap();
+            if matches!(cache.get(&self.key), Some(Slot::Building)) {
+                cache.remove(&self.key);
+            }
+            drop(cache);
+            self.service.slot_done.notify_all();
+        }
+    }
+}
+
+impl SummaryService {
+    /// Creates a service whose loads and summary builds may use up to
+    /// `threads` workers (`1` keeps everything sequential — the exact
+    /// single-shot CLI code path).
+    pub fn new(threads: usize) -> Self {
+        SummaryService {
+            threads: threads.max(1),
+            graphs: Mutex::new(HashMap::new()),
+            cache: Mutex::new(HashMap::new()),
+            slot_done: Condvar::new(),
+            builds: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The configured worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Makes `g` resident under `name`, replacing any previous binding.
+    /// The store is bulk-loaded with the configured workers and its
+    /// content fingerprint computed once, up front.
+    pub fn load_graph(&self, name: impl Into<String>, g: Graph) -> LoadedGraph {
+        let store = if self.threads > 1 {
+            TripleStore::with_threads(g, self.threads)
+        } else {
+            TripleStore::new(g)
+        };
+        let fingerprint = store.fingerprint();
+        let triples = store.len();
+        let entry = Arc::new(GraphEntry { store, fingerprint });
+        let replaced = self
+            .graphs
+            .lock()
+            .unwrap()
+            .insert(name.into(), entry)
+            .is_some();
+        LoadedGraph {
+            fingerprint,
+            triples,
+            replaced,
+        }
+    }
+
+    /// The fingerprint and size of a resident graph, if loaded.
+    pub fn graph_info(&self, name: &str) -> Option<(Fingerprint, usize)> {
+        let graphs = self.graphs.lock().unwrap();
+        graphs.get(name).map(|e| (e.fingerprint, e.store.len()))
+    }
+
+    /// All resident graphs as `(name, fingerprint, triples)`, sorted by
+    /// name (the server's `STATS` listing).
+    pub fn loaded_graphs(&self) -> Vec<(String, Fingerprint, usize)> {
+        let graphs = self.graphs.lock().unwrap();
+        let mut v: Vec<_> = graphs
+            .iter()
+            .map(|(n, e)| (n.clone(), e.fingerprint, e.store.len()))
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// The summary of the graph loaded as `name`, from the cache when
+    /// possible. Returns the artifact and whether it was a cache hit.
+    ///
+    /// Misses build through the identical decision logic the single-shot
+    /// CLI uses for `summarize --kind` (lean single-summary path below the
+    /// shard threshold, sharded substrate above it), so the artifact's
+    /// bytes match the CLI's output for the same graph exactly.
+    pub fn summarize(
+        &self,
+        name: &str,
+        kind: SummaryKind,
+    ) -> Result<(Arc<SummaryArtifact>, bool), ServiceError> {
+        let entry = self
+            .graphs
+            .lock()
+            .unwrap()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| ServiceError::UnknownGraph(name.to_string()))?;
+        let key = (entry.fingerprint, kind);
+        {
+            let mut cache = self.cache.lock().unwrap();
+            loop {
+                match cache.get(&key) {
+                    Some(Slot::Ready(artifact)) => {
+                        self.hits.fetch_add(1, Ordering::Relaxed);
+                        return Ok((Arc::clone(artifact), true));
+                    }
+                    Some(Slot::Building) => {
+                        cache = self.slot_done.wait(cache).unwrap();
+                    }
+                    None => {
+                        cache.insert(key, Slot::Building);
+                        break;
+                    }
+                }
+            }
+        }
+        // This thread won the build; everyone else for this key now waits.
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let mut guard = BuildGuard {
+            service: self,
+            key,
+            armed: true,
+        };
+        let artifact = Arc::new(self.build_artifact(&entry, kind));
+        {
+            let mut cache = self.cache.lock().unwrap();
+            cache.insert(key, Slot::Ready(Arc::clone(&artifact)));
+        }
+        guard.armed = false;
+        self.slot_done.notify_all();
+        Ok((artifact, false))
+    }
+
+    /// One real summary build + serialization (the cache-miss work).
+    fn build_artifact(&self, entry: &GraphEntry, kind: SummaryKind) -> SummaryArtifact {
+        self.builds.fetch_add(1, Ordering::Relaxed);
+        let g = entry.store.graph();
+        // Mirror `rdfsummary summarize --kind` byte for byte: the sharded
+        // substrate only when the build would actually shard, the classic
+        // lean path otherwise.
+        let summary = if crate::parallel::shard_count(g.data().len(), self.threads) > 1 {
+            crate::context::SummaryContext::sharded(g, self.threads).summarize(kind)
+        } else {
+            crate::builder::summarize(g, kind)
+        };
+        let stats = summary.stats();
+        SummaryArtifact {
+            kind,
+            fingerprint: entry.fingerprint,
+            ntriples: rdf_io::write_graph(&summary.graph),
+            summary_nodes: stats.all_nodes,
+            summary_edges: stats.all_edges,
+            input_triples: g.len(),
+        }
+    }
+
+    /// Drops the graph loaded as `name`. Ready cache entries for its
+    /// fingerprint are dropped too, unless another resident graph shares
+    /// the content; in-flight builds are left to finish (their artifacts
+    /// stay correct — the cache is keyed by content, not by name).
+    /// Returns the number of cache entries dropped, or `None` if no such
+    /// graph was loaded.
+    pub fn evict(&self, name: &str) -> Option<usize> {
+        let entry = self.graphs.lock().unwrap().remove(name)?;
+        let still_shared = self
+            .graphs
+            .lock()
+            .unwrap()
+            .values()
+            .any(|e| e.fingerprint == entry.fingerprint);
+        if still_shared {
+            return Some(0);
+        }
+        let mut cache = self.cache.lock().unwrap();
+        let before = cache.len();
+        cache.retain(|(fp, _), slot| *fp != entry.fingerprint || matches!(slot, Slot::Building));
+        Some(before - cache.len())
+    }
+
+    /// Drops every resident graph and every Ready cache entry. Returns
+    /// `(graphs dropped, cache entries dropped)`.
+    pub fn evict_all(&self) -> (usize, usize) {
+        let graphs = {
+            let mut map = self.graphs.lock().unwrap();
+            let n = map.len();
+            map.clear();
+            n
+        };
+        (graphs, self.clear_cache())
+    }
+
+    /// Drops Ready cache entries only (the bench's cold-build seam),
+    /// returning how many were dropped. Building slots stay, preserving
+    /// single-flight for in-flight requests.
+    pub fn clear_cache(&self) -> usize {
+        let mut cache = self.cache.lock().unwrap();
+        let before = cache.len();
+        cache.retain(|_, slot| matches!(slot, Slot::Building));
+        before - cache.len()
+    }
+
+    /// Number of summary builds performed so far — the single-flight test
+    /// seam: with no evictions this equals the number of distinct
+    /// `(fingerprint, kind)` pairs ever requested, however many threads
+    /// raced on them.
+    pub fn builds(&self) -> u64 {
+        self.builds.load(Ordering::Relaxed)
+    }
+
+    /// Aggregate counters.
+    pub fn stats(&self) -> ServiceStats {
+        let graphs = self.graphs.lock().unwrap().len();
+        let cached_summaries = {
+            let cache = self.cache.lock().unwrap();
+            cache
+                .values()
+                .filter(|s| matches!(s, Slot::Ready(_)))
+                .count()
+        };
+        ServiceStats {
+            graphs,
+            cached_summaries,
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            builds: self.builds.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures;
+
+    #[test]
+    fn cache_hits_share_one_artifact() {
+        let svc = SummaryService::new(1);
+        let info = svc.load_graph("g", fixtures::sample_graph());
+        assert!(!info.replaced);
+        let (a, hit_a) = svc.summarize("g", SummaryKind::Weak).unwrap();
+        let (b, hit_b) = svc.summarize("g", SummaryKind::Weak).unwrap();
+        assert!(!hit_a);
+        assert!(hit_b);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(svc.builds(), 1);
+        let st = svc.stats();
+        assert_eq!((st.hits, st.misses, st.builds), (1, 1, 1));
+        assert_eq!(st.graphs, 1);
+        assert_eq!(st.cached_summaries, 1);
+    }
+
+    #[test]
+    fn artifact_matches_direct_build() {
+        let g = fixtures::sample_graph();
+        let svc = SummaryService::new(1);
+        svc.load_graph("g", g.clone());
+        for kind in SummaryKind::ALL {
+            let (artifact, _) = svc.summarize("g", kind).unwrap();
+            let direct = crate::builder::summarize(&g, kind);
+            assert_eq!(artifact.ntriples, rdf_io::write_graph(&direct.graph));
+            assert_eq!(artifact.summary_nodes, direct.stats().all_nodes);
+            assert_eq!(artifact.input_triples, g.len());
+        }
+        assert_eq!(svc.builds(), 4);
+    }
+
+    #[test]
+    fn same_content_under_two_names_shares_the_cache() {
+        let svc = SummaryService::new(1);
+        let a = svc.load_graph("a", fixtures::sample_graph());
+        let b = svc.load_graph("b", fixtures::sample_graph());
+        assert_eq!(a.fingerprint, b.fingerprint);
+        svc.summarize("a", SummaryKind::Strong).unwrap();
+        let (_, hit) = svc.summarize("b", SummaryKind::Strong).unwrap();
+        assert!(hit, "content-keyed cache must ignore the name");
+        assert_eq!(svc.builds(), 1);
+    }
+
+    #[test]
+    fn unknown_graph_is_an_error() {
+        let svc = SummaryService::new(1);
+        let err = svc.summarize("nope", SummaryKind::Weak).unwrap_err();
+        assert_eq!(err, ServiceError::UnknownGraph("nope".into()));
+        assert!(err.to_string().contains("nope"));
+    }
+
+    #[test]
+    fn evict_drops_graph_and_its_cache_lines() {
+        let svc = SummaryService::new(1);
+        svc.load_graph("g", fixtures::sample_graph());
+        svc.summarize("g", SummaryKind::Weak).unwrap();
+        svc.summarize("g", SummaryKind::Strong).unwrap();
+        assert_eq!(svc.evict("g"), Some(2));
+        assert_eq!(svc.evict("g"), None);
+        assert!(svc.summarize("g", SummaryKind::Weak).is_err());
+        let st = svc.stats();
+        assert_eq!((st.graphs, st.cached_summaries), (0, 0));
+    }
+
+    #[test]
+    fn evict_keeps_cache_shared_with_another_name() {
+        let svc = SummaryService::new(1);
+        svc.load_graph("a", fixtures::sample_graph());
+        svc.load_graph("b", fixtures::sample_graph());
+        svc.summarize("a", SummaryKind::Weak).unwrap();
+        // `b` still references the same content: the cache line survives.
+        assert_eq!(svc.evict("a"), Some(0));
+        let (_, hit) = svc.summarize("b", SummaryKind::Weak).unwrap();
+        assert!(hit);
+        assert_eq!(svc.builds(), 1);
+    }
+
+    #[test]
+    fn reload_keeps_content_keyed_entries() {
+        let svc = SummaryService::new(1);
+        svc.load_graph("g", fixtures::sample_graph());
+        svc.summarize("g", SummaryKind::Weak).unwrap();
+        let info = svc.load_graph("g", fixtures::sample_graph());
+        assert!(info.replaced);
+        let (_, hit) = svc.summarize("g", SummaryKind::Weak).unwrap();
+        assert!(hit, "identical content reload must keep the cache warm");
+        // Loading *different* content under the same name misses.
+        svc.load_graph("g", fixtures::figure5_graph());
+        let (_, hit) = svc.summarize("g", SummaryKind::Weak).unwrap();
+        assert!(!hit);
+        assert_eq!(svc.builds(), 2);
+    }
+
+    #[test]
+    fn clear_cache_forces_rebuilds() {
+        let svc = SummaryService::new(1);
+        svc.load_graph("g", fixtures::sample_graph());
+        svc.summarize("g", SummaryKind::Weak).unwrap();
+        assert_eq!(svc.clear_cache(), 1);
+        let (_, hit) = svc.summarize("g", SummaryKind::Weak).unwrap();
+        assert!(!hit);
+        assert_eq!(svc.builds(), 2);
+    }
+
+    #[test]
+    fn evict_all_empties_the_service() {
+        let svc = SummaryService::new(1);
+        svc.load_graph("a", fixtures::sample_graph());
+        svc.load_graph("b", fixtures::figure5_graph());
+        svc.summarize("a", SummaryKind::Weak).unwrap();
+        assert_eq!(svc.evict_all(), (2, 1));
+        assert_eq!(svc.stats().graphs, 0);
+    }
+
+    /// The single-flight gate under real contention: many threads × all
+    /// kinds on one fingerprint build each summary exactly once.
+    #[test]
+    fn single_flight_under_contention() {
+        let svc = Arc::new(SummaryService::new(1));
+        svc.load_graph("g", fixtures::sample_graph());
+        let threads = 8;
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                let svc = Arc::clone(&svc);
+                scope.spawn(move || {
+                    for kind in SummaryKind::ALL {
+                        let (artifact, _) = svc.summarize("g", kind).unwrap();
+                        assert_eq!(artifact.kind, kind);
+                        assert!(!artifact.ntriples.is_empty());
+                    }
+                });
+            }
+        });
+        assert_eq!(svc.builds(), 4, "one build per (fingerprint, kind)");
+        let st = svc.stats();
+        assert_eq!(st.hits + st.misses, (threads * 4) as u64);
+    }
+}

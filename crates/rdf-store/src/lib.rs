@@ -10,12 +10,14 @@
 #![warn(missing_docs)]
 
 pub mod bulk;
+pub mod fingerprint;
 pub mod index;
 pub mod pattern;
 pub mod snapshot;
 pub mod store;
 
 pub use bulk::{BulkLoader, LoadReport};
+pub use fingerprint::{graph_fingerprint, term_digest, Fingerprint};
 pub use index::{Order, Runs1, SortedIndex};
 pub use pattern::TriplePattern;
 pub use snapshot::SnapshotError;
@@ -78,6 +80,88 @@ mod proptests {
                     prop_assert!(st.count(pat) >= 1);
                 }
             }
+        }
+    }
+
+    /// Builds a graph from raw (s, p, o) byte tuples, in slice order.
+    fn fp_graph(raw: &[(u8, u8, u8)]) -> Graph {
+        let mut g = Graph::new();
+        for (s, p, o) in raw {
+            g.add_iri_triple(
+                &format!("http://x/n{s}"),
+                &format!("http://x/p{p}"),
+                &format!("http://x/n{o}"),
+            );
+        }
+        g
+    }
+
+    proptest! {
+        /// Permutation invariance: any shuffle of the insertion order (which
+        /// also permutes the dictionary numbering) produces the same
+        /// fingerprint, from both the graph fold and the store's SPO fold.
+        #[test]
+        fn fingerprint_is_insertion_order_invariant(
+            raw in proptest::collection::vec((0u8..12, 0u8..5, 0u8..12), 1..48),
+            seed in 0u64..1000,
+        ) {
+            let mut shuffled = raw.clone();
+            let mut rng = rdf_model::SplitMix64::new(seed);
+            for i in (1..shuffled.len()).rev() {
+                shuffled.swap(i, rng.index(i + 1));
+            }
+            let (a, b) = (fp_graph(&raw), fp_graph(&shuffled));
+            let fp = fingerprint::graph_fingerprint(&a);
+            prop_assert_eq!(fingerprint::graph_fingerprint(&b), fp);
+            prop_assert_eq!(TripleStore::new(a).fingerprint(), fp);
+            prop_assert_eq!(TripleStore::new(b).fingerprint(), fp);
+        }
+
+        /// Sensitivity: dropping or mutating a single triple changes the
+        /// digest whenever it changes the distinct-triple set.
+        #[test]
+        fn fingerprint_sees_single_triple_edits(
+            raw in proptest::collection::vec((0u8..12, 0u8..5, 0u8..12), 1..32),
+            victim in 0usize..32,
+            bump in 1u8..3,
+        ) {
+            let base = fingerprint::graph_fingerprint(&fp_graph(&raw));
+            let victim = victim % raw.len();
+            let distinct = |raw: &[(u8, u8, u8)]| {
+                let mut v = raw.to_vec();
+                v.sort_unstable();
+                v.dedup();
+                v
+            };
+            // Remove the victim triple.
+            let mut removed = raw.clone();
+            removed.remove(victim);
+            if distinct(&removed) != distinct(&raw) {
+                prop_assert_ne!(fingerprint::graph_fingerprint(&fp_graph(&removed)), base);
+            }
+            // Mutate the victim's object.
+            let mut mutated = raw.clone();
+            mutated[victim].2 = mutated[victim].2.wrapping_add(bump) % 13;
+            if distinct(&mutated) != distinct(&raw) {
+                prop_assert_ne!(fingerprint::graph_fingerprint(&fp_graph(&mutated)), base);
+            }
+            // Add a fresh triple (node 200 never occurs above).
+            let mut added = raw.clone();
+            added.push((200, 0, 0));
+            prop_assert_ne!(fingerprint::graph_fingerprint(&fp_graph(&added)), base);
+        }
+
+        /// A graph and its snapshot-restored twin fingerprint identically,
+        /// graph-fold and store-fold alike.
+        #[test]
+        fn fingerprint_survives_snapshot_roundtrip(
+            raw in proptest::collection::vec((0u8..12, 0u8..5, 0u8..12), 0..32),
+        ) {
+            let g = fp_graph(&raw);
+            let restored = snapshot::decode(snapshot::encode(&g)).unwrap();
+            let fp = fingerprint::graph_fingerprint(&g);
+            prop_assert_eq!(fingerprint::graph_fingerprint(&restored), fp);
+            prop_assert_eq!(TripleStore::new(restored).fingerprint(), fp);
         }
     }
 }

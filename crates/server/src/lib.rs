@@ -1,0 +1,40 @@
+//! # rdfsum-server — the warm-store summary server
+//!
+//! A long-running TCP front-end over
+//! [`rdfsum_core::SummaryService`]: graphs are loaded once into warm
+//! [`rdf_store::TripleStore`]s, summaries are cached keyed by the graph's
+//! content [`rdf_store::Fingerprint`], and repeated `SUMMARIZE` requests
+//! are answered from the cache with bytes identical to the single-shot
+//! CLI's output. This is the paper's intended usage pattern — *summarize
+//! once, query many times* — turned into a serving subsystem.
+//!
+//! The crate is std-only and hermetic: [`std::net::TcpListener`], a
+//! fixed worker-thread pool, and a line-delimited request protocol (see
+//! [`protocol`] for the grammar). [`server::spawn`] runs it in-process
+//! (the CLI's `rdfsummary serve`, and the integration tests' harness);
+//! [`client::Client`] is the matching scripting client
+//! (`rdfsummary client`).
+//!
+//! ```no_run
+//! use rdfsum_core::{SummaryKind, SummaryService};
+//! use std::sync::Arc;
+//!
+//! let service = Arc::new(SummaryService::new(4));
+//! let handle = rdfsum_server::spawn("127.0.0.1:0", Arc::clone(&service), 4).unwrap();
+//! let mut client = rdfsum_server::Client::connect(handle.addr()).unwrap();
+//! client.load("data/graph.nt").unwrap();
+//! let r = client.summarize(SummaryKind::Weak, "data/graph.nt").unwrap();
+//! assert!(r.is_ok());
+//! handle.shutdown();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod protocol;
+pub mod server;
+
+pub use client::{Client, Response};
+pub use protocol::{parse_kind, parse_request, ProtocolError, Request, MAX_REQUEST_BYTES};
+pub use server::{load_graph_file, spawn, ServerHandle};

@@ -1,0 +1,388 @@
+//! The line-delimited request/response protocol.
+//!
+//! ## Grammar
+//!
+//! A request is one LF-terminated line of UTF-8, at most
+//! [`MAX_REQUEST_BYTES`] long (a trailing `\r` is tolerated for
+//! telnet-style clients):
+//!
+//! ```text
+//! PING                         liveness probe
+//! LOAD <path>                  make <path> resident (N-Triples or .snap)
+//! SUMMARIZE <kind> <graph>     kind ∈ {w, s, tw, ts, t, fb}; <graph> is
+//!                              the name it was loaded under (its path)
+//! STATS                        service counters + resident graph listing
+//! EVICT <graph> | EVICT *      drop one graph, or everything
+//! QUIT                         close the connection
+//! ```
+//!
+//! Verbs are case-insensitive; `<path>`/`<graph>` extend to the end of the
+//! line, so file names may contain spaces.
+//!
+//! A response is one status line, optionally followed by a length-framed
+//! binary body:
+//!
+//! ```text
+//! OK <field>=<value> …\n                 success, no body
+//! OK <field>=<value> … bytes=<n>\n<n raw bytes>
+//! ERR <category>: <message>\n            never a body
+//! ```
+//!
+//! Exactly the `summary` and `stats` response tags (the word after `OK`)
+//! carry a body; its length is the status line's final `bytes=<n>` field.
+//! Other `OK` lines may end in free-form fields (`LOAD` echoes the path
+//! as `graph=<path>`), so clients must key the framing decision on the
+//! tag, never on the last token alone. The `SUMMARIZE` body is the
+//! summary's N-Triples document, byte-identical to the single-shot CLI's
+//! `--out` file for the same graph and kind.
+//!
+//! ## Error discipline
+//!
+//! Malformed input — empty lines, oversized requests, unknown verbs,
+//! truncated frames (EOF with no trailing newline), non-UTF-8 bytes —
+//! yields a clean [`ProtocolError`] and an `ERR protocol: …` response,
+//! never a panic. Recoverable parse errors keep the connection open (the
+//! line boundary is intact); framing errors ([`ProtocolError::TooLong`],
+//! [`ProtocolError::Truncated`]) close it, since resynchronization is
+//! impossible.
+
+use rdfsum_core::SummaryKind;
+use std::fmt;
+
+/// Hard cap on one request line, excluding the terminator. Long enough
+/// for any sane file path, small enough that a rogue client cannot
+/// balloon server memory.
+pub const MAX_REQUEST_BYTES: usize = 64 * 1024;
+
+/// A parsed client request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// `PING` — liveness probe.
+    Ping,
+    /// `LOAD <path>` — load an N-Triples or `.snap` file.
+    Load {
+        /// File to load; also becomes the graph's resident name.
+        path: String,
+    },
+    /// `SUMMARIZE <kind> <graph>` — summary of a resident graph.
+    Summarize {
+        /// Which summary to build or fetch.
+        kind: SummaryKind,
+        /// Resident graph name (the path it was loaded from).
+        graph: String,
+    },
+    /// `STATS` — service counters and the resident graph listing.
+    Stats,
+    /// `EVICT <graph>` / `EVICT *` — drop one graph or all state.
+    Evict {
+        /// `None` means `*`: evict everything.
+        graph: Option<String>,
+    },
+    /// `QUIT` — polite connection close.
+    Quit,
+}
+
+/// Why a request line could not be parsed (or framed).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ProtocolError {
+    /// The line was empty (or whitespace only).
+    Empty,
+    /// The line exceeded [`MAX_REQUEST_BYTES`].
+    TooLong(usize),
+    /// The line was not valid UTF-8.
+    NotUtf8,
+    /// The connection ended mid-line (no trailing newline).
+    Truncated,
+    /// The leading verb is not part of the protocol.
+    UnknownVerb(String),
+    /// A known verb with missing or malformed operands.
+    Usage(&'static str),
+    /// `SUMMARIZE` named an unknown summary kind.
+    BadKind(String),
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::Empty => write!(f, "empty request"),
+            ProtocolError::TooLong(n) => {
+                write!(
+                    f,
+                    "request of {n} bytes exceeds the {MAX_REQUEST_BYTES} byte limit"
+                )
+            }
+            ProtocolError::NotUtf8 => write!(f, "request is not valid UTF-8"),
+            ProtocolError::Truncated => write!(f, "truncated request (connection ended mid-line)"),
+            ProtocolError::UnknownVerb(v) => write!(f, "unknown verb `{v}`"),
+            ProtocolError::Usage(u) => write!(f, "usage: {u}"),
+            ProtocolError::BadKind(k) => {
+                write!(f, "unknown summary kind `{k}` (want w, s, tw, ts, t or fb)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+/// Parses a summary-kind token — the one vocabulary shared by the CLI's
+/// `--kind` flag and the protocol's `SUMMARIZE` verb (the CLI imports
+/// this function, so the two surfaces cannot drift apart). `fb` is the
+/// §8 bisimulation baseline, available for size comparisons.
+pub fn parse_kind(s: &str) -> Option<SummaryKind> {
+    match s.to_ascii_lowercase().as_str() {
+        "w" | "weak" => Some(SummaryKind::Weak),
+        "s" | "strong" => Some(SummaryKind::Strong),
+        "tw" | "typed-weak" => Some(SummaryKind::TypedWeak),
+        "ts" | "typed-strong" => Some(SummaryKind::TypedStrong),
+        "t" | "type" | "type-based" => Some(SummaryKind::TypeBased),
+        "fb" | "bisim" | "bisimulation" => Some(SummaryKind::Bisimulation),
+        _ => None,
+    }
+}
+
+/// The short protocol token for a kind (`SUMMARIZE`'s first operand).
+pub fn kind_token(kind: SummaryKind) -> &'static str {
+    match kind {
+        SummaryKind::Weak => "w",
+        SummaryKind::Strong => "s",
+        SummaryKind::TypedWeak => "tw",
+        SummaryKind::TypedStrong => "ts",
+        SummaryKind::TypeBased => "t",
+        SummaryKind::Bisimulation => "fb",
+    }
+}
+
+/// Parses one raw request line (terminator already stripped or absent).
+///
+/// Total: every possible byte string yields `Ok` or a typed error.
+pub fn parse_request(raw: &[u8]) -> Result<Request, ProtocolError> {
+    if raw.len() > MAX_REQUEST_BYTES {
+        return Err(ProtocolError::TooLong(raw.len()));
+    }
+    let line = std::str::from_utf8(raw).map_err(|_| ProtocolError::NotUtf8)?;
+    let line = line.trim_end_matches(['\r', '\n']).trim();
+    if line.is_empty() {
+        return Err(ProtocolError::Empty);
+    }
+    let (verb, rest) = match line.split_once(char::is_whitespace) {
+        Some((v, r)) => (v, r.trim()),
+        None => (line, ""),
+    };
+    match verb.to_ascii_uppercase().as_str() {
+        "PING" => Ok(Request::Ping),
+        "QUIT" | "BYE" => Ok(Request::Quit),
+        "STATS" => Ok(Request::Stats),
+        "LOAD" => {
+            if rest.is_empty() {
+                Err(ProtocolError::Usage("LOAD <path>"))
+            } else {
+                Ok(Request::Load { path: rest.into() })
+            }
+        }
+        "SUMMARIZE" => {
+            let (kind_tok, graph) = rest
+                .split_once(char::is_whitespace)
+                .map(|(k, g)| (k, g.trim()))
+                .ok_or(ProtocolError::Usage("SUMMARIZE <kind> <graph>"))?;
+            if graph.is_empty() {
+                return Err(ProtocolError::Usage("SUMMARIZE <kind> <graph>"));
+            }
+            let kind =
+                parse_kind(kind_tok).ok_or_else(|| ProtocolError::BadKind(kind_tok.into()))?;
+            Ok(Request::Summarize {
+                kind,
+                graph: graph.into(),
+            })
+        }
+        "EVICT" => match rest {
+            "" => Err(ProtocolError::Usage("EVICT <graph> | EVICT *")),
+            "*" => Ok(Request::Evict { graph: None }),
+            name => Ok(Request::Evict {
+                graph: Some(name.into()),
+            }),
+        },
+        _ => Err(ProtocolError::UnknownVerb(verb.into())),
+    }
+}
+
+/// True when this framing-level error makes the byte stream unusable, so
+/// the server must close the connection after responding.
+pub fn is_fatal(err: &ProtocolError) -> bool {
+    matches!(err, ProtocolError::TooLong(_) | ProtocolError::Truncated)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn happy_paths() {
+        assert_eq!(parse_request(b"PING"), Ok(Request::Ping));
+        assert_eq!(parse_request(b"ping\r"), Ok(Request::Ping));
+        assert_eq!(parse_request(b"QUIT"), Ok(Request::Quit));
+        assert_eq!(parse_request(b"STATS"), Ok(Request::Stats));
+        assert_eq!(
+            parse_request(b"LOAD /data/my graph.nt"),
+            Ok(Request::Load {
+                path: "/data/my graph.nt".into()
+            })
+        );
+        assert_eq!(
+            parse_request(b"SUMMARIZE tw /data/g.nt"),
+            Ok(Request::Summarize {
+                kind: SummaryKind::TypedWeak,
+                graph: "/data/g.nt".into()
+            })
+        );
+        assert_eq!(
+            parse_request(b"summarize TYPED-STRONG g"),
+            Ok(Request::Summarize {
+                kind: SummaryKind::TypedStrong,
+                graph: "g".into()
+            })
+        );
+        assert_eq!(
+            parse_request(b"EVICT *"),
+            Ok(Request::Evict { graph: None })
+        );
+        assert_eq!(
+            parse_request(b"EVICT g.nt"),
+            Ok(Request::Evict {
+                graph: Some("g.nt".into())
+            })
+        );
+    }
+
+    #[test]
+    fn kind_tokens_roundtrip() {
+        for kind in [
+            SummaryKind::Weak,
+            SummaryKind::Strong,
+            SummaryKind::TypedWeak,
+            SummaryKind::TypedStrong,
+            SummaryKind::TypeBased,
+            SummaryKind::Bisimulation,
+        ] {
+            assert_eq!(parse_kind(kind_token(kind)), Some(kind));
+        }
+        assert_eq!(parse_kind("x"), None);
+    }
+
+    // ----- robustness: every malformed shape is a typed error, never a
+    // panic (mirrors the root `robustness.rs` error-path style). -----
+
+    #[test]
+    fn empty_and_blank_lines() {
+        assert_eq!(parse_request(b""), Err(ProtocolError::Empty));
+        assert_eq!(parse_request(b"   "), Err(ProtocolError::Empty));
+        assert_eq!(parse_request(b"\r"), Err(ProtocolError::Empty));
+        assert_eq!(parse_request(b"\t\t"), Err(ProtocolError::Empty));
+    }
+
+    #[test]
+    fn oversized_requests() {
+        let huge = vec![b'A'; MAX_REQUEST_BYTES + 1];
+        assert_eq!(
+            parse_request(&huge),
+            Err(ProtocolError::TooLong(MAX_REQUEST_BYTES + 1))
+        );
+        // Exactly at the cap still parses (as an unknown verb here).
+        let at_cap = vec![b'A'; MAX_REQUEST_BYTES];
+        assert!(matches!(
+            parse_request(&at_cap),
+            Err(ProtocolError::UnknownVerb(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_verbs() {
+        for raw in [&b"FROBNICATE x"[..], b"LOADX /g.nt", b"SUM w g"] {
+            assert!(matches!(
+                parse_request(raw),
+                Err(ProtocolError::UnknownVerb(_))
+            ));
+        }
+    }
+
+    #[test]
+    fn missing_operands() {
+        assert_eq!(
+            parse_request(b"LOAD"),
+            Err(ProtocolError::Usage("LOAD <path>"))
+        );
+        assert_eq!(
+            parse_request(b"LOAD   "),
+            Err(ProtocolError::Usage("LOAD <path>"))
+        );
+        assert_eq!(
+            parse_request(b"SUMMARIZE"),
+            Err(ProtocolError::Usage("SUMMARIZE <kind> <graph>"))
+        );
+        assert_eq!(
+            parse_request(b"SUMMARIZE w"),
+            Err(ProtocolError::Usage("SUMMARIZE <kind> <graph>"))
+        );
+        assert_eq!(
+            parse_request(b"SUMMARIZE w   "),
+            Err(ProtocolError::Usage("SUMMARIZE <kind> <graph>"))
+        );
+        assert_eq!(
+            parse_request(b"EVICT"),
+            Err(ProtocolError::Usage("EVICT <graph> | EVICT *"))
+        );
+    }
+
+    #[test]
+    fn bad_kinds() {
+        assert_eq!(
+            parse_request(b"SUMMARIZE q g.nt"),
+            Err(ProtocolError::BadKind("q".into()))
+        );
+        assert_eq!(
+            parse_request(b"SUMMARIZE weakest g.nt"),
+            Err(ProtocolError::BadKind("weakest".into()))
+        );
+    }
+
+    #[test]
+    fn non_utf8_bytes() {
+        assert_eq!(parse_request(b"LOAD \xff\xfe"), Err(ProtocolError::NotUtf8));
+        assert_eq!(parse_request(&[0x80, 0x80]), Err(ProtocolError::NotUtf8));
+        // Non-UTF-8 *and* oversized: the size check wins (cheapest first).
+        let mut huge = vec![0xffu8; MAX_REQUEST_BYTES + 7];
+        huge[0] = b'P';
+        assert!(matches!(
+            parse_request(&huge),
+            Err(ProtocolError::TooLong(_))
+        ));
+    }
+
+    #[test]
+    fn fatality_classification() {
+        assert!(is_fatal(&ProtocolError::TooLong(1 << 20)));
+        assert!(is_fatal(&ProtocolError::Truncated));
+        for recoverable in [
+            ProtocolError::Empty,
+            ProtocolError::NotUtf8,
+            ProtocolError::UnknownVerb("X".into()),
+            ProtocolError::Usage("LOAD <path>"),
+            ProtocolError::BadKind("q".into()),
+        ] {
+            assert!(!is_fatal(&recoverable), "{recoverable:?}");
+        }
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        assert!(ProtocolError::TooLong(99999).to_string().contains("99999"));
+        assert!(ProtocolError::UnknownVerb("ZAP".into())
+            .to_string()
+            .contains("ZAP"));
+        assert!(ProtocolError::BadKind("q".into())
+            .to_string()
+            .contains("`q`"));
+        assert!(ProtocolError::Usage("LOAD <path>")
+            .to_string()
+            .contains("LOAD <path>"));
+    }
+}

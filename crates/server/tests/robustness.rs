@@ -1,0 +1,198 @@
+//! Wire-level robustness: malformed byte streams against a live server
+//! must always produce clean `ERR protocol:` responses (and sane
+//! connection handling) — never a panic, never a hang. Mirrors the root
+//! `robustness.rs` error-path style, one level down the stack.
+
+use rdfsum_core::SummaryService;
+use rdfsum_server::{Client, ServerHandle, MAX_REQUEST_BYTES};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+fn start() -> (ServerHandle, Arc<SummaryService>) {
+    let service = Arc::new(SummaryService::new(1));
+    let handle = rdfsum_server::spawn("127.0.0.1:0", Arc::clone(&service), 4).unwrap();
+    (handle, service)
+}
+
+/// Sends raw bytes on a fresh connection and returns the first response
+/// line (the writing half is shut down so truncated frames see EOF).
+fn raw_roundtrip(handle: &ServerHandle, bytes: &[u8]) -> String {
+    let mut stream = TcpStream::connect(handle.addr()).unwrap();
+    stream.write_all(bytes).unwrap();
+    stream.shutdown(std::net::Shutdown::Write).unwrap();
+    let mut line = String::new();
+    BufReader::new(stream).read_line(&mut line).unwrap();
+    line.trim_end().to_string()
+}
+
+#[test]
+fn empty_lines_are_clean_protocol_errors() {
+    let (handle, _svc) = start();
+    assert!(raw_roundtrip(&handle, b"\n").starts_with("ERR protocol:"));
+    assert!(raw_roundtrip(&handle, b"   \n").starts_with("ERR protocol:"));
+    // …and the connection survives them: error, then a working PING.
+    let mut stream = TcpStream::connect(handle.addr()).unwrap();
+    stream.write_all(b"\nPING\n").unwrap();
+    let mut reader = BufReader::new(stream);
+    let mut first = String::new();
+    reader.read_line(&mut first).unwrap();
+    assert!(first.starts_with("ERR protocol:"), "{first}");
+    let mut second = String::new();
+    reader.read_line(&mut second).unwrap();
+    assert_eq!(second.trim_end(), "OK pong");
+    handle.shutdown();
+}
+
+#[test]
+fn unknown_verbs_and_bad_operands() {
+    let (handle, _svc) = start();
+    for (raw, want) in [
+        (&b"FROBNICATE\n"[..], "unknown verb"),
+        (b"LOAD\n", "usage:"),
+        (b"SUMMARIZE w\n", "usage:"),
+        (b"SUMMARIZE zz graph.nt\n", "unknown summary kind"),
+        (b"EVICT\n", "usage:"),
+    ] {
+        let resp = raw_roundtrip(&handle, raw);
+        assert!(resp.starts_with("ERR protocol:"), "{resp}");
+        assert!(resp.contains(want), "`{resp}` should contain `{want}`");
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn non_utf8_bytes_are_rejected_cleanly() {
+    let (handle, _svc) = start();
+    let resp = raw_roundtrip(&handle, b"LOAD \xff\xfe\xfd\n");
+    assert!(resp.starts_with("ERR protocol:"), "{resp}");
+    assert!(resp.contains("UTF-8"), "{resp}");
+    handle.shutdown();
+}
+
+#[test]
+fn truncated_frames_are_reported_and_closed() {
+    let (handle, _svc) = start();
+    let resp = raw_roundtrip(&handle, b"PING"); // no newline, then EOF
+    assert!(resp.starts_with("ERR protocol:"), "{resp}");
+    assert!(resp.contains("truncated"), "{resp}");
+    handle.shutdown();
+}
+
+#[test]
+fn oversized_requests_are_rejected_and_closed() {
+    let (handle, _svc) = start();
+    let mut huge = vec![b'A'; MAX_REQUEST_BYTES + 100];
+    huge.push(b'\n');
+    let mut stream = TcpStream::connect(handle.addr()).unwrap();
+    stream.write_all(&huge).unwrap();
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    assert!(line.starts_with("ERR protocol:"), "{line}");
+    assert!(line.contains("exceeds"), "{line}");
+    // Framing is unrecoverable: the server closes the connection.
+    let mut rest = Vec::new();
+    reader.read_to_end(&mut rest).unwrap();
+    assert!(rest.is_empty());
+    handle.shutdown();
+}
+
+/// A line megabytes past the cap: the ERR must still reach the client —
+/// the server drains the broken line before closing, so the close cannot
+/// become a TCP reset that destroys the queued response.
+#[test]
+fn megabyte_line_still_receives_the_error_response() {
+    let (handle, _svc) = start();
+    let mut huge = vec![b'Z'; 4 * 1024 * 1024];
+    huge.push(b'\n');
+    let mut stream = TcpStream::connect(handle.addr()).unwrap();
+    stream.write_all(&huge).unwrap();
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    assert!(line.starts_with("ERR protocol:"), "{line}");
+    assert!(line.contains("exceeds"), "{line}");
+    handle.shutdown();
+}
+
+/// A graph file whose name ends in a `bytes=`-shaped token must not fool
+/// the client into waiting for a body on the (bodyless) LOAD response.
+#[test]
+fn load_response_with_adversarial_path_does_not_fake_a_body() {
+    let dir = std::env::temp_dir().join(format!("rdfsum_server_fake_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("x bytes=7"); // space + bytes=N as the last token
+    std::fs::write(&path, "<http://x/a> <http://x/p> <http://x/b> .\n").unwrap();
+    let (handle, _svc) = start();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let resp = client.load(path.to_str().unwrap()).unwrap();
+    assert!(resp.is_ok(), "{}", resp.status);
+    assert!(resp.body.is_none(), "LOAD must never frame a body");
+    // The connection is still in sync: a follow-up request works.
+    assert_eq!(client.ping().unwrap().status, "OK pong");
+    handle.shutdown();
+}
+
+#[test]
+fn load_errors_are_load_errors_not_crashes() {
+    let (handle, _svc) = start();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let resp = client.request("LOAD /nonexistent/graph.nt").unwrap();
+    assert!(resp.status.starts_with("ERR load:"), "{}", resp.status);
+    // Garbage snapshot: write junk bytes and try to load them.
+    let dir = std::env::temp_dir().join(format!("rdfsum_server_rb_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let junk = dir.join("junk.snap");
+    std::fs::write(&junk, b"not a snapshot at all").unwrap();
+    let resp = client.request(&format!("LOAD {}", junk.display())).unwrap();
+    assert!(resp.status.starts_with("ERR load:"), "{}", resp.status);
+    // Malformed N-Triples report the parse error.
+    let bad = dir.join("bad.nt");
+    std::fs::write(&bad, "<a> <p> .\n").unwrap();
+    let resp = client.request(&format!("LOAD {}", bad.display())).unwrap();
+    assert!(resp.status.starts_with("ERR load:"), "{}", resp.status);
+    handle.shutdown();
+}
+
+#[test]
+fn summarize_unknown_graph_is_an_error_response() {
+    let (handle, _svc) = start();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let resp = client.request("SUMMARIZE w /never/loaded.nt").unwrap();
+    assert!(resp.status.starts_with("ERR summarize:"), "{}", resp.status);
+    assert!(resp.body.is_none());
+    let resp = client.request("EVICT /never/loaded.nt").unwrap();
+    assert!(resp.status.starts_with("ERR evict:"), "{}", resp.status);
+    handle.shutdown();
+}
+
+#[test]
+fn quit_and_eof_both_close_cleanly() {
+    let (handle, _svc) = start();
+    let client = Client::connect(handle.addr()).unwrap();
+    let resp = client.quit().unwrap();
+    assert_eq!(resp.status, "OK bye");
+    // Plain EOF with no request at all.
+    let stream = TcpStream::connect(handle.addr()).unwrap();
+    drop(stream);
+    // The server is still alive afterwards.
+    let mut client = Client::connect(handle.addr()).unwrap();
+    assert_eq!(client.ping().unwrap().status, "OK pong");
+    handle.shutdown();
+}
+
+#[test]
+fn stats_on_an_empty_service() {
+    let (handle, _svc) = start();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let resp = client.stats().unwrap();
+    assert!(resp.is_ok());
+    assert_eq!(resp.field("graphs"), Some("0"));
+    assert_eq!(resp.field("builds"), Some("0"));
+    assert_eq!(resp.body_str(), Some(""));
+    // EVICT * on an empty service is a no-op success.
+    let resp = client.evict(None).unwrap();
+    assert_eq!(resp.status, "OK evicted graphs=0 entries=0");
+    handle.shutdown();
+}

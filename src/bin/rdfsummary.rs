@@ -2,12 +2,14 @@
 //!
 //! ```text
 //! rdfsummary stats      <graph>
-//! rdfsummary summarize  <graph> [--kind w|s|tw|ts|t] [--all] [--out FILE] [--dot FILE] [--report]
+//! rdfsummary summarize  <graph> [--kind w|s|tw|ts|t|fb] [--all] [--out FILE] [--dot FILE] [--report]
 //! rdfsummary saturate   <graph> [--out FILE]
 //! rdfsummary check      <graph>
 //! rdfsummary query      <graph> QUERY [--saturate] [--limit N]
 //! rdfsummary generate   bsbm|lubm --scale N [--out FILE]
 //! rdfsummary snapshot   <graph.nt> --out FILE.snap
+//! rdfsummary serve      [--addr HOST:PORT] [--threads N] [--workers N]
+//! rdfsummary client     ADDR REQUEST…
 //! ```
 //!
 //! `<graph>` is an N-Triples file, or a `.snap` binary snapshot (see
@@ -31,7 +33,7 @@ fn usage() {
 
 USAGE:
   rdfsummary stats      <graph> [--profile]             graph statistics
-  rdfsummary summarize  <graph> [--kind w|s|tw|ts|t]    build a summary
+  rdfsummary summarize  <graph> [--kind w|s|tw|ts|t|fb]    build a summary
                          [--out FILE] [--dot FILE] [--turtle FILE] [--report]
                          [--all]  build W+S+TW+TS via one shared context
                          [--threads N]  shard the substrate build across N
@@ -43,19 +45,25 @@ USAGE:
                          [--reformulate] [--limit N] [--explain]
   rdfsummary generate   bsbm|lubm --scale N [--out FILE] synthesize a dataset
   rdfsummary snapshot   <graph> --out FILE.snap         binary snapshot
+  rdfsummary serve      [--addr HOST:PORT] [--threads N] [--workers N]
+                         long-running warm-store summary server (default
+                         addr 127.0.0.1:7878; caches summaries by graph
+                         content fingerprint; see `src/lib.rs` Serving)
+  rdfsummary client     ADDR REQUEST…                   send one protocol
+                         request (PING | LOAD <path> | SUMMARIZE <kind>
+                         <graph> | STATS | EVICT <graph>|* | QUIT); body
+                         goes to stdout, status to stderr
 
 <graph> is an N-Triples file (.nt) or a binary snapshot (.snap).
 QUERY uses the paper notation, e.g. \"q(?x) :- ?x a <http://…/Book>, ?x <http://…/author> ?y\""
     );
 }
 
-fn load(path: &str) -> Result<Graph, String> {
-    if path.ends_with(".snap") {
-        snapshot::load(path).map_err(|e| format!("loading snapshot {path}: {e}"))
-    } else {
-        load_path(path).map_err(|e| format!("loading {path}: {e}"))
-    }
-}
+/// Graph loading and kind parsing are shared with the server crate, so
+/// `rdfsummary serve` and the single-shot commands can never drift on the
+/// load dispatch or the kind vocabulary (the server's byte-identity
+/// contract depends on both agreeing).
+use rdfsummary::rdfsum_server::{load_graph_file as load, parse_kind};
 
 fn flag_value(args: &[String], name: &str) -> Option<String> {
     args.windows(2).find(|w| w[0] == name).map(|w| w[1].clone())
@@ -83,17 +91,6 @@ fn thread_count(rest: &[String]) -> Result<usize, String> {
         return parse(&v, "RDFSUM_THREADS");
     }
     Ok(std::thread::available_parallelism().map_or(1, usize::from))
-}
-
-fn parse_kind(s: &str) -> Option<SummaryKind> {
-    match s.to_ascii_lowercase().as_str() {
-        "w" | "weak" => Some(SummaryKind::Weak),
-        "s" | "strong" => Some(SummaryKind::Strong),
-        "tw" | "typed-weak" => Some(SummaryKind::TypedWeak),
-        "ts" | "typed-strong" => Some(SummaryKind::TypedStrong),
-        "t" | "type" | "type-based" => Some(SummaryKind::TypeBased),
-        _ => None,
-    }
 }
 
 fn cmd_stats(path: &str, rest: &[String]) -> Result<(), String> {
@@ -372,6 +369,64 @@ fn cmd_generate(rest: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// `serve`: the long-running warm-store summary server. `--threads`
+/// bounds build/bulk-load parallelism (same meaning as for `summarize`);
+/// `--workers` sizes the connection pool (default `max(threads, 4)`).
+/// Runs until the process is killed.
+fn cmd_serve(rest: &[String]) -> Result<(), String> {
+    let addr = flag_value(rest, "--addr").unwrap_or_else(|| "127.0.0.1:7878".into());
+    let threads = thread_count(rest)?;
+    let workers = match flag_value(rest, "--workers") {
+        Some(v) => match v.parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => return Err(format!("bad --workers value `{v}` (want an integer >= 1)")),
+        },
+        None => threads.max(4),
+    };
+    let service = std::sync::Arc::new(rdfsum_core::SummaryService::new(threads));
+    let handle = rdfsummary::rdfsum_server::spawn(addr.as_str(), service, workers)
+        .map_err(|e| format!("binding {addr}: {e}"))?;
+    // The resolved address line is the machine-readable startup handshake
+    // (tests bind port 0 and read the real port from here).
+    println!(
+        "listening on {} ({workers} workers, {threads} build thread(s))",
+        handle.addr()
+    );
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    loop {
+        std::thread::park();
+    }
+}
+
+/// `client`: one request against a running server; the body (summary
+/// N-Triples, STATS listing) goes to stdout so it can be piped, the
+/// status line to stderr.
+fn cmd_client(rest: &[String]) -> Result<(), String> {
+    let (addr, words) = rest.split_first().ok_or("client: missing server address")?;
+    if words.is_empty() {
+        return Err("client: missing request (e.g. `client 127.0.0.1:7878 PING`)".into());
+    }
+    let request = words.join(" ");
+    let mut client = rdfsummary::rdfsum_server::Client::connect(addr.as_str())
+        .map_err(|e| format!("connecting to {addr}: {e}"))?;
+    let response = client
+        .request(&request)
+        .map_err(|e| format!("talking to {addr}: {e}"))?;
+    eprintln!("{}", response.status);
+    if let Some(body) = &response.body {
+        use std::io::Write as _;
+        std::io::stdout()
+            .write_all(body)
+            .map_err(|e| format!("writing body: {e}"))?;
+    }
+    if response.is_ok() {
+        Ok(())
+    } else {
+        Err(format!("server answered: {}", response.status))
+    }
+}
+
 fn cmd_snapshot(path: &str, rest: &[String]) -> Result<(), String> {
     let out = flag_value(rest, "--out").ok_or("missing --out FILE.snap")?;
     let g = load(path)?;
@@ -413,6 +468,8 @@ fn main() -> ExitCode {
             None => Err("query: missing graph file".into()),
         },
         "generate" => cmd_generate(rest),
+        "serve" => cmd_serve(rest),
+        "client" => cmd_client(rest),
         "snapshot" => match rest.first() {
             Some(p) => cmd_snapshot(p, &rest[1..]),
             None => Err("snapshot: missing graph file".into()),

@@ -20,7 +20,9 @@
 //!   property checkers; summary nodes are minted symbolically (interned
 //!   property/class-set keys, URI strings rendered only on output — see
 //!   `rdfsum_core::naming`);
-//! * [`rdfsum_workloads`] — BSBM-like / LUBM-like / shape generators.
+//! * [`rdfsum_workloads`] — BSBM-like / LUBM-like / shape generators;
+//! * [`rdfsum_server`] — the warm-store summary server: a TCP line
+//!   protocol over resident stores and a fingerprint-keyed summary cache.
 //!
 //! ## Quickstart
 //!
@@ -62,12 +64,51 @@
 //! ```
 //!
 //! `cargo test -q` covers the whole workspace (the root `Cargo.toml` sets
-//! `default-members` accordingly), including the five integration suites
-//! under `tests/`: `cli`, `end_to_end`, `paper_example`, `properties` and
-//! `robustness`. Property tests default to 96 cases each; set
+//! `default-members` accordingly), including the six integration suites
+//! under `tests/`: `cli`, `end_to_end`, `paper_example`, `properties`,
+//! `robustness` and `server`. Property tests default to 96 cases each; set
 //! `PROPTEST_CASES` to change that. Setting `BENCH_JSON=<path>` while
 //! running benches appends one JSON line per measurement (how
 //! `BENCH_baseline.json` is produced).
+//!
+//! ## Serving
+//!
+//! `rdfsummary serve --addr HOST:PORT --threads N` starts the long-running
+//! warm-store server ([`rdfsum_server`]): graphs are loaded once into
+//! resident [`rdf_store::TripleStore`]s and every summary is cached under
+//! the graph's content fingerprint ([`rdf_store::Fingerprint`], a
+//! load-order-independent 128-bit digest folded over the sorted SPO
+//! index). The protocol is one LF-terminated UTF-8 line per request, at
+//! most 64 KiB:
+//!
+//! ```text
+//! PING                       LOAD <path>
+//! SUMMARIZE <kind> <graph>   STATS
+//! EVICT <graph> | EVICT *    QUIT
+//! ```
+//!
+//! with `<kind>` ∈ `{w, s, tw, ts, t}` and `<graph>` the path the file
+//! was loaded under. Responses are `OK field=value …` or
+//! `ERR category: message` status lines; `SUMMARIZE` and `STATS` append a
+//! body framed by a final `bytes=<n>` field. A `SUMMARIZE` body is the
+//! summary's N-Triples document, **byte-identical** to what
+//! `rdfsummary summarize --kind K --out FILE` writes for the same graph —
+//! cached answers included, since the cache stores the serialized output
+//! of the same build path. The cache is keyed by content, so re-loading
+//! an identical file (or the same data under another path) stays warm,
+//! and concurrent requests for a missing entry build it exactly once
+//! (single-flight). `--threads N` bounds the build/bulk-load parallelism
+//! exactly as it does for `summarize`; the connection worker pool is
+//! sized by `--workers N` (default: max(threads, 4)).
+//!
+//! `rdfsummary client ADDR REQUEST…` sends one request line and prints
+//! the response (status to stderr, body to stdout) for scripting:
+//!
+//! ```text
+//! rdfsummary serve --addr 127.0.0.1:7878 --threads 4 &
+//! rdfsummary client 127.0.0.1:7878 LOAD /data/bsbm.nt
+//! rdfsummary client 127.0.0.1:7878 SUMMARIZE w /data/bsbm.nt > weak.nt
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -78,6 +119,7 @@ pub use rdf_query;
 pub use rdf_schema;
 pub use rdf_store;
 pub use rdfsum_core;
+pub use rdfsum_server;
 pub use rdfsum_workloads;
 
 /// The most common imports, bundled.

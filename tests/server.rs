@@ -1,0 +1,426 @@
+//! Integration suite for the warm-store summary server: an in-process
+//! server driven over real TCP.
+//!
+//! The two contracts this suite pins:
+//!
+//! 1. **byte-identity** — `SUMMARIZE` responses (cache misses *and* hits)
+//!    are byte-identical to the single-shot CLI's `summarize --kind K
+//!    --out FILE` output for the same graph, on the book graph, BSBM and
+//!    LUBM, for all five summary kinds;
+//! 2. **single-flight** — under ≥8 concurrent clients, each distinct
+//!    `(fingerprint, kind)` pair is built exactly once (the
+//!    `SummaryService::builds` counter seam), with no deadlocks and
+//!    every response well-formed.
+
+use rdfsummary::prelude::*;
+use rdfsummary::rdfsum_core::{SummaryKind, SummaryService};
+use rdfsummary::rdfsum_server::{Client, ServerHandle};
+use rdfsummary::rdfsum_workloads as workloads;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use std::sync::Arc;
+
+/// All five summary kinds the server must answer (the four principal
+/// ones plus the type-based summary).
+const FIVE_KINDS: [(SummaryKind, &str); 5] = [
+    (SummaryKind::Weak, "w"),
+    (SummaryKind::Strong, "s"),
+    (SummaryKind::TypedWeak, "tw"),
+    (SummaryKind::TypedStrong, "ts"),
+    (SummaryKind::TypeBased, "t"),
+];
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_rdfsummary"))
+}
+
+fn workdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rdfsummary_server_{tag}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// The three fixture graphs of the byte-identity contract, written as
+/// N-Triples files: the paper's §2.1 book example, BSBM and LUBM.
+fn fixture_files(dir: &Path) -> Vec<(&'static str, PathBuf)> {
+    let fixtures = [
+        ("book", rdfsummary::rdfsum_core::fixtures::book_graph()),
+        (
+            "bsbm",
+            workloads::generate_bsbm(&BsbmConfig::with_products(30)),
+        ),
+        (
+            "lubm",
+            workloads::generate_lubm(&LubmConfig::with_universities(1)),
+        ),
+    ];
+    fixtures
+        .into_iter()
+        .map(|(name, g)| {
+            let path = dir.join(format!("{name}.nt"));
+            save_path(&g, &path).unwrap();
+            (name, path)
+        })
+        .collect()
+}
+
+fn start(threads: usize, workers: usize) -> (ServerHandle, Arc<SummaryService>) {
+    let service = Arc::new(SummaryService::new(threads));
+    let handle =
+        rdfsummary::rdfsum_server::spawn("127.0.0.1:0", Arc::clone(&service), workers).unwrap();
+    (handle, service)
+}
+
+/// The headline contract: for every fixture × kind, the server's
+/// `SUMMARIZE` body — on the cold miss and on the warm cache hit — is
+/// byte-identical to what the single-shot CLI writes with `--out`.
+#[test]
+fn summarize_responses_match_cli_output_byte_for_byte() {
+    let dir = workdir("bytes");
+    let (handle, service) = start(1, 4);
+    let mut client = Client::connect(handle.addr()).unwrap();
+    for (name, path) in fixture_files(&dir) {
+        let path_str = path.to_str().unwrap();
+        let loaded = client.load(path_str).unwrap();
+        assert!(loaded.is_ok(), "{}", loaded.status);
+        let fp = loaded.field("fp").unwrap().to_string();
+        for (kind, tok) in FIVE_KINDS {
+            // Single-shot CLI, same graph, same kind.
+            let out = dir.join(format!("{name}_{tok}.nt"));
+            let cli = bin()
+                .args(["summarize", path_str, "--kind", tok, "--threads", "1"])
+                .args(["--out", out.to_str().unwrap()])
+                .output()
+                .unwrap();
+            assert!(
+                cli.status.success(),
+                "{}",
+                String::from_utf8_lossy(&cli.stderr)
+            );
+            let cli_bytes = std::fs::read(&out).unwrap();
+
+            // Cold miss, then warm hit; both byte-identical to the CLI.
+            let miss = client.summarize(kind, path_str).unwrap();
+            assert!(miss.is_ok(), "{}", miss.status);
+            assert_eq!(miss.field("cached"), Some("0"), "{name}/{tok}");
+            assert_eq!(miss.field("fp"), Some(fp.as_str()));
+            let hit = client.summarize(kind, path_str).unwrap();
+            assert_eq!(hit.field("cached"), Some("1"), "{name}/{tok}");
+            assert_eq!(
+                miss.body.as_deref(),
+                Some(cli_bytes.as_slice()),
+                "{name}/{tok}: miss body differs from CLI output"
+            );
+            assert_eq!(
+                hit.body.as_deref(),
+                Some(cli_bytes.as_slice()),
+                "{name}/{tok}: cached body differs from CLI output"
+            );
+        }
+    }
+    // 3 fixtures × 5 kinds, each built exactly once.
+    assert_eq!(service.builds(), 15);
+    handle.shutdown();
+}
+
+/// A multi-threaded service yields the same bytes as the sequential one
+/// (the sharded substrate is bit-identical; the cache key is content).
+#[test]
+fn threaded_service_answers_are_identical() {
+    let dir = workdir("threads");
+    let g = workloads::generate_bsbm(&BsbmConfig::with_products(40));
+    let path = dir.join("bsbm40.nt");
+    save_path(&g, &path).unwrap();
+    let path_str = path.to_str().unwrap();
+
+    let (h1, _s1) = start(1, 2);
+    let (h4, _s4) = start(4, 2);
+    let mut c1 = Client::connect(h1.addr()).unwrap();
+    let mut c4 = Client::connect(h4.addr()).unwrap();
+    c1.load(path_str).unwrap();
+    c4.load(path_str).unwrap();
+    for (kind, tok) in FIVE_KINDS {
+        let a = c1.summarize(kind, path_str).unwrap();
+        let b = c4.summarize(kind, path_str).unwrap();
+        assert!(a.is_ok() && b.is_ok());
+        assert_eq!(a.field("fp"), b.field("fp"), "{tok}: fingerprints differ");
+        assert_eq!(a.body, b.body, "{tok}: bodies differ across thread counts");
+    }
+    h1.shutdown();
+    h4.shutdown();
+}
+
+/// Loading the same content under two paths shares one cache line, and
+/// snapshots fingerprint identically to their N-Triples source.
+#[test]
+fn cache_is_keyed_by_content_not_by_name() {
+    let dir = workdir("content");
+    let g = rdfsummary::rdfsum_core::fixtures::book_graph();
+    let a = dir.join("a.nt");
+    let b = dir.join("copy of a.nt"); // path with a space, loaded verbatim
+    let snap = dir.join("a.snap");
+    save_path(&g, &a).unwrap();
+    save_path(&g, &b).unwrap();
+    rdfsummary::rdf_store::snapshot::save(&g, &snap).unwrap();
+
+    let (handle, service) = start(1, 2);
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let fp_a = client.load(a.to_str().unwrap()).unwrap();
+    let fp_b = client.load(b.to_str().unwrap()).unwrap();
+    let fp_s = client.load(snap.to_str().unwrap()).unwrap();
+    assert_eq!(fp_a.field("fp"), fp_b.field("fp"));
+    assert_eq!(
+        fp_a.field("fp"),
+        fp_s.field("fp"),
+        "snapshot load must fingerprint like its N-Triples source"
+    );
+    let miss = client
+        .summarize(SummaryKind::Weak, a.to_str().unwrap())
+        .unwrap();
+    assert_eq!(miss.field("cached"), Some("0"));
+    for other in [b.to_str().unwrap(), snap.to_str().unwrap()] {
+        let hit = client.summarize(SummaryKind::Weak, other).unwrap();
+        assert_eq!(hit.field("cached"), Some("1"), "{other}");
+        assert_eq!(hit.body, miss.body);
+    }
+    assert_eq!(service.builds(), 1);
+    handle.shutdown();
+}
+
+/// STATS and EVICT round out the protocol: counters move as expected and
+/// eviction invalidates exactly the evicted graph's cache lines.
+#[test]
+fn stats_and_evict_lifecycle() {
+    let dir = workdir("lifecycle");
+    let files = fixture_files(&dir);
+    let (handle, _service) = start(1, 2);
+    let mut client = Client::connect(handle.addr()).unwrap();
+    for (_, path) in &files {
+        client.load(path.to_str().unwrap()).unwrap();
+    }
+    let book = files[0].1.to_str().unwrap();
+    client.summarize(SummaryKind::Weak, book).unwrap();
+    client.summarize(SummaryKind::Strong, book).unwrap();
+
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.field("graphs"), Some("3"));
+    assert_eq!(stats.field("cached"), Some("2"));
+    assert_eq!(stats.field("builds"), Some("2"));
+    let listing = stats.body_str().unwrap();
+    assert_eq!(listing.lines().count(), 3);
+    assert!(listing.contains("book.nt"), "{listing}");
+
+    // Evicting the book drops its two cache lines…
+    let evicted = client.evict(Some(book)).unwrap();
+    assert_eq!(evicted.status, "OK evicted graphs=1 entries=2");
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.field("graphs"), Some("2"));
+    assert_eq!(stats.field("cached"), Some("0"));
+    // …and summarizing it again is an unknown-graph error until reloaded.
+    let err = client.summarize(SummaryKind::Weak, book).unwrap();
+    assert!(err.status.starts_with("ERR summarize:"), "{}", err.status);
+    client.load(book).unwrap();
+    let miss = client.summarize(SummaryKind::Weak, book).unwrap();
+    assert_eq!(miss.field("cached"), Some("0"));
+
+    // EVICT * clears the world.
+    let all = client.evict(None).unwrap();
+    assert!(all.is_ok(), "{}", all.status);
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.field("graphs"), Some("0"));
+    assert_eq!(stats.field("cached"), Some("0"));
+    handle.shutdown();
+}
+
+/// The single-flight proof over real TCP: 10 concurrent clients race all
+/// five kinds on two distinct graphs; every response is well-formed and
+/// each of the 10 distinct (fingerprint, kind) pairs is built exactly
+/// once — the rest are cache hits or condvar waiters sharing the build.
+#[test]
+fn stress_exactly_one_build_per_fingerprint_kind() {
+    let dir = workdir("stress1");
+    let g1 = workloads::generate_bsbm(&BsbmConfig::with_products(25));
+    let g2 = workloads::generate_lubm(&LubmConfig::with_universities(1));
+    let p1 = dir.join("g1.nt");
+    let p2 = dir.join("g2.nt");
+    save_path(&g1, &p1).unwrap();
+    save_path(&g2, &p2).unwrap();
+
+    let (handle, service) = start(1, 16);
+    let addr = handle.addr();
+    let clients = 10;
+    std::thread::scope(|scope| {
+        for c in 0..clients {
+            let (p1, p2) = (p1.clone(), p2.clone());
+            scope.spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                // Every client loads both graphs (interleaved LOADs are
+                // content-identical, so the cache stays valid) and then
+                // hammers every kind on both, in a per-client order.
+                for p in [&p1, &p2] {
+                    let r = client.load(p.to_str().unwrap()).unwrap();
+                    assert!(r.is_ok(), "{}", r.status);
+                }
+                for round in 0..3 {
+                    for (i, (kind, _)) in FIVE_KINDS.iter().enumerate() {
+                        let p = if (c + i + round) % 2 == 0 { &p1 } else { &p2 };
+                        let r = client.summarize(*kind, p.to_str().unwrap()).unwrap();
+                        assert!(r.is_ok(), "{}", r.status);
+                        let bytes: usize = r.field("bytes").unwrap().parse().unwrap();
+                        assert_eq!(r.body.as_ref().unwrap().len(), bytes);
+                        assert!(!r.body.as_ref().unwrap().is_empty());
+                    }
+                    let stats = client.stats().unwrap();
+                    assert!(stats.is_ok(), "{}", stats.status);
+                }
+            });
+        }
+    });
+    assert_eq!(
+        service.builds(),
+        10,
+        "2 fingerprints x 5 kinds must build exactly once each"
+    );
+    let st = service.stats();
+    assert_eq!(st.hits + st.misses, (clients * 3 * 5) as u64);
+    handle.shutdown();
+}
+
+/// Chaos phase: interleaved LOAD / SUMMARIZE / EVICT / STATS from 8
+/// clients. Evictions force legitimate rebuilds, so the build count is
+/// no longer pinned — the assertions are liveness (no deadlock: the test
+/// finishes) and well-formedness (every response is OK or a clean
+/// expected ERR; summary bodies always match their advertised length and
+/// exact expected bytes).
+#[test]
+fn stress_interleaved_load_summarize_evict() {
+    let dir = workdir("stress2");
+    let g1 = workloads::generate_bsbm(&BsbmConfig::with_products(15));
+    let g2 = rdfsummary::rdfsum_core::fixtures::book_graph();
+    let p1 = dir.join("g1.nt");
+    let p2 = dir.join("g2.nt");
+    save_path(&g1, &p1).unwrap();
+    save_path(&g2, &p2).unwrap();
+    // Expected bodies, computed through the same single-shot path the
+    // service mirrors (threads = 1).
+    let expect: Vec<Vec<(SummaryKind, String)>> = [&g1, &g2]
+        .iter()
+        .map(|g| {
+            FIVE_KINDS
+                .iter()
+                .map(|(k, _)| (*k, write_graph(&summarize(g, *k).graph)))
+                .collect()
+        })
+        .collect();
+
+    let (handle, service) = start(1, 16);
+    let addr = handle.addr();
+    let expect = &expect;
+    std::thread::scope(|scope| {
+        for c in 0..8 {
+            let (p1, p2) = (p1.clone(), p2.clone());
+            scope.spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                for round in 0..4 {
+                    let which = (c + round) % 2;
+                    let p = if which == 0 { &p1 } else { &p2 };
+                    let path = p.to_str().unwrap();
+                    let r = client.load(path).unwrap();
+                    assert!(r.is_ok(), "{}", r.status);
+                    for (kind, body) in &expect[which] {
+                        let r = client.summarize(*kind, path).unwrap();
+                        if r.is_ok() {
+                            assert_eq!(
+                                r.body_str(),
+                                Some(body.as_str()),
+                                "wrong summary bytes for {kind}"
+                            );
+                        } else {
+                            // A racing EVICT may have unloaded the graph
+                            // between our LOAD and this request; that is
+                            // the only legitimate failure.
+                            assert!(
+                                r.status.starts_with("ERR summarize: no graph loaded"),
+                                "{}",
+                                r.status
+                            );
+                        }
+                    }
+                    if c % 4 == 3 {
+                        let r = client.evict(Some(path)).unwrap();
+                        assert!(
+                            r.is_ok() || r.status.starts_with("ERR evict: no graph loaded"),
+                            "{}",
+                            r.status
+                        );
+                    }
+                    let stats = client.stats().unwrap();
+                    assert!(stats.is_ok(), "{}", stats.status);
+                }
+                client.quit().unwrap();
+            });
+        }
+    });
+    // Single-flight still bounds rebuild storms: never more builds than
+    // requests, and the service is consistent afterwards.
+    let st = service.stats();
+    assert_eq!(st.builds, st.misses);
+    assert!(service.builds() >= 10);
+    handle.shutdown();
+}
+
+/// The CLI front-end end to end: `rdfsummary serve` prints its resolved
+/// address, `rdfsummary client` scripts LOAD / SUMMARIZE / STATS against
+/// it, and the piped SUMMARIZE body equals the CLI's --out bytes.
+#[test]
+fn cli_serve_and_client_roundtrip() {
+    use std::io::{BufRead, BufReader};
+    let dir = workdir("cli");
+    let g = rdfsummary::rdfsum_core::fixtures::book_graph();
+    let path = dir.join("book.nt");
+    save_path(&g, &path).unwrap();
+    let path_str = path.to_str().unwrap();
+
+    let mut serve = bin()
+        .args(["serve", "--addr", "127.0.0.1:0", "--threads", "1"])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .unwrap();
+    let mut first_line = String::new();
+    BufReader::new(serve.stdout.as_mut().unwrap())
+        .read_line(&mut first_line)
+        .unwrap();
+    assert!(first_line.starts_with("listening on "), "{first_line}");
+    let addr = first_line.split_whitespace().nth(2).unwrap().to_string();
+
+    let run_client = |args: &[&str]| {
+        let out = bin().arg("client").arg(&addr).args(args).output().unwrap();
+        (out.status.success(), out.stdout, out.stderr)
+    };
+
+    let (ok, _, stderr) = run_client(&["PING"]);
+    assert!(ok, "{}", String::from_utf8_lossy(&stderr));
+    let (ok, _, stderr) = run_client(&["LOAD", path_str]);
+    assert!(ok);
+    assert!(String::from_utf8_lossy(&stderr).starts_with("OK loaded"));
+    // SUMMARIZE body goes to stdout: compare against the single-shot CLI.
+    let out_file = dir.join("weak.nt");
+    let cli = bin()
+        .args(["summarize", path_str, "--kind", "w", "--threads", "1"])
+        .args(["--out", out_file.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(cli.status.success());
+    let (ok, stdout, _) = run_client(&["SUMMARIZE", "w", path_str]);
+    assert!(ok);
+    assert_eq!(stdout, std::fs::read(&out_file).unwrap());
+    // Errors surface as nonzero exit + the ERR status.
+    let (ok, _, stderr) = run_client(&["SUMMARIZE", "w", "/not/loaded.nt"]);
+    assert!(!ok);
+    assert!(String::from_utf8_lossy(&stderr).contains("ERR summarize:"));
+    let (ok, _, _) = run_client(&["QUIT"]);
+    assert!(ok);
+
+    serve.kill().unwrap();
+    serve.wait().unwrap();
+}
