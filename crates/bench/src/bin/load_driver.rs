@@ -1,0 +1,186 @@
+//! Concurrent client-mix load driver for the warm-store summary server:
+//! spawns an in-process server over a generated BSBM graph, then hammers
+//! it from N concurrent connections with a realistic request mix —
+//! mostly `QUERY` (non-empty and summary-pruned empty answers), plus
+//! periodic `SUMMARIZE` cache hits and `STATS` — and reports per-verb
+//! throughput and the service's pruning counters.
+//!
+//! ```text
+//! cargo run --release -p rdfsum-bench --bin load_driver -- \
+//!     [--clients N] [--requests N] [--products N] [--workers N]
+//! ```
+//!
+//! Every response is checked for `OK`; any `ERR` (or transport failure)
+//! fails the run with a non-zero exit, so this doubles as a concurrency
+//! smoke test for the QUERY path.
+
+use rdf_model::Graph;
+use rdfsum_core::SummaryService;
+use rdfsum_server::Client;
+use rdfsum_workloads::BsbmConfig;
+use std::sync::Arc;
+use std::time::Instant;
+
+fn arg(args: &[String], name: &str, default: usize) -> usize {
+    args.windows(2)
+        .find(|w| w[0] == name)
+        .and_then(|w| w[1].parse().ok())
+        .unwrap_or(default)
+}
+
+/// The most frequent data property and a class of its subjects — the
+/// guaranteed-nonempty query vocabulary (same derivation as the
+/// `query_serving` bench group).
+fn vocabulary(g: &Graph) -> (String, Option<String>) {
+    use std::collections::{HashMap, HashSet};
+    let mut counts: HashMap<_, usize> = Default::default();
+    for t in g.data() {
+        *counts.entry(t.p).or_default() += 1;
+    }
+    let p0_id = counts.into_iter().max_by_key(|&(p, n)| (n, p)).unwrap().0;
+    let subjects: HashSet<_> = g
+        .data()
+        .iter()
+        .filter(|t| t.p == p0_id)
+        .map(|t| t.s)
+        .collect();
+    let mut classes: HashMap<_, usize> = Default::default();
+    for t in g.types() {
+        if subjects.contains(&t.s) {
+            *classes.entry(t.o).or_default() += 1;
+        }
+    }
+    let c0 = classes
+        .into_iter()
+        .max_by_key(|&(c, n)| (n, c))
+        .map(|(c, _)| g.dict().decode(c).to_string());
+    (g.dict().decode(p0_id).to_string(), c0)
+}
+
+/// Per-thread tallies, merged after the join.
+#[derive(Default)]
+struct Tally {
+    queries: usize,
+    pruned_answers: usize,
+    summarizes: usize,
+    stats: usize,
+    errors: usize,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let clients = arg(&args, "--clients", 8);
+    let requests = arg(&args, "--requests", 250);
+    let products = arg(&args, "--products", 300);
+    let workers = arg(&args, "--workers", clients);
+
+    let g = rdfsum_workloads::generate_bsbm(&BsbmConfig::with_products(products));
+    let triples = g.len();
+    let (p0, c0) = vocabulary(&g);
+    let dir = std::env::temp_dir().join(format!("rdfsum_load_driver_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create workdir");
+    let path = dir.join("bsbm.nt");
+    rdf_io::save_path(&g, &path).expect("write fixture");
+    let name = path.to_str().expect("utf-8 temp path").to_string();
+
+    let service = Arc::new(SummaryService::new(workers.max(1)));
+    let handle =
+        rdfsum_server::spawn("127.0.0.1:0", Arc::clone(&service), workers).expect("spawn server");
+    let addr = handle.addr();
+
+    // Load once and pre-warm the summary, so every measured request runs
+    // in the steady serving regime.
+    let mut warm = Client::connect(addr).expect("connect");
+    assert!(warm.load(&name).expect("LOAD").is_ok(), "LOAD failed");
+    assert!(
+        warm.query(&name, "q() :- ?x <http://example.org/nope> ?y")
+            .expect("warm QUERY")
+            .is_ok(),
+        "warm-up QUERY failed"
+    );
+
+    // The request mix: ~70% QUERY (half of them provably empty →
+    // answered from the summary), ~15% SUMMARIZE hits, ~15% STATS.
+    let empty_q = format!("q() :- ?x <http://nowhere.invalid/no-such-property> ?y, ?y {p0} ?z");
+    let nonempty_q = match &c0 {
+        Some(c0) => format!("q(?x) :- ?x a {c0}, ?x {p0} ?y"),
+        None => format!("q(?x) :- ?x {p0} ?y"),
+    };
+
+    println!(
+        "load_driver: {clients} clients × {requests} requests, bsbm {triples} triples, {workers} workers @ {addr}"
+    );
+    let started = Instant::now();
+    let threads: Vec<_> = (0..clients)
+        .map(|cid| {
+            let name = name.clone();
+            let empty_q = empty_q.clone();
+            let nonempty_q = nonempty_q.clone();
+            std::thread::spawn(move || -> Tally {
+                let mut t = Tally::default();
+                let Ok(mut client) = Client::connect(addr) else {
+                    t.errors = requests;
+                    return t;
+                };
+                for i in 0..requests {
+                    let resp = match (i + cid) % 7 {
+                        0 => {
+                            t.stats += 1;
+                            client.stats()
+                        }
+                        1 => {
+                            t.summarizes += 1;
+                            client.summarize(rdfsum_core::SummaryKind::Weak, &name)
+                        }
+                        n => {
+                            t.queries += 1;
+                            let q = if n % 2 == 0 { &empty_q } else { &nonempty_q };
+                            client.query(&name, q)
+                        }
+                    };
+                    match resp {
+                        Ok(r) if r.is_ok() => {
+                            if r.field("pruned") == Some("1") {
+                                t.pruned_answers += 1;
+                            }
+                        }
+                        _ => t.errors += 1,
+                    }
+                }
+                t
+            })
+        })
+        .collect();
+
+    let mut total = Tally::default();
+    for th in threads {
+        let t = th.join().expect("client thread");
+        total.queries += t.queries;
+        total.pruned_answers += t.pruned_answers;
+        total.summarizes += t.summarizes;
+        total.stats += t.stats;
+        total.errors += t.errors;
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    handle.shutdown();
+
+    let n = clients * requests;
+    let st = service.stats();
+    println!(
+        "done: {n} requests in {elapsed:.2}s → {:.0} req/s",
+        n as f64 / elapsed
+    );
+    println!(
+        "  mix: {} QUERY ({} pruned), {} SUMMARIZE, {} STATS",
+        total.queries, total.pruned_answers, total.summarizes, total.stats
+    );
+    println!(
+        "  service: queries={} pruned={} cache hits={} misses={} builds={}",
+        st.queries, st.pruned, st.hits, st.misses, st.builds
+    );
+    if total.errors > 0 {
+        eprintln!("  {} request(s) failed", total.errors);
+        std::process::exit(1);
+    }
+    assert_eq!(st.builds, 1, "steady state must never rebuild the summary");
+}

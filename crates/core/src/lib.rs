@@ -95,6 +95,7 @@
 
 pub mod bisim;
 pub mod builder;
+pub mod cardinality;
 pub mod checks;
 pub mod cliques;
 pub mod context;
@@ -120,6 +121,7 @@ pub mod weak;
 
 pub use bisim::{bisim_partition, bisim_summary, BisimDepth};
 pub use builder::{summarize, summarize_all, summarize_with, Strategy, SummarizeOptions};
+pub use cardinality::{PropertyCard, SummaryCardinality, SummaryEstimator};
 pub use checks::{
     can_prune, check_representativeness, completeness_check, completeness_checks, fixpoint_holds,
     CompletenessCheck, RepresentativenessReport,
@@ -138,7 +140,9 @@ pub use parallel::{
 pub use reference::{reference_summary, reference_summary_with};
 pub use report::{render_report, ReportOptions};
 pub use saturated_cliques::{fuse_cliques, saturated_clique, verify_lemma1};
-pub use service::{LoadedGraph, ServiceError, ServiceStats, SummaryArtifact, SummaryService};
+pub use service::{
+    LoadedGraph, QueryOutcome, ServiceError, ServiceStats, SummaryArtifact, SummaryService,
+};
 pub use streaming::{streaming_typed_weak_summary, streaming_weak_summary};
 pub use strong::strong_summary;
 pub use summary::{Summary, SummaryKind, SummaryStats};
@@ -215,6 +219,68 @@ mod proptests {
                 let s = summarize(&g, kind);
                 prop_assert!(crate::quotient::verify_quotient(&g, &s), "{kind}");
                 prop_assert!(s.check_correspondence_invariants());
+            }
+        }
+
+        /// Summary pruning never drops a non-empty answer, on any kind:
+        /// whenever `empty_on_summary` claims emptiness, direct evaluation
+        /// on the graph confirms it (the QUERY short-circuit's soundness).
+        #[test]
+        fn pruning_never_drops_nonempty_answers(
+            g in arb_graph(),
+            patterns in proptest::collection::vec((0u8..8, 0u8..4, 0u8..8, 0u8..8, 0u8..3), 1..4),
+        ) {
+            use rdf_query::{compile, empty_on_summary, Evaluator, QuerySpec, SpecTerm};
+            use rdf_store::TripleStore;
+            // Random BGPs over the generator's vocabulary, mixing
+            // variables, data constants, τ patterns and property
+            // variables — deliberately *not* restricted to RBGPs.
+            let body: Vec<(SpecTerm, SpecTerm, SpecTerm)> = patterns
+                .iter()
+                .map(|&(s, p, o, mask, c)| {
+                    let sv = if mask & 1 != 0 {
+                        SpecTerm::var(format!("v{s}"))
+                    } else {
+                        SpecTerm::iri(format!("http://x/n{s}"))
+                    };
+                    if mask & 2 != 0 {
+                        // τ pattern: constant or variable class.
+                        let ov = if mask & 4 != 0 {
+                            SpecTerm::var(format!("c{c}"))
+                        } else {
+                            SpecTerm::iri(format!("http://x/C{c}"))
+                        };
+                        return (sv, SpecTerm::iri(vocab::RDF_TYPE), ov);
+                    }
+                    let pv = if mask & 8 != 0 {
+                        SpecTerm::var(format!("q{p}"))
+                    } else {
+                        SpecTerm::iri(format!("http://x/p{p}"))
+                    };
+                    let ov = if mask & 4 != 0 {
+                        SpecTerm::var(format!("w{o}"))
+                    } else {
+                        SpecTerm::iri(format!("http://x/n{o}"))
+                    };
+                    (sv, pv, ov)
+                })
+                .collect();
+            let spec = QuerySpec::new(Vec::<String>::new(), body);
+            let store = TripleStore::new(g.clone());
+            let q = compile(&spec, store.graph()).unwrap();
+            let on_g = Evaluator::new(&store).ask(&q);
+            for kind in [
+                SummaryKind::Weak,
+                SummaryKind::Strong,
+                SummaryKind::TypedWeak,
+                SummaryKind::TypedStrong,
+                SummaryKind::TypeBased,
+            ] {
+                let s = summarize(&g, kind);
+                let h_store = TripleStore::new(s.graph.clone());
+                if empty_on_summary(&h_store, &spec) {
+                    prop_assert!(!on_g, "{kind} pruned non-empty query {spec}");
+                }
             }
         }
 

@@ -28,15 +28,19 @@
 //! invariant the root `tests/server.rs` suite asserts on every fixture ×
 //! kind pair.
 
+use crate::cardinality::{SummaryCardinality, SummaryEstimator};
 use crate::summary::SummaryKind;
-use rdf_model::Graph;
+use rdf_model::{Graph, PrefixMap};
+use rdf_query::{explain_with, parse_query, Evaluator, QuerySpec};
 use rdf_store::{Fingerprint, TripleStore};
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
-/// One cached summary: the serialized output plus its headline figures.
+/// One cached summary: the serialized output plus its headline figures,
+/// and the query-serving companions (the summary as an indexed store for
+/// pruning ASKs, and the summary-derived cardinality statistics).
 #[derive(Debug)]
 pub struct SummaryArtifact {
     /// Which summary this is.
@@ -52,6 +56,10 @@ pub struct SummaryArtifact {
     pub summary_edges: usize,
     /// Triple count of the summarized input graph.
     pub input_triples: usize,
+    /// The summary graph, indexed — what `QUERY` pruning ASKs run on.
+    pub summary_store: TripleStore,
+    /// Summary-derived join-planning statistics (see [`SummaryCardinality`]).
+    pub cardinality: SummaryCardinality,
 }
 
 /// Outcome of [`SummaryService::load_graph`].
@@ -81,24 +89,52 @@ pub struct ServiceStats {
     /// any concurrency this stays at one per distinct
     /// `(fingerprint, kind)` ever requested, absent evictions).
     pub builds: u64,
+    /// `QUERY` requests served.
+    pub queries: u64,
+    /// `QUERY` requests answered empty by summary pruning alone.
+    pub pruned: u64,
 }
 
 /// Errors a service request can produce.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum ServiceError {
-    /// `summarize` named a graph that is not loaded.
+    /// `summarize`/`query` named a graph that is not loaded.
     UnknownGraph(String),
+    /// `query` text failed to parse or compile.
+    BadQuery(String),
 }
 
 impl fmt::Display for ServiceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ServiceError::UnknownGraph(name) => write!(f, "no graph loaded as `{name}`"),
+            ServiceError::BadQuery(msg) => write!(f, "bad query: {msg}"),
         }
     }
 }
 
 impl std::error::Error for ServiceError {}
+
+/// Outcome of [`SummaryService::query`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QueryOutcome {
+    /// Head variable names, in projection order (empty for ASK queries).
+    pub columns: Vec<String>,
+    /// Distinct answer rows, each term rendered in N-Triples syntax.
+    /// ASK queries report no rows — see [`QueryOutcome::ask`].
+    pub rows: Vec<Vec<String>>,
+    /// Did the query have at least one embedding?
+    pub ask: bool,
+    /// True when the summary proved emptiness and graph evaluation was
+    /// skipped entirely (empty-on-summary ⇒ empty-on-graph).
+    pub pruned: bool,
+    /// True when the summary consulted for pruning came from the cache.
+    pub cache_hit: bool,
+    /// The summary kind consulted for pruning and join planning.
+    pub kind: SummaryKind,
+    /// True when the row limit cut off the enumeration.
+    pub truncated: bool,
+}
 
 /// A resident graph: the warm store plus its precomputed fingerprint.
 struct GraphEntry {
@@ -124,6 +160,8 @@ pub struct SummaryService {
     builds: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
+    queries: AtomicU64,
+    pruned: AtomicU64,
 }
 
 /// Removes the `Building` marker if the build unwinds, so waiters retry
@@ -160,6 +198,8 @@ impl SummaryService {
             builds: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            queries: AtomicU64::new(0),
+            pruned: AtomicU64::new(0),
         }
     }
 
@@ -230,6 +270,18 @@ impl SummaryService {
             .get(name)
             .cloned()
             .ok_or_else(|| ServiceError::UnknownGraph(name.to_string()))?;
+        Ok(self.summarize_entry(&entry, kind))
+    }
+
+    /// [`Self::summarize`] against an already-resolved graph entry — the
+    /// query path uses this so the summary it prunes with is guaranteed
+    /// to describe the *same* content snapshot it evaluates against, even
+    /// if a concurrent `LOAD` rebinds the name in between.
+    fn summarize_entry(
+        &self,
+        entry: &GraphEntry,
+        kind: SummaryKind,
+    ) -> (Arc<SummaryArtifact>, bool) {
         let key = (entry.fingerprint, kind);
         {
             let mut cache = self.cache.lock().unwrap();
@@ -237,7 +289,7 @@ impl SummaryService {
                 match cache.get(&key) {
                     Some(Slot::Ready(artifact)) => {
                         self.hits.fetch_add(1, Ordering::Relaxed);
-                        return Ok((Arc::clone(artifact), true));
+                        return (Arc::clone(artifact), true);
                     }
                     Some(Slot::Building) => {
                         cache = self.slot_done.wait(cache).unwrap();
@@ -256,14 +308,14 @@ impl SummaryService {
             key,
             armed: true,
         };
-        let artifact = Arc::new(self.build_artifact(&entry, kind));
+        let artifact = Arc::new(self.build_artifact(entry, kind));
         {
             let mut cache = self.cache.lock().unwrap();
             cache.insert(key, Slot::Ready(Arc::clone(&artifact)));
         }
         guard.armed = false;
         self.slot_done.notify_all();
-        Ok((artifact, false))
+        (artifact, false)
     }
 
     /// One real summary build + serialization (the cache-miss work).
@@ -279,14 +331,127 @@ impl SummaryService {
             crate::builder::summarize(g, kind)
         };
         let stats = summary.stats();
+        let cardinality = SummaryCardinality::new(&entry.store, &summary);
+        let ntriples = rdf_io::write_graph(&summary.graph);
         SummaryArtifact {
             kind,
             fingerprint: entry.fingerprint,
-            ntriples: rdf_io::write_graph(&summary.graph),
+            ntriples,
             summary_nodes: stats.all_nodes,
             summary_edges: stats.all_edges,
             input_triples: g.len(),
+            summary_store: TripleStore::new(summary.graph),
+            cardinality,
         }
+    }
+
+    /// Evaluates a BGP query (paper notation, e.g. `q(?x) :- ?x <p> ?y`)
+    /// against the warm store loaded as `name`, with **summary-based
+    /// pruning**: the query is first checked against a summary of the
+    /// graph ([`rdf_query::empty_on_summary`] — sound for every quotient
+    /// kind), and when the summary proves emptiness the graph join is
+    /// skipped entirely. Otherwise the join runs in the order of a static
+    /// plan whose cardinality estimates come from the same summary
+    /// ([`SummaryEstimator`]).
+    ///
+    /// `kind` picks the summary to consult; `None` prefers whatever is
+    /// already cached for the graph's fingerprint (so pruning never costs
+    /// a rebuild when *any* kind is warm), falling back to
+    /// [`SummaryKind::Weak`] — the smallest summary — on a cold cache.
+    /// `limit` caps the number of distinct rows enumerated.
+    pub fn query(
+        &self,
+        name: &str,
+        text: &str,
+        kind: Option<SummaryKind>,
+        limit: usize,
+    ) -> Result<QueryOutcome, ServiceError> {
+        let entry = self
+            .graphs
+            .lock()
+            .unwrap()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| ServiceError::UnknownGraph(name.to_string()))?;
+        let spec = parse_query(text, &PrefixMap::with_defaults())
+            .map_err(|e| ServiceError::BadQuery(e.to_string()))?;
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        let kind = kind.unwrap_or_else(|| self.preferred_kind(entry.fingerprint));
+        let (artifact, cache_hit) = self.summarize_entry(&entry, kind);
+        self.query_with_artifact(&entry.store, &spec, &artifact, cache_hit, limit)
+    }
+
+    /// The evaluation half of [`Self::query`], usable directly when the
+    /// caller already holds a store and its summary artifact.
+    fn query_with_artifact(
+        &self,
+        store: &TripleStore,
+        spec: &QuerySpec,
+        artifact: &SummaryArtifact,
+        cache_hit: bool,
+        limit: usize,
+    ) -> Result<QueryOutcome, ServiceError> {
+        let q = rdf_query::compile(spec, store.graph())
+            .map_err(|e| ServiceError::BadQuery(e.to_string()))?;
+        let columns: Vec<String> = spec.head.clone();
+        if rdf_query::empty_on_summary(&artifact.summary_store, spec) {
+            self.pruned.fetch_add(1, Ordering::Relaxed);
+            return Ok(QueryOutcome {
+                columns,
+                rows: Vec::new(),
+                ask: false,
+                pruned: true,
+                cache_hit,
+                kind: artifact.kind,
+                truncated: false,
+            });
+        }
+        let estimator = SummaryEstimator::new(store, &artifact.cardinality);
+        let plan = explain_with(&q, &estimator);
+        let ev = Evaluator::new(store);
+        let (rows, ask, truncated) = if spec.is_boolean() {
+            let ask = ev.ask_ordered(&q, &plan.order());
+            (Vec::new(), ask, false)
+        } else {
+            let rs = ev.select_limit_ordered(&q, &plan.order(), limit);
+            let rows: Vec<Vec<String>> = rs
+                .decode(store)
+                .into_iter()
+                .map(|row| row.into_iter().map(|t| t.to_string()).collect())
+                .collect();
+            let truncated = rows.len() >= limit && limit != usize::MAX;
+            let ask = !rows.is_empty();
+            (rows, ask, truncated)
+        };
+        Ok(QueryOutcome {
+            columns,
+            rows,
+            ask,
+            pruned: false,
+            cache_hit,
+            kind: artifact.kind,
+            truncated,
+        })
+    }
+
+    /// The summary kind to consult when the caller expressed no
+    /// preference: an already-cached Ready kind for this fingerprint (in
+    /// a fixed preference order, so the choice is deterministic), else
+    /// [`SummaryKind::Weak`].
+    fn preferred_kind(&self, fingerprint: Fingerprint) -> SummaryKind {
+        const PREFERENCE: [SummaryKind; 6] = [
+            SummaryKind::Weak,
+            SummaryKind::TypedWeak,
+            SummaryKind::Strong,
+            SummaryKind::TypedStrong,
+            SummaryKind::TypeBased,
+            SummaryKind::Bisimulation,
+        ];
+        let cache = self.cache.lock().unwrap();
+        PREFERENCE
+            .into_iter()
+            .find(|&k| matches!(cache.get(&(fingerprint, k)), Some(Slot::Ready(_))))
+            .unwrap_or(SummaryKind::Weak)
     }
 
     /// Drops the graph loaded as `name`. Ready cache entries for its
@@ -358,6 +523,8 @@ impl SummaryService {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             builds: self.builds.load(Ordering::Relaxed),
+            queries: self.queries.load(Ordering::Relaxed),
+            pruned: self.pruned.load(Ordering::Relaxed),
         }
     }
 }
@@ -480,6 +647,125 @@ mod tests {
         svc.summarize("a", SummaryKind::Weak).unwrap();
         assert_eq!(svc.evict_all(), (2, 1));
         assert_eq!(svc.stats().graphs, 0);
+    }
+
+    #[test]
+    fn query_selects_and_counts() {
+        let svc = SummaryService::new(1);
+        svc.load_graph("g", fixtures::sample_graph());
+        let out = svc
+            .query("g", "q(?x, ?y) :- ?x ?p ?y", None, usize::MAX)
+            .unwrap();
+        assert_eq!(out.columns, vec!["x", "y"]);
+        assert!(out.ask);
+        assert!(!out.pruned);
+        assert!(!out.rows.is_empty());
+        assert!(!out.truncated);
+        let st = svc.stats();
+        assert_eq!((st.queries, st.pruned), (1, 0));
+        // The pruning summary was built once and is now cached.
+        assert_eq!(st.builds, 1);
+        let out2 = svc
+            .query("g", "q(?x, ?y) :- ?x ?p ?y", None, usize::MAX)
+            .unwrap();
+        assert!(out2.cache_hit);
+        assert_eq!(out2.rows, out.rows);
+    }
+
+    #[test]
+    fn query_prunes_empty_answers_via_the_summary() {
+        let svc = SummaryService::new(1);
+        svc.load_graph("g", fixtures::sample_graph());
+        // No such property anywhere: the summary proves emptiness.
+        let out = svc
+            .query(
+                "g",
+                "q(?x) :- ?x <urn:no-such-property> ?y",
+                None,
+                usize::MAX,
+            )
+            .unwrap();
+        assert!(out.pruned);
+        assert!(!out.ask);
+        assert!(out.rows.is_empty());
+        assert_eq!(svc.stats().pruned, 1);
+    }
+
+    #[test]
+    fn query_agrees_with_unpruned_evaluator() {
+        use rdf_model::PrefixMap;
+        let g = fixtures::sample_graph();
+        let svc = SummaryService::new(1);
+        svc.load_graph("g", g.clone());
+        let store = rdf_store::TripleStore::new(g);
+        for text in [
+            "q(?x, ?y) :- ?x ?p ?y",
+            "q(?x) :- ?x a ?c",
+            "q(?x) :- ?x ?p ?y, ?y ?q ?z",
+        ] {
+            let spec = rdf_query::parse_query(text, &PrefixMap::with_defaults()).unwrap();
+            let q = rdf_query::compile(&spec, store.graph()).unwrap();
+            let expect: std::collections::BTreeSet<Vec<String>> = rdf_query::Evaluator::new(&store)
+                .select(&q)
+                .decode(&store)
+                .into_iter()
+                .map(|row| row.into_iter().map(|t| t.to_string()).collect())
+                .collect();
+            for kind in SummaryKind::ALL {
+                let out = svc.query("g", text, Some(kind), usize::MAX).unwrap();
+                let got: std::collections::BTreeSet<Vec<String>> =
+                    out.rows.iter().cloned().collect();
+                assert_eq!(got, expect, "query `{text}` under {kind}");
+            }
+        }
+    }
+
+    #[test]
+    fn query_limit_truncates() {
+        let svc = SummaryService::new(1);
+        svc.load_graph("g", fixtures::sample_graph());
+        let out = svc.query("g", "q(?x, ?y) :- ?x ?p ?y", None, 2).unwrap();
+        assert_eq!(out.rows.len(), 2);
+        assert!(out.truncated);
+    }
+
+    #[test]
+    fn query_boolean_form() {
+        let svc = SummaryService::new(1);
+        svc.load_graph("g", fixtures::sample_graph());
+        let out = svc.query("g", "q() :- ?x ?p ?y", None, usize::MAX).unwrap();
+        assert!(out.ask);
+        assert!(out.columns.is_empty());
+        assert!(out.rows.is_empty());
+    }
+
+    #[test]
+    fn query_errors_are_typed() {
+        let svc = SummaryService::new(1);
+        assert!(matches!(
+            svc.query("nope", "q() :- ?x ?p ?y", None, usize::MAX),
+            Err(ServiceError::UnknownGraph(_))
+        ));
+        svc.load_graph("g", fixtures::sample_graph());
+        let err = svc.query("g", "not a query", None, usize::MAX).unwrap_err();
+        assert!(matches!(err, ServiceError::BadQuery(_)));
+        assert!(err.to_string().contains("bad query"));
+        // Empty body is rejected at parse/compile, not panicking later.
+        assert!(matches!(
+            svc.query("g", "q() :- ", None, usize::MAX),
+            Err(ServiceError::BadQuery(_))
+        ));
+    }
+
+    #[test]
+    fn query_prefers_an_already_cached_kind() {
+        let svc = SummaryService::new(1);
+        svc.load_graph("g", fixtures::sample_graph());
+        svc.summarize("g", SummaryKind::TypedStrong).unwrap();
+        let out = svc.query("g", "q() :- ?x ?p ?y", None, usize::MAX).unwrap();
+        assert_eq!(out.kind, SummaryKind::TypedStrong);
+        assert!(out.cache_hit, "pruning must not force a rebuild");
+        assert_eq!(svc.builds(), 1);
     }
 
     /// The single-flight gate under real contention: many threads × all

@@ -111,12 +111,26 @@ impl<'a> Evaluator<'a> {
 
     /// Boolean evaluation: does the query have at least one embedding?
     pub fn ask(&self, q: &CompiledQuery) -> bool {
+        self.ask_impl(q, None)
+    }
+
+    /// Like [`Self::ask`] but joins the body patterns in the fixed `order`
+    /// (e.g. from [`crate::plan::Plan::order`]) instead of re-counting at
+    /// every step. An `order` that is not a permutation of the body
+    /// indices falls back to dynamic ordering — never a panic.
+    pub fn ask_ordered(&self, q: &CompiledQuery, order: &[usize]) -> bool {
+        self.ask_impl(q, checked_order(q, order))
+    }
+
+    fn ask_impl(&self, q: &CompiledQuery, order: Option<&[usize]>) -> bool {
         if q.always_empty() {
             return false;
         }
         let mut binding = vec![None; q.n_vars()];
         let mut used = vec![false; q.body.len()];
-        self.search(q, &mut binding, &mut used, &mut |_| ControlFlow::Stop)
+        self.search(q, order, 0, &mut binding, &mut used, &mut |_| {
+            ControlFlow::Stop
+        })
     }
 
     /// Full evaluation with distinct projection on the head variables.
@@ -126,27 +140,49 @@ impl<'a> Evaluator<'a> {
 
     /// Like [`Self::select`] but stops after `limit` distinct rows.
     pub fn select_limit(&self, q: &CompiledQuery, limit: usize) -> ResultSet {
+        self.select_impl(q, None, limit)
+    }
+
+    /// Like [`Self::select_limit`] but joins the body patterns in the
+    /// fixed `order` (see [`Self::ask_ordered`] for the fallback rule).
+    pub fn select_limit_ordered(
+        &self,
+        q: &CompiledQuery,
+        order: &[usize],
+        limit: usize,
+    ) -> ResultSet {
+        self.select_impl(q, checked_order(q, order), limit)
+    }
+
+    fn select_impl(&self, q: &CompiledQuery, order: Option<&[usize]>, limit: usize) -> ResultSet {
         let columns: Vec<String> = q.head.iter().map(|&v| q.var_names[v].clone()).collect();
         let mut seen: FxHashSet<Vec<TermId>> = FxHashSet::default();
         let mut rows: Vec<Vec<TermId>> = Vec::new();
         if !q.always_empty() && limit > 0 {
             let mut binding = vec![None; q.n_vars()];
             let mut used = vec![false; q.body.len()];
-            self.search(q, &mut binding, &mut used, &mut |b: &[Option<TermId>]| {
-                let row: Vec<TermId> = q
-                    .head
-                    .iter()
-                    .map(|&v| b[v].expect("head variable bound in full embedding"))
-                    .collect();
-                if seen.insert(row.clone()) {
-                    rows.push(row);
-                }
-                if rows.len() >= limit {
-                    ControlFlow::Stop
-                } else {
-                    ControlFlow::Continue
-                }
-            });
+            self.search(
+                q,
+                order,
+                0,
+                &mut binding,
+                &mut used,
+                &mut |b: &[Option<TermId>]| {
+                    let row: Vec<TermId> = q
+                        .head
+                        .iter()
+                        .map(|&v| b[v].expect("head variable bound in full embedding"))
+                        .collect();
+                    if seen.insert(row.clone()) {
+                        rows.push(row);
+                    }
+                    if rows.len() >= limit {
+                        ControlFlow::Stop
+                    } else {
+                        ControlFlow::Continue
+                    }
+                },
+            );
         }
         ResultSet { columns, rows }
     }
@@ -159,10 +195,14 @@ impl<'a> Evaluator<'a> {
     /// Backtracking search. `on_solution` is called for every full
     /// embedding; returning [`ControlFlow::Stop`] ends the search. The
     /// function's return value is `true` iff at least one embedding was
-    /// found.
+    /// found. With `order = Some(_)` the pattern joined at each `depth` is
+    /// fixed up front (the order was validated as a permutation by
+    /// [`checked_order`]); otherwise it is re-chosen dynamically.
     fn search(
         &self,
         q: &CompiledQuery,
+        order: Option<&[usize]>,
+        depth: usize,
         binding: &mut Vec<Option<TermId>>,
         used: &mut Vec<bool>,
         on_solution: &mut dyn FnMut(&[Option<TermId>]) -> ControlFlow,
@@ -172,18 +212,27 @@ impl<'a> Evaluator<'a> {
             let _ = on_solution(binding);
             return true;
         }
-        // Pick the unused pattern with the fewest matches right now.
-        let (idx, best_count) = q
-            .body
-            .iter()
-            .enumerate()
-            .filter(|(i, _)| !used[*i])
-            .map(|(i, p)| (i, self.store.count(to_store_pattern(p, binding))))
-            .min_by_key(|&(_, c)| c)
-            .expect("at least one unused pattern");
-        if best_count == 0 {
+        // Pick the pattern to join: the fixed order's next entry, or the
+        // unused pattern with the fewest matches right now.
+        let chosen = match order {
+            Some(ord) => ord.get(depth).copied().filter(|&i| !used[i]),
+            None => q
+                .body
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| !used[*i])
+                .map(|(i, p)| (i, self.store.count(to_store_pattern(p, binding))))
+                .min_by_key(|&(_, c)| c)
+                .map(|(i, _)| i),
+        };
+        // The all-used early return above guarantees an unused pattern
+        // exists, and `checked_order` guarantees fixed orders are
+        // permutations — but keep selection total so a broken invariant
+        // degrades to "no embeddings", never a panicked server worker.
+        let Some(idx) = chosen else {
+            debug_assert!(false, "pattern selection found no unused pattern");
             return false;
-        }
+        };
         used[idx] = true;
         let pattern = q.body[idx];
         // Materialize the candidate slice (it borrows the store, and the
@@ -196,7 +245,7 @@ impl<'a> Evaluator<'a> {
                 // Recurse; wrap on_solution so Stop propagates up through
                 // every level's candidate loop.
                 let mut local_stop = false;
-                let sub_found = self.search(q, binding, used, &mut |b| {
+                let sub_found = self.search(q, order, depth + 1, binding, used, &mut |b| {
                     let flow = on_solution(b);
                     if matches!(flow, ControlFlow::Stop) {
                         local_stop = true;
@@ -215,6 +264,24 @@ impl<'a> Evaluator<'a> {
         used[idx] = false;
         found
     }
+}
+
+/// Validates a caller-supplied join order: it must be a permutation of
+/// the body pattern indices. Anything else returns `None`, which makes
+/// the `*_ordered` entry points fall back to dynamic ordering.
+fn checked_order<'o>(q: &CompiledQuery, order: &'o [usize]) -> Option<&'o [usize]> {
+    let n = q.body.len();
+    if order.len() != n {
+        return None;
+    }
+    let mut seen = vec![false; n];
+    for &i in order {
+        if i >= n || seen[i] {
+            return None;
+        }
+        seen[i] = true;
+    }
+    Some(order)
 }
 
 /// Search control for solution callbacks.
@@ -368,6 +435,102 @@ mod tests {
         assert!(q.always_empty());
         assert!(!Evaluator::new(&st).ask(&q));
         assert!(Evaluator::new(&st).select(&q).is_empty());
+    }
+
+    #[test]
+    fn duplicate_patterns_do_not_panic() {
+        let st = library_store();
+        // The same pattern three times: joins must stay total (the greedy
+        // selector sees identical counts at every step).
+        let pat = (v("x"), iri("author"), v("y"));
+        let spec = QuerySpec::new(["x"], [pat.clone(), pat.clone(), pat]);
+        let q = compile(&spec, st.graph()).unwrap();
+        let rs = Evaluator::new(&st).select(&q);
+        assert_eq!(rs.len(), 2);
+        assert!(Evaluator::new(&st).ask(&q));
+    }
+
+    #[test]
+    fn all_bound_pattern_is_a_containment_check() {
+        let st = library_store();
+        let hit = QuerySpec::new(
+            Vec::<String>::new(),
+            [(iri("b1"), iri("author"), iri("alice"))],
+        );
+        let miss = QuerySpec::new(
+            Vec::<String>::new(),
+            [(iri("b1"), iri("author"), iri("bob"))],
+        );
+        let ev = Evaluator::new(&st);
+        assert!(ev.ask(&compile(&hit, st.graph()).unwrap()));
+        assert!(!ev.ask(&compile(&miss, st.graph()).unwrap()));
+    }
+
+    #[test]
+    fn zero_body_query_is_total() {
+        // `compile` rejects empty bodies, but a hand-built query must not
+        // panic either: the empty conjunction is vacuously satisfiable.
+        let st = library_store();
+        let q = CompiledQuery {
+            var_names: Vec::new(),
+            head: Vec::new(),
+            body: Vec::new(),
+        };
+        let ev = Evaluator::new(&st);
+        assert!(ev.ask(&q));
+        let rs = ev.select(&q);
+        assert_eq!(rs.len(), 1);
+        assert!(rs.columns.is_empty());
+    }
+
+    #[test]
+    fn ordered_eval_matches_dynamic() {
+        let mut g = Graph::new();
+        g.add_iri_triple("a", "e", "b");
+        g.add_iri_triple("b", "e", "c");
+        g.add_iri_triple("c", "e", "a");
+        g.add_iri_triple("a", "e", "c");
+        let st = TripleStore::new(g);
+        let spec = QuerySpec::new(
+            ["x", "y", "z"],
+            [
+                (v("x"), iri("e"), v("y")),
+                (v("y"), iri("e"), v("z")),
+                (v("z"), iri("e"), v("x")),
+            ],
+        );
+        let q = compile(&spec, st.graph()).unwrap();
+        let ev = Evaluator::new(&st);
+        let dynamic = ev.select(&q);
+        for order in [[0, 1, 2], [2, 1, 0], [1, 0, 2]] {
+            let fixed = ev.select_limit_ordered(&q, &order, usize::MAX);
+            let mut a = dynamic.rows.clone();
+            let mut b = fixed.rows.clone();
+            a.sort();
+            b.sort();
+            assert_eq!(a, b, "order {order:?}");
+            assert!(ev.ask_ordered(&q, &order));
+        }
+    }
+
+    #[test]
+    fn invalid_order_falls_back_to_dynamic() {
+        let st = library_store();
+        let spec = QuerySpec::new(
+            ["b"],
+            [
+                (v("b"), iri("author"), v("a")),
+                (v("a"), iri("reviewed"), v("c")),
+            ],
+        );
+        let q = compile(&spec, st.graph()).unwrap();
+        let ev = Evaluator::new(&st);
+        // Duplicate index, out-of-range index, wrong length: all fall back.
+        for bad in [vec![0, 0], vec![0, 7], vec![0], vec![]] {
+            let rs = ev.select_limit_ordered(&q, &bad, usize::MAX);
+            assert_eq!(rs.len(), 1, "order {bad:?}");
+            assert!(ev.ask_ordered(&q, &bad));
+        }
     }
 
     #[test]

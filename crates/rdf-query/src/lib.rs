@@ -10,6 +10,11 @@
 //! * RBGP validation ([`validate_rbgp`], Definition 3) — the fragment for
 //!   which summaries are representative and accurate;
 //! * a paper-notation query [`parser`];
+//! * static [`plan`]s with pluggable cardinality estimation
+//!   ([`JoinEstimator`]) whose order can drive the evaluator
+//!   ([`Evaluator::ask_ordered`]);
+//! * summary-based emptiness pruning ([`empty_on_summary`]): empty on the
+//!   summary ⇒ empty on the graph, sound for every quotient kind;
 //! * a [`workload`] sampler producing RBGP queries guaranteed non-empty on
 //!   a given graph (for the representativeness experiments).
 
@@ -20,6 +25,7 @@ pub mod bgp;
 pub mod eval;
 pub mod parser;
 pub mod plan;
+pub mod prune;
 pub mod rbgp;
 pub mod reformulate;
 pub mod workload;
@@ -30,7 +36,8 @@ pub use bgp::{
 };
 pub use eval::{ControlFlow, Evaluator, ResultSet};
 pub use parser::{parse_query, QueryParseError};
-pub use plan::{explain, Plan, PlanStep};
+pub use plan::{explain, explain_with, JoinEstimator, Plan, PlanStep, StoreEstimator};
+pub use prune::{empty_on_summary, relax_for_summary};
 pub use rbgp::{is_rbgp, validate_rbgp, RbgpViolation};
 pub use reformulate::{ask_via_reformulation, reformulate, ReformulateConfig, ReformulateError};
 pub use workload::{sample_rbgp_queries, WorkloadConfig};

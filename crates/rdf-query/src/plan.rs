@@ -2,10 +2,15 @@
 //!
 //! The evaluator orders patterns greedily by exact match counts under the
 //! current partial binding. [`explain`] runs the same selection *statically*
-//! (assuming the smallest-first pattern binds its variables) and reports
-//! the chosen order with per-step cardinality estimates — the tool for
-//! understanding why a query is fast or slow, and for tests that pin the
-//! planner's behavior.
+//! and reports the chosen order with per-step cardinality estimates — the
+//! tool for understanding why a query is fast or slow, and for tests that
+//! pin the planner's behavior. The estimates come from a pluggable
+//! [`JoinEstimator`]: the default [`StoreEstimator`] divides exact counts
+//! by the number of distinct values the already-bound slots take (so a
+//! step whose variables were bound earlier is no longer charged its full
+//! unbound count), and `rdfsum-core` provides a summary-derived estimator
+//! in the spirit of Stefanoni et al. that reads the same statistics off
+//! the (tiny) summary instead of scanning the graph.
 
 use crate::bgp::{Atom, CompiledPattern, CompiledQuery};
 use rdf_model::TermId;
@@ -17,9 +22,10 @@ use std::fmt;
 pub struct PlanStep {
     /// Index of the body pattern chosen at this step.
     pub pattern_index: usize,
-    /// Exact number of matching triples when the step was chosen
-    /// (variables bound by earlier steps count as bound with unknown
-    /// value — the estimate uses the unbound form, an upper bound).
+    /// Estimated matches *per binding* of the variables bound by earlier
+    /// steps: the count of the pattern's constant-only form divided by the
+    /// number of distinct values its bound slots take (uniformity
+    /// assumption). With no bound slots this is the exact unbound count.
     pub estimated_matches: usize,
     /// Variables newly bound by this step.
     pub binds: Vec<String>,
@@ -35,6 +41,16 @@ pub struct Plan {
     pub provably_empty: bool,
 }
 
+impl Plan {
+    /// The pattern join order the plan chose — feed it to
+    /// [`crate::Evaluator::ask_ordered`] /
+    /// [`crate::Evaluator::select_limit_ordered`] to skip the evaluator's
+    /// per-step dynamic counting.
+    pub fn order(&self) -> Vec<usize> {
+        self.steps.iter().map(|s| s.pattern_index).collect()
+    }
+}
+
 impl fmt::Display for Plan {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         if self.provably_empty {
@@ -45,7 +61,7 @@ impl fmt::Display for Plan {
         for (i, s) in self.steps.iter().enumerate() {
             writeln!(
                 f,
-                "  {i}: pattern #{idx} (≤{est} matches{binds})",
+                "  {i}: pattern #{idx} (≈{est} matches/binding{binds})",
                 idx = s.pattern_index,
                 est = s.estimated_matches,
                 binds = if s.binds.is_empty() {
@@ -59,41 +75,89 @@ impl fmt::Display for Plan {
     }
 }
 
-fn unbound_slot(atom: Atom, bound: &[bool]) -> Option<Option<TermId>> {
-    match atom {
-        Atom::Const(None) => None, // unmatchable
-        Atom::Const(Some(c)) => Some(Some(c)),
-        Atom::Var(_v) => {
-            // Bound variables have unknown concrete values statically; the
-            // estimate treats them as wildcards (an upper bound).
-            let _ = bound;
-            Some(None)
-        }
+/// Cardinality oracle for static planning.
+///
+/// `estimate` answers: once the variables flagged in `bound` hold values
+/// from earlier join steps (values unknown statically), how many triples
+/// should one expect `p` to match per such binding? `None` marks the
+/// pattern provably unmatchable (a constant missing from the dictionary).
+/// A sound estimator must return `Some(0)` / `None` only when the pattern
+/// truly has no matches — the planner turns zero into
+/// [`Plan::provably_empty`].
+pub trait JoinEstimator {
+    /// Per-binding match estimate for `p` given the `bound` variable set.
+    fn estimate(&self, p: &CompiledPattern, bound: &[bool]) -> Option<usize>;
+}
+
+/// The default estimator: exact counts from the data store itself.
+///
+/// The base figure is the exact count of the pattern's constant-only form
+/// ([`TripleStore::count`], two binary searches). When some slots hold
+/// variables bound by earlier steps, the matches are scanned once and the
+/// count is divided by the number of distinct values those slots take —
+/// the per-binding expectation under a uniformity assumption, and never 0
+/// when the unbound form matches at all (so `provably_empty` stays sound).
+pub struct StoreEstimator<'a> {
+    store: &'a TripleStore,
+}
+
+impl<'a> StoreEstimator<'a> {
+    /// Creates an estimator over `store`.
+    pub fn new(store: &'a TripleStore) -> Self {
+        StoreEstimator { store }
     }
 }
 
-fn pattern_estimate(store: &TripleStore, p: &CompiledPattern, bound: &[bool]) -> Option<usize> {
-    let s = unbound_slot(p.s, bound)?;
-    let pr = unbound_slot(p.p, bound)?;
-    let o = unbound_slot(p.o, bound)?;
-    Some(store.count(TriplePattern::new(s, pr, o)))
+impl JoinEstimator for StoreEstimator<'_> {
+    fn estimate(&self, p: &CompiledPattern, bound: &[bool]) -> Option<usize> {
+        let slot = |a: Atom| match a {
+            Atom::Const(None) => None, // unmatchable
+            Atom::Const(Some(c)) => Some(Some(c)),
+            Atom::Var(_) => Some(None),
+        };
+        let tp = TriplePattern::new(slot(p.s)?, slot(p.p)?, slot(p.o)?);
+        let total = self.store.count(tp);
+        let is_bound = |a: Atom| matches!(a, Atom::Var(v) if bound[v]);
+        let (bs, bp, bo) = (is_bound(p.s), is_bound(p.p), is_bound(p.o));
+        if total == 0 || !(bs || bp || bo) {
+            return Some(total);
+        }
+        let mut keys: Vec<(Option<TermId>, Option<TermId>, Option<TermId>)> = self
+            .store
+            .scan(tp)
+            .iter()
+            .map(|t| (bs.then_some(t.s), bp.then_some(t.p), bo.then_some(t.o)))
+            .collect();
+        keys.sort_unstable();
+        keys.dedup();
+        // keys is non-empty because total > 0, and the result is ≥ 1.
+        Some(total.div_ceil(keys.len()))
+    }
 }
 
-/// Produces the static greedy plan the evaluator would start from.
+/// Produces the static greedy plan the evaluator would start from, using
+/// the default [`StoreEstimator`].
 pub fn explain(store: &TripleStore, q: &CompiledQuery) -> Plan {
+    explain_with(q, &StoreEstimator::new(store))
+}
+
+/// Like [`explain`] with a caller-chosen [`JoinEstimator`] (e.g. a
+/// summary-derived one).
+pub fn explain_with(q: &CompiledQuery, estimator: &dyn JoinEstimator) -> Plan {
     let n = q.body.len();
     let mut used = vec![false; n];
     let mut bound = vec![false; q.n_vars()];
     let mut steps = Vec::with_capacity(n);
     let mut provably_empty = q.always_empty();
     for _ in 0..n {
-        // Prefer patterns with more bound variables, then lower count.
+        // Lowest per-binding estimate first; prefer patterns with more
+        // bound variables on ties, then the lowest index.
         let best = (0..n)
             .filter(|&i| !used[i])
             .map(|i| {
                 let p = &q.body[i];
                 let bound_vars = p.vars().filter(|&v| bound[v]).count();
-                let est = pattern_estimate(store, p, &bound);
+                let est = estimator.estimate(p, &bound);
                 (i, bound_vars, est)
             })
             .min_by_key(|&(i, bound_vars, est)| {
@@ -159,9 +223,80 @@ mod tests {
         let plan = explain(&st, &q);
         assert_eq!(plan.steps[0].pattern_index, 1, "rare first");
         assert_eq!(plan.steps[0].estimated_matches, 1);
-        assert_eq!(plan.steps[1].estimated_matches, 100);
+        // Step 2 joins on the now-bound ?a: 100 triples over 100 distinct
+        // subjects → 1 expected match per binding (not the raw 100).
+        assert_eq!(plan.steps[1].estimated_matches, 1);
         assert!(!plan.provably_empty);
         assert!(plan.steps[0].binds.contains(&"a".to_string()));
+    }
+
+    #[test]
+    fn bound_slots_shrink_estimates() {
+        // A case where the old unbound-form estimate ordered the joins
+        // differently from the evaluator's runtime greedy choice: after
+        // `seed` binds ?y, `fan` costs ~1 per binding even though its raw
+        // count (50) exceeds `other`'s (10).
+        let mut g = Graph::new();
+        g.add_iri_triple("hub", "seed", "y0");
+        for i in 0..50 {
+            g.add_iri_triple(&format!("y{i}"), "fan", &format!("z{i}"));
+        }
+        for i in 0..10 {
+            g.add_iri_triple(&format!("u{i}"), "other", &format!("w{i}"));
+        }
+        let st = TripleStore::new(g);
+        let spec = QuerySpec::new(
+            ["z"],
+            [
+                (v("x"), SpecTerm::iri("seed"), v("y")),
+                (v("y"), SpecTerm::iri("fan"), v("z")),
+                (v("u"), SpecTerm::iri("other"), v("w")),
+            ],
+        );
+        let q = compile(&spec, st.graph()).unwrap();
+        let plan = explain(&st, &q);
+        let order: Vec<usize> = plan.order();
+        assert_eq!(order, vec![0, 1, 2], "bound ?y pulls `fan` before `other`");
+        assert_eq!(plan.steps[1].estimated_matches, 1);
+        assert_eq!(plan.steps[2].estimated_matches, 10);
+        assert!(!plan.provably_empty);
+    }
+
+    #[test]
+    fn bound_estimate_never_zero_when_matches_exist() {
+        let st = store();
+        let est = StoreEstimator::new(&st);
+        let spec = QuerySpec::new(
+            Vec::<String>::new(),
+            [(v("a"), SpecTerm::iri("common"), v("b"))],
+        );
+        let q = compile(&spec, st.graph()).unwrap();
+        // Both variables bound: the divisor equals the match count, and
+        // the estimate floors at 1 — zero is reserved for true emptiness.
+        let bound = vec![true; q.n_vars()];
+        assert_eq!(est.estimate(&q.body[0], &bound), Some(1));
+    }
+
+    #[test]
+    fn plan_order_feeds_ordered_eval() {
+        let st = store();
+        let spec = QuerySpec::new(
+            ["a"],
+            [
+                (v("a"), SpecTerm::iri("common"), v("b")),
+                (v("a"), SpecTerm::iri("rare"), v("c")),
+            ],
+        );
+        let q = compile(&spec, st.graph()).unwrap();
+        let plan = explain(&st, &q);
+        let ev = crate::Evaluator::new(&st);
+        let fixed = ev.select_limit_ordered(&q, &plan.order(), usize::MAX);
+        let dynamic = ev.select(&q);
+        let mut a = fixed.rows;
+        let mut b = dynamic.rows;
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
     }
 
     #[test]

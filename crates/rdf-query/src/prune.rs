@@ -1,0 +1,239 @@
+//! Summary-based emptiness pruning: *empty on the summary ⇒ empty on the
+//! graph*.
+//!
+//! Every summary in this workspace is a quotient (Definition 4): there is
+//! a homomorphism `f` from `G` onto its summary `H` that maps each data
+//! node to its representative while keeping data property URIs, `τ`
+//! (`rdf:type`) class URIs, and schema triples verbatim. Composing any
+//! embedding of a BGP `q` into `G` with `f` therefore yields an embedding
+//! into `H` of the *relaxed* form of `q` — the form that keeps exactly
+//! the constants `f` fixes (property positions and `τ`-class objects) and
+//! turns every other constant into a fresh variable, since data constants
+//! are renamed to summary nodes by `f`.
+//!
+//! Contrapositive: if the relaxed query has no answer on `H`, then `q`
+//! has no answer on `G`. That check is an ASK over the (tiny) summary —
+//! usually orders of magnitude smaller than a join over the full graph —
+//! and it is sound for **every** quotient summary kind, with no RBGP
+//! restriction on `q`. The converse does not hold: a non-empty summary
+//! answer promises nothing, which is exactly the paper's
+//! representativeness notion (§4) used in its pruning direction only.
+
+use crate::bgp::{compile, QuerySpec, SpecTerm, TriplePatternSpec};
+use crate::eval::Evaluator;
+use rdf_model::{vocab, FxHashSet, Term};
+use rdf_store::TripleStore;
+
+/// Is this spec term the `τ` (`rdf:type`) property constant?
+fn is_tau(t: &SpecTerm) -> bool {
+    matches!(t, SpecTerm::Const(c) if c.as_iri().is_some_and(vocab::is_type_property))
+}
+
+/// Relaxes `spec` to the fragment a quotient summary preserves, as a
+/// boolean (empty-head) query:
+///
+/// * property positions are kept as-is (constants and variables);
+/// * the object of a `τ` pattern is kept when it is an IRI constant
+///   (class URIs survive summarization verbatim);
+/// * every other constant — subjects, data objects, literal `τ` objects —
+///   becomes a fresh variable, because the quotient renames the data
+///   nodes those constants would have matched.
+pub fn relax_for_summary(spec: &QuerySpec) -> QuerySpec {
+    let taken: FxHashSet<String> = spec.variables().iter().map(|v| v.to_string()).collect();
+    let mut fresh = 0usize;
+    let mut next_fresh = move || loop {
+        let name = format!("__sum{fresh}");
+        fresh += 1;
+        if !taken.contains(&name) {
+            return SpecTerm::Var(name);
+        }
+    };
+    let body = spec
+        .body
+        .iter()
+        .map(|pat| {
+            let s = match &pat.s {
+                SpecTerm::Var(_) => pat.s.clone(),
+                SpecTerm::Const(_) => next_fresh(),
+            };
+            let o = match &pat.o {
+                SpecTerm::Var(_) => pat.o.clone(),
+                SpecTerm::Const(c) if is_tau(&pat.p) && matches!(c, Term::Iri(_)) => pat.o.clone(),
+                SpecTerm::Const(_) => next_fresh(),
+            };
+            TriplePatternSpec {
+                s,
+                p: pat.p.clone(),
+                o,
+            }
+        })
+        .collect();
+    QuerySpec {
+        head: Vec::new(),
+        body,
+    }
+}
+
+/// Sound emptiness check against a summary store: `true` means the query
+/// provably has no answers on the summarized graph (so evaluation there
+/// can be skipped); `false` means "don't know — evaluate".
+///
+/// `summary` must be the store of a quotient summary of the graph the
+/// caller wants to prune for (any kind: W/S/TW/TS/T/FB), built over the
+/// same explicit triples the query will run on.
+pub fn empty_on_summary(summary: &TripleStore, spec: &QuerySpec) -> bool {
+    if spec.body.is_empty() {
+        return false;
+    }
+    let relaxed = relax_for_summary(spec);
+    match compile(&relaxed, summary.graph()) {
+        // A kept constant missing from the summary dictionary compiles to
+        // `always_empty`, and ask() is false — correctly pruned, because
+        // properties/classes present in G are present in H.
+        Ok(q) => !Evaluator::new(summary).ask(&q),
+        // Unreachable (relaxed queries are boolean with a non-empty
+        // body), but stay sound — never prune — if it ever happens.
+        Err(_) => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdf_model::Graph;
+
+    fn v(n: &str) -> SpecTerm {
+        SpecTerm::var(n)
+    }
+
+    fn iri(s: &str) -> SpecTerm {
+        SpecTerm::iri(s)
+    }
+
+    /// A tiny graph and a hand-built weak-style quotient of it:
+    /// `b1, b2 → B`, `alice, bob → A`, `"T1", "T2" → L`; classes,
+    /// properties and schema kept verbatim.
+    fn graph_and_summary() -> (TripleStore, TripleStore) {
+        let mut g = Graph::new();
+        g.add_iri_triple("b1", vocab::RDF_TYPE, "Book");
+        g.add_iri_triple("b2", vocab::RDF_TYPE, "Book");
+        g.add_iri_triple("b1", "author", "alice");
+        g.add_iri_triple("b2", "author", "bob");
+        g.add_literal_triple("b1", "title", "T1");
+        g.add_literal_triple("b2", "title", "T2");
+        g.add_iri_triple("Book", vocab::RDFS_SUBCLASSOF, "Publication");
+
+        let mut h = Graph::new();
+        h.add_iri_triple("B", vocab::RDF_TYPE, "Book");
+        h.add_iri_triple("B", "author", "A");
+        h.add_iri_triple("B", "title", "L");
+        h.add_iri_triple("Book", vocab::RDFS_SUBCLASSOF, "Publication");
+        (TripleStore::new(g), TripleStore::new(h))
+    }
+
+    #[test]
+    fn relaxation_keeps_properties_and_classes_only() {
+        let spec = QuerySpec::new(
+            ["x"],
+            [
+                (iri("b1"), iri("author"), v("y")),
+                (v("x"), iri(vocab::RDF_TYPE), iri("Book")),
+                (v("x"), iri("title"), SpecTerm::Const(Term::literal("T1"))),
+            ],
+        );
+        let r = relax_for_summary(&spec);
+        assert!(r.head.is_empty(), "relaxed query is boolean");
+        // Subject constant b1 variabilized; property kept.
+        assert!(r.body[0].s.is_var());
+        assert_eq!(r.body[0].p, iri("author"));
+        // τ-class constant kept.
+        assert_eq!(r.body[1].o, iri("Book"));
+        // Literal object variabilized.
+        assert!(r.body[2].o.is_var());
+        // Fresh variables are distinct from each other and from ?x/?y.
+        let vars = r.variables();
+        assert_eq!(
+            vars.len(),
+            vars.iter().collect::<std::collections::HashSet<_>>().len()
+        );
+    }
+
+    #[test]
+    fn fresh_variables_avoid_collisions() {
+        let spec = QuerySpec::new(
+            Vec::<String>::new(),
+            [(v("__sum0"), iri("author"), iri("alice"))],
+        );
+        let r = relax_for_summary(&spec);
+        let SpecTerm::Var(fresh) = &r.body[0].o else {
+            panic!("object should be variabilized");
+        };
+        assert_ne!(fresh, "__sum0");
+    }
+
+    #[test]
+    fn nonempty_queries_are_never_pruned() {
+        let (g, h) = graph_and_summary();
+        let ev = Evaluator::new(&g);
+        let specs = [
+            // RBGP: type + property.
+            QuerySpec::new(
+                ["x"],
+                [
+                    (v("x"), iri(vocab::RDF_TYPE), iri("Book")),
+                    (v("x"), iri("author"), v("y")),
+                ],
+            ),
+            // Non-RBGP: data constants in subject and object position.
+            QuerySpec::new(Vec::<String>::new(), [(iri("b1"), iri("author"), v("y"))]),
+            QuerySpec::new(Vec::<String>::new(), [(v("x"), iri("author"), iri("bob"))]),
+            // Schema pattern.
+            QuerySpec::new(
+                Vec::<String>::new(),
+                [(iri("Book"), iri(vocab::RDFS_SUBCLASSOF), v("c"))],
+            ),
+            // Property variable.
+            QuerySpec::new(["p"], [(v("x"), v("p"), v("y"))]),
+        ];
+        for spec in specs {
+            let q = compile(&spec, g.graph()).unwrap();
+            assert!(ev.ask(&q), "fixture query should match: {spec}");
+            assert!(!empty_on_summary(&h, &spec), "must not prune: {spec}");
+        }
+    }
+
+    #[test]
+    fn empty_queries_are_pruned() {
+        let (_, h) = graph_and_summary();
+        let specs = [
+            // Unknown property.
+            QuerySpec::new(Vec::<String>::new(), [(v("x"), iri("editor"), v("y"))]),
+            // Unknown class.
+            QuerySpec::new(
+                Vec::<String>::new(),
+                [(v("x"), iri(vocab::RDF_TYPE), iri("Journal"))],
+            ),
+            // Structurally absent co-occurrence: authors have no authors.
+            QuerySpec::new(
+                Vec::<String>::new(),
+                [
+                    (v("x"), iri("author"), v("y")),
+                    (v("y"), iri("author"), v("z")),
+                ],
+            ),
+        ];
+        for spec in specs {
+            assert!(empty_on_summary(&h, &spec), "should prune: {spec}");
+        }
+    }
+
+    #[test]
+    fn zero_body_is_not_pruned() {
+        let (_, h) = graph_and_summary();
+        let spec = QuerySpec {
+            head: Vec::new(),
+            body: Vec::new(),
+        };
+        assert!(!empty_on_summary(&h, &spec));
+    }
+}

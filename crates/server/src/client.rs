@@ -45,8 +45,12 @@ pub struct Client {
 impl Client {
     /// Connects to a running server.
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        // Strictly sequential request/response: disable Nagle so the
+        // request line is not held back waiting for the previous ACK.
+        let _ = stream.set_nodelay(true);
         Ok(Client {
-            reader: BufReader::new(TcpStream::connect(addr)?),
+            reader: BufReader::new(stream),
         })
     }
 
@@ -64,8 +68,8 @@ impl Client {
 
     /// Reads one response off the wire (status line + framed body).
     ///
-    /// Only the `summary` and `stats` response tags carry a body (see the
-    /// protocol docs) — the framing decision must NOT key on the last
+    /// Only the `summary`, `stats` and `query` response tags carry a body
+    /// (see the protocol docs) — the framing decision must NOT key on the last
     /// token alone, because bodyless responses like `LOAD`'s end in the
     /// free-form `graph=<path>` field, and a path such as
     /// `/tmp/x bytes=7` would otherwise fake a 7-byte body and hang the
@@ -81,7 +85,7 @@ impl Client {
         let status = status.trim_end_matches(['\r', '\n']).to_string();
         let has_body = matches!(
             status.split_whitespace().take(2).collect::<Vec<_>>()[..],
-            ["OK", "summary"] | ["OK", "stats"]
+            ["OK", "summary"] | ["OK", "stats"] | ["OK", "query"]
         );
         let body_len = has_body
             .then(|| {
@@ -124,6 +128,12 @@ impl Client {
     /// `STATS`.
     pub fn stats(&mut self) -> io::Result<Response> {
         self.request("STATS")
+    }
+
+    /// `QUERY <graph> <query>` — evaluate a BGP query (paper notation)
+    /// on a resident graph, with summary-based emptiness pruning.
+    pub fn query(&mut self, graph: &str, query: &str) -> io::Result<Response> {
+        self.request(&format!("QUERY {graph} {query}"))
     }
 
     /// `EVICT <graph>` (or `EVICT *` when `graph` is `None`).

@@ -37,4 +37,4 @@ pub mod server;
 
 pub use client::{Client, Response};
 pub use protocol::{parse_kind, parse_request, ProtocolError, Request, MAX_REQUEST_BYTES};
-pub use server::{load_graph_file, spawn, ServerHandle};
+pub use server::{load_graph_file, spawn, ServerHandle, QUERY_ROW_LIMIT};

@@ -12,12 +12,18 @@
 //! SUMMARIZE <kind> <graph>     kind ∈ {w, s, tw, ts, t, fb}; <graph> is
 //!                              the name it was loaded under (its path)
 //! STATS                        service counters + resident graph listing
+//! QUERY <graph> <query>        evaluate a BGP query on a resident graph
 //! EVICT <graph> | EVICT *      drop one graph, or everything
 //! QUIT                         close the connection
 //! ```
 //!
 //! Verbs are case-insensitive; `<path>`/`<graph>` extend to the end of the
-//! line, so file names may contain spaces.
+//! line, so file names may contain spaces — except for `QUERY`, whose
+//! `<graph>` operand is the *first* whitespace-delimited token after the
+//! verb, because everything after it is the query text (paper notation,
+//! e.g. `q(?x) :- ?x <author> ?y`, which freely contains spaces). A graph
+//! whose name embeds whitespace is therefore not addressable by `QUERY`;
+//! load it under a whitespace-free name if you intend to query it.
 //!
 //! A response is one status line, optionally followed by a length-framed
 //! binary body:
@@ -28,13 +34,25 @@
 //! ERR <category>: <message>\n            never a body
 //! ```
 //!
-//! Exactly the `summary` and `stats` response tags (the word after `OK`)
-//! carry a body; its length is the status line's final `bytes=<n>` field.
-//! Other `OK` lines may end in free-form fields (`LOAD` echoes the path
-//! as `graph=<path>`), so clients must key the framing decision on the
-//! tag, never on the last token alone. The `SUMMARIZE` body is the
-//! summary's N-Triples document, byte-identical to the single-shot CLI's
-//! `--out` file for the same graph and kind.
+//! Exactly the `summary`, `stats` and `query` response tags (the word
+//! after `OK`) carry a body; its length is the status line's final
+//! `bytes=<n>` field. Other `OK` lines may end in free-form fields
+//! (`LOAD` echoes the path as `graph=<path>`), so clients must key the
+//! framing decision on the tag, never on the last token alone. The
+//! `SUMMARIZE` body is the summary's N-Triples document, byte-identical
+//! to the single-shot CLI's `--out` file for the same graph and kind.
+//!
+//! A `QUERY` success line is
+//! `OK query rows=<n> pruned=<0|1> cached=<0|1> kind=<k> truncated=<0|1>
+//! bytes=<n>`: `pruned=1` means the summary proved the answer empty and
+//! graph evaluation was skipped entirely; `cached` says whether the
+//! pruning summary was already warm; `kind` is the summary kind consulted
+//! (the service prefers one that is already cached); `truncated=1` means
+//! the row set hit the server-side limit. The body is tab-separated
+//! UTF-8: for a SELECT query, a header line of column names then one line
+//! per row; for a boolean (ASK) query, a single `true` or `false` line.
+//! Query errors (unknown graph, malformed query text) answer
+//! `ERR query: …` and keep the connection open.
 //!
 //! ## Error discipline
 //!
@@ -73,6 +91,16 @@ pub enum Request {
     },
     /// `STATS` — service counters and the resident graph listing.
     Stats,
+    /// `QUERY <graph> <query>` — evaluate a BGP query on a resident
+    /// graph, with summary-based emptiness pruning.
+    Query {
+        /// Resident graph name (first whitespace-delimited token — graphs
+        /// with whitespace in their names cannot be addressed here).
+        graph: String,
+        /// The query text, paper notation; extends to the end of the
+        /// line and may contain any embedded whitespace.
+        query: String,
+    },
     /// `EVICT <graph>` / `EVICT *` — drop one graph or all state.
     Evict {
         /// `None` means `*`: evict everything.
@@ -194,6 +222,19 @@ pub fn parse_request(raw: &[u8]) -> Result<Request, ProtocolError> {
                 graph: graph.into(),
             })
         }
+        "QUERY" => {
+            let (graph, query) = rest
+                .split_once(char::is_whitespace)
+                .map(|(g, q)| (g, q.trim()))
+                .ok_or(ProtocolError::Usage("QUERY <graph> <query>"))?;
+            if query.is_empty() {
+                return Err(ProtocolError::Usage("QUERY <graph> <query>"));
+            }
+            Ok(Request::Query {
+                graph: graph.into(),
+                query: query.into(),
+            })
+        }
         "EVICT" => match rest {
             "" => Err(ProtocolError::Usage("EVICT <graph> | EVICT *")),
             "*" => Ok(Request::Evict { graph: None }),
@@ -239,6 +280,22 @@ mod tests {
             Ok(Request::Summarize {
                 kind: SummaryKind::TypedStrong,
                 graph: "g".into()
+            })
+        );
+        assert_eq!(
+            parse_request(b"QUERY g.nt q(?x) :- ?x <author> ?y"),
+            Ok(Request::Query {
+                graph: "g.nt".into(),
+                query: "q(?x) :- ?x <author> ?y".into()
+            })
+        );
+        // The query text keeps its interior whitespace verbatim; only the
+        // leading/trailing run is trimmed.
+        assert_eq!(
+            parse_request(b"query /data/g.nt   q() :- ?x  a  <Book>  "),
+            Ok(Request::Query {
+                graph: "/data/g.nt".into(),
+                query: "q() :- ?x  a  <Book>".into()
             })
         );
         assert_eq!(
@@ -329,6 +386,18 @@ mod tests {
         assert_eq!(
             parse_request(b"EVICT"),
             Err(ProtocolError::Usage("EVICT <graph> | EVICT *"))
+        );
+        assert_eq!(
+            parse_request(b"QUERY"),
+            Err(ProtocolError::Usage("QUERY <graph> <query>"))
+        );
+        assert_eq!(
+            parse_request(b"QUERY g.nt"),
+            Err(ProtocolError::Usage("QUERY <graph> <query>"))
+        );
+        assert_eq!(
+            parse_request(b"QUERY g.nt    "),
+            Err(ProtocolError::Usage("QUERY <graph> <query>"))
         );
     }
 

@@ -30,6 +30,10 @@ type ConnectionTable = Arc<Mutex<HashMap<u64, TcpStream>>>;
 /// registry key.
 type QueuedConnection = (u64, TcpStream);
 
+/// Server-side cap on rows a single `QUERY` response enumerates; hits
+/// are reported as `truncated=1` on the status line.
+pub const QUERY_ROW_LIMIT: usize = 10_000;
+
 /// One framed request line off the wire.
 enum Frame {
     /// Clean EOF before any byte of a new request.
@@ -167,8 +171,36 @@ fn dispatch(service: &SummaryService, req: Request, w: &mut impl Write) -> io::R
                 );
                 write_ok_body(w, &fields, artifact.ntriples.as_bytes())?;
             }
-            Err(err @ ServiceError::UnknownGraph(_)) => write_err(w, "summarize", &err)?,
+            Err(err) => write_err(w, "summarize", &err)?,
         },
+        Request::Query { graph, query } => {
+            match service.query(&graph, &query, None, QUERY_ROW_LIMIT) {
+                Ok(out) => {
+                    let mut body = String::new();
+                    if out.columns.is_empty() {
+                        // Boolean (ASK) form: the body is the verdict.
+                        body.push_str(if out.ask { "true\n" } else { "false\n" });
+                    } else {
+                        body.push_str(&out.columns.join("\t"));
+                        body.push('\n');
+                        for row in &out.rows {
+                            body.push_str(&row.join("\t"));
+                            body.push('\n');
+                        }
+                    }
+                    let fields = format!(
+                        "query rows={} pruned={} cached={} kind={} truncated={}",
+                        out.rows.len(),
+                        u8::from(out.pruned),
+                        u8::from(out.cache_hit),
+                        crate::protocol::kind_token(out.kind),
+                        u8::from(out.truncated)
+                    );
+                    write_ok_body(w, &fields, body.as_bytes())?;
+                }
+                Err(err) => write_err(w, "query", &err)?,
+            }
+        }
         Request::Stats => {
             let st = service.stats();
             let mut body = String::new();
@@ -345,6 +377,9 @@ pub fn spawn(
             }
             match stream {
                 Ok(s) => {
+                    // One request/response in flight per connection:
+                    // Nagle + delayed ACK would add ~40ms per exchange.
+                    let _ = s.set_nodelay(true);
                     // Register a duplicate handle before queueing, so
                     // shutdown can close even connections still waiting
                     // for a free worker.

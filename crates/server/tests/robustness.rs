@@ -53,6 +53,9 @@ fn unknown_verbs_and_bad_operands() {
         (b"SUMMARIZE w\n", "usage:"),
         (b"SUMMARIZE zz graph.nt\n", "unknown summary kind"),
         (b"EVICT\n", "usage:"),
+        (b"QUERY\n", "usage:"),
+        (b"QUERY g.nt\n", "usage:"),     // graph but no query text
+        (b"QUERY g.nt    \n", "usage:"), // whitespace-only query text
     ] {
         let resp = raw_roundtrip(&handle, raw);
         assert!(resp.starts_with("ERR protocol:"), "{resp}");
@@ -164,6 +167,113 @@ fn summarize_unknown_graph_is_an_error_response() {
     assert!(resp.body.is_none());
     let resp = client.request("EVICT /never/loaded.nt").unwrap();
     assert!(resp.status.starts_with("ERR evict:"), "{}", resp.status);
+    handle.shutdown();
+}
+
+#[test]
+fn query_error_paths_are_clean_err_responses() {
+    let (handle, _svc) = start();
+    let mut client = Client::connect(handle.addr()).unwrap();
+
+    // Unknown graph: a query-category error, connection stays usable.
+    let resp = client
+        .query("/never/loaded.nt", "q(?x) :- ?x <p> ?y")
+        .unwrap();
+    assert!(resp.status.starts_with("ERR query:"), "{}", resp.status);
+    assert!(resp.body.is_none());
+
+    // Malformed query text against a real graph: same discipline.
+    let dir = std::env::temp_dir().join(format!("rdfsum_server_q_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("g.nt");
+    std::fs::write(&path, "<http://x/a> <http://x/p> <http://x/b> .\n").unwrap();
+    let name = path.to_str().unwrap();
+    assert!(client.load(name).unwrap().is_ok());
+    for bad in [
+        "this is not a query",
+        "q(?x) :-",           // empty body
+        "q(?x) :- ?y <p> ?z", // unbound head variable
+        "q() :- ?x <p>",      // missing object term
+    ] {
+        let resp = client.query(name, bad).unwrap();
+        assert!(
+            resp.status.starts_with("ERR query:"),
+            "{bad} → {}",
+            resp.status
+        );
+        assert!(resp.body.is_none(), "query errors never carry a body");
+    }
+    // Non-UTF-8 query bytes are a protocol error (pre-parse).
+    let resp = raw_roundtrip(&handle, b"QUERY g.nt q(?x) :- ?x <\xff> ?y\n");
+    assert!(resp.starts_with("ERR protocol:"), "{resp}");
+
+    // An oversized QUERY line hits the frame cap: ERR, then close.
+    let mut huge = b"QUERY g.nt q() :- ?x <".to_vec();
+    huge.extend(std::iter::repeat_n(b'p', MAX_REQUEST_BYTES));
+    huge.extend_from_slice(b"> ?y\n");
+    let mut stream = TcpStream::connect(handle.addr()).unwrap();
+    stream.write_all(&huge).unwrap();
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    assert!(line.starts_with("ERR protocol:"), "{line}");
+    assert!(line.contains("exceeds"), "{line}");
+    let mut rest = Vec::new();
+    reader.read_to_end(&mut rest).unwrap();
+    assert!(rest.is_empty(), "connection closes after a framing error");
+
+    // The service survived all of it.
+    assert_eq!(client.ping().unwrap().status, "OK pong");
+    handle.shutdown();
+}
+
+#[test]
+fn query_roundtrip_over_the_wire() {
+    let dir = std::env::temp_dir().join(format!("rdfsum_server_qr_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("books.nt");
+    std::fs::write(
+        &path,
+        "<http://x/b1> <http://x/author> <http://x/alice> .\n\
+         <http://x/b2> <http://x/author> <http://x/bob> .\n",
+    )
+    .unwrap();
+    let name = path.to_str().unwrap();
+    let (handle, _svc) = start();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    assert!(client.load(name).unwrap().is_ok());
+
+    // SELECT: header line + one line per row, tab-separated.
+    let resp = client
+        .query(name, "q(?x) :- ?x <http://x/author> ?y")
+        .unwrap();
+    assert!(resp.is_ok(), "{}", resp.status);
+    assert_eq!(resp.field("rows"), Some("2"));
+    assert_eq!(resp.field("pruned"), Some("0"));
+    assert_eq!(resp.field("truncated"), Some("0"));
+    let body = resp.body_str().unwrap();
+    let lines: Vec<&str> = body.lines().collect();
+    assert_eq!(lines[0], "x");
+    assert_eq!(lines.len(), 3);
+    assert!(lines[1..].contains(&"<http://x/b1>"));
+    assert!(lines[1..].contains(&"<http://x/b2>"));
+
+    // ASK: bare verdict body.
+    let resp = client
+        .query(name, "q() :- ?x <http://x/author> ?y")
+        .unwrap();
+    assert!(resp.is_ok(), "{}", resp.status);
+    assert_eq!(resp.body_str(), Some("true\n"));
+
+    // Empty answer: pruned via the summary, zero rows, and the summary
+    // was already warm from the first query (cached=1).
+    let resp = client
+        .query(name, "q() :- ?x <http://x/editor> ?y")
+        .unwrap();
+    assert!(resp.is_ok(), "{}", resp.status);
+    assert_eq!(resp.field("pruned"), Some("1"));
+    assert_eq!(resp.field("cached"), Some("1"));
+    assert_eq!(resp.body_str(), Some("false\n"));
     handle.shutdown();
 }
 

@@ -51,8 +51,10 @@ USAGE:
                          content fingerprint; see `src/lib.rs` Serving)
   rdfsummary client     ADDR REQUEST…                   send one protocol
                          request (PING | LOAD <path> | SUMMARIZE <kind>
-                         <graph> | STATS | EVICT <graph>|* | QUIT); body
-                         goes to stdout, status to stderr
+                         <graph> | QUERY <graph> <query> | STATS |
+                         EVICT <graph>|* | QUIT); body goes to stdout,
+                         status to stderr. QUERY evaluates a BGP on the
+                         warm store with summary-based emptiness pruning
 
 <graph> is an N-Triples file (.nt) or a binary snapshot (.snap).
 QUERY uses the paper notation, e.g. \"q(?x) :- ?x a <http://…/Book>, ?x <http://…/author> ?y\""
@@ -400,8 +402,8 @@ fn cmd_serve(rest: &[String]) -> Result<(), String> {
 }
 
 /// `client`: one request against a running server; the body (summary
-/// N-Triples, STATS listing) goes to stdout so it can be piped, the
-/// status line to stderr.
+/// N-Triples, STATS listing, QUERY answer rows) goes to stdout so it can
+/// be piped, the status line to stderr.
 fn cmd_client(rest: &[String]) -> Result<(), String> {
     let (addr, words) = rest.split_first().ok_or("client: missing server address")?;
     if words.is_empty() {

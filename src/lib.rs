@@ -64,9 +64,10 @@
 //! ```
 //!
 //! `cargo test -q` covers the whole workspace (the root `Cargo.toml` sets
-//! `default-members` accordingly), including the six integration suites
-//! under `tests/`: `cli`, `end_to_end`, `paper_example`, `properties`,
-//! `robustness` and `server`. Property tests default to 96 cases each; set
+//! `default-members` accordingly), including the integration suites
+//! under `tests/`: `cli`, `end_to_end`, `golden_equivalence`,
+//! `paper_example`, `properties`, `query_serving`, `robustness` and
+//! `server`. Property tests default to 96 cases each; set
 //! `PROPTEST_CASES` to change that. Setting `BENCH_JSON=<path>` while
 //! running benches appends one JSON line per measurement (how
 //! `BENCH_baseline.json` is produced).
@@ -83,15 +84,17 @@
 //!
 //! ```text
 //! PING                       LOAD <path>
-//! SUMMARIZE <kind> <graph>   STATS
-//! EVICT <graph> | EVICT *    QUIT
+//! SUMMARIZE <kind> <graph>   QUERY <graph> <query>
+//! STATS                      EVICT <graph> | EVICT *
+//! QUIT
 //! ```
 //!
 //! with `<kind>` ∈ `{w, s, tw, ts, t}` and `<graph>` the path the file
 //! was loaded under. Responses are `OK field=value …` or
-//! `ERR category: message` status lines; `SUMMARIZE` and `STATS` append a
-//! body framed by a final `bytes=<n>` field. A `SUMMARIZE` body is the
-//! summary's N-Triples document, **byte-identical** to what
+//! `ERR category: message` status lines; `SUMMARIZE`, `STATS` and
+//! `QUERY` append a body framed by a final `bytes=<n>` field. A
+//! `SUMMARIZE` body is the summary's N-Triples document,
+//! **byte-identical** to what
 //! `rdfsummary summarize --kind K --out FILE` writes for the same graph —
 //! cached answers included, since the cache stores the serialized output
 //! of the same build path. The cache is keyed by content, so re-loading
@@ -101,6 +104,21 @@
 //! exactly as it does for `summarize`; the connection worker pool is
 //! sized by `--workers N` (default: max(threads, 4)).
 //!
+//! `QUERY` is the paper's intended payoff turned into a serving verb: it
+//! evaluates a BGP (paper notation, embedded whitespace welcome) against
+//! the warm store with **summary-based pruning** — the query is first
+//! relaxed to the fragment every quotient summary preserves
+//! ([`rdf_query::empty_on_summary`]) and checked as one ASK on a cached
+//! summary; *empty on the summary ⇒ empty on the graph*, so provably
+//! empty answers never touch the graph join (`pruned=1` on the status
+//! line). Non-empty answers run in the order of a static plan whose
+//! cardinality estimates are derived from the same summary
+//! ([`rdfsum_core::SummaryCardinality`]). The summary kind is chosen
+//! among already-cached kinds for the graph's fingerprint (falling back
+//! to weak), so pruning never costs a summary rebuild in the warm
+//! regime. The body is tab-separated: a column-name header plus one line
+//! per row for SELECT, a bare `true`/`false` for ASK.
+//!
 //! `rdfsummary client ADDR REQUEST…` sends one request line and prints
 //! the response (status to stderr, body to stdout) for scripting:
 //!
@@ -108,6 +126,7 @@
 //! rdfsummary serve --addr 127.0.0.1:7878 --threads 4 &
 //! rdfsummary client 127.0.0.1:7878 LOAD /data/bsbm.nt
 //! rdfsummary client 127.0.0.1:7878 SUMMARIZE w /data/bsbm.nt > weak.nt
+//! rdfsummary client 127.0.0.1:7878 QUERY /data/bsbm.nt 'q(?x) :- ?x a <http://bsbm.example.org/vocabulary/Offer>, ?x <http://bsbm.example.org/vocabulary/price> ?y'
 //! ```
 
 #![forbid(unsafe_code)]
