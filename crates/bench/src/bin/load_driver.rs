@@ -8,7 +8,22 @@
 //! ```text
 //! cargo run --release -p rdfsum-bench --bin load_driver -- \
 //!     [--clients N] [--requests N] [--products N] [--workers N]
+//! cargo run --release -p rdfsum-bench --bin load_driver -- --ramp \
+//!     [--levels 16,64,256,1024] [--cell-ms N] [--products N] [--workers N]
 //! ```
+//!
+//! The default mode is the fixed-size smoke run: `--clients` persistent
+//! connections each issue `--requests` requests against the event engine.
+//!
+//! `--ramp` is the concurrency-ramp comparison: for each level C it runs
+//! one timed cell of C persistent keep-alive clients against **both**
+//! engines — the event loop (`--workers` executor threads, default 4) and
+//! the thread-per-connection baseline (which needs `workers = C` so no
+//! client starves) — and reports per-cell throughput. With `BENCH_JSON`
+//! set it appends one measurement per cell in the criterion-shim format
+//! (`group = "serve_ramp"`, `bench = "<engine>/c<C>"`, `mean_ns` = mean
+//! wall time per completed request), which is how the `serve_ramp` group
+//! in `BENCH_pr7.json` is produced.
 //!
 //! Every response is checked for `OK`; any `ERR` (or transport failure)
 //! fails the run with a non-zero exit, so this doubles as a concurrency
@@ -16,16 +31,20 @@
 
 use rdf_model::Graph;
 use rdfsum_core::SummaryService;
-use rdfsum_server::Client;
-use rdfsum_workloads::BsbmConfig;
-use std::sync::Arc;
-use std::time::Instant;
+use rdfsum_server::{Client, ServerHandle};
+use std::path::PathBuf;
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
 
 fn arg(args: &[String], name: &str, default: usize) -> usize {
     args.windows(2)
         .find(|w| w[0] == name)
         .and_then(|w| w[1].parse().ok())
         .unwrap_or(default)
+}
+
+fn has_flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
 }
 
 /// The most frequent data property and a class of its subjects — the
@@ -65,57 +84,352 @@ struct Tally {
     summarizes: usize,
     stats: usize,
     errors: usize,
+    rows: usize,
+    query_ns: u128,
+    summarize_ns: u128,
+    stats_ns: u128,
 }
 
-fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let clients = arg(&args, "--clients", 8);
-    let requests = arg(&args, "--requests", 250);
-    let products = arg(&args, "--products", 300);
-    let workers = arg(&args, "--workers", clients);
+impl Tally {
+    fn requests(&self) -> usize {
+        self.queries + self.summarizes + self.stats
+    }
 
-    let g = rdfsum_workloads::generate_bsbm(&BsbmConfig::with_products(products));
-    let triples = g.len();
-    let (p0, c0) = vocabulary(&g);
-    let dir = std::env::temp_dir().join(format!("rdfsum_load_driver_{}", std::process::id()));
-    std::fs::create_dir_all(&dir).expect("create workdir");
-    let path = dir.join("bsbm.nt");
-    rdf_io::save_path(&g, &path).expect("write fixture");
-    let name = path.to_str().expect("utf-8 temp path").to_string();
+    fn absorb(&mut self, t: &Tally) {
+        self.queries += t.queries;
+        self.pruned_answers += t.pruned_answers;
+        self.summarizes += t.summarizes;
+        self.stats += t.stats;
+        self.errors += t.errors;
+        self.rows += t.rows;
+        self.query_ns += t.query_ns;
+        self.summarize_ns += t.summarize_ns;
+        self.stats_ns += t.stats_ns;
+    }
+}
 
+/// The shared fixture: graph file on disk plus the warm query vocabulary.
+struct Workload {
+    name: String,
+    triples: usize,
+    empty_q: String,
+    nonempty_q: String,
+}
+
+impl Workload {
+    fn generate(products: usize) -> Workload {
+        let g =
+            rdfsum_workloads::generate_bsbm(&rdfsum_workloads::BsbmConfig::with_products(products));
+        let triples = g.len();
+        let (p0, c0) = vocabulary(&g);
+        let dir = std::env::temp_dir().join(format!("rdfsum_load_driver_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("create workdir");
+        let path = dir.join("bsbm.nt");
+        rdf_io::save_path(&g, &path).expect("write fixture");
+        // The request mix: ~70% QUERY (half of them provably empty →
+        // answered from the summary), ~15% SUMMARIZE hits, ~15% STATS.
+        let empty_q = format!("q() :- ?x <http://nowhere.invalid/no-such-property> ?y, ?y {p0} ?z");
+        let nonempty_q = match &c0 {
+            Some(c0) => format!("q(?x) :- ?x a {c0}, ?x {p0} ?y"),
+            None => format!("q(?x) :- ?x {p0} ?y"),
+        };
+        Workload {
+            name: path.to_str().expect("utf-8 temp path").to_string(),
+            triples,
+            empty_q,
+            nonempty_q,
+        }
+    }
+
+    fn path(&self) -> PathBuf {
+        PathBuf::from(&self.name)
+    }
+
+    /// Issues request `i` of client `cid`'s mix and tallies the outcome.
+    fn issue(&self, client: &mut Client, cid: usize, i: usize, t: &mut Tally) {
+        let t0 = Instant::now();
+        let resp = match (i + cid) % 7 {
+            0 => {
+                t.stats += 1;
+                let r = client.stats();
+                t.stats_ns += t0.elapsed().as_nanos();
+                r
+            }
+            1 => {
+                t.summarizes += 1;
+                let r = client.summarize(rdfsum_core::SummaryKind::Weak, &self.name);
+                t.summarize_ns += t0.elapsed().as_nanos();
+                r
+            }
+            n => {
+                t.queries += 1;
+                let q = if n % 2 == 0 {
+                    &self.empty_q
+                } else {
+                    &self.nonempty_q
+                };
+                let r = client.query(&self.name, q);
+                t.query_ns += t0.elapsed().as_nanos();
+                r
+            }
+        };
+        match resp {
+            Ok(r) if r.is_ok() => {
+                if r.field("pruned") == Some("1") {
+                    t.pruned_answers += 1;
+                }
+                if let Some(rows) = r.field("rows") {
+                    t.rows += rows.parse::<usize>().unwrap_or(0);
+                }
+            }
+            _ => t.errors += 1,
+        }
+    }
+}
+
+/// Spawns a server on the chosen engine, loads the fixture, and pre-warms
+/// the summary so every measured request runs in the steady regime.
+fn start_server(
+    engine: &str,
+    workload: &Workload,
+    workers: usize,
+) -> (ServerHandle, Arc<SummaryService>) {
     let service = Arc::new(SummaryService::new(workers.max(1)));
-    let handle =
-        rdfsum_server::spawn("127.0.0.1:0", Arc::clone(&service), workers).expect("spawn server");
-    let addr = handle.addr();
-
-    // Load once and pre-warm the summary, so every measured request runs
-    // in the steady serving regime.
-    let mut warm = Client::connect(addr).expect("connect");
-    assert!(warm.load(&name).expect("LOAD").is_ok(), "LOAD failed");
+    let handle = match engine {
+        "event" => rdfsum_server::spawn("127.0.0.1:0", Arc::clone(&service), workers),
+        "threaded" => rdfsum_server::spawn_threaded("127.0.0.1:0", Arc::clone(&service), workers),
+        other => panic!("unknown engine {other}"),
+    }
+    .expect("spawn server");
+    let mut warm = Client::connect(handle.addr()).expect("connect");
     assert!(
-        warm.query(&name, "q() :- ?x <http://example.org/nope> ?y")
+        warm.load(&workload.name).expect("LOAD").is_ok(),
+        "LOAD failed"
+    );
+    assert!(
+        warm.query(&workload.name, "q() :- ?x <http://example.org/nope> ?y")
             .expect("warm QUERY")
             .is_ok(),
         "warm-up QUERY failed"
     );
+    assert!(
+        warm.summarize(rdfsum_core::SummaryKind::Weak, &workload.name)
+            .expect("warm SUMMARIZE")
+            .is_ok(),
+        "warm-up SUMMARIZE failed"
+    );
+    (handle, service)
+}
 
-    // The request mix: ~70% QUERY (half of them provably empty →
-    // answered from the summary), ~15% SUMMARIZE hits, ~15% STATS.
-    let empty_q = format!("q() :- ?x <http://nowhere.invalid/no-such-property> ?y, ?y {p0} ?z");
-    let nonempty_q = match &c0 {
-        Some(c0) => format!("q(?x) :- ?x a {c0}, ?x {p0} ?y"),
-        None => format!("q(?x) :- ?x {p0} ?y"),
+/// Appends one measurement in the criterion-shim `BENCH_JSON` format.
+fn emit_bench_json(bench: &str, mean_ns: f64, iters: usize) {
+    use std::io::Write as _;
+    let Ok(path) = std::env::var("BENCH_JSON") else {
+        return;
     };
+    let json = format!(
+        "{{\"group\":\"serve_ramp\",\"bench\":\"{bench}\",\"mean_ns\":{mean_ns:.1},\"iters\":{iters}}}\n"
+    );
+    if let Ok(mut f) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+    {
+        let _ = f.write_all(json.as_bytes());
+    }
+}
+
+/// One timed ramp cell: `clients` persistent keep-alive connections issue
+/// the warm mix against `engine` for `cell` wall time. Returns
+/// (requests completed, elapsed, errors).
+fn run_cell(
+    engine: &str,
+    workload: &Arc<Workload>,
+    clients: usize,
+    workers: usize,
+    cell: Duration,
+) -> (usize, Duration, usize) {
+    let (handle, service) = start_server(engine, workload, workers);
+    let addr = handle.addr();
+
+    // Connect sequentially before the clock starts: a 1024-way connect
+    // storm against a default-backlog listener would measure SYN retries,
+    // not serving throughput.
+    let conns: Vec<Client> = (0..clients)
+        .map(|_| Client::connect(addr).expect("connect"))
+        .collect();
+
+    let barrier = Arc::new(Barrier::new(clients + 1));
+    let threads: Vec<_> = conns
+        .into_iter()
+        .enumerate()
+        .map(|(cid, mut client)| {
+            let workload = Arc::clone(workload);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || -> (Tally, Instant, Instant) {
+                let mut t = Tally::default();
+                barrier.wait();
+                // Each client stamps its own window: with thousands of
+                // threads contending for the scheduler, a single clock
+                // read on the coordinating thread can lag the barrier
+                // release by whole seconds and inflate the measured rate.
+                let started = Instant::now();
+                let deadline = started + cell;
+                let mut i = 0;
+                while Instant::now() < deadline {
+                    workload.issue(&mut client, cid, i, &mut t);
+                    i += 1;
+                }
+                (t, started, Instant::now())
+            })
+        })
+        .collect();
+
+    barrier.wait();
+    let mut total = Tally::default();
+    let mut first_start: Option<Instant> = None;
+    let mut last_end: Option<Instant> = None;
+    for th in threads {
+        let (t, started, ended) = th.join().expect("client thread");
+        total.absorb(&t);
+        first_start = Some(first_start.map_or(started, |s| s.min(started)));
+        last_end = Some(last_end.map_or(ended, |e| e.max(ended)));
+    }
+    // The honest window: every counted request ran between the first
+    // client's start stamp and the last client's end stamp.
+    let elapsed = match (first_start, last_end) {
+        (Some(s), Some(e)) => e.duration_since(s),
+        _ => Duration::ZERO,
+    };
+    handle.shutdown();
+    if std::env::var("LOAD_DRIVER_VERBOSE").is_ok() {
+        let st = service.stats();
+        let mean_us = |ns: u128, n: usize| ns as f64 / n.max(1) as f64 / 1000.0;
+        eprintln!(
+            "    [{engine} C={clients}] client: {}q/{}s/{}st ({} pruned-answers, {} rows, {} errors); mean latency q={:.0}us s={:.0}us st={:.0}us; service: queries={} pruned={} prune_hits={} hits={} builds={}",
+            total.queries,
+            total.summarizes,
+            total.stats,
+            total.pruned_answers,
+            total.rows,
+            total.errors,
+            mean_us(total.query_ns, total.queries),
+            mean_us(total.summarize_ns, total.summarizes),
+            mean_us(total.stats_ns, total.stats),
+            st.queries,
+            st.pruned,
+            st.prune_hits,
+            st.hits,
+            st.builds
+        );
+    }
+    (total.requests(), elapsed, total.errors)
+}
+
+/// The concurrency ramp: both engines at every level, one cell each.
+fn run_ramp(args: &[String]) {
+    let products = arg(args, "--products", 100);
+    let cell = Duration::from_millis(arg(args, "--cell-ms", 1500) as u64);
+    let event_workers = arg(args, "--workers", 4);
+    let levels: Vec<usize> = args
+        .windows(2)
+        .find(|w| w[0] == "--levels")
+        .map(|w| {
+            w[1].split(',')
+                .map(|s| s.parse().expect("bad --levels entry"))
+                .collect()
+        })
+        .unwrap_or_else(|| vec![16, 64, 256, 1024]);
+
+    let workload = Arc::new(Workload::generate(products));
+    println!(
+        "load_driver ramp: levels {levels:?}, cell {:?}, bsbm {} triples, event workers {event_workers}",
+        cell, workload.triples
+    );
+
+    let mut failures = 0usize;
+    let mut rates: Vec<(String, usize, f64)> = Vec::new();
+    for &c in &levels {
+        for engine in ["threaded", "event"] {
+            // The baseline engine serves exactly one connection per
+            // worker, so it needs C workers to avoid starving clients;
+            // the event engine keeps its small executor at every level.
+            let workers = if engine == "threaded" {
+                c
+            } else {
+                event_workers
+            };
+            let (requests, elapsed, errors) = run_cell(engine, &workload, c, workers, cell);
+            let secs = elapsed.as_secs_f64();
+            let rate = requests as f64 / secs;
+            println!(
+                "  {engine:>8} C={c:<5} {requests:>7} requests in {secs:.2}s → {rate:>9.0} req/s{}",
+                if errors > 0 {
+                    format!("  ({errors} ERRORS)")
+                } else {
+                    String::new()
+                }
+            );
+            if requests > 0 {
+                emit_bench_json(
+                    &format!("{engine}/c{c}"),
+                    elapsed.as_nanos() as f64 / requests as f64,
+                    requests,
+                );
+            }
+            failures += errors;
+            rates.push((engine.to_string(), c, rate));
+        }
+    }
+
+    // The tentpole claim, checked in the same run: at high concurrency the
+    // event engine must out-serve thread-per-connection.
+    for &c in levels.iter().filter(|&&c| c >= 256) {
+        let get = |engine: &str| {
+            rates
+                .iter()
+                .find(|(e, lc, _)| e == engine && *lc == c)
+                .map(|&(_, _, r)| r)
+                .unwrap_or(0.0)
+        };
+        let (threaded, event) = (get("threaded"), get("event"));
+        let verdict = if event > threaded {
+            "✓"
+        } else {
+            "✗ REGRESSION"
+        };
+        println!("  C={c}: event {event:.0} req/s vs threaded {threaded:.0} req/s {verdict}");
+        if event <= threaded {
+            failures += 1;
+        }
+    }
+
+    let _ = std::fs::remove_file(workload.path());
+    if failures > 0 {
+        eprintln!("ramp failed: {failures} error(s)/regression(s)");
+        std::process::exit(1);
+    }
+}
+
+/// The original fixed-size smoke run against the (default) event engine.
+fn run_fixed(args: &[String]) {
+    let clients = arg(args, "--clients", 8);
+    let requests = arg(args, "--requests", 250);
+    let products = arg(args, "--products", 300);
+    let workers = arg(args, "--workers", clients);
+
+    let workload = Arc::new(Workload::generate(products));
+    let (handle, service) = start_server("event", &workload, workers);
+    let addr = handle.addr();
 
     println!(
-        "load_driver: {clients} clients × {requests} requests, bsbm {triples} triples, {workers} workers @ {addr}"
+        "load_driver: {clients} clients × {requests} requests, bsbm {} triples, {workers} workers @ {addr}",
+        workload.triples
     );
     let started = Instant::now();
     let threads: Vec<_> = (0..clients)
         .map(|cid| {
-            let name = name.clone();
-            let empty_q = empty_q.clone();
-            let nonempty_q = nonempty_q.clone();
+            let workload = Arc::clone(&workload);
             std::thread::spawn(move || -> Tally {
                 let mut t = Tally::default();
                 let Ok(mut client) = Client::connect(addr) else {
@@ -123,29 +437,7 @@ fn main() {
                     return t;
                 };
                 for i in 0..requests {
-                    let resp = match (i + cid) % 7 {
-                        0 => {
-                            t.stats += 1;
-                            client.stats()
-                        }
-                        1 => {
-                            t.summarizes += 1;
-                            client.summarize(rdfsum_core::SummaryKind::Weak, &name)
-                        }
-                        n => {
-                            t.queries += 1;
-                            let q = if n % 2 == 0 { &empty_q } else { &nonempty_q };
-                            client.query(&name, q)
-                        }
-                    };
-                    match resp {
-                        Ok(r) if r.is_ok() => {
-                            if r.field("pruned") == Some("1") {
-                                t.pruned_answers += 1;
-                            }
-                        }
-                        _ => t.errors += 1,
-                    }
+                    workload.issue(&mut client, cid, i, &mut t);
                 }
                 t
             })
@@ -154,12 +446,7 @@ fn main() {
 
     let mut total = Tally::default();
     for th in threads {
-        let t = th.join().expect("client thread");
-        total.queries += t.queries;
-        total.pruned_answers += t.pruned_answers;
-        total.summarizes += t.summarizes;
-        total.stats += t.stats;
-        total.errors += t.errors;
+        total.absorb(&th.join().expect("client thread"));
     }
     let elapsed = started.elapsed().as_secs_f64();
     handle.shutdown();
@@ -175,12 +462,22 @@ fn main() {
         total.queries, total.pruned_answers, total.summarizes, total.stats
     );
     println!(
-        "  service: queries={} pruned={} cache hits={} misses={} builds={}",
-        st.queries, st.pruned, st.hits, st.misses, st.builds
+        "  service: queries={} pruned={} prune_hits={} cache hits={} misses={} builds={}",
+        st.queries, st.pruned, st.prune_hits, st.hits, st.misses, st.builds
     );
+    let _ = std::fs::remove_file(workload.path());
     if total.errors > 0 {
         eprintln!("  {} request(s) failed", total.errors);
         std::process::exit(1);
     }
     assert_eq!(st.builds, 1, "steady state must never rebuild the summary");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if has_flag(&args, "--ramp") {
+        run_ramp(&args);
+    } else {
+        run_fixed(&args);
+    }
 }

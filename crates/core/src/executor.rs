@@ -1,0 +1,187 @@
+//! A small bounded executor: a fixed pool of worker threads draining a
+//! shared job queue.
+//!
+//! The event-driven server keeps exactly one thread inside the readiness
+//! loop; everything that can block — a cold `SUMMARIZE` build, a large
+//! `QUERY` evaluation — is handed to this pool so a slow request can
+//! never stall keep-alive traffic on other connections. The pool is
+//! deliberately minimal: `width` OS threads, an unbounded `mpsc` channel
+//! of boxed closures behind a mutex, panic isolation per job, and a
+//! drain-then-join shutdown on drop.
+//!
+//! "Bounded" refers to *parallelism*, not queue depth: at most `width`
+//! jobs run at once, the rest wait FIFO. Queue depth is bounded by the
+//! caller's admission policy (the server submits at most one job per
+//! connection, so the queue never exceeds the connection count).
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed-width thread pool executing submitted closures FIFO.
+///
+/// Dropping the executor closes the queue; workers finish the jobs
+/// already submitted, then exit, and the drop blocks until they have.
+pub struct Executor {
+    tx: Option<mpsc::Sender<Job>>,
+    workers: Vec<thread::JoinHandle<()>>,
+    width: usize,
+    in_flight: Arc<AtomicUsize>,
+}
+
+impl Executor {
+    /// Spawns `width` worker threads (`width` is clamped to ≥ 1).
+    pub fn new(width: usize) -> Executor {
+        let width = width.max(1);
+        let (tx, rx) = mpsc::channel::<Job>();
+        let rx = Arc::new(Mutex::new(rx));
+        let in_flight = Arc::new(AtomicUsize::new(0));
+        let workers = (0..width)
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                let in_flight = Arc::clone(&in_flight);
+                thread::Builder::new()
+                    .name(format!("executor-{i}"))
+                    .spawn(move || loop {
+                        // Hold the lock only while receiving: a worker
+                        // stuck in a long job must not block the others
+                        // from picking up queued work.
+                        let job = match rx.lock() {
+                            Ok(guard) => guard.recv(),
+                            Err(_) => return, // a worker panicked holding the lock
+                        };
+                        match job {
+                            Ok(job) => {
+                                in_flight.fetch_add(1, Ordering::SeqCst);
+                                // A panicking job must not take the worker
+                                // (or the pool) down with it; the server
+                                // maps panics to ERR responses upstream.
+                                let _ = catch_unwind(AssertUnwindSafe(job));
+                                in_flight.fetch_sub(1, Ordering::SeqCst);
+                            }
+                            Err(_) => return, // channel closed: shutdown
+                        }
+                    })
+                    .expect("spawn executor worker")
+            })
+            .collect();
+        Executor {
+            tx: Some(tx),
+            workers,
+            width,
+            in_flight,
+        }
+    }
+
+    /// The number of worker threads.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Jobs currently executing (not queued) — a coarse load signal.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.load(Ordering::SeqCst)
+    }
+
+    /// Enqueues a job; it runs on the first free worker, FIFO.
+    pub fn submit<F>(&self, job: F)
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        if let Some(tx) = &self.tx {
+            // Send fails only if every worker has exited, which only
+            // happens during shutdown — the job is dropped, matching the
+            // force-close contract.
+            let _ = tx.send(Box::new(job));
+        }
+    }
+}
+
+impl Drop for Executor {
+    fn drop(&mut self) {
+        // Closing the channel lets each worker drain remaining jobs and
+        // observe the disconnect; then wait for them.
+        self.tx.take();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Arc, Barrier};
+    use std::time::Duration;
+
+    #[test]
+    fn runs_all_submitted_jobs() {
+        let ex = Executor::new(4);
+        let count = Arc::new(AtomicUsize::new(0));
+        for _ in 0..100 {
+            let count = Arc::clone(&count);
+            ex.submit(move || {
+                count.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        drop(ex); // joins after draining
+        assert_eq!(count.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn width_jobs_run_concurrently() {
+        let ex = Executor::new(3);
+        // All three workers must be inside a job at once to pass the
+        // barrier; a serial pool would deadlock (bounded by the timeout
+        // thread below).
+        let barrier = Arc::new(Barrier::new(3));
+        let done = Arc::new(AtomicUsize::new(0));
+        for _ in 0..3 {
+            let barrier = Arc::clone(&barrier);
+            let done = Arc::clone(&done);
+            ex.submit(move || {
+                barrier.wait();
+                done.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while done.load(Ordering::SeqCst) < 3 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "jobs did not run concurrently"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        drop(ex);
+    }
+
+    #[test]
+    fn panicking_job_does_not_kill_workers() {
+        let ex = Executor::new(1);
+        ex.submit(|| panic!("job panic"));
+        let count = Arc::new(AtomicUsize::new(0));
+        let c = Arc::clone(&count);
+        ex.submit(move || {
+            c.fetch_add(1, Ordering::SeqCst);
+        });
+        drop(ex);
+        assert_eq!(count.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn width_is_clamped_to_one() {
+        let ex = Executor::new(0);
+        assert_eq!(ex.width(), 1);
+        let ran = Arc::new(AtomicUsize::new(0));
+        let r = Arc::clone(&ran);
+        ex.submit(move || {
+            r.fetch_add(1, Ordering::SeqCst);
+        });
+        drop(ex);
+        assert_eq!(ran.load(Ordering::SeqCst), 1);
+    }
+}

@@ -101,6 +101,7 @@ pub mod cliques;
 pub mod context;
 pub mod distance;
 pub mod equivalence;
+pub mod executor;
 pub mod fixtures;
 pub mod incremental;
 pub mod inflate;
@@ -129,6 +130,7 @@ pub use checks::{
 pub use cliques::{CliqueId, CliqueScope, Cliques};
 pub use context::{ClassSets, SummaryContext};
 pub use equivalence::Partition;
+pub use executor::Executor;
 pub use incremental::IncrementalWeak;
 pub use inflate::{inflate, InflateConfig};
 pub use iso::summary_isomorphic;

@@ -19,7 +19,19 @@
 //!   same missing `(fingerprint, kind)` concurrently, exactly one thread
 //!   builds while the rest wait on a condvar and then share the result.
 //!   The [`SummaryService::builds`] counter is the test seam pinning that
-//!   guarantee.
+//!   guarantee;
+//! * an optional **byte budget** on the cache
+//!   ([`SummaryService::with_cache_bytes`]): when the resident artifacts'
+//!   serialized size exceeds it, least-recently-used Ready entries are
+//!   evicted (never in-flight builds). The default is unbounded,
+//!   preserving the historical behavior;
+//! * a **prune-verdict cache** on the query path: the
+//!   [`rdf_query::empty_on_summary`] verdict depends only on the graph's
+//!   content fingerprint, the summary kind, and the query's *relaxed
+//!   shape* ([`rdf_query::prune_shape_key`]), so it is memoized under that
+//!   key. A hot provably-empty pattern answers without touching the
+//!   summary at all — and, because the key is content-addressed, the
+//!   memo stays sound across LRU eviction and identical-content reloads.
 //!
 //! Cached artifacts hold the summary's serialized N-Triples bytes,
 //! produced by the *same build path and serializer the single-shot CLI
@@ -31,7 +43,7 @@
 use crate::cardinality::{SummaryCardinality, SummaryEstimator};
 use crate::summary::SummaryKind;
 use rdf_model::{Graph, PrefixMap};
-use rdf_query::{explain_with, parse_query, Evaluator, QuerySpec};
+use rdf_query::{explain_with, parse_query, Evaluator};
 use rdf_store::{Fingerprint, TripleStore};
 use std::collections::HashMap;
 use std::fmt;
@@ -93,6 +105,15 @@ pub struct ServiceStats {
     pub queries: u64,
     /// `QUERY` requests answered empty by summary pruning alone.
     pub pruned: u64,
+    /// `QUERY` requests whose pruning verdict came from the prune-verdict
+    /// cache (the summary ASK — and on empty verdicts the summary lookup
+    /// itself — was skipped).
+    pub prune_hits: u64,
+    /// Summary-cache entries evicted by the byte budget (LRU only; named
+    /// `EVICT`s and cache clears are not counted here).
+    pub evictions: u64,
+    /// Serialized bytes currently resident in the summary cache.
+    pub cache_bytes: usize,
 }
 
 /// Errors a service request can produce.
@@ -146,22 +167,70 @@ struct GraphEntry {
 enum Slot {
     /// Some thread is building; waiters sleep on the service condvar.
     Building,
-    /// The finished artifact.
-    Ready(Arc<SummaryArtifact>),
+    /// The finished artifact plus its budget accounting.
+    Ready {
+        artifact: Arc<SummaryArtifact>,
+        /// Budget cost of this entry: the serialized N-Triples size — the
+        /// dominant, directly comparable share of an artifact's footprint
+        /// (the indexed store and statistics scale with it).
+        bytes: usize,
+        /// Lamport stamp of the last hit; the LRU victim is the minimum.
+        last_used: u64,
+    },
 }
+
+/// The summary cache behind one mutex: the slots plus the LRU clock and
+/// the running byte total the eviction policy needs.
+#[derive(Default)]
+struct CacheState {
+    slots: HashMap<(Fingerprint, SummaryKind), Slot>,
+    /// Monotone hit counter backing the `last_used` stamps.
+    clock: u64,
+    /// Sum of the `bytes` of all Ready slots.
+    total_bytes: usize,
+}
+
+impl CacheState {
+    /// Recomputes `total_bytes` after a bulk `retain` on the slots.
+    fn resync_total(&mut self) {
+        self.total_bytes = self
+            .slots
+            .values()
+            .map(|s| match s {
+                Slot::Ready { bytes, .. } => *bytes,
+                Slot::Building => 0,
+            })
+            .sum();
+    }
+}
+
+/// Key of one memoized pruning verdict: content fingerprint + summary
+/// kind + the query's relaxed shape. Content-addressed, so entries never
+/// go stale — they are dropped only to bound memory.
+type PruneKey = (Fingerprint, SummaryKind, String);
+
+/// Entry cap on the prune-verdict memo; when full, the map is cleared
+/// (verdicts cost one summary ASK to recompute, so a rare full reset is
+/// cheaper than per-entry LRU bookkeeping on the hot path).
+const PRUNE_CACHE_CAP: usize = 65_536;
 
 /// The long-running summarization service. See the module docs.
 pub struct SummaryService {
     threads: usize,
     graphs: Mutex<HashMap<String, Arc<GraphEntry>>>,
-    cache: Mutex<HashMap<(Fingerprint, SummaryKind), Slot>>,
+    cache: Mutex<CacheState>,
+    /// Byte budget for Ready cache entries; `None` = unbounded.
+    cache_budget: Option<usize>,
     /// Signaled whenever a Building slot resolves (or is abandoned).
     slot_done: Condvar,
+    prune_verdicts: Mutex<HashMap<PruneKey, bool>>,
     builds: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
     queries: AtomicU64,
     pruned: AtomicU64,
+    prune_hits: AtomicU64,
+    evictions: AtomicU64,
 }
 
 /// Removes the `Building` marker if the build unwinds, so waiters retry
@@ -176,8 +245,8 @@ impl Drop for BuildGuard<'_> {
     fn drop(&mut self) {
         if self.armed {
             let mut cache = self.service.cache.lock().unwrap();
-            if matches!(cache.get(&self.key), Some(Slot::Building)) {
-                cache.remove(&self.key);
+            if matches!(cache.slots.get(&self.key), Some(Slot::Building)) {
+                cache.slots.remove(&self.key);
             }
             drop(cache);
             self.service.slot_done.notify_all();
@@ -188,19 +257,38 @@ impl Drop for BuildGuard<'_> {
 impl SummaryService {
     /// Creates a service whose loads and summary builds may use up to
     /// `threads` workers (`1` keeps everything sequential — the exact
-    /// single-shot CLI code path).
+    /// single-shot CLI code path). The summary cache is unbounded; see
+    /// [`Self::with_cache_bytes`] for a budgeted one.
     pub fn new(threads: usize) -> Self {
+        Self::with_cache_bytes(threads, None)
+    }
+
+    /// [`Self::new`] with an optional byte budget on the summary cache:
+    /// whenever the serialized size of the Ready artifacts exceeds
+    /// `cache_bytes`, least-recently-used entries are evicted until it
+    /// fits (an artifact larger than the whole budget is still built and
+    /// returned, just not retained). `None` means unbounded.
+    pub fn with_cache_bytes(threads: usize, cache_bytes: Option<usize>) -> Self {
         SummaryService {
             threads: threads.max(1),
             graphs: Mutex::new(HashMap::new()),
-            cache: Mutex::new(HashMap::new()),
+            cache: Mutex::new(CacheState::default()),
+            cache_budget: cache_bytes,
             slot_done: Condvar::new(),
+            prune_verdicts: Mutex::new(HashMap::new()),
             builds: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             queries: AtomicU64::new(0),
             pruned: AtomicU64::new(0),
+            prune_hits: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
         }
+    }
+
+    /// The configured cache byte budget (`None` = unbounded).
+    pub fn cache_budget(&self) -> Option<usize> {
+        self.cache_budget
     }
 
     /// The configured worker count.
@@ -286,8 +374,15 @@ impl SummaryService {
         {
             let mut cache = self.cache.lock().unwrap();
             loop {
-                match cache.get(&key) {
-                    Some(Slot::Ready(artifact)) => {
+                cache.clock += 1;
+                let stamp = cache.clock;
+                match cache.slots.get_mut(&key) {
+                    Some(Slot::Ready {
+                        artifact,
+                        last_used,
+                        ..
+                    }) => {
+                        *last_used = stamp;
                         self.hits.fetch_add(1, Ordering::Relaxed);
                         return (Arc::clone(artifact), true);
                     }
@@ -295,7 +390,7 @@ impl SummaryService {
                         cache = self.slot_done.wait(cache).unwrap();
                     }
                     None => {
-                        cache.insert(key, Slot::Building);
+                        cache.slots.insert(key, Slot::Building);
                         break;
                     }
                 }
@@ -311,11 +406,52 @@ impl SummaryService {
         let artifact = Arc::new(self.build_artifact(entry, kind));
         {
             let mut cache = self.cache.lock().unwrap();
-            cache.insert(key, Slot::Ready(Arc::clone(&artifact)));
+            let bytes = artifact.ntriples.len();
+            cache.clock += 1;
+            let stamp = cache.clock;
+            cache.slots.insert(
+                key,
+                Slot::Ready {
+                    artifact: Arc::clone(&artifact),
+                    bytes,
+                    last_used: stamp,
+                },
+            );
+            cache.total_bytes += bytes;
+            self.enforce_budget(&mut cache);
         }
         guard.armed = false;
         self.slot_done.notify_all();
         (artifact, false)
+    }
+
+    /// Evicts least-recently-used Ready entries until the cache fits the
+    /// byte budget. In-flight `Building` slots are never touched (their
+    /// single-flight waiters must still find them); the freshly inserted
+    /// entry has the newest stamp, so it goes last — meaning an artifact
+    /// larger than the entire budget is evicted right back out, i.e.
+    /// returned to the caller but not retained.
+    fn enforce_budget(&self, cache: &mut CacheState) {
+        let Some(budget) = self.cache_budget else {
+            return;
+        };
+        while cache.total_bytes > budget {
+            let victim = cache
+                .slots
+                .iter()
+                .filter_map(|(k, s)| match s {
+                    Slot::Ready { last_used, .. } => Some((*last_used, *k)),
+                    Slot::Building => None,
+                })
+                .min_by_key(|&(last_used, _)| last_used);
+            let Some((_, key)) = victim else {
+                return; // only Building slots left: nothing evictable
+            };
+            if let Some(Slot::Ready { bytes, .. }) = cache.slots.remove(&key) {
+                cache.total_bytes -= bytes;
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
     }
 
     /// One real summary build + serialization (the cache-miss work).
@@ -359,6 +495,11 @@ impl SummaryService {
     /// a rebuild when *any* kind is warm), falling back to
     /// [`SummaryKind::Weak`] — the smallest summary — on a cold cache.
     /// `limit` caps the number of distinct rows enumerated.
+    ///
+    /// The pruning verdict is memoized per `(fingerprint, kind, relaxed
+    /// shape)`: a repeated provably-empty pattern short-circuits before
+    /// the summary lookup, and a repeated don't-know pattern skips the
+    /// summary ASK and goes straight to the graph join.
     pub fn query(
         &self,
         name: &str,
@@ -377,24 +518,48 @@ impl SummaryService {
             .map_err(|e| ServiceError::BadQuery(e.to_string()))?;
         self.queries.fetch_add(1, Ordering::Relaxed);
         let kind = kind.unwrap_or_else(|| self.preferred_kind(entry.fingerprint));
-        let (artifact, cache_hit) = self.summarize_entry(&entry, kind);
-        self.query_with_artifact(&entry.store, &spec, &artifact, cache_hit, limit)
-    }
-
-    /// The evaluation half of [`Self::query`], usable directly when the
-    /// caller already holds a store and its summary artifact.
-    fn query_with_artifact(
-        &self,
-        store: &TripleStore,
-        spec: &QuerySpec,
-        artifact: &SummaryArtifact,
-        cache_hit: bool,
-        limit: usize,
-    ) -> Result<QueryOutcome, ServiceError> {
-        let q = rdf_query::compile(spec, store.graph())
+        let store = &entry.store;
+        let q = rdf_query::compile(&spec, store.graph())
             .map_err(|e| ServiceError::BadQuery(e.to_string()))?;
         let columns: Vec<String> = spec.head.clone();
-        if rdf_query::empty_on_summary(&artifact.summary_store, spec) {
+        // Consult the prune-verdict memo before the summary cache: a
+        // known-empty shape answers without materializing any artifact.
+        let prune_key: PruneKey = (entry.fingerprint, kind, rdf_query::prune_shape_key(&spec));
+        let memoized = self.prune_verdicts.lock().unwrap().get(&prune_key).copied();
+        if memoized == Some(true) {
+            self.prune_hits.fetch_add(1, Ordering::Relaxed);
+            self.pruned.fetch_add(1, Ordering::Relaxed);
+            return Ok(QueryOutcome {
+                columns,
+                rows: Vec::new(),
+                ask: false,
+                pruned: true,
+                cache_hit: true,
+                kind,
+                truncated: false,
+            });
+        }
+        let (artifact, cache_hit) = self.summarize_entry(&entry, kind);
+        let empty = match memoized {
+            Some(verdict) => {
+                self.prune_hits.fetch_add(1, Ordering::Relaxed);
+                verdict
+            }
+            None => {
+                let verdict = rdf_query::empty_on_summary(&artifact.summary_store, &spec);
+                // An empty body never prunes and its shape key is the
+                // degenerate empty string — not worth a memo slot.
+                if !spec.body.is_empty() {
+                    let mut memo = self.prune_verdicts.lock().unwrap();
+                    if memo.len() >= PRUNE_CACHE_CAP && !memo.contains_key(&prune_key) {
+                        memo.clear();
+                    }
+                    memo.insert(prune_key, verdict);
+                }
+                verdict
+            }
+        };
+        if empty {
             self.pruned.fetch_add(1, Ordering::Relaxed);
             return Ok(QueryOutcome {
                 columns,
@@ -450,7 +615,7 @@ impl SummaryService {
         let cache = self.cache.lock().unwrap();
         PREFERENCE
             .into_iter()
-            .find(|&k| matches!(cache.get(&(fingerprint, k)), Some(Slot::Ready(_))))
+            .find(|&k| matches!(cache.slots.get(&(fingerprint, k)), Some(Slot::Ready { .. })))
             .unwrap_or(SummaryKind::Weak)
     }
 
@@ -471,10 +636,21 @@ impl SummaryService {
         if still_shared {
             return Some(0);
         }
+        // Memoized prune verdicts for this content go too. They would
+        // stay *correct* (content-addressed), but an unreferenced
+        // fingerprint's memos are dead weight.
+        self.prune_verdicts
+            .lock()
+            .unwrap()
+            .retain(|(fp, _, _), _| *fp != entry.fingerprint);
         let mut cache = self.cache.lock().unwrap();
-        let before = cache.len();
-        cache.retain(|(fp, _), slot| *fp != entry.fingerprint || matches!(slot, Slot::Building));
-        Some(before - cache.len())
+        let before = cache.slots.len();
+        cache
+            .slots
+            .retain(|(fp, _), slot| *fp != entry.fingerprint || matches!(slot, Slot::Building));
+        let dropped = before - cache.slots.len();
+        cache.resync_total();
+        Some(dropped)
     }
 
     /// Drops every resident graph and every Ready cache entry. Returns
@@ -491,12 +667,16 @@ impl SummaryService {
 
     /// Drops Ready cache entries only (the bench's cold-build seam),
     /// returning how many were dropped. Building slots stay, preserving
-    /// single-flight for in-flight requests.
+    /// single-flight for in-flight requests. The prune-verdict memo is
+    /// cleared too, so "cold" means cold for the query path as well.
     pub fn clear_cache(&self) -> usize {
+        self.prune_verdicts.lock().unwrap().clear();
         let mut cache = self.cache.lock().unwrap();
-        let before = cache.len();
-        cache.retain(|_, slot| matches!(slot, Slot::Building));
-        before - cache.len()
+        let before = cache.slots.len();
+        cache.slots.retain(|_, slot| matches!(slot, Slot::Building));
+        let dropped = before - cache.slots.len();
+        cache.resync_total();
+        dropped
     }
 
     /// Number of summary builds performed so far — the single-flight test
@@ -510,12 +690,14 @@ impl SummaryService {
     /// Aggregate counters.
     pub fn stats(&self) -> ServiceStats {
         let graphs = self.graphs.lock().unwrap().len();
-        let cached_summaries = {
+        let (cached_summaries, cache_bytes) = {
             let cache = self.cache.lock().unwrap();
-            cache
+            let ready = cache
+                .slots
                 .values()
-                .filter(|s| matches!(s, Slot::Ready(_)))
-                .count()
+                .filter(|s| matches!(s, Slot::Ready { .. }))
+                .count();
+            (ready, cache.total_bytes)
         };
         ServiceStats {
             graphs,
@@ -525,6 +707,9 @@ impl SummaryService {
             builds: self.builds.load(Ordering::Relaxed),
             queries: self.queries.load(Ordering::Relaxed),
             pruned: self.pruned.load(Ordering::Relaxed),
+            prune_hits: self.prune_hits.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            cache_bytes,
         }
     }
 }
@@ -766,6 +951,145 @@ mod tests {
         assert_eq!(out.kind, SummaryKind::TypedStrong);
         assert!(out.cache_hit, "pruning must not force a rebuild");
         assert_eq!(svc.builds(), 1);
+    }
+
+    #[test]
+    fn cache_budget_evicts_lru_first() {
+        let svc = SummaryService::new(1);
+        svc.load_graph("g", fixtures::sample_graph());
+        let (w, _) = svc.summarize("g", SummaryKind::Weak).unwrap();
+        let one = w.ntriples.len();
+        // Room for roughly two artifacts of this size.
+        let svc = SummaryService::with_cache_bytes(1, Some(one * 2 + one / 2));
+        svc.load_graph("g", fixtures::sample_graph());
+        svc.summarize("g", SummaryKind::Weak).unwrap();
+        svc.summarize("g", SummaryKind::Strong).unwrap();
+        // Touch Weak so Strong becomes the LRU victim.
+        let (_, hit) = svc.summarize("g", SummaryKind::Weak).unwrap();
+        assert!(hit);
+        svc.summarize("g", SummaryKind::TypedWeak).unwrap();
+        let st = svc.stats();
+        assert!(st.evictions >= 1, "budget must have evicted");
+        assert!(
+            st.cache_bytes <= one * 2 + one / 2,
+            "cache over budget: {} > {}",
+            st.cache_bytes,
+            one * 2 + one / 2
+        );
+        // Weak survived (recently used), Strong was evicted.
+        let (_, weak_hit) = svc.summarize("g", SummaryKind::Weak).unwrap();
+        assert!(weak_hit, "recently-used entry must survive eviction");
+        let (_, strong_hit) = svc.summarize("g", SummaryKind::Strong).unwrap();
+        assert!(!strong_hit, "LRU entry must have been evicted");
+    }
+
+    #[test]
+    fn oversized_artifact_is_returned_but_not_retained() {
+        let svc = SummaryService::with_cache_bytes(1, Some(1));
+        svc.load_graph("g", fixtures::sample_graph());
+        let (artifact, hit) = svc.summarize("g", SummaryKind::Weak).unwrap();
+        assert!(!hit);
+        assert!(!artifact.ntriples.is_empty());
+        let st = svc.stats();
+        assert_eq!(st.cached_summaries, 0, "over-budget entry must not stay");
+        assert_eq!(st.cache_bytes, 0);
+        assert_eq!(st.evictions, 1);
+    }
+
+    #[test]
+    fn unbounded_cache_never_evicts() {
+        let svc = SummaryService::new(1);
+        svc.load_graph("g", fixtures::sample_graph());
+        for kind in SummaryKind::ALL {
+            svc.summarize("g", kind).unwrap();
+        }
+        let st = svc.stats();
+        assert_eq!(st.evictions, 0);
+        assert_eq!(st.cached_summaries, 4);
+        assert!(st.cache_bytes > 0);
+        assert_eq!(svc.cache_budget(), None);
+    }
+
+    #[test]
+    fn prune_verdicts_are_memoized() {
+        let svc = SummaryService::new(1);
+        svc.load_graph("g", fixtures::sample_graph());
+        let q = "q(?x) :- ?x <urn:no-such-property> ?y";
+        let first = svc.query("g", q, None, usize::MAX).unwrap();
+        assert!(first.pruned);
+        assert_eq!(svc.stats().prune_hits, 0, "first sighting is a miss");
+        // Same shape, different constant: still one memo line.
+        let second = svc
+            .query(
+                "g",
+                "q(?x) :- ?x <urn:no-such-property> ?z",
+                None,
+                usize::MAX,
+            )
+            .unwrap();
+        assert!(second.pruned);
+        assert!(second.cache_hit);
+        let st = svc.stats();
+        assert_eq!(st.prune_hits, 1);
+        assert_eq!((st.queries, st.pruned), (2, 2));
+        // Non-empty shapes memoize the don't-know verdict too: the second
+        // run skips the ASK but still evaluates (same rows).
+        let a = svc
+            .query("g", "q(?x, ?y) :- ?x ?p ?y", None, usize::MAX)
+            .unwrap();
+        let b = svc
+            .query("g", "q(?x, ?y) :- ?x ?p ?y", None, usize::MAX)
+            .unwrap();
+        assert!(!b.pruned);
+        assert_eq!(a.rows, b.rows);
+        assert_eq!(svc.stats().prune_hits, 2);
+    }
+
+    #[test]
+    fn prune_memo_survives_lru_eviction_soundly() {
+        // Budget too small to retain any artifact: every query rebuilds
+        // the summary — except known-empty shapes, which skip it entirely.
+        let svc = SummaryService::with_cache_bytes(1, Some(1));
+        svc.load_graph("g", fixtures::sample_graph());
+        let q = "q(?x) :- ?x <urn:no-such-property> ?y";
+        assert!(svc.query("g", q, None, usize::MAX).unwrap().pruned);
+        let builds_before = svc.builds();
+        let out = svc.query("g", q, None, usize::MAX).unwrap();
+        assert!(out.pruned);
+        assert_eq!(
+            svc.builds(),
+            builds_before,
+            "memoized empty verdict must not rebuild the evicted summary"
+        );
+    }
+
+    #[test]
+    fn evict_and_clear_invalidate_the_prune_memo() {
+        let svc = SummaryService::new(1);
+        svc.load_graph("g", fixtures::sample_graph());
+        let q = "q(?x) :- ?x <urn:no-such-property> ?y";
+        svc.query("g", q, None, usize::MAX).unwrap();
+        // EVICT drops the graph and its memo lines; a reload of the same
+        // content re-primes from scratch (miss, then hit).
+        svc.evict("g").unwrap();
+        svc.load_graph("g", fixtures::sample_graph());
+        svc.query("g", q, None, usize::MAX).unwrap();
+        assert_eq!(svc.stats().prune_hits, 0, "memo was dropped on evict");
+        svc.query("g", q, None, usize::MAX).unwrap();
+        assert_eq!(svc.stats().prune_hits, 1);
+        // clear_cache resets the memo as well.
+        svc.clear_cache();
+        svc.query("g", q, None, usize::MAX).unwrap();
+        assert_eq!(svc.stats().prune_hits, 1, "memo was dropped on clear");
+        // Loading *different* content under the name keys separately: the
+        // old fingerprint's verdicts cannot leak onto the new graph.
+        svc.load_graph("g", fixtures::figure5_graph());
+        svc.query("g", q, None, usize::MAX).unwrap();
+        assert_eq!(
+            svc.stats().prune_hits,
+            1,
+            "new content must not hit the old memo"
+        );
     }
 
     /// The single-flight gate under real contention: many threads × all

@@ -37,7 +37,7 @@ pub use bgp::{
 pub use eval::{ControlFlow, Evaluator, ResultSet};
 pub use parser::{parse_query, QueryParseError};
 pub use plan::{explain, explain_with, JoinEstimator, Plan, PlanStep, StoreEstimator};
-pub use prune::{empty_on_summary, relax_for_summary};
+pub use prune::{empty_on_summary, prune_shape_key, relax_for_summary};
 pub use rbgp::{is_rbgp, validate_rbgp, RbgpViolation};
 pub use reformulate::{ask_via_reformulation, reformulate, ReformulateConfig, ReformulateError};
 pub use workload::{sample_rbgp_queries, WorkloadConfig};

@@ -18,6 +18,16 @@
 //! restriction on `q`. The converse does not hold: a non-empty summary
 //! answer promises nothing, which is exactly the paper's
 //! representativeness notion (§4) used in its pruning direction only.
+//!
+//! One caveat bounds the argument: `f` is *position-dependent* — the same
+//! term is kept verbatim where it plays a property (or `τ`-class) role
+//! but renamed where it plays a data-node role, and a graph may use one
+//! IRI in both roles (`author` as a predicate *and* as the subject of a
+//! data triple). A query variable that spans both kinds of position would
+//! need `f(t) = t` for its binding, which the quotient does not promise,
+//! so composing with `f` is no longer answer-preserving. For such
+//! *cross-position* queries [`empty_on_summary`] refuses to prune and
+//! returns "don't know" (`false`).
 
 use crate::bgp::{compile, QuerySpec, SpecTerm, TriplePatternSpec};
 use crate::eval::Evaluator;
@@ -74,6 +84,72 @@ pub fn relax_for_summary(spec: &QuerySpec) -> QuerySpec {
     }
 }
 
+/// Canonical key of the *relaxed shape* of `spec` — the part of a query
+/// a quotient summary can see.
+///
+/// Two queries get the same key iff their [`relax_for_summary`] forms are
+/// identical up to variable renaming: variables (original and fresh
+/// alike) are numbered by first occurrence in s/p/o reading order, kept
+/// constants (property positions, `τ`-class IRIs) are rendered verbatim.
+/// Since relaxation variabilizes every data constant, queries that differ
+/// only in data constants collapse onto one key — which is exactly what
+/// makes the key useful for caching [`empty_on_summary`] verdicts: the
+/// verdict depends only on the summary content and this shape.
+pub fn prune_shape_key(spec: &QuerySpec) -> String {
+    use std::collections::HashMap;
+    use std::fmt::Write;
+    let relaxed = relax_for_summary(spec);
+    let mut numbers: HashMap<String, usize> = HashMap::new();
+    let mut key = String::new();
+    for pat in &relaxed.body {
+        for t in [&pat.s, &pat.p, &pat.o] {
+            match t {
+                SpecTerm::Var(v) => {
+                    let next = numbers.len();
+                    let n = *numbers.entry(v.clone()).or_insert(next);
+                    let _ = write!(key, "?{n} ");
+                }
+                SpecTerm::Const(c) => {
+                    let _ = write!(key, "{c} ");
+                }
+            }
+        }
+        key.push('.');
+    }
+    key
+}
+
+/// Does some variable of `spec` occur both in a *kept* position (a
+/// property slot, or the IRI object slot of a `τ` pattern) and in a
+/// *node* position (a subject slot, or any other object slot)?
+///
+/// The quotient homomorphism keeps kept-position terms verbatim but
+/// renames node-position data terms, so a binding `t` of such a variable
+/// would have to satisfy `f(t) = t` for the relaxed query to inherit the
+/// answer — which the quotient does not promise (e.g. an IRI used both as
+/// a predicate and as the subject of a data triple is renamed in the
+/// latter role only). Pruning such queries would be unsound.
+fn has_cross_position_variable(spec: &QuerySpec) -> bool {
+    let mut kept: FxHashSet<&str> = FxHashSet::default();
+    let mut node: FxHashSet<&str> = FxHashSet::default();
+    for pat in &spec.body {
+        if let SpecTerm::Var(v) = &pat.s {
+            node.insert(v);
+        }
+        if let SpecTerm::Var(v) = &pat.p {
+            kept.insert(v);
+        }
+        if let SpecTerm::Var(v) = &pat.o {
+            if is_tau(&pat.p) {
+                kept.insert(v);
+            } else {
+                node.insert(v);
+            }
+        }
+    }
+    kept.iter().any(|v| node.contains(v))
+}
+
 /// Sound emptiness check against a summary store: `true` means the query
 /// provably has no answers on the summarized graph (so evaluation there
 /// can be skipped); `false` means "don't know — evaluate".
@@ -82,7 +158,7 @@ pub fn relax_for_summary(spec: &QuerySpec) -> QuerySpec {
 /// caller wants to prune for (any kind: W/S/TW/TS/T/FB), built over the
 /// same explicit triples the query will run on.
 pub fn empty_on_summary(summary: &TripleStore, spec: &QuerySpec) -> bool {
-    if spec.body.is_empty() {
+    if spec.body.is_empty() || has_cross_position_variable(spec) {
         return false;
     }
     let relaxed = relax_for_summary(spec);
@@ -225,6 +301,89 @@ mod tests {
         for spec in specs {
             assert!(empty_on_summary(&h, &spec), "should prune: {spec}");
         }
+    }
+
+    #[test]
+    fn shape_key_collapses_data_constants() {
+        // Same shape, different data constants → same key (the verdict
+        // cache can amortize the ASK across them).
+        let a = QuerySpec::new(Vec::<String>::new(), [(iri("b1"), iri("author"), v("y"))]);
+        let b = QuerySpec::new(Vec::<String>::new(), [(iri("b2"), iri("author"), v("z"))]);
+        assert_eq!(prune_shape_key(&a), prune_shape_key(&b));
+        // Different kept constant (the property) → different key.
+        let c = QuerySpec::new(Vec::<String>::new(), [(iri("b1"), iri("editor"), v("y"))]);
+        assert_ne!(prune_shape_key(&a), prune_shape_key(&c));
+        // τ-class IRIs are kept, so they distinguish keys.
+        let t1 = QuerySpec::new(
+            Vec::<String>::new(),
+            [(v("x"), iri(vocab::RDF_TYPE), iri("Book"))],
+        );
+        let t2 = QuerySpec::new(
+            Vec::<String>::new(),
+            [(v("x"), iri(vocab::RDF_TYPE), iri("Journal"))],
+        );
+        assert_ne!(prune_shape_key(&t1), prune_shape_key(&t2));
+    }
+
+    #[test]
+    fn shape_key_is_invariant_under_variable_renaming() {
+        let a = QuerySpec::new(
+            ["x"],
+            [
+                (v("x"), iri(vocab::RDF_TYPE), iri("Book")),
+                (v("x"), iri("author"), v("y")),
+            ],
+        );
+        let b = QuerySpec::new(
+            ["s"],
+            [
+                (v("s"), iri(vocab::RDF_TYPE), iri("Book")),
+                (v("s"), iri("author"), v("t")),
+            ],
+        );
+        assert_eq!(prune_shape_key(&a), prune_shape_key(&b));
+        // But a genuinely different join shape (no shared subject) keys
+        // differently.
+        let c = QuerySpec::new(
+            Vec::<String>::new(),
+            [
+                (v("u"), iri(vocab::RDF_TYPE), iri("Book")),
+                (v("w"), iri("author"), v("t")),
+            ],
+        );
+        assert_ne!(prune_shape_key(&a), prune_shape_key(&c));
+    }
+
+    #[test]
+    fn cross_position_variables_are_never_pruned() {
+        let (_, h) = graph_and_summary();
+        // `?e` spans property and subject position: a G-binding like
+        // `author` (predicate *and* data node) is renamed in the node
+        // role only, so the summary ASK coming up empty proves nothing.
+        // `note` is absent from the summary, so the pre-guard code would
+        // have pruned both of these.
+        let property_node = QuerySpec::new(
+            Vec::<String>::new(),
+            [(v("x"), v("e"), v("y")), (v("e"), iri("note"), v("z"))],
+        );
+        assert!(!empty_on_summary(&h, &property_node));
+        // `?c` spans τ-object (kept) and subject (node) position: a class
+        // IRI that is also the subject of a data triple is renamed there.
+        let tau_node = QuerySpec::new(
+            Vec::<String>::new(),
+            [
+                (v("x"), iri(vocab::RDF_TYPE), v("c")),
+                (v("c"), iri("note"), v("z")),
+            ],
+        );
+        assert!(!empty_on_summary(&h, &tau_node));
+        // Kept-only reuse is fine: a variable in two property slots stays
+        // verbatim in both, so pruning may still fire.
+        let kept_only = QuerySpec::new(
+            Vec::<String>::new(),
+            [(v("x"), v("p"), v("y")), (v("a"), v("p"), iri("missing"))],
+        );
+        assert!(!has_cross_position_variable(&kept_only));
     }
 
     #[test]

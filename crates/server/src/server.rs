@@ -1,16 +1,32 @@
-//! The TCP server: accept loop, worker pool, and request dispatch.
+//! The TCP server: listener setup, request dispatch, and the two serving
+//! engines.
 //!
-//! One acceptor thread hands connections to a fixed pool of `workers`
+//! [`spawn`] starts the **event engine** (see [`crate::event`]): a single
+//! readiness loop over `poll(2)` multiplexes every connection.
+//! Microsecond-scale verbs (`PING`, `STATS`, `QUERY`, `EVICT`, `QUIT`)
+//! dispatch inline on the event thread; the seconds-scale ones (`LOAD`,
+//! cold `SUMMARIZE`) run on a bounded executor of `workers` threads so a
+//! cold build never stalls keep-alive traffic. `workers` therefore caps
+//! concurrent *heavy* request execution — connections are not limited by
+//! it; thousands of idle keep-alive clients cost one fd and a small
+//! state struct each.
+//!
+//! [`spawn_threaded`] keeps the original thread-per-connection engine:
+//! one acceptor thread hands connections to a fixed pool of `workers`
 //! threads over an mpsc channel; each worker owns one connection at a
 //! time and serves its requests sequentially until `QUIT`, EOF, or a
-//! fatal framing error. The [`rdfsum_core::SummaryService`] behind the
-//! dispatch is fully thread-safe, so concurrent connections share the
-//! warm stores and the single-flight summary cache directly.
+//! fatal framing error. There, `workers` *is* the cap on concurrently
+//! served connections.
 //!
-//! [`ServerHandle::shutdown`] flips a flag and pokes the listener with a
-//! loopback connection so the acceptor wakes, joins it, force-closes all
-//! registered in-flight connections (so workers never block forever on a
-//! client that keeps its socket open), and joins the workers.
+//! Both engines run the same [`dispatch`] over the same framing rules, so
+//! responses are byte-identical. The [`rdfsum_core::SummaryService`]
+//! behind the dispatch is fully thread-safe, so concurrent connections
+//! share the warm stores and the single-flight summary cache directly.
+//!
+//! [`ServerHandle::shutdown`] flips a flag and wakes the engine; in-flight
+//! responses finish (the threaded engine lets the current response
+//! complete, the event engine flushes under a grace period), then
+//! remaining connections force-close and every thread is joined.
 
 use crate::protocol::{is_fatal, parse_request, ProtocolError, Request};
 use rdfsum_core::{ServiceError, SummaryService};
@@ -117,7 +133,11 @@ fn write_ok_body(w: &mut impl Write, fields: &str, body: &[u8]) -> io::Result<()
 }
 
 /// Writes an `ERR` status line.
-fn write_err(w: &mut impl Write, category: &str, msg: &dyn std::fmt::Display) -> io::Result<()> {
+pub(crate) fn write_err(
+    w: &mut impl Write,
+    category: &str,
+    msg: &dyn std::fmt::Display,
+) -> io::Result<()> {
     writeln!(w, "ERR {category}: {msg}")?;
     w.flush()
 }
@@ -136,7 +156,11 @@ pub fn load_graph_file(path: &str) -> Result<rdf_model::Graph, String> {
 }
 
 /// Serves one request; `Ok(false)` means the connection should close.
-fn dispatch(service: &SummaryService, req: Request, w: &mut impl Write) -> io::Result<bool> {
+pub(crate) fn dispatch(
+    service: &SummaryService,
+    req: Request,
+    w: &mut impl Write,
+) -> io::Result<bool> {
     match req {
         Request::Ping => write_ok(w, "pong")?,
         Request::Quit => {
@@ -208,8 +232,17 @@ fn dispatch(service: &SummaryService, req: Request, w: &mut impl Write) -> io::R
                 body.push_str(&format!("{fp} {triples} {name}\n"));
             }
             let fields = format!(
-                "stats graphs={} cached={} hits={} misses={} builds={}",
-                st.graphs, st.cached_summaries, st.hits, st.misses, st.builds
+                "stats graphs={} cached={} hits={} misses={} builds={} queries={} pruned={} prune_hits={} evictions={} cache_bytes={}",
+                st.graphs,
+                st.cached_summaries,
+                st.hits,
+                st.misses,
+                st.builds,
+                st.queries,
+                st.pruned,
+                st.prune_hits,
+                st.evictions,
+                st.cache_bytes
             );
             write_ok_body(w, &fields, body.as_bytes())?;
         }
@@ -286,13 +319,23 @@ fn handle_connection(service: &SummaryService, stream: TcpStream) -> io::Result<
     }
 }
 
+/// Which serving machinery a [`ServerHandle`] owns.
+enum Engine {
+    /// Thread-per-connection: acceptor + worker pool + live-socket table.
+    Threaded {
+        connections: ConnectionTable,
+        acceptor: Option<JoinHandle<()>>,
+        workers: Vec<JoinHandle<()>>,
+    },
+    /// Event-driven: the poll loop thread plus its waker.
+    Event(crate::event::EventEngine),
+}
+
 /// A running server: its bound address plus the shutdown machinery.
 pub struct ServerHandle {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
-    connections: ConnectionTable,
-    acceptor: Option<JoinHandle<()>>,
-    workers: Vec<JoinHandle<()>>,
+    engine: Engine,
 }
 
 impl ServerHandle {
@@ -301,40 +344,86 @@ impl ServerHandle {
         self.addr
     }
 
-    /// Stops accepting, force-closes in-flight connections, and joins
-    /// every thread. In-flight requests finish their current response at
-    /// most; idle keep-alive connections are dropped immediately.
-    pub fn shutdown(mut self) {
+    /// Stops accepting, lets in-flight responses finish, force-closes the
+    /// remaining connections, and joins every thread. Idle keep-alive
+    /// connections are dropped immediately.
+    pub fn shutdown(self) {
         self.stop.store(true, Ordering::SeqCst);
-        // Wake the blocking accept with a throwaway connection. A bind to
-        // an unspecified address (0.0.0.0 / ::) is not connectable on
-        // every platform, so poke loopback on the bound port instead, and
-        // bound the attempt so a filtered connect cannot stall shutdown.
-        let mut poke = self.addr;
-        if poke.ip().is_unspecified() {
-            poke.set_ip(match poke.ip() {
-                std::net::IpAddr::V4(_) => std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST),
-                std::net::IpAddr::V6(_) => std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST),
-            });
-        }
-        let _ = TcpStream::connect_timeout(&poke, std::time::Duration::from_secs(2));
-        if let Some(acceptor) = self.acceptor.take() {
-            let _ = acceptor.join();
-        }
-        // Unblock workers parked in a read on a still-open client socket.
-        for (_, conn) in self.connections.lock().unwrap().drain() {
-            let _ = conn.shutdown(std::net::Shutdown::Both);
-        }
-        for worker in self.workers.drain(..) {
-            let _ = worker.join();
+        match self.engine {
+            Engine::Threaded {
+                connections,
+                mut acceptor,
+                mut workers,
+            } => {
+                // Wake the blocking accept with a throwaway connection. A
+                // bind to an unspecified address (0.0.0.0 / ::) is not
+                // connectable on every platform, so poke loopback on the
+                // bound port instead, and bound the attempt so a filtered
+                // connect cannot stall shutdown.
+                let mut poke = self.addr;
+                if poke.ip().is_unspecified() {
+                    poke.set_ip(match poke.ip() {
+                        std::net::IpAddr::V4(_) => {
+                            std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST)
+                        }
+                        std::net::IpAddr::V6(_) => {
+                            std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST)
+                        }
+                    });
+                }
+                let _ = TcpStream::connect_timeout(&poke, std::time::Duration::from_secs(2));
+                if let Some(acceptor) = acceptor.take() {
+                    let _ = acceptor.join();
+                }
+                // Unblock workers parked in a read on a still-open client
+                // socket.
+                for (_, conn) in connections.lock().unwrap().drain() {
+                    let _ = conn.shutdown(std::net::Shutdown::Both);
+                }
+                for worker in workers.drain(..) {
+                    let _ = worker.join();
+                }
+            }
+            Engine::Event(mut engine) => {
+                // The loop observes `stop` on its next wakeup; the wake
+                // byte makes that wakeup immediate even with every client
+                // idle.
+                engine.waker.wake();
+                if let Some(thread) = engine.thread.take() {
+                    let _ = thread.join();
+                }
+            }
         }
     }
 }
 
-/// Binds `addr` and spawns the acceptor plus `workers` connection-serving
-/// threads over the shared service. `workers` is the maximum number of
-/// concurrently served connections; further ones queue.
+/// Binds `addr` and starts the event-driven engine: one readiness loop
+/// multiplexing every connection, and `workers` executor threads running
+/// request dispatch. `workers` bounds concurrent request *execution*, not
+/// the number of connections — idle keep-alive clients are effectively
+/// unlimited.
 pub fn spawn(
+    addr: impl ToSocketAddrs,
+    service: Arc<SummaryService>,
+    workers: usize,
+) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let engine = crate::event::start(listener, service, workers, Arc::clone(&stop))?;
+    Ok(ServerHandle {
+        addr: local,
+        stop,
+        engine: Engine::Event(engine),
+    })
+}
+
+/// Binds `addr` and spawns the original thread-per-connection engine: an
+/// acceptor plus `workers` connection-serving threads over the shared
+/// service. Here `workers` is the maximum number of concurrently served
+/// connections; further ones queue. Kept as the baseline the event engine
+/// is benchmarked against (`--engine threaded`).
+pub fn spawn_threaded(
     addr: impl ToSocketAddrs,
     service: Arc<SummaryService>,
     workers: usize,
@@ -400,9 +489,11 @@ pub fn spawn(
     Ok(ServerHandle {
         addr: local,
         stop,
-        connections,
-        acceptor: Some(acceptor),
-        workers: worker_handles,
+        engine: Engine::Threaded {
+            connections,
+            acceptor: Some(acceptor),
+            workers: worker_handles,
+        },
     })
 }
 

@@ -1,0 +1,228 @@
+//! Offline stand-in for an I/O readiness crate: a minimal `poll(2)`
+//! wrapper.
+//!
+//! The workspace builds in a hermetic environment with no access to
+//! crates.io, so the readiness primitive the event-driven server in
+//! `rdfsum-server` needs — *block until one of these sockets is readable
+//! or writable* — is provided here as a tiny FFI wrapper over the POSIX
+//! `poll(2)` syscall (the symbol every unix libc exports and `std`
+//! already links). This is the only `unsafe` code in the workspace; it is
+//! confined to the single syscall and the `#[repr(C)]` descriptor layout
+//! `poll(2)` dictates.
+//!
+//! `poll` (not `epoll`/`kqueue`) keeps the shim portable across unix
+//! targets and dependency-free: the cost is an O(fds) kernel scan per
+//! wait, which is fine for the few thousand connections the server
+//! targets — the win over thread-per-connection is not the scan, it is
+//! holding thousands of idle keep-alive sockets without a thread (or a
+//! blocked read) each.
+//!
+//! Semantics match `poll(2)`: level-triggered readiness, `revents` also
+//! reports `POLLERR`/`POLLHUP`/`POLLNVAL` regardless of what was asked.
+
+#![warn(missing_docs)]
+// The whole point of this shim is the one FFI call below.
+#![deny(unsafe_op_in_unsafe_fn)]
+
+use std::io;
+
+#[cfg(unix)]
+use std::os::fd::RawFd;
+#[cfg(not(unix))]
+/// Fallback alias so the crate still type-checks off-unix (the wait
+/// itself is unsupported there).
+pub type RawFd = i32;
+
+/// The descriptor is readable (`poll(2)` `POLLIN`).
+pub const POLLIN: i16 = 0x001;
+/// The descriptor is writable (`poll(2)` `POLLOUT`).
+pub const POLLOUT: i16 = 0x004;
+/// Error condition (reported in `revents` even when not requested).
+pub const POLLERR: i16 = 0x008;
+/// Peer hung up (reported in `revents` even when not requested).
+pub const POLLHUP: i16 = 0x010;
+/// The descriptor is not open (reported in `revents` only).
+pub const POLLNVAL: i16 = 0x020;
+
+/// One `poll(2)` descriptor entry: the fd, the requested interest set,
+/// and the kernel-filled readiness set. Layout is the C `struct pollfd`.
+#[repr(C)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PollFd {
+    /// The file descriptor to watch (a negative fd is ignored by the
+    /// kernel — the standard way to keep slots without interest).
+    pub fd: RawFd,
+    /// Requested events ([`POLLIN`] | [`POLLOUT`]).
+    pub events: i16,
+    /// Kernel-reported events; valid after [`poll`] returns.
+    pub revents: i16,
+}
+
+impl PollFd {
+    /// A descriptor entry asking for `events`.
+    pub fn new(fd: RawFd, events: i16) -> PollFd {
+        PollFd {
+            fd,
+            events,
+            revents: 0,
+        }
+    }
+
+    /// Did the kernel report the fd readable — or in a state (`POLLHUP`,
+    /// `POLLERR`, `POLLNVAL`) a reader must observe via `read()` anyway?
+    pub fn readable(&self) -> bool {
+        self.revents & (POLLIN | POLLHUP | POLLERR | POLLNVAL) != 0
+    }
+
+    /// Did the kernel report the fd writable — or in an error state a
+    /// writer must observe via `write()` anyway?
+    pub fn writable(&self) -> bool {
+        self.revents & (POLLOUT | POLLHUP | POLLERR | POLLNVAL) != 0
+    }
+}
+
+#[cfg(unix)]
+mod sys {
+    use super::PollFd;
+
+    #[cfg(target_os = "linux")]
+    type Nfds = std::ffi::c_ulong;
+    #[cfg(not(target_os = "linux"))]
+    type Nfds = std::ffi::c_uint;
+
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: Nfds, timeout: std::ffi::c_int) -> std::ffi::c_int;
+    }
+
+    pub(super) fn poll_impl(fds: &mut [PollFd], timeout_ms: i32) -> std::io::Result<usize> {
+        loop {
+            // SAFETY: `PollFd` is `#[repr(C)]` with the exact layout of
+            // the C `struct pollfd`, the pointer/length pair comes from a
+            // live mutable slice, and `poll` writes only within it.
+            let rc = unsafe { poll(fds.as_mut_ptr(), fds.len() as Nfds, timeout_ms) };
+            if rc >= 0 {
+                return Ok(rc as usize);
+            }
+            let err = std::io::Error::last_os_error();
+            if err.kind() != std::io::ErrorKind::Interrupted {
+                return Err(err);
+            }
+            // EINTR: retry the wait (the caller's deadline, if any, is
+            // coarse — event loops re-derive timeouts per iteration).
+        }
+    }
+}
+
+/// Blocks until at least one entry has pending events, the timeout
+/// elapses, or a signal interrupts (retried internally). Returns the
+/// number of entries with non-zero `revents`.
+///
+/// `timeout_ms` < 0 blocks indefinitely; `0` polls without blocking.
+///
+/// An empty `fds` slice with a non-negative timeout is a plain sleep.
+pub fn poll(fds: &mut [PollFd], timeout_ms: i32) -> io::Result<usize> {
+    #[cfg(unix)]
+    {
+        sys::poll_impl(fds, timeout_ms)
+    }
+    #[cfg(not(unix))]
+    {
+        let _ = (fds, timeout_ms);
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "poll(2) readiness is only available on unix targets",
+        ))
+    }
+}
+
+#[cfg(all(test, unix))]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+    use std::os::fd::AsRawFd;
+
+    /// A connected loopback socket pair, std-only.
+    fn tcp_pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let a = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (b, _) = listener.accept().unwrap();
+        (a, b)
+    }
+
+    #[test]
+    fn fresh_socket_is_writable_not_readable() {
+        let (a, _b) = tcp_pair();
+        let mut fds = [PollFd::new(a.as_raw_fd(), POLLIN | POLLOUT)];
+        let n = poll(&mut fds, 1000).unwrap();
+        assert_eq!(n, 1);
+        assert!(fds[0].writable());
+        assert_eq!(fds[0].revents & POLLIN, 0, "nothing to read yet");
+    }
+
+    #[test]
+    fn data_arrival_reports_readable() {
+        let (a, mut b) = tcp_pair();
+        b.write_all(b"x").unwrap();
+        let mut fds = [PollFd::new(a.as_raw_fd(), POLLIN)];
+        let n = poll(&mut fds, 1000).unwrap();
+        assert_eq!(n, 1);
+        assert!(fds[0].readable());
+        let mut buf = [0u8; 1];
+        (&a).read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"x");
+    }
+
+    #[test]
+    fn peer_close_reports_readable_eof() {
+        let (a, b) = tcp_pair();
+        drop(b);
+        let mut fds = [PollFd::new(a.as_raw_fd(), POLLIN)];
+        let n = poll(&mut fds, 1000).unwrap();
+        assert_eq!(n, 1);
+        assert!(fds[0].readable(), "EOF must wake a reader");
+    }
+
+    #[test]
+    fn zero_timeout_with_no_events_returns_zero() {
+        let (a, _b) = tcp_pair();
+        let mut fds = [PollFd::new(a.as_raw_fd(), POLLIN)];
+        assert_eq!(poll(&mut fds, 0).unwrap(), 0);
+        assert_eq!(fds[0].revents, 0);
+    }
+
+    #[test]
+    fn negative_fd_slots_are_ignored() {
+        let (a, mut b) = tcp_pair();
+        b.write_all(b"y").unwrap();
+        let mut fds = [PollFd::new(-1, POLLIN), PollFd::new(a.as_raw_fd(), POLLIN)];
+        let n = poll(&mut fds, 1000).unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(fds[0].revents, 0, "negative fds never report events");
+        assert!(fds[1].readable());
+    }
+
+    #[test]
+    fn many_sockets_report_exactly_the_ready_ones() {
+        let pairs: Vec<_> = (0..64).map(|_| tcp_pair()).collect();
+        for (i, (_, b)) in pairs.iter().enumerate() {
+            if i % 3 == 0 {
+                let mut w = b;
+                w.write_all(b"z").unwrap();
+            }
+        }
+        let mut fds: Vec<PollFd> = pairs
+            .iter()
+            .map(|(a, _)| PollFd::new(a.as_raw_fd(), POLLIN))
+            .collect();
+        let n = poll(&mut fds, 1000).unwrap();
+        let ready: Vec<usize> = fds
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| f.readable())
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(n, ready.len());
+        assert_eq!(ready, (0..64).filter(|i| i % 3 == 0).collect::<Vec<_>>());
+    }
+}

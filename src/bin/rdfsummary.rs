@@ -9,6 +9,7 @@
 //! rdfsummary generate   bsbm|lubm --scale N [--out FILE]
 //! rdfsummary snapshot   <graph.nt> --out FILE.snap
 //! rdfsummary serve      [--addr HOST:PORT] [--threads N] [--workers N]
+//!                       [--cache-bytes N] [--engine event|threaded]
 //! rdfsummary client     ADDR REQUEST…
 //! ```
 //!
@@ -46,9 +47,14 @@ USAGE:
   rdfsummary generate   bsbm|lubm --scale N [--out FILE] synthesize a dataset
   rdfsummary snapshot   <graph> --out FILE.snap         binary snapshot
   rdfsummary serve      [--addr HOST:PORT] [--threads N] [--workers N]
+                         [--cache-bytes N] [--engine event|threaded]
                          long-running warm-store summary server (default
                          addr 127.0.0.1:7878; caches summaries by graph
-                         content fingerprint; see `src/lib.rs` Serving)
+                         content fingerprint, LRU-bounded by --cache-bytes;
+                         the default event engine multiplexes all clients
+                         on one poll loop, answers cheap verbs inline, and
+                         --workers sizes the executor for LOAD/cold
+                         SUMMARIZE; see `src/lib.rs` Serving)
   rdfsummary client     ADDR REQUEST…                   send one protocol
                          request (PING | LOAD <path> | SUMMARIZE <kind>
                          <graph> | QUERY <graph> <query> | STATS |
@@ -373,8 +379,14 @@ fn cmd_generate(rest: &[String]) -> Result<(), String> {
 
 /// `serve`: the long-running warm-store summary server. `--threads`
 /// bounds build/bulk-load parallelism (same meaning as for `summarize`);
-/// `--workers` sizes the connection pool (default `max(threads, 4)`).
-/// Runs until the process is killed.
+/// `--workers` sizes the executor for the seconds-scale verbs (`LOAD`,
+/// cold `SUMMARIZE`) — cheap verbs answer inline on the event thread — and
+/// never caps how many clients may stay connected (default
+/// `max(threads, 4)`).
+/// `--engine threaded` falls back to the thread-per-connection pool, where
+/// `--workers` *is* the connection cap. `--cache-bytes N` puts an LRU byte
+/// budget on the summary cache (default: unbounded). Runs until the
+/// process is killed.
 fn cmd_serve(rest: &[String]) -> Result<(), String> {
     let addr = flag_value(rest, "--addr").unwrap_or_else(|| "127.0.0.1:7878".into());
     let threads = thread_count(rest)?;
@@ -385,13 +397,34 @@ fn cmd_serve(rest: &[String]) -> Result<(), String> {
         },
         None => threads.max(4),
     };
-    let service = std::sync::Arc::new(rdfsum_core::SummaryService::new(threads));
-    let handle = rdfsummary::rdfsum_server::spawn(addr.as_str(), service, workers)
-        .map_err(|e| format!("binding {addr}: {e}"))?;
+    let cache_bytes = match flag_value(rest, "--cache-bytes") {
+        Some(v) => match v.parse::<usize>() {
+            Ok(n) => Some(n),
+            Err(_) => {
+                return Err(format!("bad --cache-bytes value `{v}` (want a byte count)"));
+            }
+        },
+        None => None,
+    };
+    let engine = flag_value(rest, "--engine").unwrap_or_else(|| "event".into());
+    let service = std::sync::Arc::new(rdfsum_core::SummaryService::with_cache_bytes(
+        threads,
+        cache_bytes,
+    ));
+    let handle = match engine.as_str() {
+        "event" => rdfsummary::rdfsum_server::spawn(addr.as_str(), service, workers),
+        "threaded" => rdfsummary::rdfsum_server::spawn_threaded(addr.as_str(), service, workers),
+        other => {
+            return Err(format!(
+                "bad --engine value `{other}` (want event|threaded)"
+            ))
+        }
+    }
+    .map_err(|e| format!("binding {addr}: {e}"))?;
     // The resolved address line is the machine-readable startup handshake
     // (tests bind port 0 and read the real port from here).
     println!(
-        "listening on {} ({workers} workers, {threads} build thread(s))",
+        "listening on {} ({workers} workers, {threads} build thread(s), {engine} engine)",
         handle.addr()
     );
     use std::io::Write as _;

@@ -100,9 +100,24 @@
 //! of the same build path. The cache is keyed by content, so re-loading
 //! an identical file (or the same data under another path) stays warm,
 //! and concurrent requests for a missing entry build it exactly once
-//! (single-flight). `--threads N` bounds the build/bulk-load parallelism
-//! exactly as it does for `summarize`; the connection worker pool is
-//! sized by `--workers N` (default: max(threads, 4)).
+//! (single-flight). `--cache-bytes N` puts an LRU byte budget on that
+//! cache; evictions, hits and misses show up in `STATS`.
+//!
+//! The server is **event-driven**: one thread multiplexes every
+//! connection over a `poll(2)` readiness loop (the workspace `polling`
+//! shim) with buffered partial-line reads and resumable partial writes,
+//! so thousands of idle keep-alive clients cost one fd and a small state
+//! struct each — no thread per connection, no busy-spin. Microsecond
+//! verbs (`PING`, `STATS`, `QUERY`, `EVICT`, `QUIT`) are answered inline
+//! on the event thread; the seconds-scale ones (`LOAD`, cold
+//! `SUMMARIZE`) are handed to a bounded executor so a cold build never
+//! stalls keep-alive traffic. That makes `--workers N` (default:
+//! max(threads, 4)) the width of the *executor* — how many heavy
+//! requests may run at once — **not** a cap on connections. `--threads
+//! N` still bounds build/bulk-load parallelism exactly as it does for
+//! `summarize`, and `--engine threaded` swaps in the old
+//! thread-per-connection pool (where `--workers` *is* the connection
+//! cap) as a comparison baseline for `load_driver --ramp`.
 //!
 //! `QUERY` is the paper's intended payoff turned into a serving verb: it
 //! evaluates a BGP (paper notation, embedded whitespace welcome) against
