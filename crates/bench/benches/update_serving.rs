@@ -1,0 +1,162 @@
+//! `update_serving` group: what incremental maintenance buys a live
+//! UPDATE workload.
+//!
+//! Two comparisons on BSBM-30k, both measured in the steady serving
+//! regime (warm store, warm summary cache):
+//!
+//! * **post_batch_fingerprint** — apply a small insert batch, obtain the
+//!   new fingerprint, undo the batch. The `incremental` row reads the
+//!   store's lane-sum state, maintained in O(batch) by
+//!   `insert_batch`/`delete_batch`; the `full_rescan` row pays the
+//!   pre-PR cost of refolding every triple. The acceptance bar (checked
+//!   here outright, not just reported) is the fingerprint *read* being
+//!   ≥10× cheaper than the rescan.
+//! * **update_then_summarize** — a single-triple UPDATE followed by a
+//!   weak SUMMARIZE. The `patched` row is the service path: the cached
+//!   artifact is patched across the fingerprint transition (the builds
+//!   counter is pinned to prove no rebuild happens); the `cold_rebuild`
+//!   row is what serving would pay without patching — a full weak
+//!   summarization plus serialization of the updated graph per request.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rdf_model::Term;
+use rdf_store::{graph_fingerprint, TripleStore};
+use rdfsum_core::{summarize, SummaryKind, SummaryService};
+use rdfsum_workloads::BsbmConfig;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+const LABEL: &str = "bsbm_30k";
+const BATCH: usize = 8;
+
+/// A batch of `n` triples disjoint from BSBM vocabulary, offset by `base`.
+fn batch(base: usize, n: usize) -> Vec<(Term, Term, Term)> {
+    (0..n)
+        .map(|i| {
+            (
+                Term::iri(format!("http://upd/s{}", base + i)),
+                Term::iri("http://upd/p"),
+                Term::iri(format!("http://upd/o{}", base + i)),
+            )
+        })
+        .collect()
+}
+
+/// The ≥10× acceptance check, measured directly (mean of `reps` reads):
+/// after a batch lands, reading the maintained fingerprint must beat a
+/// full rescan by at least an order of magnitude at this scale.
+fn assert_fingerprint_speedup(st: &TripleStore) {
+    let reps = 20;
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        black_box(st.fingerprint());
+    }
+    let incremental = t0.elapsed();
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        black_box(graph_fingerprint(st.graph()));
+    }
+    let rescan = t0.elapsed();
+    assert_eq!(st.fingerprint(), graph_fingerprint(st.graph()));
+    let ratio = rescan.as_secs_f64() / incremental.as_secs_f64().max(1e-12);
+    assert!(
+        ratio >= 10.0,
+        "post-batch fingerprint read must be >=10x faster than a full \
+         rescan at {LABEL}: got {ratio:.1}x ({incremental:?} vs {rescan:?})"
+    );
+    println!("update_serving: fingerprint read {ratio:.0}x faster than full rescan at {LABEL}");
+}
+
+fn bench_update_serving(c: &mut Criterion) {
+    let g = rdfsum_workloads::generate_bsbm(&BsbmConfig::with_products(300));
+    let mut group = c.benchmark_group("update_serving");
+
+    // --- post-batch fingerprint: incremental vs full rescan ---
+    let mut st = TripleStore::new(g.clone());
+    let delta = batch(0, BATCH);
+    let out = st.insert_batch(&delta).expect("insert batch");
+    assert_eq!(out.applied.len(), BATCH);
+    assert_fingerprint_speedup(&st);
+    st.delete_batch(&delta);
+
+    group.bench_with_input(
+        BenchmarkId::new("post_batch_fingerprint/incremental", LABEL),
+        &delta,
+        |b, delta| {
+            b.iter(|| {
+                let fp = st.insert_batch(delta).unwrap().fingerprint;
+                st.delete_batch(delta);
+                black_box(fp)
+            })
+        },
+    );
+    let mut st2 = TripleStore::new(g.clone());
+    group.bench_with_input(
+        BenchmarkId::new("post_batch_fingerprint/full_rescan", LABEL),
+        &delta,
+        |b, delta| {
+            b.iter(|| {
+                st2.insert_batch(delta).unwrap();
+                let fp = graph_fingerprint(st2.graph());
+                st2.delete_batch(delta);
+                black_box(fp)
+            })
+        },
+    );
+
+    // --- single-triple UPDATE + weak SUMMARIZE: patched vs cold rebuild ---
+    let service = SummaryService::new(1);
+    service.load_graph("g", g.clone());
+    service.summarize("g", SummaryKind::Weak).expect("warm");
+    // Prove the regime before timing it: every transition patches, the
+    // build counter never moves past the initial warm build.
+    for i in 0..5 {
+        let out = service
+            .update("g", true, &batch(100_000 + i, 1))
+            .expect("update");
+        assert_eq!((out.patched, out.rebuilt), (1, 0), "patch must apply");
+        let (_, hit) = service.summarize("g", SummaryKind::Weak).expect("warm hit");
+        assert!(hit, "patched artifact must serve as a cache hit");
+    }
+    assert_eq!(service.builds(), 1, "patched serving must never rebuild");
+
+    let mut i = 0usize;
+    group.bench_with_input(
+        BenchmarkId::new("update_then_summarize/patched", LABEL),
+        &(),
+        |b, ()| {
+            b.iter(|| {
+                i += 1;
+                service.update("g", true, &batch(200_000 + i, 1)).unwrap();
+                black_box(service.summarize("g", SummaryKind::Weak).unwrap().0)
+            })
+        },
+    );
+
+    let mut cold = g.clone();
+    let mut j = 0usize;
+    group.bench_with_input(
+        BenchmarkId::new("update_then_summarize/cold_rebuild", LABEL),
+        &(),
+        |b, ()| {
+            b.iter(|| {
+                j += 1;
+                let (s, p, o) = batch(300_000 + j, 1).pop().unwrap();
+                cold.insert(s, p, o).unwrap();
+                let summary = summarize(&cold, SummaryKind::Weak);
+                black_box(rdf_io::write_graph(&summary.graph))
+            })
+        },
+    );
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    targets = bench_update_serving
+}
+criterion_main!(benches);

@@ -8,12 +8,23 @@
 //! ```text
 //! cargo run --release -p rdfsum-bench --bin load_driver -- \
 //!     [--clients N] [--requests N] [--products N] [--workers N]
+//!     [--update-mix]
 //! cargo run --release -p rdfsum-bench --bin load_driver -- --ramp \
 //!     [--levels 16,64,256,1024] [--cell-ms N] [--products N] [--workers N]
 //! ```
 //!
 //! The default mode is the fixed-size smoke run: `--clients` persistent
 //! connections each issue `--requests` requests against the event engine.
+//!
+//! `--update-mix` turns the fixed run into a live-update chaos mix:
+//! every client interleaves `UPDATE` (inserting then deleting its own
+//! triples, so fingerprints keep moving) with `QUERY`, `SUMMARIZE` and
+//! `STATS`. Besides liveness (every response `OK`), the run asserts the
+//! delta-serving accounting invariant `builds == patch_fallbacks +
+//! misses` — every build is either a plain cache miss or an update
+//! transition that could not be patched; patched transitions never
+//! build. With `BENCH_JSON` set it appends one `update_mix` measurement
+//! (mean wall time per completed request).
 //!
 //! `--ramp` is the concurrency-ramp comparison: for each level C it runs
 //! one timed cell of C persistent keep-alive clients against **both**
@@ -83,16 +94,19 @@ struct Tally {
     pruned_answers: usize,
     summarizes: usize,
     stats: usize,
+    updates: usize,
+    patched: usize,
     errors: usize,
     rows: usize,
     query_ns: u128,
     summarize_ns: u128,
     stats_ns: u128,
+    update_ns: u128,
 }
 
 impl Tally {
     fn requests(&self) -> usize {
-        self.queries + self.summarizes + self.stats
+        self.queries + self.summarizes + self.stats + self.updates
     }
 
     fn absorb(&mut self, t: &Tally) {
@@ -100,11 +114,14 @@ impl Tally {
         self.pruned_answers += t.pruned_answers;
         self.summarizes += t.summarizes;
         self.stats += t.stats;
+        self.updates += t.updates;
+        self.patched += t.patched;
         self.errors += t.errors;
         self.rows += t.rows;
         self.query_ns += t.query_ns;
         self.summarize_ns += t.summarize_ns;
         self.stats_ns += t.stats_ns;
+        self.update_ns += t.update_ns;
     }
 }
 
@@ -143,6 +160,34 @@ impl Workload {
 
     fn path(&self) -> PathBuf {
         PathBuf::from(&self.name)
+    }
+
+    /// Issues request `i` of client `cid`'s **update mix**: the standard
+    /// warm mix with two extra slots per 7-cycle — an `UPDATE +` inserting
+    /// a client-private triple and an `UPDATE -` deleting the previous
+    /// one, so the graph fingerprint keeps moving under the other verbs.
+    fn issue_update_mix(&self, client: &mut Client, cid: usize, i: usize, t: &mut Tally) {
+        let slot = (i + cid) % 7;
+        if slot != 2 && slot != 3 {
+            return self.issue(client, cid, i, t);
+        }
+        let t0 = Instant::now();
+        t.updates += 1;
+        // Slot 2 inserts round r's triple; slot 3 deletes it one step
+        // later (same (i + cid) cycle, so the pair always matches up).
+        let insert = slot == 2;
+        let round = (i + cid) / 7;
+        let payload = format!("<http://upd/c{cid}> <http://upd/p> <http://upd/r{round}> .");
+        let resp = client.update(&self.name, insert, &payload);
+        t.update_ns += t0.elapsed().as_nanos();
+        match resp {
+            Ok(r) if r.is_ok() => {
+                if r.field("patched").is_some_and(|p| p != "0") {
+                    t.patched += 1;
+                }
+            }
+            _ => t.errors += 1,
+        }
     }
 
     /// Issues request `i` of client `cid`'s mix and tallies the outcome.
@@ -222,13 +267,13 @@ fn start_server(
 }
 
 /// Appends one measurement in the criterion-shim `BENCH_JSON` format.
-fn emit_bench_json(bench: &str, mean_ns: f64, iters: usize) {
+fn emit_bench_json(group: &str, bench: &str, mean_ns: f64, iters: usize) {
     use std::io::Write as _;
     let Ok(path) = std::env::var("BENCH_JSON") else {
         return;
     };
     let json = format!(
-        "{{\"group\":\"serve_ramp\",\"bench\":\"{bench}\",\"mean_ns\":{mean_ns:.1},\"iters\":{iters}}}\n"
+        "{{\"group\":\"{group}\",\"bench\":\"{bench}\",\"mean_ns\":{mean_ns:.1},\"iters\":{iters}}}\n"
     );
     if let Ok(mut f) = std::fs::OpenOptions::new()
         .create(true)
@@ -372,6 +417,7 @@ fn run_ramp(args: &[String]) {
             );
             if requests > 0 {
                 emit_bench_json(
+                    "serve_ramp",
                     &format!("{engine}/c{c}"),
                     elapsed.as_nanos() as f64 / requests as f64,
                     requests,
@@ -412,7 +458,10 @@ fn run_ramp(args: &[String]) {
 }
 
 /// The original fixed-size smoke run against the (default) event engine.
-fn run_fixed(args: &[String]) {
+/// With `update_mix` the clients interleave `UPDATE` into the warm mix and
+/// the run checks the delta-serving accounting instead of the steady-state
+/// single-build invariant (which live updates intentionally violate).
+fn run_fixed(args: &[String], update_mix: bool) {
     let clients = arg(args, "--clients", 8);
     let requests = arg(args, "--requests", 250);
     let products = arg(args, "--products", 300);
@@ -423,7 +472,8 @@ fn run_fixed(args: &[String]) {
     let addr = handle.addr();
 
     println!(
-        "load_driver: {clients} clients × {requests} requests, bsbm {} triples, {workers} workers @ {addr}",
+        "load_driver{}: {clients} clients × {requests} requests, bsbm {} triples, {workers} workers @ {addr}",
+        if update_mix { " (update mix)" } else { "" },
         workload.triples
     );
     let started = Instant::now();
@@ -437,7 +487,11 @@ fn run_fixed(args: &[String]) {
                     return t;
                 };
                 for i in 0..requests {
-                    workload.issue(&mut client, cid, i, &mut t);
+                    if update_mix {
+                        workload.issue_update_mix(&mut client, cid, i, &mut t);
+                    } else {
+                        workload.issue(&mut client, cid, i, &mut t);
+                    }
                 }
                 t
             })
@@ -458,19 +512,53 @@ fn run_fixed(args: &[String]) {
         n as f64 / elapsed
     );
     println!(
-        "  mix: {} QUERY ({} pruned), {} SUMMARIZE, {} STATS",
-        total.queries, total.pruned_answers, total.summarizes, total.stats
+        "  mix: {} QUERY ({} pruned), {} SUMMARIZE, {} STATS, {} UPDATE ({} patched)",
+        total.queries,
+        total.pruned_answers,
+        total.summarizes,
+        total.stats,
+        total.updates,
+        total.patched
     );
     println!(
-        "  service: queries={} pruned={} prune_hits={} cache hits={} misses={} builds={}",
-        st.queries, st.pruned, st.prune_hits, st.hits, st.misses, st.builds
+        "  service: queries={} pruned={} prune_hits={} cache hits={} misses={} builds={} updates={} patches={} patch_fallbacks={}",
+        st.queries,
+        st.pruned,
+        st.prune_hits,
+        st.hits,
+        st.misses,
+        st.builds,
+        st.updates,
+        st.patches,
+        st.patch_fallbacks
     );
     let _ = std::fs::remove_file(workload.path());
     if total.errors > 0 {
         eprintln!("  {} request(s) failed", total.errors);
         std::process::exit(1);
     }
-    assert_eq!(st.builds, 1, "steady state must never rebuild the summary");
+    if update_mix {
+        // Live updates rebuild exactly when patching cannot apply; every
+        // build must be accounted for as a plain miss or a patch fallback.
+        assert!(total.updates > 0, "update mix must issue UPDATEs");
+        assert_eq!(
+            st.updates, total.updates as u64,
+            "every UPDATE must reach the service"
+        );
+        assert_eq!(
+            st.builds,
+            st.patch_fallbacks + st.misses,
+            "delta-serving accounting must balance: builds == patch_fallbacks + misses"
+        );
+        emit_bench_json(
+            "update_mix",
+            &format!("event/c{clients}"),
+            elapsed * 1e9 / n as f64,
+            n,
+        );
+    } else {
+        assert_eq!(st.builds, 1, "steady state must never rebuild the summary");
+    }
 }
 
 fn main() {
@@ -478,6 +566,6 @@ fn main() {
     if has_flag(&args, "--ramp") {
         run_ramp(&args);
     } else {
-        run_fixed(&args);
+        run_fixed(&args, has_flag(&args, "--update-mix"));
     }
 }

@@ -855,42 +855,113 @@ impl<'g> SummaryContext<'g> {
     }
 
     /// The interned class sets of the typed resources, computed on first
-    /// use and cached.
+    /// use and cached. The T_G accumulation sweep is chunked across
+    /// [`crate::parallel::substrate_threads`] workers above
+    /// [`crate::parallel::PARALLEL_CLASS_THRESHOLD`] type triples and runs
+    /// sequentially below it; the result is identical either way.
     pub fn class_sets(&self) -> &ClassSets {
         self.class_sets.get_or_init(|| {
-            let n_terms = self.g.dict().len();
-            let mut tmp_of_node = vec![NO_DENSE_ID; n_terms];
-            let mut tmp: Vec<Vec<TermId>> = Vec::new();
-            let mut order: Vec<TermId> = Vec::new();
-            for t in self.g.types() {
-                let slot = &mut tmp_of_node[t.s.index()];
+            self.class_sets_forced(crate::parallel::substrate_threads(
+                self.g.types().len(),
+                crate::parallel::PARALLEL_CLASS_THRESHOLD,
+            ))
+        })
+    }
+
+    /// [`Self::class_sets`] with an explicit worker count — the test and
+    /// crossover-measurement seam (the auto path only goes parallel when
+    /// T_G clears the threshold *and* the machine has spare cores).
+    /// Bypasses the cache; prefer [`Self::class_sets`].
+    pub fn class_sets_forced(&self, threads: usize) -> ClassSets {
+        let types = self.g.types();
+        let n_terms = self.g.dict().len();
+
+        /// One accumulation scan's output: `order[i]` is the `i`-th
+        /// first-seen typed node and `tmp[i]` its classes in scan order.
+        struct Acc {
+            tmp_of_node: Vec<u32>,
+            tmp: Vec<Vec<TermId>>,
+            order: Vec<TermId>,
+        }
+        fn scan(types: &[rdf_model::Triple], n_terms: usize) -> Acc {
+            let mut acc = Acc {
+                tmp_of_node: vec![NO_DENSE_ID; n_terms],
+                tmp: Vec::new(),
+                order: Vec::new(),
+            };
+            for t in types {
+                let slot = &mut acc.tmp_of_node[t.s.index()];
                 if *slot == NO_DENSE_ID {
-                    *slot = tmp.len() as u32;
-                    tmp.push(Vec::new());
-                    order.push(t.s);
+                    *slot = acc.tmp.len() as u32;
+                    acc.tmp.push(Vec::new());
+                    acc.order.push(t.s);
                 }
                 // Duplicate classes are collapsed by the canonicalization
                 // sort+dedup below, keeping this accumulation O(1) per
                 // type triple even for type-heavy resources.
-                tmp[*slot as usize].push(t.o);
+                acc.tmp[*slot as usize].push(t.o);
             }
-            // Canonicalize and intern the distinct sets.
-            let mut interner: FxHashMap<Vec<TermId>, u32> = FxHashMap::default();
-            let mut sets: Vec<Vec<TermId>> = Vec::new();
-            let mut set_of_node = vec![NO_DENSE_ID; n_terms];
-            for node in order {
-                let ti = tmp_of_node[node.index()] as usize;
-                let mut set = std::mem::take(&mut tmp[ti]);
-                set.sort_unstable();
-                set.dedup();
-                let id = *interner.entry(set.clone()).or_insert_with(|| {
-                    sets.push(set);
-                    (sets.len() - 1) as u32
-                });
-                set_of_node[node.index()] = id;
+            acc
+        }
+
+        let Acc {
+            tmp_of_node,
+            mut tmp,
+            order,
+        } = if threads <= 1 || types.len() < 2 {
+            scan(types, n_terms)
+        } else {
+            // Chunked scan + chunk-order merge. The sequential sweep
+            // visits chunk 0's triples before chunk 1's, so a node's
+            // global first-seen position is its position in the first
+            // chunk that saw it, and its class list is the concatenation
+            // of its per-chunk lists in chunk order — the merge below
+            // reproduces both exactly.
+            let chunk_size = types.len().div_ceil(threads).max(1);
+            let parts: Vec<Acc> = std::thread::scope(|scope| {
+                let handles: Vec<_> = types
+                    .chunks(chunk_size)
+                    .map(|chunk| scope.spawn(move || scan(chunk, n_terms)))
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            });
+            let mut merged = Acc {
+                tmp_of_node: vec![NO_DENSE_ID; n_terms],
+                tmp: Vec::new(),
+                order: Vec::new(),
+            };
+            for mut part in parts {
+                for (local, node) in part.order.into_iter().enumerate() {
+                    let classes = std::mem::take(&mut part.tmp[local]);
+                    let slot = &mut merged.tmp_of_node[node.index()];
+                    if *slot == NO_DENSE_ID {
+                        *slot = merged.tmp.len() as u32;
+                        merged.tmp.push(classes);
+                        merged.order.push(node);
+                    } else {
+                        merged.tmp[*slot as usize].extend_from_slice(&classes);
+                    }
+                }
             }
-            ClassSets { set_of_node, sets }
-        })
+            merged
+        };
+
+        // Canonicalize and intern the distinct sets.
+        let mut interner: FxHashMap<Vec<TermId>, u32> = FxHashMap::default();
+        let mut sets: Vec<Vec<TermId>> = Vec::new();
+        let mut set_of_node = vec![NO_DENSE_ID; n_terms];
+        for node in order {
+            let ti = tmp_of_node[node.index()] as usize;
+            let mut set = std::mem::take(&mut tmp[ti]);
+            set.sort_unstable();
+            set.dedup();
+            let id = *interner.entry(set.clone()).or_insert_with(|| {
+                sets.push(set);
+                (sets.len() - 1) as u32
+            });
+            set_of_node[node.index()] = id;
+        }
+        ClassSets { set_of_node, sets }
     }
 
     /// The weak summary W_G (Definition 11) from the shared substrate.
@@ -1322,6 +1393,45 @@ mod tests {
         assert_eq!(cs.set_id(exid(&g, "t1")), None);
         let spec = cs.set_id(exid(&g, "r5")).unwrap();
         assert_eq!(cs.set(spec).len(), 1);
+    }
+
+    /// The chunked class-set scan equals the sequential one exactly —
+    /// same dense set-id numbering, same set contents, same node mapping —
+    /// for every forced worker count, on a graph with cross-chunk nodes,
+    /// duplicate type triples, and interleaved class orders.
+    #[test]
+    fn forced_parallel_class_sets_match_sequential() {
+        let mut g = Graph::new();
+        // 120 typed resources cycling through 7 class-set shapes, visited
+        // twice in different orders so most nodes straddle chunk cuts.
+        for round in 0..2 {
+            for i in 0..120 {
+                let r = format!("r{i}");
+                let classes = match (i + round) % 7 {
+                    0 => vec!["A"],
+                    1 => vec!["B", "A"],
+                    2 => vec!["A", "B"], // same set as 1, other arrival order
+                    3 => vec!["C", "C", "A"],
+                    4 => vec!["B"],
+                    5 => vec!["C"],
+                    _ => vec!["A", "B", "C"],
+                };
+                for c in classes {
+                    g.add_iri_triple(&r, rdf_model::vocab::RDF_TYPE, c);
+                }
+                g.add_iri_triple(&r, "p", "o");
+            }
+        }
+        let ctx = SummaryContext::new(&g);
+        let seq = ctx.class_sets_forced(1);
+        for threads in [2, 3, 5, 16] {
+            let par = ctx.class_sets_forced(threads);
+            assert_eq!(par.set_of_node, seq.set_of_node, "{threads} threads");
+            assert_eq!(par.sets, seq.sets, "{threads} threads");
+        }
+        // And the cached auto path agrees with the sequential build.
+        assert_eq!(ctx.class_sets().set_of_node, seq.set_of_node);
+        assert_eq!(ctx.class_sets().sets, seq.sets);
     }
 
     #[test]

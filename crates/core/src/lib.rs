@@ -131,7 +131,7 @@ pub use cliques::{CliqueId, CliqueScope, Cliques};
 pub use context::{ClassSets, SummaryContext};
 pub use equivalence::Partition;
 pub use executor::Executor;
-pub use incremental::IncrementalWeak;
+pub use incremental::{IncrementalWeak, WeakDelta};
 pub use inflate::{inflate, InflateConfig};
 pub use iso::summary_isomorphic;
 pub use parallel::{
@@ -144,6 +144,7 @@ pub use report::{render_report, ReportOptions};
 pub use saturated_cliques::{fuse_cliques, saturated_clique, verify_lemma1};
 pub use service::{
     LoadedGraph, QueryOutcome, ServiceError, ServiceStats, SummaryArtifact, SummaryService,
+    UpdateOutcome,
 };
 pub use streaming::{streaming_typed_weak_summary, streaming_weak_summary};
 pub use strong::strong_summary;

@@ -110,6 +110,16 @@ pub const PARALLEL_CSR_THRESHOLD: usize = 65_536;
 /// `quotient_h_graph` bench on BSBM scales.
 pub const PARALLEL_SORT_THRESHOLD: usize = 16_384;
 
+/// Below this many type triples, the class-set accumulation of
+/// [`crate::context::SummaryContext::class_sets`] runs sequentially: the
+/// chunked scan pays one `O(dictionary)` slot table per worker plus the
+/// chunk-order merge, each worth tens of thousands of plain slot writes,
+/// while the scan itself is a single cache-friendly sweep over T_G.
+/// BSBM's type density (~1 type triple per 10 data triples) keeps every
+/// bundled scale below this; the threshold matches the CSR fill's
+/// break-even, which has the same per-worker-table cost shape.
+pub const PARALLEL_CLASS_THRESHOLD: usize = 65_536;
+
 /// The worker count the substrate stages (CSR fill, packed sort) use for
 /// `n` work items with the given threshold: `1` below it; otherwise 2
 /// workers plus one more per [`TRIPLES_PER_EXTRA_WORKER`] items. Unlike

@@ -41,14 +41,15 @@
 //! kind pair.
 
 use crate::cardinality::{SummaryCardinality, SummaryEstimator};
+use crate::incremental::WeakDelta;
 use crate::summary::SummaryKind;
-use rdf_model::{Graph, PrefixMap};
+use rdf_model::{Graph, PrefixMap, Term};
 use rdf_query::{explain_with, parse_query, Evaluator};
 use rdf_store::{Fingerprint, TripleStore};
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
 
 /// One cached summary: the serialized output plus its headline figures,
 /// and the query-serving companions (the summary as an indexed store for
@@ -114,6 +115,16 @@ pub struct ServiceStats {
     pub evictions: u64,
     /// Serialized bytes currently resident in the summary cache.
     pub cache_bytes: usize,
+    /// `UPDATE` batches processed (inserts and deletes, no-ops included).
+    pub updates: u64,
+    /// Cached summaries carried across a fingerprint transition by the
+    /// incremental patch path (no rebuild).
+    pub patches: u64,
+    /// Cached summaries carried across a fingerprint transition by an
+    /// eager rebuild (kinds without a sound patch rule, or after a
+    /// delete). Each one also counts in `builds` — so under any workload
+    /// `builds == patch_fallbacks + misses`, the CI liveness seam.
+    pub patch_fallbacks: u64,
 }
 
 /// Errors a service request can produce.
@@ -123,6 +134,9 @@ pub enum ServiceError {
     UnknownGraph(String),
     /// `query` text failed to parse or compile.
     BadQuery(String),
+    /// `update` carried a malformed triple (the whole batch is rejected
+    /// without mutating the graph).
+    BadUpdate(String),
 }
 
 impl fmt::Display for ServiceError {
@@ -130,6 +144,7 @@ impl fmt::Display for ServiceError {
         match self {
             ServiceError::UnknownGraph(name) => write!(f, "no graph loaded as `{name}`"),
             ServiceError::BadQuery(msg) => write!(f, "bad query: {msg}"),
+            ServiceError::BadUpdate(msg) => write!(f, "bad update: {msg}"),
         }
     }
 }
@@ -157,10 +172,31 @@ pub struct QueryOutcome {
     pub truncated: bool,
 }
 
-/// A resident graph: the warm store plus its precomputed fingerprint.
+/// Outcome of [`SummaryService::update`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct UpdateOutcome {
+    /// Content fingerprint before the batch.
+    pub previous: Fingerprint,
+    /// Content fingerprint after the batch (equals `previous` when the
+    /// batch was a no-op — every triple already present/absent).
+    pub fingerprint: Fingerprint,
+    /// Triples genuinely inserted/removed.
+    pub applied: usize,
+    /// Cached summaries carried to the new fingerprint by the patch path.
+    pub patched: usize,
+    /// Cached summaries carried by an eager rebuild (fallback).
+    pub rebuilt: usize,
+}
+
+/// A resident graph: the warm store plus its precomputed fingerprint and,
+/// once the graph has seen an insert batch, the incremental weak-summary
+/// scan state that lets `UPDATE` patch cached weak summaries instead of
+/// rebuilding. Deletes drop the state (quotient summaries are not
+/// decremental — see [`crate::incremental`]).
 struct GraphEntry {
     store: TripleStore,
     fingerprint: Fingerprint,
+    delta: Option<WeakDelta>,
 }
 
 /// Cache slot state for one `(fingerprint, kind)` key.
@@ -215,9 +251,15 @@ type PruneKey = (Fingerprint, SummaryKind, String);
 const PRUNE_CACHE_CAP: usize = 65_536;
 
 /// The long-running summarization service. See the module docs.
+///
+/// Lock order (outer to inner): the `graphs` map mutex, then one entry's
+/// `RwLock`, then the `cache`/`prune_verdicts` mutexes. No path acquires
+/// the map mutex while holding an entry lock, and no path locks two
+/// entries at once — the discipline that keeps `UPDATE`'s write path
+/// deadlock-free against concurrent readers and `STATS` listings.
 pub struct SummaryService {
     threads: usize,
-    graphs: Mutex<HashMap<String, Arc<GraphEntry>>>,
+    graphs: Mutex<HashMap<String, Arc<RwLock<GraphEntry>>>>,
     cache: Mutex<CacheState>,
     /// Byte budget for Ready cache entries; `None` = unbounded.
     cache_budget: Option<usize>,
@@ -231,6 +273,9 @@ pub struct SummaryService {
     pruned: AtomicU64,
     prune_hits: AtomicU64,
     evictions: AtomicU64,
+    updates: AtomicU64,
+    patches: AtomicU64,
+    patch_fallbacks: AtomicU64,
 }
 
 /// Removes the `Building` marker if the build unwinds, so waiters retry
@@ -283,6 +328,9 @@ impl SummaryService {
             pruned: AtomicU64::new(0),
             prune_hits: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            updates: AtomicU64::new(0),
+            patches: AtomicU64::new(0),
+            patch_fallbacks: AtomicU64::new(0),
         }
     }
 
@@ -307,7 +355,11 @@ impl SummaryService {
         };
         let fingerprint = store.fingerprint();
         let triples = store.len();
-        let entry = Arc::new(GraphEntry { store, fingerprint });
+        let entry = Arc::new(RwLock::new(GraphEntry {
+            store,
+            fingerprint,
+            delta: None,
+        }));
         let replaced = self
             .graphs
             .lock()
@@ -324,7 +376,10 @@ impl SummaryService {
     /// The fingerprint and size of a resident graph, if loaded.
     pub fn graph_info(&self, name: &str) -> Option<(Fingerprint, usize)> {
         let graphs = self.graphs.lock().unwrap();
-        graphs.get(name).map(|e| (e.fingerprint, e.store.len()))
+        graphs.get(name).map(|e| {
+            let e = e.read().unwrap();
+            (e.fingerprint, e.store.len())
+        })
     }
 
     /// All resident graphs as `(name, fingerprint, triples)`, sorted by
@@ -333,7 +388,10 @@ impl SummaryService {
         let graphs = self.graphs.lock().unwrap();
         let mut v: Vec<_> = graphs
             .iter()
-            .map(|(n, e)| (n.clone(), e.fingerprint, e.store.len()))
+            .map(|(n, e)| {
+                let e = e.read().unwrap();
+                (n.clone(), e.fingerprint, e.store.len())
+            })
             .collect();
         v.sort();
         v
@@ -358,6 +416,7 @@ impl SummaryService {
             .get(name)
             .cloned()
             .ok_or_else(|| ServiceError::UnknownGraph(name.to_string()))?;
+        let entry = entry.read().unwrap();
         Ok(self.summarize_entry(&entry, kind))
     }
 
@@ -481,6 +540,171 @@ impl SummaryService {
         }
     }
 
+    /// Applies an `UPDATE` batch to the graph loaded as `name` —
+    /// `insert == true` adds triples, `false` removes them — and carries
+    /// the cached summaries across the fingerprint transition.
+    ///
+    /// The store absorbs the batch in O(delta + merge) (incremental
+    /// fingerprint, merged indices — no rebuild; see
+    /// [`TripleStore::insert_batch`]). Every summary kind cached for the
+    /// *old* fingerprint is re-established under the new one:
+    ///
+    /// * **patch** — weak summaries after insert-only history are
+    ///   materialized from the maintained [`WeakDelta`] scan state,
+    ///   byte-identical to a fresh build but skipping the full input
+    ///   re-scan (and not counted in `builds`);
+    /// * **rebuild fallback** — every other kind (their quotients are not
+    ///   soundly patchable: type/property insertions can split their
+    ///   equivalence classes, which union–find cannot undo), and every
+    ///   kind after a delete. Counted in both `builds` and
+    ///   `patch_fallbacks`, keeping `builds == patch_fallbacks + misses`.
+    ///
+    /// Old-fingerprint cache lines and memoized prune verdicts are then
+    /// dropped unless another resident graph still has that content.
+    /// Insert batches are atomic: one malformed triple rejects the whole
+    /// batch with [`ServiceError::BadUpdate`] and no state changes.
+    pub fn update(
+        &self,
+        name: &str,
+        insert: bool,
+        triples: &[(Term, Term, Term)],
+    ) -> Result<UpdateOutcome, ServiceError> {
+        let entry_arc = self
+            .graphs
+            .lock()
+            .unwrap()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| ServiceError::UnknownGraph(name.to_string()))?;
+        let mut entry = entry_arc.write().unwrap();
+        let previous = entry.fingerprint;
+        let batch = if insert {
+            entry
+                .store
+                .insert_batch(triples)
+                .map_err(|e| ServiceError::BadUpdate(e.to_string()))?
+        } else {
+            entry.store.delete_batch(triples)
+        };
+        self.updates.fetch_add(1, Ordering::Relaxed);
+        if batch.applied.is_empty() {
+            // No-op batch: content, fingerprint, and cache are untouched.
+            return Ok(UpdateOutcome {
+                previous,
+                fingerprint: previous,
+                applied: 0,
+                patched: 0,
+                rebuilt: 0,
+            });
+        }
+        let fingerprint = batch.fingerprint;
+        let e = &mut *entry;
+        e.fingerprint = fingerprint;
+        if insert {
+            match e.delta.as_mut() {
+                Some(d) => d.apply_inserts(e.store.graph(), &batch.applied),
+                None => e.delta = Some(WeakDelta::from_graph(e.store.graph())),
+            }
+        } else {
+            // Quotient summaries are not decremental: drop the scan state;
+            // it re-primes (one full scan) on the next insert batch.
+            e.delta = None;
+        }
+        // Carry every Ready line of the old fingerprint to the new one.
+        let cached_kinds: Vec<SummaryKind> = {
+            let cache = self.cache.lock().unwrap();
+            cache
+                .slots
+                .iter()
+                .filter_map(|((fp, kind), slot)| {
+                    (*fp == previous && matches!(slot, Slot::Ready { .. })).then_some(*kind)
+                })
+                .collect()
+        };
+        // The patch path must reproduce what a fresh build would emit;
+        // above the shard threshold the builder switches to the sharded
+        // substrate, so patching is gated to the lean-build regime.
+        let can_patch = e.delta.is_some()
+            && crate::parallel::shard_count(e.store.graph().data().len(), self.threads) <= 1;
+        let (mut patched, mut rebuilt) = (0usize, 0usize);
+        for kind in cached_kinds {
+            let artifact = if kind == SummaryKind::Weak && can_patch {
+                patched += 1;
+                self.patches.fetch_add(1, Ordering::Relaxed);
+                Arc::new(self.patch_artifact(e))
+            } else {
+                rebuilt += 1;
+                self.patch_fallbacks.fetch_add(1, Ordering::Relaxed);
+                Arc::new(self.build_artifact(e, kind))
+            };
+            self.insert_ready((fingerprint, kind), artifact);
+        }
+        // Release the entry before the sharing scan: fingerprint_shared
+        // read-locks every entry, including this one.
+        drop(entry);
+        if !self.fingerprint_shared(previous) {
+            self.drop_fingerprint_lines(previous);
+        }
+        Ok(UpdateOutcome {
+            previous,
+            fingerprint,
+            applied: batch.applied.len(),
+            patched,
+            rebuilt,
+        })
+    }
+
+    /// Packages the delta-materialized weak summary into an artifact — the
+    /// same fields [`Self::build_artifact`] fills, minus the summary
+    /// construction itself (and minus the `builds` increment: nothing was
+    /// rebuilt). Byte-identical to the fresh build by [`WeakDelta`]'s
+    /// contract.
+    fn patch_artifact(&self, entry: &GraphEntry) -> SummaryArtifact {
+        let g = entry.store.graph();
+        let summary = entry
+            .delta
+            .as_ref()
+            .expect("patching requires the delta state")
+            .summary(g);
+        let stats = summary.stats();
+        let cardinality = SummaryCardinality::new(&entry.store, &summary);
+        let ntriples = rdf_io::write_graph(&summary.graph);
+        SummaryArtifact {
+            kind: SummaryKind::Weak,
+            fingerprint: entry.fingerprint,
+            ntriples,
+            summary_nodes: stats.all_nodes,
+            summary_edges: stats.all_edges,
+            input_triples: g.len(),
+            summary_store: TripleStore::new(summary.graph),
+            cardinality,
+        }
+    }
+
+    /// Installs a finished artifact as a Ready cache line, unless the key
+    /// is already occupied: an in-flight Building slot will land identical
+    /// content (content-addressed key), and racing it on the slot would
+    /// corrupt the byte accounting.
+    fn insert_ready(&self, key: (Fingerprint, SummaryKind), artifact: Arc<SummaryArtifact>) {
+        let mut cache = self.cache.lock().unwrap();
+        if cache.slots.contains_key(&key) {
+            return;
+        }
+        let bytes = artifact.ntriples.len();
+        cache.clock += 1;
+        let stamp = cache.clock;
+        cache.slots.insert(
+            key,
+            Slot::Ready {
+                artifact,
+                bytes,
+                last_used: stamp,
+            },
+        );
+        cache.total_bytes += bytes;
+        self.enforce_budget(&mut cache);
+    }
+
     /// Evaluates a BGP query (paper notation, e.g. `q(?x) :- ?x <p> ?y`)
     /// against the warm store loaded as `name`, with **summary-based
     /// pruning**: the query is first checked against a summary of the
@@ -514,6 +738,10 @@ impl SummaryService {
             .get(name)
             .cloned()
             .ok_or_else(|| ServiceError::UnknownGraph(name.to_string()))?;
+        // Hold the read lock for the whole evaluation: the summary pruned
+        // with and the store joined against stay one content snapshot,
+        // even under concurrent UPDATEs.
+        let entry = entry.read().unwrap();
         let spec = parse_query(text, &PrefixMap::with_defaults())
             .map_err(|e| ServiceError::BadQuery(e.to_string()))?;
         self.queries.fetch_add(1, Ordering::Relaxed);
@@ -627,30 +855,41 @@ impl SummaryService {
     /// graph was loaded.
     pub fn evict(&self, name: &str) -> Option<usize> {
         let entry = self.graphs.lock().unwrap().remove(name)?;
-        let still_shared = self
-            .graphs
+        let fingerprint = entry.read().unwrap().fingerprint;
+        if self.fingerprint_shared(fingerprint) {
+            return Some(0);
+        }
+        Some(self.drop_fingerprint_lines(fingerprint))
+    }
+
+    /// Is `fingerprint` the content of any currently resident graph?
+    fn fingerprint_shared(&self, fingerprint: Fingerprint) -> bool {
+        self.graphs
             .lock()
             .unwrap()
             .values()
-            .any(|e| e.fingerprint == entry.fingerprint);
-        if still_shared {
-            return Some(0);
-        }
-        // Memoized prune verdicts for this content go too. They would
-        // stay *correct* (content-addressed), but an unreferenced
-        // fingerprint's memos are dead weight.
+            .any(|e| e.read().unwrap().fingerprint == fingerprint)
+    }
+
+    /// Drops every Ready cache line and memoized prune verdict keyed by
+    /// `fingerprint` (in-flight builds are left to finish — their waiters
+    /// must still find the Building marker). Returns the number of cache
+    /// entries dropped. Memoized verdicts would stay *correct*
+    /// (content-addressed), but an unreferenced fingerprint's lines are
+    /// dead weight.
+    fn drop_fingerprint_lines(&self, fingerprint: Fingerprint) -> usize {
         self.prune_verdicts
             .lock()
             .unwrap()
-            .retain(|(fp, _, _), _| *fp != entry.fingerprint);
+            .retain(|(fp, _, _), _| *fp != fingerprint);
         let mut cache = self.cache.lock().unwrap();
         let before = cache.slots.len();
         cache
             .slots
-            .retain(|(fp, _), slot| *fp != entry.fingerprint || matches!(slot, Slot::Building));
+            .retain(|(fp, _), slot| *fp != fingerprint || matches!(slot, Slot::Building));
         let dropped = before - cache.slots.len();
         cache.resync_total();
-        Some(dropped)
+        dropped
     }
 
     /// Drops every resident graph and every Ready cache entry. Returns
@@ -710,6 +949,9 @@ impl SummaryService {
             prune_hits: self.prune_hits.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             cache_bytes,
+            updates: self.updates.load(Ordering::Relaxed),
+            patches: self.patches.load(Ordering::Relaxed),
+            patch_fallbacks: self.patch_fallbacks.load(Ordering::Relaxed),
         }
     }
 }
@@ -1089,6 +1331,237 @@ mod tests {
             svc.stats().prune_hits,
             1,
             "new content must not hit the old memo"
+        );
+    }
+
+    fn u(s: &str, p: &str, o: &str) -> (Term, Term, Term) {
+        (Term::iri(s), Term::iri(p), Term::iri(o))
+    }
+
+    /// One UPDATE batch: the insert/delete flag plus its triples.
+    type UpdateOp = (bool, Vec<(Term, Term, Term)>);
+
+    /// Mirrors the service's store mutations on a local store, so tests
+    /// can compare served bytes against a cold rebuild of the same
+    /// mutated graph (the service does not expose its graphs).
+    fn mutated_store(base: Graph, ops: &[UpdateOp]) -> rdf_store::TripleStore {
+        let mut st = rdf_store::TripleStore::new(base);
+        for (insert, batch) in ops {
+            if *insert {
+                st.insert_batch(batch).unwrap();
+            } else {
+                st.delete_batch(batch);
+            }
+        }
+        st
+    }
+
+    #[test]
+    fn update_patches_cached_weak_summary() {
+        let svc = SummaryService::new(1);
+        svc.load_graph("g", fixtures::sample_graph());
+        svc.summarize("g", SummaryKind::Weak).unwrap();
+        assert_eq!(svc.builds(), 1);
+        let batch = vec![u("urn:u:s", "urn:u:p", "urn:u:o")];
+        let out = svc.update("g", true, &batch).unwrap();
+        assert_eq!(out.applied, 1);
+        assert_ne!(out.previous, out.fingerprint);
+        assert_eq!((out.patched, out.rebuilt), (1, 0));
+        // The patched line serves without any rebuild…
+        let (artifact, hit) = svc.summarize("g", SummaryKind::Weak).unwrap();
+        assert!(hit, "patched summary must be a cache hit");
+        assert_eq!(svc.builds(), 1, "no rebuild on the weak patch path");
+        assert_eq!(artifact.fingerprint, out.fingerprint);
+        // …and is byte-identical to a cold rebuild of the mutated graph.
+        let st = mutated_store(fixtures::sample_graph(), &[(true, batch)]);
+        let direct = crate::builder::summarize(st.graph(), SummaryKind::Weak);
+        assert_eq!(artifact.ntriples, rdf_io::write_graph(&direct.graph));
+        let stats = svc.stats();
+        assert_eq!(
+            (stats.updates, stats.patches, stats.patch_fallbacks),
+            (1, 1, 0)
+        );
+        assert_eq!(stats.builds, stats.patch_fallbacks + stats.misses);
+    }
+
+    /// The satellite suite: fixtures × kinds, every cached summary carried
+    /// across insert and delete transitions byte-identical to a rebuild.
+    #[test]
+    fn update_transition_is_byte_identical_across_fixtures_and_kinds() {
+        type Fixture = (&'static str, fn() -> Graph);
+        let fixtures: [Fixture; 3] = [
+            ("sample", fixtures::sample_graph as fn() -> Graph),
+            ("figure5", fixtures::figure5_graph as fn() -> Graph),
+            ("book", fixtures::book_graph as fn() -> Graph),
+        ];
+        let ops: [UpdateOp; 3] = [
+            (true, vec![u("urn:u:a", "urn:u:p", "urn:u:b")]),
+            (
+                true,
+                vec![
+                    u("urn:u:a", "urn:u:q", "urn:u:c"),
+                    (
+                        Term::iri("urn:u:a"),
+                        Term::iri(rdf_model::vocab::RDF_TYPE),
+                        Term::iri("urn:u:T"),
+                    ),
+                ],
+            ),
+            (false, vec![u("urn:u:a", "urn:u:p", "urn:u:b")]),
+        ];
+        for (name, fixture) in fixtures {
+            let svc = SummaryService::new(1);
+            svc.load_graph("g", fixture());
+            for kind in SummaryKind::ALL {
+                svc.summarize("g", kind).unwrap();
+            }
+            let mut applied_ops: Vec<UpdateOp> = Vec::new();
+            for (insert, batch) in &ops {
+                let out = svc.update("g", *insert, batch).unwrap();
+                applied_ops.push((*insert, batch.clone()));
+                assert_eq!(
+                    out.patched + out.rebuilt,
+                    SummaryKind::ALL.len(),
+                    "{name}: every cached kind must survive the transition"
+                );
+                let st = mutated_store(fixture(), &applied_ops);
+                for kind in SummaryKind::ALL {
+                    let (artifact, hit) = svc.summarize("g", kind).unwrap();
+                    assert!(hit, "{name}/{kind}: transition must keep the cache warm");
+                    let direct = crate::builder::summarize(st.graph(), kind);
+                    assert_eq!(
+                        artifact.ntriples,
+                        rdf_io::write_graph(&direct.graph),
+                        "{name}/{kind}: served summary must match a cold rebuild"
+                    );
+                }
+            }
+            let stats = svc.stats();
+            assert_eq!(stats.builds, stats.patch_fallbacks + stats.misses);
+        }
+    }
+
+    #[test]
+    fn update_delete_falls_back_then_insert_patches_again() {
+        let svc = SummaryService::new(1);
+        svc.load_graph("g", fixtures::sample_graph());
+        svc.summarize("g", SummaryKind::Weak).unwrap();
+        // Prime some content, then delete it: the weak patch state is
+        // dropped, so the transition rebuilds.
+        let batch = vec![u("urn:u:s", "urn:u:p", "urn:u:o")];
+        svc.update("g", true, &batch).unwrap();
+        let out = svc.update("g", false, &batch).unwrap();
+        assert_eq!((out.patched, out.rebuilt), (0, 1));
+        // A subsequent insert re-primes the state and patches again.
+        let out = svc.update("g", true, &batch).unwrap();
+        assert_eq!((out.patched, out.rebuilt), (1, 0));
+        let stats = svc.stats();
+        assert_eq!(stats.builds, stats.patch_fallbacks + stats.misses);
+    }
+
+    #[test]
+    fn update_noop_batch_changes_nothing() {
+        let svc = SummaryService::new(1);
+        let info = svc.load_graph("g", fixtures::sample_graph());
+        svc.summarize("g", SummaryKind::Weak).unwrap();
+        // Inserting an existing triple / deleting an absent one: no-ops.
+        let existing = svc.query("g", "q(?x, ?y) :- ?x <urn:nope> ?y", None, 1);
+        assert!(existing.is_ok());
+        let out = svc
+            .update("g", false, &[u("urn:no", "urn:such", "urn:triple")])
+            .unwrap();
+        assert_eq!(out.applied, 0);
+        assert_eq!(out.fingerprint, info.fingerprint);
+        let (_, hit) = svc.summarize("g", SummaryKind::Weak).unwrap();
+        assert!(hit, "no-op update must not disturb the cache");
+        assert_eq!(svc.stats().updates, 1);
+    }
+
+    #[test]
+    fn update_rejects_malformed_batch_atomically() {
+        let svc = SummaryService::new(1);
+        let info = svc.load_graph("g", fixtures::sample_graph());
+        let bad = vec![
+            u("urn:ok", "urn:p", "urn:o"),
+            (Term::literal("L"), Term::iri("urn:p"), Term::iri("urn:o")),
+        ];
+        let err = svc.update("g", true, &bad).unwrap_err();
+        assert!(matches!(err, ServiceError::BadUpdate(_)));
+        assert!(err.to_string().contains("bad update"));
+        assert_eq!(svc.graph_info("g").unwrap().0, info.fingerprint);
+        assert!(matches!(
+            svc.update("nope", true, &[]),
+            Err(ServiceError::UnknownGraph(_))
+        ));
+    }
+
+    #[test]
+    fn update_invalidates_old_fingerprint_lines_and_prune_memo() {
+        let svc = SummaryService::new(1);
+        svc.load_graph("g", fixtures::sample_graph());
+        svc.summarize("g", SummaryKind::Weak).unwrap();
+        let q = "q(?x) :- ?x <urn:no-such-property> ?y";
+        assert!(svc.query("g", q, None, usize::MAX).unwrap().pruned);
+        let out = svc
+            .update("g", true, &[u("urn:u:s", "urn:u:p", "urn:u:o")])
+            .unwrap();
+        // One cache line resides (the patched one, under the new key).
+        let stats = svc.stats();
+        assert_eq!(stats.cached_summaries, 1);
+        let (artifact, _) = svc.summarize("g", SummaryKind::Weak).unwrap();
+        assert_eq!(artifact.fingerprint, out.fingerprint);
+        // The prune memo was keyed by the old fingerprint: re-priming is a
+        // memo miss (sound — the verdict could have flipped).
+        let before = svc.stats().prune_hits;
+        assert!(svc.query("g", q, None, usize::MAX).unwrap().pruned);
+        assert_eq!(svc.stats().prune_hits, before, "old-fp memo must be gone");
+    }
+
+    #[test]
+    fn update_keeps_shared_content_lines() {
+        let svc = SummaryService::new(1);
+        svc.load_graph("a", fixtures::sample_graph());
+        svc.load_graph("b", fixtures::sample_graph());
+        svc.summarize("a", SummaryKind::Weak).unwrap();
+        svc.update("a", true, &[u("urn:u:s", "urn:u:p", "urn:u:o")])
+            .unwrap();
+        // `b` still holds the old content: its cache line must survive.
+        let (_, hit) = svc.summarize("b", SummaryKind::Weak).unwrap();
+        assert!(hit, "shared old-fingerprint line must survive the update");
+    }
+
+    /// Interleaved UPDATE/QUERY chaos from several threads: the service
+    /// stays live and the counter seams hold (the CI stress invariant).
+    #[test]
+    fn update_query_interleaving_stays_consistent() {
+        let svc = Arc::new(SummaryService::new(1));
+        svc.load_graph("g", fixtures::sample_graph());
+        svc.summarize("g", SummaryKind::Weak).unwrap();
+        std::thread::scope(|scope| {
+            for worker in 0..4 {
+                let svc = Arc::clone(&svc);
+                scope.spawn(move || {
+                    for i in 0..8 {
+                        let t = u(
+                            &format!("urn:w{worker}:s{i}"),
+                            "urn:u:p",
+                            &format!("urn:w{worker}:o{i}"),
+                        );
+                        svc.update("g", i % 4 != 3, &[t]).unwrap();
+                        let out = svc
+                            .query("g", "q(?x, ?y) :- ?x <urn:u:p> ?y", None, usize::MAX)
+                            .unwrap();
+                        assert!(!out.columns.is_empty());
+                    }
+                });
+            }
+        });
+        let stats = svc.stats();
+        assert_eq!(stats.updates, 32);
+        assert_eq!(
+            stats.builds,
+            stats.patch_fallbacks + stats.misses,
+            "every build is either a request miss or a declared fallback"
         );
     }
 

@@ -252,6 +252,34 @@ pub fn parse_line(text: &str, line: usize) -> Result<Option<TermTriple>, ParseEr
     }
 }
 
+/// Parses a *sequence* of N-Triples statements packed onto a single line
+/// (each terminated by `.`), as carried by the server protocol's
+/// `UPDATE` verb, whose payload must fit one request line. A trailing
+/// `#`-comment is allowed; an empty or comment-only payload yields an
+/// empty vector.
+pub fn parse_statements(text: &str) -> Result<Vec<TermTriple>, ParseError> {
+    let mut c = Cursor::new(text, 1);
+    let mut out = Vec::new();
+    loop {
+        c.skip_ws();
+        match c.peek() {
+            None | Some('#') => return Ok(out),
+            _ => {}
+        }
+        let s = c.subject()?;
+        c.skip_ws();
+        let p = match c.peek() {
+            Some('<') => Term::Iri(c.iri_ref()?),
+            _ => return Err(c.err(ParseErrorKind::Expected("an IRI predicate"))),
+        };
+        c.skip_ws();
+        let o = c.object()?;
+        c.skip_ws();
+        c.expect('.', "the terminating `.`")?;
+        out.push((s, p, o));
+    }
+}
+
 /// Parses a whole N-Triples document into term triples.
 pub fn parse_str(input: &str) -> Result<Vec<TermTriple>, ParseError> {
     let mut out = Vec::new();
@@ -363,6 +391,21 @@ mod tests {
     fn rejects_surrogate_codepoint() {
         let e = parse_line(r#"<s:a> <p:b> "\uD800" ."#, 1).unwrap_err();
         assert!(matches!(e.kind, ParseErrorKind::BadCodepoint(0xD800)));
+    }
+
+    #[test]
+    fn parse_statements_packs_many_on_one_line() {
+        let ts = parse_statements(r#"<s:a> <p:b> <o:c> . <s:d> <p:b> "lit"@en . # done"#).unwrap();
+        assert_eq!(ts.len(), 2);
+        assert_eq!(ts[0].0, Term::iri("s:a"));
+        assert_eq!(ts[1].2, Term::lang_literal("lit", "en"));
+        // Empty and comment-only payloads are zero statements, not errors.
+        assert!(parse_statements("").unwrap().is_empty());
+        assert!(parse_statements("   # nothing").unwrap().is_empty());
+        // A missing terminator on the *second* statement is still an error.
+        assert!(parse_statements("<s:a> <p:b> <o:c> . <s:d> <p:b> <o:c>").is_err());
+        // Garbage after a valid statement is rejected at the subject.
+        assert!(parse_statements("<s:a> <p:b> <o:c> . junk").is_err());
     }
 
     #[test]

@@ -76,6 +76,24 @@ impl WellKnown {
     }
 }
 
+/// Validates the well-formedness rules [`Graph::insert`] enforces, without
+/// touching a graph: no literal subjects, IRI properties only, and IRI
+/// classes for `rdf:type` objects. Batch mutation paths use this to
+/// pre-validate a whole batch so it can be applied atomically.
+pub fn check_triple(s: &Term, p: &Term, o: &Term) -> Result<(), ModelError> {
+    if !s.valid_subject() {
+        return Err(ModelError::LiteralSubject(s.clone()));
+    }
+    if !p.valid_property() {
+        return Err(ModelError::NonIriProperty(p.clone()));
+    }
+    let is_type = p.as_iri().is_some_and(vocab::is_type_property);
+    if is_type && !o.is_iri() {
+        return Err(ModelError::NonIriClass(o.clone()));
+    }
+    Ok(())
+}
+
 /// An RDF graph: a set of dictionary-encoded triples partitioned into
 /// data / type / schema components.
 #[derive(Clone, Debug)]
@@ -148,16 +166,7 @@ impl Graph {
     ///
     /// Returns the encoded triple and the component it was routed to.
     pub fn insert(&mut self, s: Term, p: Term, o: Term) -> Result<(Triple, Component), ModelError> {
-        if !s.valid_subject() {
-            return Err(ModelError::LiteralSubject(s));
-        }
-        if !p.valid_property() {
-            return Err(ModelError::NonIriProperty(p));
-        }
-        let is_type = p.as_iri().is_some_and(vocab::is_type_property);
-        if is_type && !o.is_iri() {
-            return Err(ModelError::NonIriClass(o));
-        }
+        check_triple(&s, &p, &o)?;
         let s = self.dict.encode(s);
         let p = self.dict.encode(p);
         let o = self.dict.encode(o);
@@ -176,6 +185,62 @@ impl Graph {
             }
         }
         (t, comp)
+    }
+
+    /// Removes an already-encoded triple, if present. Returns the component
+    /// it was removed from, or `None` when the graph did not contain it.
+    ///
+    /// Insertion order of the surviving triples is preserved (the component
+    /// vector is compacted in place), so a rebuild of any order-dependent
+    /// derived structure — summaries, CSR substrates — from the mutated
+    /// graph equals a fresh load of the same surviving triples in the same
+    /// order. Dictionary entries are never reclaimed: term ids stay dense
+    /// and stable across deletions.
+    pub fn remove_encoded(&mut self, t: Triple) -> Option<Component> {
+        if !self.seen.remove(&t) {
+            return None;
+        }
+        let comp = self.wk.component_of(t.p);
+        let v = match comp {
+            Component::Data => &mut self.data,
+            Component::Type => &mut self.types,
+            Component::Schema => &mut self.schema,
+        };
+        let pos = v.iter().position(|&x| x == t).expect("seen implies stored");
+        v.remove(pos);
+        Some(comp)
+    }
+
+    /// Removes a batch of already-encoded triples, returning those that
+    /// were genuinely present (duplicates in `triples` count once). Each
+    /// affected component is compacted in one pass, so a batch of `d`
+    /// deletions costs `O(|G| + d)` rather than `d` vector splices.
+    pub fn remove_encoded_batch(&mut self, triples: &[Triple]) -> Vec<Triple> {
+        let mut removed = Vec::new();
+        let mut touched = [false; 3];
+        for &t in triples {
+            if self.seen.remove(&t) {
+                removed.push(t);
+                touched[match self.wk.component_of(t.p) {
+                    Component::Data => 0,
+                    Component::Type => 1,
+                    Component::Schema => 2,
+                }] = true;
+            }
+        }
+        if !removed.is_empty() {
+            let gone: FxHashSet<Triple> = removed.iter().copied().collect();
+            if touched[0] {
+                self.data.retain(|t| !gone.contains(t));
+            }
+            if touched[1] {
+                self.types.retain(|t| !gone.contains(t));
+            }
+            if touched[2] {
+                self.schema.retain(|t| !gone.contains(t));
+            }
+        }
+        removed
     }
 
     /// Does the graph contain this encoded triple?
@@ -458,6 +523,38 @@ mod tests {
         let t = g.add_iri_triple("a", "p", "b");
         assert!(g.contains(t));
         assert!(!g.contains(Triple::new(t.s, t.p, t.s)));
+    }
+
+    #[test]
+    fn remove_preserves_insertion_order() {
+        let mut g = Graph::new();
+        let t1 = g.add_iri_triple("a", "p", "b");
+        let t2 = g.add_iri_triple("c", "q", "d");
+        let t3 = g.add_iri_triple("e", "r", "f");
+        assert_eq!(g.remove_encoded(t2), Some(Component::Data));
+        assert_eq!(g.data(), &[t1, t3]);
+        assert!(!g.contains(t2));
+        // Removing an absent triple is a no-op.
+        assert_eq!(g.remove_encoded(t2), None);
+        // Re-insertion lands at the end, like a fresh triple.
+        g.insert_encoded(t2);
+        assert_eq!(g.data(), &[t1, t3, t2]);
+    }
+
+    #[test]
+    fn remove_batch_compacts_each_component() {
+        let mut g = Graph::new();
+        let d1 = g.add_iri_triple("a", "p", "b");
+        let ty = g.add_iri_triple("a", vocab::RDF_TYPE, "C");
+        let sc = g.add_iri_triple("C", vocab::RDFS_SUBCLASSOF, "D");
+        let d2 = g.add_iri_triple("c", "q", "d");
+        let absent = Triple::new(d1.s, d1.p, d1.s);
+        let removed = g.remove_encoded_batch(&[ty, d1, absent, d1]);
+        assert_eq!(removed, vec![ty, d1]);
+        assert_eq!(g.data(), &[d2]);
+        assert!(g.types().is_empty());
+        assert_eq!(g.schema(), &[sc]);
+        assert_eq!(g.len(), 2);
     }
 
     #[test]

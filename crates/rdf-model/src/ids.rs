@@ -78,6 +78,15 @@ impl DenseIdMap {
         *slot
     }
 
+    /// Extends the slot table to cover `n_terms` dictionary ids (no-op when
+    /// already large enough). Lets a long-lived map keep pace with a growing
+    /// dictionary without rebuilding — assigned dense ids are untouched.
+    pub fn grow(&mut self, n_terms: usize) {
+        if n_terms > self.slots.len() {
+            self.slots.resize(n_terms, NO_DENSE_ID);
+        }
+    }
+
     /// The dense id of `t`, if assigned. Out-of-capacity ids return `None`.
     #[inline]
     pub fn get(&self, t: TermId) -> Option<u32> {
@@ -226,5 +235,16 @@ mod tests {
     fn dense_map_intern_out_of_capacity_panics() {
         let mut m = DenseIdMap::with_capacity(1);
         m.intern(TermId(1));
+    }
+
+    #[test]
+    fn dense_map_grow_preserves_assignments() {
+        let mut m = DenseIdMap::with_capacity(2);
+        m.intern(TermId(1));
+        m.grow(5);
+        assert_eq!(m.get(TermId(1)), Some(0));
+        assert_eq!(m.intern(TermId(4)), 1);
+        m.grow(3); // shrinking request is a no-op
+        assert_eq!(m.get(TermId(4)), Some(1));
     }
 }

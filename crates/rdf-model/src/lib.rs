@@ -38,7 +38,7 @@ pub mod vocab;
 
 pub use dictionary::Dictionary;
 pub use error::ModelError;
-pub use graph::{Component, Graph, WellKnown};
+pub use graph::{check_triple, Component, Graph, WellKnown};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use ids::{DenseIdMap, TermId, NO_DENSE_ID};
 pub use minted::{MintedKey, MintedTerm, N_TAU_URI, SUMMARY_NS};

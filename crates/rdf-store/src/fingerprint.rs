@@ -165,7 +165,7 @@ fn term_digest_table(g: &Graph) -> Vec<u64> {
 }
 
 /// Folds a sorted, **deduplicated** triple slice into a fingerprint.
-fn fold_deduped(g: &Graph, triples: &[Triple]) -> Fingerprint {
+pub(crate) fn fold_deduped(g: &Graph, triples: &[Triple]) -> Fingerprint {
     let table = term_digest_table(g);
     let mut acc = Accumulator::default();
     for t in triples {
@@ -176,6 +176,107 @@ fn fold_deduped(g: &Graph, triples: &[Triple]) -> Fingerprint {
         ));
     }
     acc.finish()
+}
+
+/// Incrementally maintained fingerprint state: the commutative lane sums
+/// plus the per-term digest cache that makes a delta update three array
+/// reads per triple.
+///
+/// The lane combiner is a pair of wrapping sums, so it has exact inverses:
+/// a genuine insert `wrapping_add`s a triple's lanes, a genuine delete
+/// `wrapping_sub`s them, and the running state always equals what a full
+/// rescan of the current triples would produce (the
+/// [`FingerprintState::matches_rescan`] oracle, debug-asserted after every
+/// batch in [`TripleStore`]).
+///
+/// The digest cache is **owned by its store** — it lives and dies with the
+/// one dictionary it indexes, so evicting a graph from a long-lived server
+/// reclaims its digests with it; there is no process-global registry to
+/// leak. Dictionary ids are append-only, so the cache only ever extends
+/// ([`FingerprintState::sync_terms`]); it is dropped wholesale when the
+/// caller takes raw mutable access to the graph.
+#[derive(Clone, Debug)]
+pub(crate) struct FingerprintState {
+    /// Per-term digests, indexed by dense dictionary id.
+    digests: Vec<u64>,
+    sum_hi: u64,
+    sum_lo: u64,
+    count: u64,
+}
+
+impl FingerprintState {
+    /// Full computation from a sorted, deduplicated triple slice — the
+    /// one-time O(n) cost after which [`FingerprintState::finish`] is O(1).
+    pub(crate) fn compute(g: &Graph, deduped: &[Triple]) -> Self {
+        let digests = term_digest_table(g);
+        let mut state = FingerprintState {
+            digests,
+            sum_hi: 0,
+            sum_lo: 0,
+            count: 0,
+        };
+        for &t in deduped {
+            state.add(t);
+        }
+        state
+    }
+
+    /// Extends the digest cache to cover terms interned since the last
+    /// sync. Ids are dense and append-only, so this hashes only new terms.
+    pub(crate) fn sync_terms(&mut self, g: &Graph) {
+        for i in self.digests.len()..g.dict().len() {
+            self.digests.push(term_digest(
+                g.dict().decode(rdf_model::TermId::from_index(i)),
+            ));
+        }
+    }
+
+    #[inline]
+    fn lanes(&self, t: Triple) -> (u64, u64) {
+        triple_lanes(
+            self.digests[t.s.0 as usize],
+            self.digests[t.p.0 as usize],
+            self.digests[t.o.0 as usize],
+        )
+    }
+
+    /// Folds one genuinely inserted triple in.
+    #[inline]
+    pub(crate) fn add(&mut self, t: Triple) {
+        let (hi, lo) = self.lanes(t);
+        self.sum_hi = self.sum_hi.wrapping_add(hi);
+        self.sum_lo = self.sum_lo.wrapping_add(lo);
+        self.count += 1;
+    }
+
+    /// Folds one genuinely removed triple out — the exact inverse of
+    /// [`FingerprintState::add`], by commutativity of the lane sums.
+    #[inline]
+    pub(crate) fn sub(&mut self, t: Triple) {
+        let (hi, lo) = self.lanes(t);
+        self.sum_hi = self.sum_hi.wrapping_sub(hi);
+        self.sum_lo = self.sum_lo.wrapping_sub(lo);
+        self.count -= 1;
+    }
+
+    /// The fingerprint of the current state — O(1).
+    pub(crate) fn finish(&self) -> Fingerprint {
+        Fingerprint {
+            hi: mix64(self.sum_hi ^ mix64(self.count ^ 0x5851_f42d_4c95_7f2d)),
+            lo: mix64(self.sum_lo ^ mix64(self.count ^ 0x1405_7b7e_f767_814f)),
+        }
+    }
+
+    /// Number of cached per-term digests (the eviction test seam).
+    pub(crate) fn digest_cache_len(&self) -> usize {
+        self.digests.len()
+    }
+
+    /// The full-rescan oracle: does the incremental state agree with a
+    /// from-scratch fold over the store's current triples?
+    pub(crate) fn matches_rescan(&self, g: &Graph, deduped: &[Triple]) -> bool {
+        self.finish() == fold_deduped(g, deduped)
+    }
 }
 
 /// The content fingerprint of a graph.
@@ -195,8 +296,34 @@ impl TripleStore {
     /// index (already distinct, so no extra sort pass). Identical graph
     /// content yields an identical fingerprint regardless of load order,
     /// load path, or dictionary numbering.
+    ///
+    /// The first call pays the O(n) fold and caches the incremental
+    /// [`FingerprintState`]; afterwards this is O(1), and the batch
+    /// mutation APIs ([`TripleStore::insert_batch`] /
+    /// [`TripleStore::delete_batch`]) keep the state fresh in O(delta).
+    /// Raw mutation via [`TripleStore::graph_mut`] drops the state, so the
+    /// next call rescans.
     pub fn fingerprint(&self) -> Fingerprint {
-        fold_deduped(self.graph(), self.spo().as_slice())
+        let mut slot = self.fingerprint_state().lock().unwrap();
+        if slot.is_none() {
+            *slot = Some(FingerprintState::compute(
+                self.graph(),
+                self.spo().as_slice(),
+            ));
+        }
+        slot.as_ref().expect("just populated").finish()
+    }
+
+    /// Number of per-term digests currently cached by the incremental
+    /// fingerprint state (0 when the state is cold). The cache is owned by
+    /// this store and dropped with it — the test seam for the
+    /// no-leak-on-evict property.
+    pub fn digest_cache_len(&self) -> usize {
+        self.fingerprint_state()
+            .lock()
+            .unwrap()
+            .as_ref()
+            .map_or(0, FingerprintState::digest_cache_len)
     }
 }
 

@@ -187,6 +187,42 @@ impl SortedIndex {
         }
     }
 
+    /// Merges a batch of additions into the index in one linear pass:
+    /// `O(d log d + n)` for `d` additions over `n` indexed triples, versus
+    /// the `O((n + d) log (n + d))` full rebuild. Additions may arrive in
+    /// any order and may duplicate each other or existing triples — the
+    /// result is exactly a fresh [`SortedIndex::build`] over the union.
+    pub fn insert_merge(&mut self, additions: &[Triple]) {
+        if additions.is_empty() {
+            return;
+        }
+        let mut add = additions.to_vec();
+        add.sort_unstable_by_key(|&t| key(self.order, t));
+        add.dedup();
+        self.triples = merge_dedup(self.order, &self.triples, &add);
+    }
+
+    /// Removes a batch of triples in one filtering merge pass
+    /// (`O(d log d + n)`). Triples not present are ignored, so the result
+    /// is exactly a fresh build over the set difference.
+    pub fn remove_merge(&mut self, removals: &[Triple]) {
+        if removals.is_empty() {
+            return;
+        }
+        let mut rem = removals.to_vec();
+        rem.sort_unstable_by_key(|&t| key(self.order, t));
+        rem.dedup();
+        let order = self.order;
+        let mut j = 0;
+        self.triples.retain(|&t| {
+            let k = key(order, t);
+            while j < rem.len() && key(order, rem[j]) < k {
+                j += 1;
+            }
+            !(j < rem.len() && key(order, rem[j]) == k)
+        });
+    }
+
     /// Is the exact triple present? (Binary search on the full key.)
     pub fn contains(&self, t: Triple) -> bool {
         self.triples
@@ -407,6 +443,50 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// Random insert/remove batches through the merge ops always equal a
+    /// fresh build over the surviving set, in every order.
+    #[test]
+    fn merge_ops_match_fresh_build() {
+        let mut rng = rdf_model::SplitMix64::new(0xA11CE);
+        for order in [Order::Spo, Order::Pos, Order::Osp] {
+            let mut live: Vec<Triple> = Vec::new();
+            let mut idx = SortedIndex::build(order, &[]);
+            for round in 0..20 {
+                let batch: Vec<Triple> = (0..rng.index(12))
+                    .map(|_| {
+                        t(
+                            rng.index(6) as u32,
+                            rng.index(3) as u32,
+                            rng.index(6) as u32,
+                        )
+                    })
+                    .collect();
+                if round % 2 == 0 {
+                    idx.insert_merge(&batch);
+                    live.extend_from_slice(&batch);
+                } else {
+                    idx.remove_merge(&batch);
+                    live.retain(|t| !batch.contains(t));
+                }
+                live.sort_unstable();
+                live.dedup();
+                let fresh = SortedIndex::build(order, &live);
+                assert_eq!(idx.as_slice(), fresh.as_slice(), "{order:?} round {round}");
+                assert!(idx.check_invariants());
+            }
+        }
+    }
+
+    #[test]
+    fn merge_ops_handle_empty_batches() {
+        let mut idx = SortedIndex::build(Order::Spo, &sample());
+        let before = idx.as_slice().to_vec();
+        idx.insert_merge(&[]);
+        idx.remove_merge(&[]);
+        idx.remove_merge(&[t(99, 99, 99)]);
+        assert_eq!(idx.as_slice(), before);
     }
 
     #[test]

@@ -21,7 +21,7 @@ pub use fingerprint::{graph_fingerprint, term_digest, Fingerprint};
 pub use index::{Order, Runs1, SortedIndex};
 pub use pattern::TriplePattern;
 pub use snapshot::SnapshotError;
-pub use store::TripleStore;
+pub use store::{BatchOutcome, TripleStore};
 
 #[cfg(test)]
 mod proptests {
@@ -162,6 +162,49 @@ mod proptests {
             let fp = fingerprint::graph_fingerprint(&g);
             prop_assert_eq!(fingerprint::graph_fingerprint(&restored), fp);
             prop_assert_eq!(TripleStore::new(restored).fingerprint(), fp);
+        }
+
+        /// The incrementally maintained fingerprint equals the full rescan
+        /// after any random sequence of insert/delete batches — including
+        /// no-op batches, in-batch duplicates, and delete-then-reinsert.
+        #[test]
+        fn incremental_fingerprint_matches_rescan(
+            ops in proptest::collection::vec(
+                (0u8..2, proptest::collection::vec((0u8..10, 0u8..4, 0u8..10), 0..8)),
+                1..24,
+            ),
+        ) {
+            let term3 = |&(s, p, o): &(u8, u8, u8)| (
+                rdf_model::Term::iri(format!("http://x/n{s}")),
+                rdf_model::Term::iri(format!("http://x/p{p}")),
+                rdf_model::Term::iri(format!("http://x/n{o}")),
+            );
+            let mut st = TripleStore::new(Graph::new());
+            for (is_insert, batch) in &ops {
+                let batch: Vec<_> = batch.iter().map(term3).collect();
+                let fp = if *is_insert == 1 {
+                    st.insert_batch(&batch).unwrap().fingerprint
+                } else {
+                    st.delete_batch(&batch).fingerprint
+                };
+                // O(1) read-back agrees with the batch outcome…
+                prop_assert_eq!(st.fingerprint(), fp);
+                // …and with an order-independent full rescan of the content.
+                prop_assert_eq!(fingerprint::graph_fingerprint(st.graph()), fp);
+                // …and with a cold store over the same content (fresh
+                // dictionary numbering, no incremental history).
+                let mut twin = Graph::new();
+                let dict = st.graph().dict();
+                for t in st.graph().iter() {
+                    twin.insert(
+                        dict.decode(t.s).clone(),
+                        dict.decode(t.p).clone(),
+                        dict.decode(t.o).clone(),
+                    )
+                    .unwrap();
+                }
+                prop_assert_eq!(TripleStore::new(twin).fingerprint(), fp);
+            }
         }
     }
 }

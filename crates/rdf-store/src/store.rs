@@ -8,21 +8,55 @@
 //! sequentially, exactly like the paper's `SELECT s, p, o FROM D_G`; the
 //! query engine uses the indices.
 
+use crate::fingerprint::{Fingerprint, FingerprintState};
 use crate::index::{Order, SortedIndex};
 use crate::pattern::TriplePattern;
-use rdf_model::{Graph, TermId, Triple};
+use rdf_model::{check_triple, Graph, ModelError, Term, TermId, Triple};
+use std::sync::Mutex;
+
+/// Outcome of one batch mutation ([`TripleStore::insert_batch`] /
+/// [`TripleStore::delete_batch`]).
+#[derive(Clone, Debug)]
+pub struct BatchOutcome {
+    /// The encoded triples genuinely inserted/removed (duplicates and
+    /// already-present/absent triples excluded), in application order.
+    pub applied: Vec<Triple>,
+    /// Content fingerprint after the batch — maintained incrementally, so
+    /// reading it here costs O(1) beyond the delta itself.
+    pub fingerprint: Fingerprint,
+}
 
 /// A read-optimized triple store over an RDF graph.
 ///
-/// The store is built once from a graph; mutate the graph through
-/// [`TripleStore::graph_mut`] and call [`TripleStore::refresh`] to rebuild
-/// the indices (bulk-load-then-query, the paper's off-line usage pattern).
-#[derive(Clone, Debug)]
+/// The store is built once from a graph. Mutate it either through the
+/// delta-aware batch APIs ([`TripleStore::insert_batch`] /
+/// [`TripleStore::delete_batch`]), which keep the three permutation
+/// indices and the content fingerprint fresh in O(delta + merge), or
+/// through raw [`TripleStore::graph_mut`] access followed by
+/// [`TripleStore::refresh`] (bulk-load-then-query, the paper's off-line
+/// usage pattern — O(n log n) and fingerprint rescan).
+#[derive(Debug)]
 pub struct TripleStore {
     graph: Graph,
     spo: SortedIndex,
     pos: SortedIndex,
     osp: SortedIndex,
+    /// Lazily populated incremental fingerprint state (lane sums + the
+    /// per-term digest cache). Owned by this store, so it is reclaimed
+    /// when the store is dropped/evicted; cleared by raw graph mutation.
+    fingerprint: Mutex<Option<FingerprintState>>,
+}
+
+impl Clone for TripleStore {
+    fn clone(&self) -> Self {
+        TripleStore {
+            graph: self.graph.clone(),
+            spo: self.spo.clone(),
+            pos: self.pos.clone(),
+            osp: self.osp.clone(),
+            fingerprint: Mutex::new(self.fingerprint.lock().unwrap().clone()),
+        }
+    }
 }
 
 impl TripleStore {
@@ -34,6 +68,7 @@ impl TripleStore {
             pos: SortedIndex::build(Order::Pos, &all),
             osp: SortedIndex::build(Order::Osp, &all),
             graph,
+            fingerprint: Mutex::new(None),
         }
     }
 
@@ -63,6 +98,115 @@ impl TripleStore {
             pos,
             osp,
             graph,
+            fingerprint: Mutex::new(None),
+        }
+    }
+
+    /// The incremental fingerprint slot (lazily populated by
+    /// [`TripleStore::fingerprint`], maintained by the batch APIs).
+    pub(crate) fn fingerprint_state(&self) -> &Mutex<Option<FingerprintState>> {
+        &self.fingerprint
+    }
+
+    /// Drops the cached fingerprint state; the next
+    /// [`TripleStore::fingerprint`] call rescans from scratch.
+    fn invalidate_fingerprint(&mut self) {
+        *self.fingerprint.lock().unwrap() = None;
+    }
+
+    /// Inserts a batch of term triples, keeping the permutation indices and
+    /// the content fingerprint fresh without a full rebuild: each index
+    /// absorbs the delta with one linear merge
+    /// ([`SortedIndex::insert_merge`]), and the fingerprint's commutative
+    /// lane sums advance by the delta's lanes only.
+    ///
+    /// The batch is atomic with respect to validation: every triple is
+    /// checked first (see [`check_triple`]) and a bad one rejects the whole
+    /// batch without mutating anything. Triples already present (or
+    /// duplicated within the batch) are skipped; `applied` reports what
+    /// actually landed.
+    pub fn insert_batch(
+        &mut self,
+        triples: &[(Term, Term, Term)],
+    ) -> Result<BatchOutcome, ModelError> {
+        for (s, p, o) in triples {
+            check_triple(s, p, o)?;
+        }
+        self.ensure_fingerprint_state();
+        let mut applied = Vec::new();
+        for (s, p, o) in triples {
+            let before = self.graph.len();
+            let (t, _) = self
+                .graph
+                .insert(s.clone(), p.clone(), o.clone())
+                .expect("pre-validated triple");
+            if self.graph.len() > before {
+                applied.push(t);
+            }
+        }
+        self.spo.insert_merge(&applied);
+        self.pos.insert_merge(&applied);
+        self.osp.insert_merge(&applied);
+        let fingerprint = {
+            let mut slot = self.fingerprint.lock().unwrap();
+            let state = slot.as_mut().expect("ensured above");
+            state.sync_terms(&self.graph);
+            for &t in &applied {
+                state.add(t);
+            }
+            debug_assert!(
+                state.matches_rescan(&self.graph, self.spo.as_slice()),
+                "incremental fingerprint diverged from full rescan after insert"
+            );
+            state.finish()
+        };
+        Ok(BatchOutcome {
+            applied,
+            fingerprint,
+        })
+    }
+
+    /// Deletes a batch of term triples; the mirror image of
+    /// [`TripleStore::insert_batch`] (linear index merges, lane-sum
+    /// subtraction). Triples whose terms are unknown to the dictionary, or
+    /// that are simply absent, are skipped — deletion never fails.
+    /// Dictionary entries are never reclaimed, so re-inserting a deleted
+    /// triple restores the exact fingerprint it had before.
+    pub fn delete_batch(&mut self, triples: &[(Term, Term, Term)]) -> BatchOutcome {
+        self.ensure_fingerprint_state();
+        let dict = self.graph.dict();
+        let mut encoded = Vec::new();
+        for (s, p, o) in triples {
+            if let (Some(s), Some(p), Some(o)) = (dict.lookup(s), dict.lookup(p), dict.lookup(o)) {
+                encoded.push(Triple::new(s, p, o));
+            }
+        }
+        let applied = self.graph.remove_encoded_batch(&encoded);
+        self.spo.remove_merge(&applied);
+        self.pos.remove_merge(&applied);
+        self.osp.remove_merge(&applied);
+        let fingerprint = {
+            let mut slot = self.fingerprint.lock().unwrap();
+            let state = slot.as_mut().expect("ensured above");
+            for &t in &applied {
+                state.sub(t);
+            }
+            debug_assert!(
+                state.matches_rescan(&self.graph, self.spo.as_slice()),
+                "incremental fingerprint diverged from full rescan after delete"
+            );
+            state.finish()
+        };
+        BatchOutcome {
+            applied,
+            fingerprint,
+        }
+    }
+
+    fn ensure_fingerprint_state(&mut self) {
+        let mut slot = self.fingerprint.lock().unwrap();
+        if slot.is_none() {
+            *slot = Some(FingerprintState::compute(&self.graph, self.spo.as_slice()));
         }
     }
 
@@ -72,8 +216,11 @@ impl TripleStore {
     }
 
     /// Mutable access to the underlying graph. Call [`Self::refresh`]
-    /// afterwards to rebuild indices.
+    /// afterwards to rebuild indices. Drops the incremental fingerprint
+    /// state (and its per-term digest cache) — raw mutation is invisible to
+    /// the lane sums, so the next [`TripleStore::fingerprint`] rescans.
     pub fn graph_mut(&mut self) -> &mut Graph {
+        self.invalidate_fingerprint();
         &mut self.graph
     }
 
@@ -84,6 +231,7 @@ impl TripleStore {
 
     /// Rebuilds the indices after graph mutation.
     pub fn refresh(&mut self) {
+        self.invalidate_fingerprint();
         let all: Vec<Triple> = self.graph.iter().collect();
         self.spo = SortedIndex::build(Order::Spo, &all);
         self.pos = SortedIndex::build(Order::Pos, &all);
@@ -318,6 +466,117 @@ mod tests {
         assert_eq!(st.len(), 6);
         let p = id(&st, "p");
         assert_eq!(st.count(TriplePattern::new(None, Some(p), None)), 4);
+    }
+
+    fn iri3(s: &str, p: &str, o: &str) -> (rdf_model::Term, rdf_model::Term, rdf_model::Term) {
+        (
+            rdf_model::Term::iri(s),
+            rdf_model::Term::iri(p),
+            rdf_model::Term::iri(o),
+        )
+    }
+
+    #[test]
+    fn insert_batch_updates_indices_and_fingerprint() {
+        let mut st = store();
+        let cold_fp = st.fingerprint();
+        let out = st
+            .insert_batch(&[
+                iri3("z", "p", "w"),
+                iri3("z", "p", "w"), // in-batch duplicate
+                iri3("a", "p", "b"), // already present
+                iri3("z", "q", "w"),
+            ])
+            .unwrap();
+        assert_eq!(out.applied.len(), 2);
+        assert_eq!(st.len(), 7);
+        assert_ne!(out.fingerprint, cold_fp);
+        // Indices match a from-scratch rebuild.
+        let fresh = TripleStore::new(st.graph().clone());
+        assert_eq!(st.spo().as_slice(), fresh.spo().as_slice());
+        assert_eq!(st.pos().as_slice(), fresh.pos().as_slice());
+        assert_eq!(st.osp().as_slice(), fresh.osp().as_slice());
+        assert_eq!(out.fingerprint, fresh.fingerprint());
+        let p = id(&st, "p");
+        assert_eq!(st.count(TriplePattern::new(None, Some(p), None)), 4);
+    }
+
+    #[test]
+    fn insert_batch_rejects_invalid_without_mutating() {
+        let mut st = store();
+        let fp = st.fingerprint();
+        let bad = (
+            rdf_model::Term::literal("lit"),
+            rdf_model::Term::iri("p"),
+            rdf_model::Term::iri("o"),
+        );
+        assert!(st.insert_batch(&[iri3("z", "p", "w"), bad]).is_err());
+        assert_eq!(st.len(), 5);
+        assert_eq!(st.fingerprint(), fp);
+    }
+
+    #[test]
+    fn delete_batch_updates_indices_and_fingerprint() {
+        let mut st = store();
+        let fp0 = st.fingerprint();
+        let out = st.delete_batch(&[
+            iri3("a", "p", "b"),
+            iri3("a", "p", "b"),       // in-batch duplicate
+            iri3("never", "was", "x"), // unknown terms: no-op
+            iri3("a", "q", "c"),       // absent triple: no-op
+        ]);
+        assert_eq!(out.applied.len(), 1);
+        assert_eq!(st.len(), 4);
+        let fresh = TripleStore::new(st.graph().clone());
+        assert_eq!(st.spo().as_slice(), fresh.spo().as_slice());
+        assert_eq!(st.pos().as_slice(), fresh.pos().as_slice());
+        assert_eq!(st.osp().as_slice(), fresh.osp().as_slice());
+        assert_eq!(out.fingerprint, fresh.fingerprint());
+        // Delete-then-reinsert restores the exact fingerprint.
+        let back = st.insert_batch(&[iri3("a", "p", "b")]).unwrap();
+        assert_eq!(back.fingerprint, fp0);
+    }
+
+    #[test]
+    fn empty_batches_are_noops() {
+        let mut st = store();
+        let fp = st.fingerprint();
+        let ins = st.insert_batch(&[]).unwrap();
+        assert!(ins.applied.is_empty());
+        assert_eq!(ins.fingerprint, fp);
+        let del = st.delete_batch(&[]);
+        assert!(del.applied.is_empty());
+        assert_eq!(del.fingerprint, fp);
+        assert_eq!(st.len(), 5);
+    }
+
+    #[test]
+    fn raw_mutation_invalidates_fingerprint_state() {
+        let mut st = store();
+        let fp0 = st.fingerprint();
+        assert!(st.digest_cache_len() > 0);
+        st.graph_mut().add_iri_triple("z", "p", "w");
+        // State dropped: the digest cache is gone until the next rescan.
+        assert_eq!(st.digest_cache_len(), 0);
+        st.refresh();
+        let fp1 = st.fingerprint();
+        assert_ne!(fp0, fp1);
+        // …and the rescan agrees with the batch-maintained path.
+        let mut st2 = store();
+        let out = st2.insert_batch(&[iri3("z", "p", "w")]).unwrap();
+        assert_eq!(out.fingerprint, fp1);
+    }
+
+    #[test]
+    fn clone_carries_fingerprint_state() {
+        let mut st = store();
+        let fp = st.fingerprint();
+        let cl = st.clone();
+        assert_eq!(cl.digest_cache_len(), st.digest_cache_len());
+        assert_eq!(cl.fingerprint(), fp);
+        // Clones diverge independently.
+        let out = st.insert_batch(&[iri3("z", "p", "w")]).unwrap();
+        assert_ne!(out.fingerprint, cl.fingerprint());
     }
 
     #[test]

@@ -136,6 +136,14 @@ impl Client {
         self.request(&format!("QUERY {graph} {query}"))
     }
 
+    /// `UPDATE <graph> <+|-> <triples…>` — insert (`insert == true`) or
+    /// delete a batch of `.`-terminated N-Triples statements on a
+    /// resident graph. The response is status-line-only.
+    pub fn update(&mut self, graph: &str, insert: bool, payload: &str) -> io::Result<Response> {
+        let op = if insert { "+" } else { "-" };
+        self.request(&format!("UPDATE {graph} {op} {payload}"))
+    }
+
     /// `EVICT <graph>` (or `EVICT *` when `graph` is `None`).
     pub fn evict(&mut self, graph: Option<&str>) -> io::Result<Response> {
         self.request(&format!("EVICT {}", graph.unwrap_or("*")))

@@ -18,8 +18,9 @@
 //!     summary-pruned and plan-ordered — and inlining them means a batch
 //!     of ready connections is served with zero handoffs, which on a
 //!     loaded box is worth several context switches per request;
-//!   - `LOAD` and `SUMMARIZE` — the verbs that can take seconds cold —
-//!     are handed to the **executor**, a fixed pool of
+//!   - `LOAD`, `SUMMARIZE` and `UPDATE` — the verbs that can take
+//!     seconds (cold builds, or an update whose summary re-keying falls
+//!     back to a rebuild) — are handed to the **executor**, a fixed pool of
 //!     [`rdfsum_core::Executor`] workers, so a cold build can never
 //!     stall keep-alive traffic on other connections;
 //! * **completions** of offloaded requests come back over a
@@ -554,11 +555,15 @@ fn queue_err(c: &mut Conn, err: &ProtocolError) {
 
 /// Which verbs go to the executor instead of running on the event
 /// thread: the ones that can take seconds cold (graph parse, summary
-/// build). Everything else — including warm `QUERY` — is μs-scale and
-/// runs inline, where batching keeps the hot path free of handoffs.
+/// build, and `UPDATE`'s summary re-keying, whose fallback path is a
+/// full rebuild). Everything else — including warm `QUERY` — is μs-scale
+/// and runs inline, where batching keeps the hot path free of handoffs.
 fn offloads(req: &crate::protocol::Request) -> bool {
     use crate::protocol::Request;
-    matches!(req, Request::Load { .. } | Request::Summarize { .. })
+    matches!(
+        req,
+        Request::Load { .. } | Request::Summarize { .. } | Request::Update { .. }
+    )
 }
 
 /// Runs one request on the event thread, appending its response to the

@@ -13,17 +13,31 @@
 //!                              the name it was loaded under (its path)
 //! STATS                        service counters + resident graph listing
 //! QUERY <graph> <query>        evaluate a BGP query on a resident graph
+//! UPDATE <graph> <+|-> <triples…>  insert (`+`) or delete (`-`) the
+//!                              N-Triples statements packed on the rest
+//!                              of the line into/from a resident graph
 //! EVICT <graph> | EVICT *      drop one graph, or everything
 //! QUIT                         close the connection
 //! ```
 //!
 //! Verbs are case-insensitive; `<path>`/`<graph>` extend to the end of the
-//! line, so file names may contain spaces — except for `QUERY`, whose
-//! `<graph>` operand is the *first* whitespace-delimited token after the
-//! verb, because everything after it is the query text (paper notation,
-//! e.g. `q(?x) :- ?x <author> ?y`, which freely contains spaces). A graph
-//! whose name embeds whitespace is therefore not addressable by `QUERY`;
-//! load it under a whitespace-free name if you intend to query it.
+//! line, so file names may contain spaces — except for `QUERY` and
+//! `UPDATE`, whose `<graph>` operand is the *first* whitespace-delimited
+//! token after the verb, because everything after it is the query text
+//! (paper notation, e.g. `q(?x) :- ?x <author> ?y`, which freely contains
+//! spaces) or the N-Triples payload. A graph whose name embeds whitespace
+//! is therefore not addressable by `QUERY` or `UPDATE`; load it under a
+//! whitespace-free name if you intend to query or update it.
+//!
+//! An `UPDATE` payload is one or more `.`-terminated N-Triples statements
+//! on the request line (the line cap bounds batch size; larger batches
+//! just send more `UPDATE` lines). Insertion is atomic: a malformed
+//! payload or a model-invalid triple rejects the whole batch. Deletion
+//! skips absent triples rather than failing. The success line is
+//! `OK update fp=<new> applied=<n> patched=<p> rebuilt=<r>` — `applied`
+//! counts triples that actually changed the graph, and `patched`/
+//! `rebuilt` say how each warm cached summary of the old fingerprint was
+//! carried to the new one (incremental patch vs. full rebuild).
 //!
 //! A response is one status line, optionally followed by a length-framed
 //! binary body:
@@ -35,7 +49,7 @@
 //! ```
 //!
 //! Exactly the `summary`, `stats` and `query` response tags (the word
-//! after `OK`) carry a body; its length is the status line's final
+//! after `OK`) carry a body (`update` answers status-line-only); its length is the status line's final
 //! `bytes=<n>` field. Other `OK` lines may end in free-form fields
 //! (`LOAD` echoes the path as `graph=<path>`), so clients must key the
 //! framing decision on the tag, never on the last token alone. The
@@ -100,6 +114,20 @@ pub enum Request {
         /// The query text, paper notation; extends to the end of the
         /// line and may contain any embedded whitespace.
         query: String,
+    },
+    /// `UPDATE <graph> <+|-> <triples…>` — insert or delete a batch of
+    /// N-Triples statements on a resident graph, re-keying its cached
+    /// summaries under the new fingerprint (patched incrementally where
+    /// sound, rebuilt otherwise).
+    Update {
+        /// Resident graph name (first whitespace-delimited token, same
+        /// addressing restriction as `QUERY`).
+        graph: String,
+        /// `true` for `+` (insert), `false` for `-` (delete).
+        insert: bool,
+        /// The raw N-Triples payload: one or more `.`-terminated
+        /// statements, extending to the end of the line.
+        payload: String,
     },
     /// `EVICT <graph>` / `EVICT *` — drop one graph or all state.
     Evict {
@@ -235,6 +263,30 @@ pub fn parse_request(raw: &[u8]) -> Result<Request, ProtocolError> {
                 query: query.into(),
             })
         }
+        "UPDATE" => {
+            const USAGE: &str = "UPDATE <graph> <+|-> <triples…>";
+            let (graph, rest) = rest
+                .split_once(char::is_whitespace)
+                .map(|(g, r)| (g, r.trim_start()))
+                .ok_or(ProtocolError::Usage(USAGE))?;
+            let (op, payload) = rest
+                .split_once(char::is_whitespace)
+                .map(|(o, p)| (o, p.trim()))
+                .ok_or(ProtocolError::Usage(USAGE))?;
+            let insert = match op {
+                "+" => true,
+                "-" => false,
+                _ => return Err(ProtocolError::Usage(USAGE)),
+            };
+            if payload.is_empty() {
+                return Err(ProtocolError::Usage(USAGE));
+            }
+            Ok(Request::Update {
+                graph: graph.into(),
+                insert,
+                payload: payload.into(),
+            })
+        }
         "EVICT" => match rest {
             "" => Err(ProtocolError::Usage("EVICT <graph> | EVICT *")),
             "*" => Ok(Request::Evict { graph: None }),
@@ -299,8 +351,21 @@ mod tests {
             })
         );
         assert_eq!(
-            parse_request(b"EVICT *"),
-            Ok(Request::Evict { graph: None })
+            parse_request(b"UPDATE g.nt + <s:a> <p:b> <o:c> ."),
+            Ok(Request::Update {
+                graph: "g.nt".into(),
+                insert: true,
+                payload: "<s:a> <p:b> <o:c> .".into()
+            })
+        );
+        // Deletes, lowercase verb, and multiple packed statements.
+        assert_eq!(
+            parse_request(b"update g - <s:a> <p:b> <o:c> . <s:d> <p:b> <o:c> ."),
+            Ok(Request::Update {
+                graph: "g".into(),
+                insert: false,
+                payload: "<s:a> <p:b> <o:c> . <s:d> <p:b> <o:c> .".into()
+            })
         );
         assert_eq!(
             parse_request(b"EVICT g.nt"),
@@ -399,6 +464,21 @@ mod tests {
             parse_request(b"QUERY g.nt    "),
             Err(ProtocolError::Usage("QUERY <graph> <query>"))
         );
+        const UPDATE_USAGE: &str = "UPDATE <graph> <+|-> <triples…>";
+        for raw in [
+            &b"UPDATE"[..],
+            b"UPDATE g.nt",
+            b"UPDATE g.nt +",
+            b"UPDATE g.nt +   ",
+            b"UPDATE g.nt * <s:a> <p:b> <o:c> .",
+        ] {
+            assert_eq!(
+                parse_request(raw),
+                Err(ProtocolError::Usage(UPDATE_USAGE)),
+                "raw: {}",
+                String::from_utf8_lossy(raw)
+            );
+        }
     }
 
     #[test]

@@ -5,8 +5,9 @@
 //! readiness loop over `poll(2)` multiplexes every connection.
 //! Microsecond-scale verbs (`PING`, `STATS`, `QUERY`, `EVICT`, `QUIT`)
 //! dispatch inline on the event thread; the seconds-scale ones (`LOAD`,
-//! cold `SUMMARIZE`) run on a bounded executor of `workers` threads so a
-//! cold build never stalls keep-alive traffic. `workers` therefore caps
+//! cold `SUMMARIZE`, `UPDATE` — whose summary re-keying can rebuild) run
+//! on a bounded executor of `workers` threads so a cold build never
+//! stalls keep-alive traffic. `workers` therefore caps
 //! concurrent *heavy* request execution — connections are not limited by
 //! it; thousands of idle keep-alive clients cost one fd and a small
 //! state struct each.
@@ -225,6 +226,23 @@ pub(crate) fn dispatch(
                 Err(err) => write_err(w, "query", &err)?,
             }
         }
+        Request::Update {
+            graph,
+            insert,
+            payload,
+        } => match rdf_io::parse_statements(&payload) {
+            Ok(triples) => match service.update(&graph, insert, &triples) {
+                Ok(out) => write_ok(
+                    w,
+                    &format!(
+                        "update fp={} applied={} patched={} rebuilt={}",
+                        out.fingerprint, out.applied, out.patched, out.rebuilt
+                    ),
+                )?,
+                Err(err) => write_err(w, "update", &err)?,
+            },
+            Err(err) => write_err(w, "update", &err)?,
+        },
         Request::Stats => {
             let st = service.stats();
             let mut body = String::new();
@@ -232,7 +250,7 @@ pub(crate) fn dispatch(
                 body.push_str(&format!("{fp} {triples} {name}\n"));
             }
             let fields = format!(
-                "stats graphs={} cached={} hits={} misses={} builds={} queries={} pruned={} prune_hits={} evictions={} cache_bytes={}",
+                "stats graphs={} cached={} hits={} misses={} builds={} queries={} pruned={} prune_hits={} evictions={} cache_bytes={} updates={} patches={} patch_fallbacks={}",
                 st.graphs,
                 st.cached_summaries,
                 st.hits,
@@ -242,7 +260,10 @@ pub(crate) fn dispatch(
                 st.pruned,
                 st.prune_hits,
                 st.evictions,
-                st.cache_bytes
+                st.cache_bytes,
+                st.updates,
+                st.patches,
+                st.patch_fallbacks
             );
             write_ok_body(w, &fields, body.as_bytes())?;
         }

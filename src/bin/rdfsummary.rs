@@ -57,10 +57,12 @@ USAGE:
                          SUMMARIZE; see `src/lib.rs` Serving)
   rdfsummary client     ADDR REQUEST…                   send one protocol
                          request (PING | LOAD <path> | SUMMARIZE <kind>
-                         <graph> | QUERY <graph> <query> | STATS |
-                         EVICT <graph>|* | QUIT); body goes to stdout,
-                         status to stderr. QUERY evaluates a BGP on the
-                         warm store with summary-based emptiness pruning
+                         <graph> | QUERY <graph> <query> | UPDATE <graph>
+                         <+|-> <triples…> | STATS | EVICT <graph>|* |
+                         QUIT); body goes to stdout, status to stderr.
+                         QUERY evaluates a BGP on the warm store with
+                         summary-based emptiness pruning; UPDATE applies
+                         an N-Triples batch and patches warm summaries
 
 <graph> is an N-Triples file (.nt) or a binary snapshot (.snap).
 QUERY uses the paper notation, e.g. \"q(?x) :- ?x a <http://…/Book>, ?x <http://…/author> ?y\""
@@ -380,7 +382,8 @@ fn cmd_generate(rest: &[String]) -> Result<(), String> {
 /// `serve`: the long-running warm-store summary server. `--threads`
 /// bounds build/bulk-load parallelism (same meaning as for `summarize`);
 /// `--workers` sizes the executor for the seconds-scale verbs (`LOAD`,
-/// cold `SUMMARIZE`) — cheap verbs answer inline on the event thread — and
+/// cold `SUMMARIZE`, `UPDATE`) — cheap verbs answer inline on the event
+/// thread — and
 /// never caps how many clients may stay connected (default
 /// `max(threads, 4)`).
 /// `--engine threaded` falls back to the thread-per-connection pool, where

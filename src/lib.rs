@@ -85,6 +85,7 @@
 //! ```text
 //! PING                       LOAD <path>
 //! SUMMARIZE <kind> <graph>   QUERY <graph> <query>
+//! UPDATE <graph> <+|-> <triples…>
 //! STATS                      EVICT <graph> | EVICT *
 //! QUIT
 //! ```
@@ -103,6 +104,28 @@
 //! (single-flight). `--cache-bytes N` puts an LRU byte budget on that
 //! cache; evictions, hits and misses show up in `STATS`.
 //!
+//! `UPDATE` mutates a resident graph in place: `+` atomically inserts the
+//! N-Triples statements packed on the rest of the line (all or nothing —
+//! a malformed or capacity-violating statement rejects the whole batch),
+//! `-` deletes them, silently skipping absent triples. The store's
+//! 128-bit fingerprint is maintained **incrementally** — the commutative
+//! lane-sum digest adds/subtracts exactly the touched triples, so the
+//! post-batch fingerprint costs O(batch), not an SPO rescan — and the
+//! answer is status-line-only: `OK update fp=<new> applied=<n>
+//! patched=<0|1> rebuilt=<0|1>`. Cached summaries follow the fingerprint
+//! transition: an insert batch whose graph has a warm **weak** summary is
+//! *patched* (`core::incremental` replays the delta through the clique
+//! union–find and re-keys the cached artifact, byte-identical to a fresh
+//! build) instead of rebuilt; deletes and the other summary kinds fall
+//! back to dropping the stale entry, and the next `SUMMARIZE` rebuilds.
+//! `STATS` exposes the accounting — `updates` (batches applied),
+//! `patches` (transitions served by patching), `patch_fallbacks`
+//! (transitions that had to rebuild) — and the invariant `builds ==
+//! patch_fallbacks + misses` holds at all times: every build is either a
+//! plain cache miss or an update that could not be patched. The
+//! `update_serving` bench group and `load_driver --update-mix` exercise
+//! this path under load.
+//!
 //! The server is **event-driven**: one thread multiplexes every
 //! connection over a `poll(2)` readiness loop (the workspace `polling`
 //! shim) with buffered partial-line reads and resumable partial writes,
@@ -110,8 +133,8 @@
 //! struct each — no thread per connection, no busy-spin. Microsecond
 //! verbs (`PING`, `STATS`, `QUERY`, `EVICT`, `QUIT`) are answered inline
 //! on the event thread; the seconds-scale ones (`LOAD`, cold
-//! `SUMMARIZE`) are handed to a bounded executor so a cold build never
-//! stalls keep-alive traffic. That makes `--workers N` (default:
+//! `SUMMARIZE`, `UPDATE`) are handed to a bounded executor so a cold
+//! build or graph mutation never stalls keep-alive traffic. That makes `--workers N` (default:
 //! max(threads, 4)) the width of the *executor* — how many heavy
 //! requests may run at once — **not** a cap on connections. `--threads
 //! N` still bounds build/bulk-load parallelism exactly as it does for

@@ -369,6 +369,88 @@ fn stress_interleaved_load_summarize_evict() {
     handle.shutdown();
 }
 
+/// The delta-serving contract over real TCP: a single-triple `UPDATE`
+/// patches the warm weak summary in place (no rebuild), the patched body
+/// served under the new fingerprint is byte-identical to a cold build of
+/// the updated graph, a delete falls back to a rebuild, and the STATS
+/// line carries the new `updates`/`patches`/`patch_fallbacks` counters.
+#[test]
+fn update_patches_warm_weak_summary_over_the_wire() {
+    let dir = workdir("update");
+    let g = rdfsummary::rdfsum_core::fixtures::book_graph();
+    let path = dir.join("book.nt");
+    save_path(&g, &path).unwrap();
+    let path_str = path.to_str().unwrap();
+
+    let (handle, service) = start(1, 2);
+    let mut client = Client::connect(handle.addr()).unwrap();
+    client.load(path_str).unwrap();
+    let cold = client.summarize(SummaryKind::Weak, path_str).unwrap();
+    assert_eq!(cold.field("cached"), Some("0"));
+    let builds_before = service.builds();
+
+    // Insert one data triple: the warm weak summary must be *patched*
+    // across the fingerprint transition, not rebuilt.
+    let payload = "<http://pr8/s> <http://pr8/p> <http://pr8/o> .";
+    let r = client.update(path_str, true, payload).unwrap();
+    assert!(r.is_ok(), "{}", r.status);
+    assert_eq!(r.field("applied"), Some("1"));
+    assert_eq!(r.field("patched"), Some("1"));
+    assert_eq!(r.field("rebuilt"), Some("0"));
+    assert_eq!(service.builds(), builds_before, "a patch must not rebuild");
+    assert_ne!(r.field("fp"), cold.field("fp"), "fingerprint must move");
+
+    // The patched artifact serves as a warm hit under the new fingerprint…
+    let hit = client.summarize(SummaryKind::Weak, path_str).unwrap();
+    assert_eq!(hit.field("cached"), Some("1"));
+    assert_eq!(hit.field("fp"), r.field("fp"));
+    // …byte-identical to a cold build over the same updated content.
+    let mut updated = g.clone();
+    updated
+        .insert(
+            Term::iri("http://pr8/s"),
+            Term::iri("http://pr8/p"),
+            Term::iri("http://pr8/o"),
+        )
+        .unwrap();
+    let expect = write_graph(&summarize(&updated, SummaryKind::Weak).graph);
+    assert_eq!(hit.body_str(), Some(expect.as_str()));
+
+    // Deleting the triple falls back to a rebuild (quotient summaries are
+    // not decremental) and restores the original fingerprint + bytes.
+    let del = client.update(path_str, false, payload).unwrap();
+    assert!(del.is_ok(), "{}", del.status);
+    assert_eq!(del.field("applied"), Some("1"));
+    assert_eq!(del.field("patched"), Some("0"));
+    assert_eq!(del.field("rebuilt"), Some("1"));
+    assert_eq!(del.field("fp"), cold.field("fp"));
+    let back = client.summarize(SummaryKind::Weak, path_str).unwrap();
+    assert_eq!(back.field("cached"), Some("1"));
+    assert_eq!(back.body, cold.body);
+
+    // STATS reports the new counters and the CI invariant holds:
+    // every build is either a patch fallback or a plain cache miss.
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.field("updates"), Some("2"));
+    assert_eq!(stats.field("patches"), Some("1"));
+    assert_eq!(stats.field("patch_fallbacks"), Some("1"));
+    let field = |k: &str| stats.field(k).unwrap().parse::<u64>().unwrap();
+    assert_eq!(field("builds"), field("patch_fallbacks") + field("misses"));
+
+    // Error paths: malformed payload, bad triple, unknown graph — all
+    // clean ERRs that keep the connection serving.
+    let bad = client.update(path_str, true, "not ntriples").unwrap();
+    assert!(bad.status.starts_with("ERR update:"), "{}", bad.status);
+    let missing = client.update("/nope.nt", true, payload).unwrap();
+    assert!(
+        missing.status.starts_with("ERR update:"),
+        "{}",
+        missing.status
+    );
+    assert!(client.ping().unwrap().is_ok());
+    handle.shutdown();
+}
+
 /// The CLI front-end end to end: `rdfsummary serve` prints its resolved
 /// address, `rdfsummary client` scripts LOAD / SUMMARIZE / STATS against
 /// it, and the piped SUMMARIZE body equals the CLI's --out bytes.
