@@ -5,9 +5,9 @@
 
 use rdfsum_core::cliques::CliqueScope;
 use rdfsum_core::equivalence::weak_partition;
-use rdfsum_core::SummaryContext;
+use rdfsum_core::{MergeProfile, MergeStrategy, SummaryContext};
 use rdfsum_workloads::BsbmConfig;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 fn main() {
     let products: usize = std::env::args()
@@ -51,4 +51,52 @@ fn main() {
     time("weak total (throwaway)", &mut || {
         std::hint::black_box(rdfsum_core::weak_summary(&g));
     });
+
+    // Merge-stage breakdown: where the sharded reduction spends its
+    // wall-clock, round by round, under both strategies — the numbers
+    // that justify (or retune) the tree-vs-fold crossover.
+    let us = |d: Duration| d.as_secs_f64() * 1e6;
+    let merge_total =
+        |p: &MergeProfile| p.rounds.iter().map(|r| r.wall).sum::<Duration>() + p.types + p.emission;
+    println!("\nmerge breakdown (best of 5 builds per row):");
+    for shards in [2usize, 4, 8, 16] {
+        for strategy in [MergeStrategy::Fold, MergeStrategy::Tree] {
+            let mut best: Option<MergeProfile> = None;
+            let iters = 5u32;
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                let (ctx, profile) = SummaryContext::sharded_forced_with(&g, shards, strategy);
+                std::hint::black_box(ctx);
+                if best
+                    .as_ref()
+                    .is_none_or(|b| merge_total(&profile) < merge_total(b))
+                {
+                    best = Some(profile);
+                }
+            }
+            let build = t0.elapsed().as_secs_f64() * 1e6 / f64::from(iters);
+            let p = best.unwrap();
+            println!(
+                "{:>14} S={shards:<2}: build {build:>10.1} us, merge {:>9.1} us",
+                format!("{strategy:?}"),
+                us(merge_total(&p))
+            );
+            for (i, r) in p.rounds.iter().enumerate() {
+                println!(
+                    "{:>18} {i}: pairs={:<2} absorb={:>8.1} us degrees={:>8.1} us wall={:>8.1} us",
+                    "round",
+                    r.pairs,
+                    us(r.absorb),
+                    us(r.degrees),
+                    us(r.wall)
+                );
+            }
+            println!(
+                "{:>24}  types={:>8.1} us emission={:>8.1} us",
+                "",
+                us(p.types),
+                us(p.emission)
+            );
+        }
+    }
 }

@@ -47,16 +47,31 @@
 //! substrates, one per contiguous input shard, merged after a parallel
 //! scan. Three observations make the merge exact (not merely equivalent):
 //!
-//! 1. **First-seen numbering remaps preserve determinism.** Each shard
-//!    numbers the nodes/properties of its chunk with a *local*
-//!    [`DenseIdMap`] in local first-seen order. First-seen order over a
-//!    concatenation of chunks is the in-order merge of the per-chunk
-//!    first-seen orders, so absorbing the shard maps into one global map
-//!    *in shard order* ([`DenseIdMap::absorb`]) assigns every node the
-//!    exact dense id the sequential pass would have — the per-shard ids
-//!    are rewritten through the returned remap tables in one parallel
-//!    post-pass. Numbering, and hence every downstream artifact, is
-//!    deterministic and shard-count-invariant.
+//! 1. **First-seen numbering remaps preserve determinism — and reduce as
+//!    a tree.** Each shard numbers the nodes/properties of its chunk with
+//!    a *local* [`DenseIdMap`] in local first-seen order. First-seen order
+//!    over a concatenation of chunks is the in-order merge of the
+//!    per-chunk first-seen orders, so absorbing the shard maps into one
+//!    global map *in shard order* ([`DenseIdMap::absorb`]) assigns every
+//!    node the exact dense id the sequential pass would have. Crucially
+//!    the argument is *associative*: absorbing chunk `B` into chunk `A`
+//!    yields the first-seen numbering of the concatenation `A·B`, which is
+//!    itself a chunk — so the S partials need not be folded left-to-right
+//!    on one thread. [`MergeStrategy::Tree`] (the default) reduces them as
+//!    an **ordered binary tree**: ⌈log₂ S⌉ pairwise rounds whose pairs
+//!    absorb concurrently, each combined unit keeping one remap table per
+//!    covered leaf. An absorb only ever *appends* to the left unit's
+//!    numbering, so the left leaves' tables survive unchanged and only the
+//!    right unit's tables are rewritten, through
+//!    [`DenseIdMap::compose_remaps`]. Degrees, typed-subject lists, and
+//!    the per-leaf tables ride along in the same rounds, and the final
+//!    unit's numbering — every table included — is byte-identical to the
+//!    serial fold's (pinned per round shape by the forced-shard suites at
+//!    S up to 64 and the remap-composition proptest in `rdf-model`). The
+//!    per-shard CSR entries are then rewritten through the final tables in
+//!    one parallel post-pass. Numbering, and hence every downstream
+//!    artifact, is deterministic, shard-count-invariant, and
+//!    merge-strategy-invariant.
 //! 2. **CSR stitching is an order-preserving concatenation.** A shard's
 //!    remapped `(row, property)` entries keep their chunk-scan order, and
 //!    shard concatenation order equals global scan order, so handing the
@@ -92,6 +107,7 @@ use crate::weak::class_property_sets;
 use rdf_model::{Component, DenseIdMap, FxHashMap, Graph, Term, TermId, NO_DENSE_ID};
 use rdf_store::TripleStore;
 use std::cell::OnceCell;
+use std::time::{Duration, Instant};
 
 /// The canonical class sets of the typed resources, interned densely.
 #[derive(Clone, Debug)]
@@ -188,6 +204,193 @@ struct ShardPart {
     /// Local ids of typed subjects (store-driven shards only; the graph
     /// path types sequentially during the merge).
     typed: Vec<u32>,
+}
+
+/// How a sharded build reduces its shard partials into the global
+/// substrate. Both strategies produce byte-identical substrates (module
+/// docs, observation 1); they differ only in wall-clock shape.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum MergeStrategy {
+    /// Left fold: absorb the partials one by one, in shard order, on the
+    /// calling thread — `O(S)` sequential absorbs. The PR 4 merge; kept as
+    /// the crossover-measurement baseline of the `sharded_substrate`
+    /// bench.
+    Fold,
+    /// Ordered binary tree: `⌈log₂ S⌉` pairwise rounds whose pairs absorb
+    /// concurrently, composing the right unit's leaf remap tables through
+    /// [`DenseIdMap::compose_remaps`].
+    #[default]
+    Tree,
+}
+
+/// Wall-clock breakdown of one sharded merge — the measurement seam the
+/// `profile_substrate` bin prints so merge-threshold tuning is measured,
+/// not guessed. Collecting it costs a few `Instant` reads per round.
+#[derive(Clone, Debug, Default)]
+pub struct MergeProfile {
+    /// One entry per pairwise reduction round (a single entry for a fold).
+    pub rounds: Vec<MergeRound>,
+    /// Type-triple interning after the data merge (graph path only).
+    pub types: Duration,
+    /// Substrate emission after the merge: entry remap + both CSR fills.
+    pub emission: Duration,
+}
+
+/// One reduction round of a [`MergeProfile`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MergeRound {
+    /// Pair absorbs in the round (concurrent under
+    /// [`MergeStrategy::Tree`], sequential under [`MergeStrategy::Fold`]).
+    pub pairs: usize,
+    /// Summed [`DenseIdMap::absorb`] time across the round's pairs.
+    pub absorb: Duration,
+    /// Summed degree/typed accumulation + remap-composition time.
+    pub degrees: Duration,
+    /// Wall-clock time of the whole round.
+    pub wall: Duration,
+}
+
+/// One numbering unit of the merge reduction: an already-merged run of
+/// *consecutive* leaves, carrying the combined numbering plus one
+/// `local → unit` remap table per covered leaf (in leaf order).
+struct MergeUnit {
+    node_map: DenseIdMap,
+    prop_map: DenseIdMap,
+    /// Unit-node-indexed degree sums (may lag `node_map.len()`; absorbs
+    /// resize before accumulating).
+    out_deg: Vec<u32>,
+    in_deg: Vec<u32>,
+    /// Unit ids of typed subjects, in leaf order (store path).
+    typed: Vec<u32>,
+    node_remaps: Vec<Vec<u32>>,
+    prop_remaps: Vec<Vec<u32>>,
+}
+
+impl MergeUnit {
+    /// A single-leaf unit, taking the numbering state out of `part` (the
+    /// CSR entry lists stay behind for the post-merge remap pass).
+    fn leaf(part: &mut ShardPart) -> MergeUnit {
+        let node_map = std::mem::take(&mut part.node_map);
+        let prop_map = std::mem::take(&mut part.prop_map);
+        MergeUnit {
+            out_deg: std::mem::take(&mut part.out_deg),
+            in_deg: std::mem::take(&mut part.in_deg),
+            typed: std::mem::take(&mut part.typed),
+            node_remaps: vec![(0..node_map.len() as u32).collect()],
+            prop_remaps: vec![(0..prop_map.len() as u32).collect()],
+            node_map,
+            prop_map,
+        }
+    }
+
+    /// Absorbs `right`, the unit covering the immediately following run of
+    /// leaves: extends the numbering, folds degrees and typed ids through
+    /// the absorb remap, and composes `right`'s leaf tables into the
+    /// combined numbering (this unit's tables stay valid — absorb only
+    /// appends). Returns `(absorb time, degree/compose time)` for the
+    /// profile.
+    fn absorb(&mut self, right: MergeUnit) -> (Duration, Duration) {
+        let t0 = Instant::now();
+        let node_remap = self.node_map.absorb(&right.node_map);
+        let prop_remap = self.prop_map.absorb(&right.prop_map);
+        let t1 = Instant::now();
+        let n = self.node_map.len();
+        self.out_deg.resize(n, 0);
+        self.in_deg.resize(n, 0);
+        for (l, &d) in right.out_deg.iter().enumerate() {
+            if d != 0 {
+                self.out_deg[node_remap[l] as usize] += d;
+            }
+        }
+        for (l, &d) in right.in_deg.iter().enumerate() {
+            if d != 0 {
+                self.in_deg[node_remap[l] as usize] += d;
+            }
+        }
+        self.typed
+            .extend(right.typed.iter().map(|&v| node_remap[v as usize]));
+        for mut leaf in right.node_remaps {
+            DenseIdMap::compose_remaps(&node_remap, &mut leaf);
+            self.node_remaps.push(leaf);
+        }
+        for mut leaf in right.prop_remaps {
+            DenseIdMap::compose_remaps(&prop_remap, &mut leaf);
+            self.prop_remaps.push(leaf);
+        }
+        (t1 - t0, t1.elapsed())
+    }
+}
+
+/// Reduces the shard partials into one global numbering unit under
+/// `strategy`, recording per-round timings into `profile`. The result —
+/// numbering, degree sums, typed ids, and the per-leaf remap tables — is
+/// identical for both strategies.
+fn merge_shard_parts(
+    parts: &mut [ShardPart],
+    strategy: MergeStrategy,
+    profile: &mut MergeProfile,
+) -> MergeUnit {
+    let mut units: Vec<MergeUnit> = parts.iter_mut().map(MergeUnit::leaf).collect();
+    match strategy {
+        MergeStrategy::Fold => {
+            let round_start = Instant::now();
+            let mut round = MergeRound::default();
+            let mut iter = units.into_iter();
+            let mut acc = iter.next().expect("at least one shard partial");
+            for right in iter {
+                let (absorb, degrees) = acc.absorb(right);
+                round.pairs += 1;
+                round.absorb += absorb;
+                round.degrees += degrees;
+            }
+            round.wall = round_start.elapsed();
+            profile.rounds.push(round);
+            acc
+        }
+        MergeStrategy::Tree => {
+            while units.len() > 1 {
+                let round_start = Instant::now();
+                let mut round = MergeRound {
+                    pairs: units.len() / 2,
+                    ..MergeRound::default()
+                };
+                // Pair up consecutive units — (0,1), (2,3), … — keeping
+                // unit order; an odd trailing unit carries over unmerged.
+                units = std::thread::scope(|ts| {
+                    enum Slot<'s> {
+                        Merged(std::thread::ScopedJoinHandle<'s, (MergeUnit, Duration, Duration)>),
+                        Carried(MergeUnit),
+                    }
+                    let mut slots = Vec::with_capacity(units.len().div_ceil(2));
+                    let mut iter = units.into_iter();
+                    while let Some(mut left) = iter.next() {
+                        match iter.next() {
+                            Some(right) => slots.push(Slot::Merged(ts.spawn(move || {
+                                let (absorb, degrees) = left.absorb(right);
+                                (left, absorb, degrees)
+                            }))),
+                            None => slots.push(Slot::Carried(left)),
+                        }
+                    }
+                    slots
+                        .into_iter()
+                        .map(|slot| match slot {
+                            Slot::Merged(handle) => {
+                                let (unit, absorb, degrees) = handle.join().unwrap();
+                                round.absorb += absorb;
+                                round.degrees += degrees;
+                                unit
+                            }
+                            Slot::Carried(unit) => unit,
+                        })
+                        .collect()
+                });
+                round.wall = round_start.elapsed();
+                profile.rounds.push(round);
+            }
+            units.pop().expect("at least one shard partial")
+        }
+    }
 }
 
 impl<'g> SummaryContext<'g> {
@@ -309,9 +512,21 @@ impl<'g> SummaryContext<'g> {
     /// since the auto path shards only above the threshold. Prefer
     /// [`SummaryContext::sharded`].
     pub fn sharded_forced(g: &'g Graph, shards: usize) -> Self {
+        Self::sharded_forced_with(g, shards, MergeStrategy::default()).0
+    }
+
+    /// [`SummaryContext::sharded_forced`] with an explicit
+    /// [`MergeStrategy`], returning the per-round [`MergeProfile`] — the
+    /// tree-vs-fold bench seam and the `profile_substrate` measurement
+    /// hook. Both strategies build byte-identical substrates.
+    pub fn sharded_forced_with(
+        g: &'g Graph,
+        shards: usize,
+        strategy: MergeStrategy,
+    ) -> (Self, MergeProfile) {
         let shards = shards.clamp(1, 256);
         if shards <= 1 {
-            return Self::new(g);
+            return (Self::new(g), MergeProfile::default());
         }
         let n_terms = g.dict().len();
         let data = g.data();
@@ -319,7 +534,7 @@ impl<'g> SummaryContext<'g> {
         // `data[len·w/S .. len·(w+1)/S]` (possibly empty when S exceeds
         // the triple count) and numbers it locally, replicating the
         // sequential pass's intern order (s, o, p per triple).
-        let parts: Vec<ShardPart> = std::thread::scope(|ts| {
+        let mut parts: Vec<ShardPart> = std::thread::scope(|ts| {
             let handles: Vec<_> = (0..shards)
                 .map(|w| {
                     let chunk = &data[data.len() * w / shards..data.len() * (w + 1) / shards];
@@ -354,41 +569,35 @@ impl<'g> SummaryContext<'g> {
                 .collect();
             handles.into_iter().map(|h| h.join().unwrap()).collect()
         });
-        // Merge: absorbing the shard numberings in shard order reproduces
-        // the global first-seen numbering; types are numbered after all
-        // data nodes, exactly like the sequential pass.
-        let mut node_map = DenseIdMap::with_capacity(n_terms);
-        let mut prop_map = DenseIdMap::with_capacity(n_terms);
-        let node_remaps: Vec<Vec<u32>> =
-            parts.iter().map(|p| node_map.absorb(&p.node_map)).collect();
-        let prop_remaps: Vec<Vec<u32>> =
-            parts.iter().map(|p| prop_map.absorb(&p.prop_map)).collect();
+        // Merge: reducing the shard numberings in shard order — pairwise
+        // rounds or a fold, identically — reproduces the global first-seen
+        // numbering; types are numbered after all data nodes, exactly like
+        // the sequential pass.
+        let mut profile = MergeProfile::default();
+        let mut merged = merge_shard_parts(&mut parts, strategy, &mut profile);
+        let types_start = Instant::now();
         let mut typed_nodes = Vec::new();
         for t in g.types() {
-            typed_nodes.push(node_map.intern(t.s) as usize);
+            typed_nodes.push(merged.node_map.intern(t.s) as usize);
         }
-        let n = node_map.len();
+        let n = merged.node_map.len();
+        merged.out_deg.resize(n, 0);
+        merged.in_deg.resize(n, 0);
         let mut typed = vec![false; n];
         for v in typed_nodes {
             typed[v] = true;
         }
-        let mut out_deg = vec![0u32; n];
-        let mut in_deg = vec![0u32; n];
-        for (part, remap) in parts.iter().zip(&node_remaps) {
-            for (l, &d) in part.out_deg.iter().enumerate() {
-                out_deg[remap[l] as usize] += d;
-            }
-            for (l, &d) in part.in_deg.iter().enumerate() {
-                in_deg[remap[l] as usize] += d;
-            }
-        }
-        let (out_entries, in_entries) = remap_entries(&parts, &node_remaps, &prop_remaps);
-        let (out_offsets, out_props) = fill_csr_threaded(&out_deg, &out_entries, shards);
-        let (in_offsets, in_props) = fill_csr_threaded(&in_deg, &in_entries, shards);
-        SummaryContext {
+        profile.types = types_start.elapsed();
+        let emission_start = Instant::now();
+        let (out_entries, in_entries) =
+            remap_entries(&parts, &merged.node_remaps, &merged.prop_remaps);
+        let (out_offsets, out_props) = fill_csr_threaded(&merged.out_deg, &out_entries, shards);
+        let (in_offsets, in_props) = fill_csr_threaded(&merged.in_deg, &in_entries, shards);
+        profile.emission = emission_start.elapsed();
+        let ctx = SummaryContext {
             g,
-            nodes: node_map.into_parts().1,
-            props: prop_map.into_parts().1,
+            nodes: merged.node_map.into_parts().1,
+            props: merged.prop_map.into_parts().1,
             out_offsets,
             out_props,
             in_offsets,
@@ -398,7 +607,8 @@ impl<'g> SummaryContext<'g> {
             all_cliques: OnceCell::new(),
             untyped_cliques: OnceCell::new(),
             class_sets: OnceCell::new(),
-        }
+        };
+        (ctx, profile)
     }
 
     /// Builds the context from a [`TripleStore`]'s sorted permutation
@@ -513,9 +723,23 @@ impl<'g> SummaryContext<'g> {
     /// fallback — the forced-shard test/bench seam. Prefer
     /// [`SummaryContext::sharded_from_store`].
     pub fn sharded_from_store_forced(store: &'g TripleStore, shards: usize) -> Self {
+        Self::sharded_from_store_forced_with(store, shards, MergeStrategy::default()).0
+    }
+
+    /// [`SummaryContext::sharded_from_store_forced`] with an explicit
+    /// [`MergeStrategy`] and the per-round [`MergeProfile`]. The store's
+    /// SPO shard partials followed by its OSP shard partials form `2S`
+    /// ordered merge leaves — their concatenation order *is* the
+    /// sequential index-scan order, so the same reduction algebra applies
+    /// unchanged.
+    pub fn sharded_from_store_forced_with(
+        store: &'g TripleStore,
+        shards: usize,
+        strategy: MergeStrategy,
+    ) -> (Self, MergeProfile) {
         let shards = shards.clamp(1, 256);
         if shards <= 1 {
-            return Self::from_store(store);
+            return (Self::from_store(store), MergeProfile::default());
         }
         let g = store.graph();
         let n_terms = g.dict().len();
@@ -592,60 +816,43 @@ impl<'g> SummaryContext<'g> {
         });
         // Merge in the sequential scan order: all SPO shards (subjects
         // ascending), then all OSP shards (object-only nodes after every
-        // subject). OSP prop absorbs are no-ops — every data property
-        // already appeared in some SPO run.
-        let mut node_map = DenseIdMap::with_capacity(n_terms);
-        let mut prop_map = DenseIdMap::with_capacity(n_terms);
-        let mut typed_nodes: Vec<usize> = Vec::new();
-        let spo_node_remaps: Vec<Vec<u32>> = parts
-            .iter()
-            .map(|(spo, _)| {
-                let remap = node_map.absorb(&spo.node_map);
-                typed_nodes.extend(spo.typed.iter().map(|&v| remap[v as usize] as usize));
-                remap
-            })
-            .collect();
-        let spo_prop_remaps: Vec<Vec<u32>> = parts
-            .iter()
-            .map(|(spo, _)| prop_map.absorb(&spo.prop_map))
-            .collect();
-        let osp_node_remaps: Vec<Vec<u32>> = parts
-            .iter()
-            .map(|(_, osp)| node_map.absorb(&osp.node_map))
-            .collect();
-        let osp_prop_remaps: Vec<Vec<u32>> = parts
-            .iter()
-            .map(|(_, osp)| prop_map.absorb(&osp.prop_map))
-            .collect();
-        let n = node_map.len();
+        // subject) — flattened into 2S ordered leaves for the reduction.
+        // OSP prop absorbs are no-ops — every data property already
+        // appeared in some SPO run.
+        let (spo_parts, osp_parts): (Vec<ShardPart>, Vec<ShardPart>) = parts.into_iter().unzip();
+        let mut leaves: Vec<ShardPart> = spo_parts;
+        leaves.extend(osp_parts);
+        let mut profile = MergeProfile::default();
+        let mut merged = merge_shard_parts(&mut leaves, strategy, &mut profile);
+        let n = merged.node_map.len();
+        merged.out_deg.resize(n, 0);
+        merged.in_deg.resize(n, 0);
         let mut typed = vec![false; n];
-        for v in typed_nodes {
-            typed[v] = true;
+        for &v in &merged.typed {
+            typed[v as usize] = true;
         }
-        let mut out_deg = vec![0u32; n];
-        let mut in_deg = vec![0u32; n];
-        for (w, (spo, osp)) in parts.iter().enumerate() {
-            for (l, &d) in spo.out_deg.iter().enumerate() {
-                out_deg[spo_node_remaps[w][l] as usize] += d;
-            }
-            for (l, &d) in osp.in_deg.iter().enumerate() {
-                in_deg[osp_node_remaps[w][l] as usize] += d;
-            }
-        }
-        let spo_parts: Vec<&ShardPart> = parts.iter().map(|(spo, _)| spo).collect();
-        let osp_parts: Vec<&ShardPart> = parts.iter().map(|(_, osp)| osp).collect();
-        let out_entries = remap_side(&spo_parts, &spo_node_remaps, &spo_prop_remaps, |p| {
-            &p.out_entries
-        });
-        let in_entries = remap_side(&osp_parts, &osp_node_remaps, &osp_prop_remaps, |p| {
-            &p.in_entries
-        });
-        let (out_offsets, out_props) = fill_csr_threaded(&out_deg, &out_entries, shards);
-        let (in_offsets, in_props) = fill_csr_threaded(&in_deg, &in_entries, shards);
-        SummaryContext {
+        let emission_start = Instant::now();
+        let spo_refs: Vec<&ShardPart> = leaves[..shards].iter().collect();
+        let osp_refs: Vec<&ShardPart> = leaves[shards..].iter().collect();
+        let out_entries = remap_side(
+            &spo_refs,
+            &merged.node_remaps[..shards],
+            &merged.prop_remaps[..shards],
+            |p| &p.out_entries,
+        );
+        let in_entries = remap_side(
+            &osp_refs,
+            &merged.node_remaps[shards..],
+            &merged.prop_remaps[shards..],
+            |p| &p.in_entries,
+        );
+        let (out_offsets, out_props) = fill_csr_threaded(&merged.out_deg, &out_entries, shards);
+        let (in_offsets, in_props) = fill_csr_threaded(&merged.in_deg, &in_entries, shards);
+        profile.emission = emission_start.elapsed();
+        let ctx = SummaryContext {
             g,
-            nodes: node_map.into_parts().1,
-            props: prop_map.into_parts().1,
+            nodes: merged.node_map.into_parts().1,
+            props: merged.prop_map.into_parts().1,
             out_offsets,
             out_props,
             in_offsets,
@@ -655,7 +862,8 @@ impl<'g> SummaryContext<'g> {
             all_cliques: OnceCell::new(),
             untyped_cliques: OnceCell::new(),
             class_sets: OnceCell::new(),
-        }
+        };
+        (ctx, profile)
     }
 
     /// The summarized graph.
@@ -971,7 +1179,14 @@ impl<'g> SummaryContext<'g> {
 
     fn weak_summary_impl(&self, force_unpacked: bool) -> Summary {
         let cliques = self.cliques(CliqueScope::AllNodes);
-        crate::weak::build_weak(self.g, cliques, &self.nodes, &self.props, force_unpacked)
+        crate::weak::build_weak(
+            self.g,
+            cliques,
+            &self.nodes,
+            &self.props,
+            force_unpacked,
+            self.threads,
+        )
     }
 
     /// The strong summary S_G (Definition 15) from the shared substrate.
@@ -988,6 +1203,7 @@ impl<'g> SummaryContext<'g> {
             &partition,
             |_, members| signature_term(self.g, cliques, members[0]),
             force_unpacked,
+            self.threads,
         )
     }
 
@@ -1051,6 +1267,7 @@ impl<'g> SummaryContext<'g> {
                 }
             },
             force_unpacked,
+            self.threads,
         )
     }
 
@@ -1086,6 +1303,7 @@ impl<'g> SummaryContext<'g> {
                 }
             },
             force_unpacked,
+            self.threads,
         )
     }
 
@@ -1173,13 +1391,27 @@ pub(crate) fn fill_csr_threaded(
     entries: &[(u32, u32)],
     threads: usize,
 ) -> (Vec<u32>, Vec<u32>) {
+    fill_csr_values(deg, entries, threads, 0u32)
+}
+
+/// The value-generic CSR fill behind [`fill_csr_threaded`]: the summary's
+/// extent table uses it with [`TermId`](rdf_model::TermId) values, the
+/// adjacency sides with `u32`. `zero` seeds the values array before the
+/// scatter (every slot is overwritten; the seed only exists because the
+/// value type carries no `Default`).
+pub(crate) fn fill_csr_values<V: Copy + Send + Sync>(
+    deg: &[u32],
+    entries: &[(u32, V)],
+    threads: usize,
+    zero: V,
+) -> (Vec<u32>, Vec<V>) {
     let offsets = csr_offsets(deg);
     let n = deg.len();
     let total = offsets[n] as usize;
     // Row → worker assignments live in a u8 table, hence the 256 cap
     // (also enforced by `substrate_threads` on the auto path).
     let threads = threads.clamp(1, n.max(1)).min(256);
-    let mut values = vec![0u32; total];
+    let mut values = vec![zero; total];
     if threads <= 1 {
         let mut cursor = offsets[..n].to_vec();
         for &(row, v) in entries {
@@ -1206,14 +1438,14 @@ pub(crate) fn fill_csr_threaded(
     // Phase 1 (parallel): each chunk splits its entries into per-worker
     // buckets, preserving scan order inside each bucket.
     let chunk_size = entries.len().div_ceil(threads).max(1);
-    let buckets: Vec<Vec<Vec<(u32, u32)>>> = std::thread::scope(|scope| {
+    let buckets: Vec<Vec<Vec<(u32, V)>>> = std::thread::scope(|scope| {
         let worker_of_row = &worker_of_row;
         let handles: Vec<_> = entries
             .chunks(chunk_size)
             .map(|chunk| {
                 scope.spawn(move || {
                     // (`vec![..; threads]` would clone away the capacity.)
-                    let mut out: Vec<Vec<(u32, u32)>> = (0..threads)
+                    let mut out: Vec<Vec<(u32, V)>> = (0..threads)
                         .map(|_| Vec::with_capacity(chunk.len() / threads + 8))
                         .collect();
                     for &e in chunk {
@@ -1228,7 +1460,7 @@ pub(crate) fn fill_csr_threaded(
     // Phase 2 (parallel): split the values array at the range boundaries
     // and let each worker fill its slice from its buckets in chunk order.
     std::thread::scope(|scope| {
-        let mut rest: &mut [u32] = &mut values;
+        let mut rest: &mut [V] = &mut values;
         let mut consumed = 0u32;
         for w in 0..threads {
             let (lo, hi) = (bounds[w], bounds[w + 1]);
@@ -1239,7 +1471,7 @@ pub(crate) fn fill_csr_threaded(
             consumed += width as u32;
             let base = offsets[lo];
             let range_offsets = &offsets[lo..=hi];
-            let my_buckets: Vec<&[(u32, u32)]> = buckets.iter().map(|b| b[w].as_slice()).collect();
+            let my_buckets: Vec<&[(u32, V)]> = buckets.iter().map(|b| b[w].as_slice()).collect();
             scope.spawn(move || {
                 let mut cursor: Vec<u32> =
                     range_offsets[..hi - lo].iter().map(|&o| o - base).collect();
@@ -1254,6 +1486,50 @@ pub(crate) fn fill_csr_threaded(
         }
     });
     (offsets, values)
+}
+
+/// Sorts every CSR row in place, splitting the rows across workers at
+/// boundaries balanced by entry count (the same row-range split as the
+/// fill: contiguous rows own contiguous value slots, so the written
+/// slices are disjoint `&mut` splits). The result is exactly a sequential
+/// per-row `sort_unstable`; the summary's extent construction uses this
+/// for its `dr` member rows.
+pub(crate) fn sort_csr_rows<V: Ord + Send>(offsets: &[u32], values: &mut [V], threads: usize) {
+    let n = offsets.len().saturating_sub(1);
+    let threads = threads.clamp(1, n.max(1)).min(256);
+    if threads <= 1 {
+        for i in 0..n {
+            values[offsets[i] as usize..offsets[i + 1] as usize].sort_unstable();
+        }
+        return;
+    }
+    let total = offsets[n] as usize;
+    let mut bounds = vec![0usize; threads + 1];
+    bounds[threads] = n;
+    for w in 1..threads {
+        let target = (total * w / threads) as u32;
+        bounds[w] = offsets
+            .partition_point(|&o| o < target)
+            .clamp(bounds[w - 1], n);
+    }
+    std::thread::scope(|scope| {
+        let mut rest: &mut [V] = values;
+        for w in 0..threads {
+            let (lo, hi) = (bounds[w], bounds[w + 1]);
+            let width = (offsets[hi] - offsets[lo]) as usize;
+            let (slice, tail) = rest.split_at_mut(width);
+            rest = tail;
+            let base = offsets[lo];
+            let range_offsets = &offsets[lo..=hi];
+            scope.spawn(move || {
+                for r in 0..hi - lo {
+                    slice[(range_offsets[r] - base) as usize
+                        ..(range_offsets[r + 1] - base) as usize]
+                        .sort_unstable();
+                }
+            });
+        }
+    });
 }
 
 /// A list of `(row, value)` CSR entries in scan order.
@@ -1563,6 +1839,73 @@ mod tests {
         }
     }
 
+    /// Shard counts past the old S = 8 frontier — 16/32/64, with 64
+    /// exceeding the small fixture's triple count so trailing shards are
+    /// empty — reproduce the sequential build *byte for byte* under both
+    /// merge strategies: the substrate arrays, each summary's serialized
+    /// triples in emission order (no canonical re-sort), and the dr/rd
+    /// correspondence tables. The forced context carries its shard count
+    /// into `threads`, so this also pins the parallel quotient emission
+    /// and extent-table scatter against their sequential twins.
+    #[test]
+    fn sharded_forced_high_counts_byte_identical() {
+        // A graph with enough structure that S = 16/32 shards carry real
+        // work: a property-cycled ring with back-edges and typed nodes.
+        let mut big = Graph::new();
+        for i in 0..180u32 {
+            let s = format!("n{i}");
+            let o = format!("n{}", (i * 7 + 3) % 180);
+            big.add_iri_triple(&s, &format!("p{}", i % 5), &o);
+            if i % 3 == 0 {
+                big.add_iri_triple(&s, rdf_model::vocab::RDF_TYPE, &format!("C{}", i % 4));
+            }
+            if i % 4 == 0 {
+                big.add_iri_triple(&o, &format!("q{}", i % 3), &s);
+            }
+        }
+        for g in [big, sample_graph()] {
+            let seq = SummaryContext::new(&g);
+            let mut seq_sums: Vec<Summary> =
+                SummaryKind::ALL.iter().map(|&k| seq.summarize(k)).collect();
+            seq_sums.push(seq.type_summary());
+            let assert_same = |a: &Summary, b: &Summary, tag: &str| {
+                assert_eq!(
+                    rdf_io::write_graph(&a.graph),
+                    rdf_io::write_graph(&b.graph),
+                    "{tag}: serialized triples"
+                );
+                for &n in seq.data_nodes() {
+                    assert_eq!(a.representative(n), b.representative(n), "{tag}: rd");
+                }
+                assert_eq!(a.graph.dict().len(), b.graph.dict().len(), "{tag}: dict");
+                for h in 0..a.graph.dict().len() as u32 {
+                    assert_eq!(a.extent(TermId(h)), b.extent(TermId(h)), "{tag}: dr");
+                }
+            };
+            for shards in [16, 32, 64] {
+                for strategy in [MergeStrategy::Tree, MergeStrategy::Fold] {
+                    let (sh, _) = SummaryContext::sharded_forced_with(&g, shards, strategy);
+                    let tag = format!("{shards} shards/{strategy:?}");
+                    assert_eq!(sh.nodes, seq.nodes, "{tag}");
+                    assert_eq!(sh.props, seq.props, "{tag}");
+                    assert_eq!(sh.out_offsets, seq.out_offsets, "{tag}");
+                    assert_eq!(sh.out_props, seq.out_props, "{tag}");
+                    assert_eq!(sh.in_offsets, seq.in_offsets, "{tag}");
+                    assert_eq!(sh.in_props, seq.in_props, "{tag}");
+                    assert_eq!(sh.typed, seq.typed, "{tag}");
+                    for (i, &kind) in SummaryKind::ALL.iter().enumerate() {
+                        assert_same(&sh.summarize(kind), &seq_sums[i], &format!("{tag}/{kind}"));
+                    }
+                    assert_same(
+                        &sh.type_summary(),
+                        seq_sums.last().unwrap(),
+                        &format!("{tag}/type-based"),
+                    );
+                }
+            }
+        }
+    }
+
     /// The store-driven sharded build reproduces the sequential
     /// store-driven substrate bit for bit, shard count by shard count.
     #[test]
@@ -1570,7 +1913,7 @@ mod tests {
         let g = sample_graph();
         let store = TripleStore::new(g.clone());
         let seq = SummaryContext::from_store(&store);
-        for shards in [2, 3, 7, 32] {
+        for shards in [2, 3, 7, 32, 64] {
             let sh = SummaryContext::sharded_from_store_forced(&store, shards);
             assert_eq!(sh.nodes, seq.nodes, "{shards} shards");
             assert_eq!(sh.props, seq.props, "{shards} shards");

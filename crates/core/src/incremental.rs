@@ -166,7 +166,7 @@ impl WeakDelta {
             data_nodes.intern(s);
         }
         let cliques = Cliques::from_parts(&props, src_uf, tgt_uf, subj_repr, obj_repr);
-        crate::weak::build_weak(g, &cliques, data_nodes.items(), &props, false)
+        crate::weak::build_weak(g, &cliques, data_nodes.items(), &props, false, 0)
     }
 }
 

@@ -48,13 +48,18 @@
 //! The substrate is **shard-mergeable**:
 //! [`context::SummaryContext::sharded`] (and `sharded_from_store`, fed by
 //! the store's subject-range index shards) builds S independent partial
-//! substrates concurrently and merges them — per-chunk dense numbering
-//! remapped through [`rdf_model::DenseIdMap::absorb`], CSR stitched in
-//! shard order, clique union–finds merged like the parallel clique
-//! partials — into the *identical* substrate the sequential pass builds,
-//! so all five summaries come out triple-for-triple, naming-identical at
-//! any shard count. Small graphs and single-core hosts auto-fall back to
-//! the sequential S = 1 path.
+//! substrates concurrently and reduces them in an **ordered binary
+//! tree** ([`context::MergeStrategy`]): `⌈log₂ S⌉` pairwise rounds whose
+//! absorbs run concurrently, leaf remap tables composed through
+//! [`rdf_model::DenseIdMap::compose_remaps`] so the result reproduces
+//! global first-seen numbering exactly — the *identical* substrate the
+//! sequential pass builds, CSR stitched in shard order, clique
+//! union–finds merged like the parallel clique partials. All five
+//! summaries therefore come out triple-for-triple, naming-identical at
+//! any shard count (pinned up to S = 64, empty shards included). Small
+//! graphs and single-core hosts auto-fall back to the sequential S = 1
+//! path; [`context::MergeProfile`] exposes the per-round wall-clock the
+//! `profile_substrate` bin prints.
 //!
 //! ## Symbolic minted names
 //!
@@ -69,7 +74,13 @@
 //! hashes a URI string, and constants transfer between the G and H
 //! dictionaries as shared `Arc`s. The substrate's remaining serial work
 //! is chunked across threads behind measured thresholds ([`parallel`]):
-//! the CSR adjacency fill and the quotient's packed-triple sort-dedup.
+//! the CSR adjacency fill, the quotient's packed-triple emission (a
+//! sequential dictionary pre-pass, then chunk-parallel packing merged by
+//! [`parallel::merge_dedup_runs`]), the summary's extent-table scatter
+//! and per-row sorts, and the class-set scan. Worker counts come from
+//! [`parallel::substrate_threads`], capped by the `RDFSUM_THREADS`
+//! environment override (CI pins 1 and 4) — every parallel path is
+//! byte-identical to its sequential twin at any worker count.
 //!
 //! The pre-refactor hash-map builders are preserved verbatim in
 //! [`reference`] as the golden-equivalence test oracle.
@@ -128,7 +139,7 @@ pub use checks::{
     CompletenessCheck, RepresentativenessReport,
 };
 pub use cliques::{CliqueId, CliqueScope, Cliques};
-pub use context::{ClassSets, SummaryContext};
+pub use context::{ClassSets, MergeProfile, MergeRound, MergeStrategy, SummaryContext};
 pub use equivalence::Partition;
 pub use executor::Executor;
 pub use incremental::{IncrementalWeak, WeakDelta};

@@ -110,6 +110,17 @@ pub const PARALLEL_CSR_THRESHOLD: usize = 65_536;
 /// `quotient_h_graph` bench on BSBM scales.
 pub const PARALLEL_SORT_THRESHOLD: usize = 16_384;
 
+/// Below this many input triples, the quotient's shard-range packed-key
+/// *emission* (translate + pack per chunk, local sort-dedup, pairwise
+/// merge) runs fused and sequential instead: the parallel path pays a
+/// sequential dictionary-transfer pre-pass over the triples plus the
+/// thread spawns, each worth tens of thousands of packed-key pushes.
+/// Sharded contexts force their shard count through the emission
+/// regardless of size (the shard count itself is already threshold-gated),
+/// which is how the forced-shard suites cover the parallel path on
+/// fixture-sized graphs.
+pub const PARALLEL_EMIT_THRESHOLD: usize = 65_536;
+
 /// Below this many type triples, the class-set accumulation of
 /// [`crate::context::SummaryContext::class_sets`] runs sequentially: the
 /// chunked scan pays one `O(dictionary)` slot table per worker plus the
@@ -120,22 +131,44 @@ pub const PARALLEL_SORT_THRESHOLD: usize = 16_384;
 /// break-even, which has the same per-worker-table cost shape.
 pub const PARALLEL_CLASS_THRESHOLD: usize = 65_536;
 
-/// The worker count the substrate stages (CSR fill, packed sort) use for
-/// `n` work items with the given threshold: `1` below it; otherwise 2
-/// workers plus one more per [`TRIPLES_PER_EXTRA_WORKER`] items. Unlike
-/// the clique scan's [`effective_threads`], this also caps at the
-/// machine's available parallelism — the substrate stages are pure
-/// throughput splits with no algorithmic win from oversubscription, so a
-/// single-core host always runs them sequentially.
+/// The worker count the substrate stages (CSR fill, packed sort, quotient
+/// emission) use for `n` work items with the given threshold: `1` below
+/// it; otherwise 2 workers plus one more per [`TRIPLES_PER_EXTRA_WORKER`]
+/// items. Unlike the clique scan's [`effective_threads`], this also caps
+/// at the worker-pool ceiling ([`available_workers`]: `RDFSUM_THREADS`
+/// or the machine's available parallelism) — the substrate stages are
+/// pure throughput splits with no algorithmic win from oversubscription,
+/// so a single-core host always runs them sequentially.
 pub fn substrate_threads(n: usize, threshold: usize) -> usize {
     if n < threshold {
         1
     } else {
-        let avail = std::thread::available_parallelism().map_or(2, usize::from);
         // The CSR fill's row → worker table is u8-indexed; 256 workers is
         // far past any measured scaling win anyway.
-        (2 + n / TRIPLES_PER_EXTRA_WORKER).min(avail).clamp(1, 256)
+        (2 + n / TRIPLES_PER_EXTRA_WORKER)
+            .min(available_workers())
+            .clamp(1, 256)
     }
+}
+
+/// The worker-pool ceiling the auto-selected substrate stages respect:
+/// `RDFSUM_THREADS` when set to a positive integer, otherwise the
+/// machine's available parallelism. The override exists so the CI thread
+/// matrix can pin the pool (to 1 and 4) and stop single-core hosts from
+/// hiding multi-thread merge bugs — and so oversubscribed shared hosts
+/// can be told the truth about their spare cores. Read once and cached:
+/// the stages consult it on every build, and a mid-run flip would let two
+/// halves of one build disagree about worker counts.
+pub(crate) fn available_workers() -> usize {
+    use std::sync::OnceLock;
+    static WORKERS: OnceLock<usize> = OnceLock::new();
+    *WORKERS.get_or_init(|| {
+        std::env::var("RDFSUM_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(2, usize::from))
+    })
 }
 
 /// Sorts and deduplicates the quotient's packed triple keys, splitting
@@ -156,7 +189,7 @@ pub fn sort_dedup_packed_forced(keys: &mut Vec<u64>, threads: usize) {
         return;
     }
     let chunk_size = keys.len().div_ceil(threads).max(1);
-    let mut runs: Vec<Vec<u64>> = std::thread::scope(|scope| {
+    let runs: Vec<Vec<u64>> = std::thread::scope(|scope| {
         let handles: Vec<_> = keys
             .chunks(chunk_size)
             .map(|chunk| {
@@ -170,21 +203,50 @@ pub fn sort_dedup_packed_forced(keys: &mut Vec<u64>, threads: usize) {
             .collect();
         handles.into_iter().map(|h| h.join().unwrap()).collect()
     });
-    // Pairwise merge-dedup rounds until one sorted run remains. Dedup
-    // inside every merge keeps intermediate runs minimal; the final run
-    // equals the global sort+dedup.
-    while runs.len() > 1 {
-        let mut next: Vec<Vec<u64>> = Vec::with_capacity(runs.len().div_ceil(2));
-        let mut iter = runs.into_iter();
-        while let Some(a) = iter.next() {
-            match iter.next() {
-                Some(b) => next.push(merge_dedup(&a, &b)),
-                None => next.push(a),
-            }
+    *keys = merge_dedup_runs(runs);
+}
+
+/// Reduces sorted, deduplicated runs to one by pairwise merge-dedup
+/// rounds, merging the pairs of each round on their own threads. Pairing
+/// is positional — (0,1), (2,3), … with an odd tail carried — so the
+/// result is order-independent anyway (merging is commutative on sets)
+/// but the work tree matches the shard tree of
+/// [`crate::context::SummaryContext::sharded`], keeping round counts and
+/// profiles comparable. Dedup inside every merge keeps intermediate runs
+/// minimal; the final run equals sorting and deduplicating the
+/// concatenation of all inputs. Single-pair rounds skip the spawn.
+pub fn merge_dedup_runs(mut runs: Vec<Vec<u64>>) -> Vec<u64> {
+    while runs.len() > 2 {
+        enum Slot<'s> {
+            Merged(std::thread::ScopedJoinHandle<'s, Vec<u64>>),
+            Carried(Vec<u64>),
         }
-        runs = next;
+        runs = std::thread::scope(|scope| {
+            let mut slots: Vec<Slot<'_>> = Vec::with_capacity(runs.len().div_ceil(2));
+            let mut iter = runs.drain(..);
+            while let Some(a) = iter.next() {
+                match iter.next() {
+                    Some(b) => slots.push(Slot::Merged(scope.spawn(move || merge_dedup(&a, &b)))),
+                    None => slots.push(Slot::Carried(a)),
+                }
+            }
+            drop(iter);
+            slots
+                .into_iter()
+                .map(|s| match s {
+                    Slot::Merged(h) => h.join().unwrap(),
+                    Slot::Carried(r) => r,
+                })
+                .collect()
+        });
     }
-    *keys = runs.pop().unwrap_or_default();
+    // Final pair: one merge, nothing to overlap with — skip the spawn.
+    if runs.len() == 2 {
+        let b = runs.pop().unwrap();
+        let a = runs.pop().unwrap();
+        return merge_dedup(&a, &b);
+    }
+    runs.pop().unwrap_or_default()
 }
 
 /// Merges two sorted, deduplicated runs into one, dropping duplicates.
@@ -457,11 +519,37 @@ mod tests {
             substrate_threads(PARALLEL_SORT_THRESHOLD - 1, PARALLEL_SORT_THRESHOLD),
             1
         );
-        let avail = std::thread::available_parallelism().map_or(2, usize::from);
+        // The ceiling is env-aware (`RDFSUM_THREADS` — the CI thread
+        // matrix pins it), so compare against the resolved pool, not raw
+        // `available_parallelism`.
+        let avail = available_workers();
         let t = substrate_threads(PARALLEL_SORT_THRESHOLD, PARALLEL_SORT_THRESHOLD);
         assert!(t >= 1 && t <= avail.max(1));
         let big = substrate_threads(10 * TRIPLES_PER_EXTRA_WORKER, PARALLEL_CSR_THRESHOLD);
         assert!(big <= avail.max(1));
+    }
+
+    /// `merge_dedup_runs` equals sorting + deduplicating the concatenation
+    /// of its inputs, for empty runs, odd run counts, and deep rounds.
+    #[test]
+    fn merge_dedup_runs_matches_flat_sort() {
+        let mut rng = rdf_model::SplitMix64::new(0xA11);
+        for case in 0..24 {
+            let n_runs = case % 9;
+            let runs: Vec<Vec<u64>> = (0..n_runs)
+                .map(|_| {
+                    let mut r: Vec<u64> =
+                        (0..rng.index(30)).map(|_| rng.index(50) as u64).collect();
+                    r.sort_unstable();
+                    r.dedup();
+                    r
+                })
+                .collect();
+            let mut expect: Vec<u64> = runs.iter().flatten().copied().collect();
+            expect.sort_unstable();
+            expect.dedup();
+            assert_eq!(merge_dedup_runs(runs), expect, "case {case}");
+        }
     }
 
     /// The sharded-build policy: sequential below the threshold, the

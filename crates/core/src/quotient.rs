@@ -42,7 +42,7 @@ pub fn quotient_summary(
     partition: &Partition,
     class_term: impl FnMut(usize, &[TermId]) -> Term,
 ) -> Summary {
-    quotient_summary_impl(g, kind, partition, class_term, false)
+    quotient_summary_impl(g, kind, partition, class_term, false, 0)
 }
 
 /// How the quotient's data component is derived.
@@ -69,6 +69,7 @@ pub(crate) fn quotient_summary_impl(
     partition: &Partition,
     class_term: impl FnMut(usize, &[TermId]) -> Term,
     force_unpacked: bool,
+    emit_threads: usize,
 ) -> Summary {
     quotient_summary_planned(
         g,
@@ -77,11 +78,24 @@ pub(crate) fn quotient_summary_impl(
         class_term,
         DataPlan::Scan,
         force_unpacked,
+        emit_threads,
     )
 }
 
 /// The full-control quotient constructor: emission plan for the data
 /// component plus the packed/unpacked switch.
+///
+/// `emit_threads` shapes the packed emission of the quotiented triples:
+/// `0` is the auto policy (shard-range emission above
+/// [`crate::parallel::PARALLEL_EMIT_THRESHOLD`] input triples, fused and
+/// sequential below), an explicit count is honored regardless of input
+/// size. Sharded contexts pass their shard count through here so the
+/// emission rides the same ranges as the substrate build — and so the
+/// forced-shard suites cover the parallel emission on fixture-sized
+/// graphs. Both paths emit bit-identical triples: the parallel one
+/// transfers dictionary constants in a sequential scan-order pre-pass
+/// (identical H ids), then packs per-chunk into disjoint buffers and
+/// reduces with [`crate::parallel::merge_dedup_runs`].
 pub(crate) fn quotient_summary_planned(
     g: &Graph,
     kind: SummaryKind,
@@ -89,7 +103,15 @@ pub(crate) fn quotient_summary_planned(
     mut class_term: impl FnMut(usize, &[TermId]) -> Term,
     data_plan: DataPlan<'_>,
     force_unpacked: bool,
+    emit_threads: usize,
 ) -> Summary {
+    let emit_workers = |n: usize| -> usize {
+        if emit_threads == 0 {
+            crate::parallel::substrate_threads(n, crate::parallel::PARALLEL_EMIT_THRESHOLD)
+        } else {
+            emit_threads.clamp(1, 256)
+        }
+    };
     let mut h = Graph::new();
 
     // H node per partition class.
@@ -169,20 +191,65 @@ pub(crate) fn quotient_summary_planned(
             }
         }
         DataPlan::Scan if packable => {
-            let mut keys: Vec<u64> = Vec::with_capacity(g.data().len());
-            for t in g.data() {
-                let s = map(t.s).0 as u64;
-                let p = transfer(t.p, g, &mut h, &mut xfer).0 as u64;
-                let o = map(t.o).0 as u64;
-                keys.push((s << (2 * PACK_BITS)) | (p << PACK_BITS) | o);
-            }
-            crate::parallel::sort_dedup_packed(&mut keys);
-            for k in keys {
-                h.insert_encoded(Triple::new(
-                    TermId((k >> (2 * PACK_BITS)) as u32),
-                    TermId(((k >> PACK_BITS) & MASK) as u32),
-                    TermId((k & MASK) as u32),
-                ));
+            let workers = emit_workers(g.data().len());
+            if workers > 1 {
+                // Shard-range emission. The dictionary can't be mutated
+                // from the chunks, so constants transfer in a sequential
+                // scan-order pre-pass first — assigning exactly the H ids
+                // the fused loop would — and the chunks then read `xfer`
+                // and the class tables only: translate + pack into a
+                // disjoint buffer each, local sort-dedup, pairwise merge.
+                for t in g.data() {
+                    transfer(t.p, g, &mut h, &mut xfer);
+                }
+                let chunk_size = g.data().len().div_ceil(workers).max(1);
+                let runs: Vec<Vec<u64>> = std::thread::scope(|scope| {
+                    let (map, xfer) = (&map, &xfer);
+                    let handles: Vec<_> = g
+                        .data()
+                        .chunks(chunk_size)
+                        .map(|chunk| {
+                            scope.spawn(move || {
+                                let mut run: Vec<u64> = chunk
+                                    .iter()
+                                    .map(|t| {
+                                        let s = map(t.s).0 as u64;
+                                        let p = xfer[t.p.index()] as u64;
+                                        let o = map(t.o).0 as u64;
+                                        (s << (2 * PACK_BITS)) | (p << PACK_BITS) | o
+                                    })
+                                    .collect();
+                                run.sort_unstable();
+                                run.dedup();
+                                run
+                            })
+                        })
+                        .collect();
+                    handles.into_iter().map(|jh| jh.join().unwrap()).collect()
+                });
+                for k in crate::parallel::merge_dedup_runs(runs) {
+                    h.insert_encoded(Triple::new(
+                        TermId((k >> (2 * PACK_BITS)) as u32),
+                        TermId(((k >> PACK_BITS) & MASK) as u32),
+                        TermId((k & MASK) as u32),
+                    ));
+                }
+            } else {
+                let mut keys: Vec<u64> = Vec::with_capacity(g.data().len());
+                for t in g.data() {
+                    let s = map(t.s).0 as u64;
+                    let p = transfer(t.p, g, &mut h, &mut xfer).0 as u64;
+                    let o = map(t.o).0 as u64;
+                    keys.push((s << (2 * PACK_BITS)) | (p << PACK_BITS) | o);
+                }
+                crate::parallel::sort_dedup_packed(&mut keys);
+                for k in keys {
+                    h.insert_encoded(Triple::new(
+                        TermId((k >> (2 * PACK_BITS)) as u32),
+                        TermId(((k >> PACK_BITS) & MASK) as u32),
+                        TermId((k & MASK) as u32),
+                    ));
+                }
             }
         }
         DataPlan::Scan => {
@@ -197,19 +264,60 @@ pub(crate) fn quotient_summary_planned(
     // TYP: quotient of type triples; classes keep their URIs.
     let tau = h.rdf_type();
     if packable {
-        let mut keys: Vec<u64> = Vec::with_capacity(g.types().len());
-        for t in g.types() {
-            let s = map(t.s).0 as u64;
-            let c = transfer(t.o, g, &mut h, &mut xfer).0 as u64;
-            keys.push((s << PACK_BITS) | c);
-        }
-        crate::parallel::sort_dedup_packed(&mut keys);
-        for k in keys {
-            h.insert_encoded(Triple::new(
-                TermId((k >> PACK_BITS) as u32),
-                tau,
-                TermId((k & MASK) as u32),
-            ));
+        let workers = emit_workers(g.types().len());
+        if workers > 1 {
+            // Same shard-range shape as the data emission: class URIs
+            // transfer in a sequential scan-order pre-pass, chunks pack
+            // read-only.
+            for t in g.types() {
+                transfer(t.o, g, &mut h, &mut xfer);
+            }
+            let chunk_size = g.types().len().div_ceil(workers).max(1);
+            let runs: Vec<Vec<u64>> = std::thread::scope(|scope| {
+                let (map, xfer) = (&map, &xfer);
+                let handles: Vec<_> = g
+                    .types()
+                    .chunks(chunk_size)
+                    .map(|chunk| {
+                        scope.spawn(move || {
+                            let mut run: Vec<u64> = chunk
+                                .iter()
+                                .map(|t| {
+                                    let s = map(t.s).0 as u64;
+                                    let c = xfer[t.o.index()] as u64;
+                                    (s << PACK_BITS) | c
+                                })
+                                .collect();
+                            run.sort_unstable();
+                            run.dedup();
+                            run
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|jh| jh.join().unwrap()).collect()
+            });
+            for k in crate::parallel::merge_dedup_runs(runs) {
+                h.insert_encoded(Triple::new(
+                    TermId((k >> PACK_BITS) as u32),
+                    tau,
+                    TermId((k & MASK) as u32),
+                ));
+            }
+        } else {
+            let mut keys: Vec<u64> = Vec::with_capacity(g.types().len());
+            for t in g.types() {
+                let s = map(t.s).0 as u64;
+                let c = transfer(t.o, g, &mut h, &mut xfer).0 as u64;
+                keys.push((s << PACK_BITS) | c);
+            }
+            crate::parallel::sort_dedup_packed(&mut keys);
+            for k in keys {
+                h.insert_encoded(Triple::new(
+                    TermId((k >> PACK_BITS) as u32),
+                    tau,
+                    TermId((k & MASK) as u32),
+                ));
+            }
         }
     } else {
         for t in g.types() {
@@ -219,7 +327,14 @@ pub(crate) fn quotient_summary_planned(
         }
     }
 
-    Summary::from_quotient(kind, h, partition, &class_node, g.dict().len())
+    Summary::from_quotient(
+        kind,
+        h,
+        partition,
+        &class_node,
+        g.dict().len(),
+        emit_threads,
+    )
 }
 
 /// Checks the defining property of a quotient (Definition 4): `H` has an

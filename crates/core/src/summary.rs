@@ -134,18 +134,21 @@ impl Summary {
             node_of[gn.index()] = hn.0;
             pairs.push((hn.0, gn));
         }
-        Self::finish(kind, graph, node_of, &pairs)
+        Self::finish(kind, graph, node_of, &pairs, 0)
     }
 
     /// Creates a summary straight from a partition and its class → H node
     /// assignment: the dense fast path used by the quotient operator (no
-    /// per-node hashing).
+    /// per-node hashing). `threads` shapes the extent-table construction
+    /// (`0` = auto; the quotient passes its emission worker count so
+    /// sharded builds ride the same ranges end to end).
     pub(crate) fn from_quotient(
         kind: SummaryKind,
         graph: Graph,
         partition: &crate::equivalence::Partition,
         class_node: &[TermId],
         n_g_terms: usize,
+        threads: usize,
     ) -> Self {
         let mut node_of = vec![NO_DENSE_ID; n_g_terms];
         let mut pairs: Vec<(u32, TermId)> = Vec::with_capacity(partition.n_members());
@@ -156,33 +159,42 @@ impl Summary {
                 pairs.push((hn.0, n));
             }
         }
-        Self::finish(kind, graph, node_of, &pairs)
+        Self::finish(kind, graph, node_of, &pairs, threads)
     }
 
     /// Builds the CSR extent table from `(H id, G node)` pairs. Each G
     /// node maps to exactly one H node (`node_of` is a function), so the
     /// rows need sorting but never deduplication.
-    fn finish(kind: SummaryKind, graph: Graph, node_of: Vec<u32>, pairs: &[(u32, TermId)]) -> Self {
+    ///
+    /// The counting pass is a serial sweep (scattered row increments);
+    /// the member scatter and the per-row sorts split across row ranges
+    /// (`threads` workers; `0` resolves through the emission threshold) —
+    /// bit-identical to the serial build, since the scatter preserves
+    /// pair order per row and the sorts canonicalize each row anyway.
+    fn finish(
+        kind: SummaryKind,
+        graph: Graph,
+        node_of: Vec<u32>,
+        pairs: &[(u32, TermId)],
+        threads: usize,
+    ) -> Self {
+        let threads = if threads == 0 {
+            crate::parallel::substrate_threads(
+                pairs.len(),
+                crate::parallel::PARALLEL_EMIT_THRESHOLD,
+            )
+        } else {
+            threads
+        };
         let n_h = graph.dict().len();
-        let mut extent_offsets = vec![0u32; n_h + 1];
+        let mut deg = vec![0u32; n_h];
         for &(h, _) in pairs {
-            extent_offsets[h as usize + 1] += 1;
+            deg[h as usize] += 1;
         }
-        let mut n_nodes = 0;
-        for i in 0..n_h {
-            n_nodes += (extent_offsets[i + 1] > 0) as usize;
-            extent_offsets[i + 1] += extent_offsets[i];
-        }
-        let mut extent_members = vec![TermId(0); pairs.len()];
-        let mut cursor = extent_offsets[..n_h].to_vec();
-        for &(h, g) in pairs {
-            extent_members[cursor[h as usize] as usize] = g;
-            cursor[h as usize] += 1;
-        }
-        for i in 0..n_h {
-            extent_members[extent_offsets[i] as usize..extent_offsets[i + 1] as usize]
-                .sort_unstable();
-        }
+        let n_nodes = deg.iter().filter(|&&d| d > 0).count();
+        let (extent_offsets, mut extent_members) =
+            crate::context::fill_csr_values(&deg, pairs, threads, TermId(0));
+        crate::context::sort_csr_rows(&extent_offsets, &mut extent_members, threads);
         Summary {
             kind,
             graph,

@@ -53,13 +53,15 @@ pub(crate) fn class_property_sets(
 /// Shared by the lean [`weak_summary`] path and the
 /// [`crate::context::SummaryContext`] builder (which passes its cached
 /// cliques). `nodes` is the data-node numbering order, `props` the
-/// distinct data properties in first-seen order.
+/// distinct data properties in first-seen order; `emit_threads` flows to
+/// the quotient's packed emission (`0` = auto).
 pub(crate) fn build_weak(
     g: &Graph,
     cliques: &Cliques,
     nodes: &[TermId],
     props: &[TermId],
     force_unpacked: bool,
+    emit_threads: usize,
 ) -> Summary {
     let partition = weak_partition(cliques, nodes);
     // Clique → partition class, from one witness node per clique. Every
@@ -136,6 +138,7 @@ pub(crate) fn build_weak(
         |i, _| n_term(g.dict(), &tc_sets[i], &sc_sets[i]),
         plan,
         force_unpacked,
+        emit_threads,
     )
 }
 
@@ -187,7 +190,7 @@ pub fn weak_summary(g: &Graph) -> Summary {
     // Equivalence with `Cliques::compute` (the CSR sweep) is pinned by the
     // golden-equivalence suite and the lean-vs-context unit test below.
     let cliques = Cliques::from_parts(&props, src_uf, tgt_uf, subj_repr, obj_repr);
-    build_weak(g, &cliques, node_map.items(), &props, false)
+    build_weak(g, &cliques, node_map.items(), &props, false, 0)
 }
 
 /// Proposition 4: each data property of G appears exactly once in W_G.

@@ -279,7 +279,20 @@ impl<'a> Iterator for Runs1<'a> {
     fn next(&mut self) -> Option<&'a [Triple]> {
         let first = *self.rest.first()?;
         let k1 = key(self.order, first).0;
-        let end = self.rest.partition_point(|&t| key(self.order, t).0 <= k1);
+        // Galloping search for the run boundary: runs are one subject's
+        // (or object's) triples, so they are typically tiny relative to
+        // the remaining slice — probe 1, 2, 4, … from the front and
+        // bisect only the last octave, making each boundary
+        // `O(log run_len)` instead of `O(log remaining)`. The shard scan
+        // of the sharded substrate build iterates every run of every
+        // shard, so the per-run cost is what its scan phase is made of.
+        let mut hi = 1;
+        while hi < self.rest.len() && key(self.order, self.rest[hi]).0 <= k1 {
+            hi <<= 1;
+        }
+        let lo = hi >> 1;
+        let hi = hi.min(self.rest.len());
+        let end = lo + self.rest[lo..hi].partition_point(|&t| key(self.order, t).0 <= k1);
         let (run, rest) = self.rest.split_at(end);
         self.rest = rest;
         Some(run)
@@ -362,6 +375,33 @@ mod tests {
         // Concatenation reproduces the full index.
         let total: usize = runs.iter().map(|r| r.len()).sum();
         assert_eq!(total, idx.len());
+    }
+
+    /// The galloping run-boundary search across every run-length mix:
+    /// geometric run lengths (crossing each power-of-two probe), a long
+    /// run at the start, the end, and runs of one.
+    #[test]
+    fn runs1_gallop_finds_exact_boundaries() {
+        for lens in [
+            vec![1, 2, 4, 8, 16, 32],
+            vec![32, 1, 1, 1],
+            vec![1, 1, 1, 32],
+            vec![5, 7, 3, 17, 1, 9],
+            vec![1],
+            vec![64],
+        ] {
+            let mut triples = Vec::new();
+            for (s, &len) in lens.iter().enumerate() {
+                for o in 0..len {
+                    triples.push(t(s as u32, 0, o));
+                }
+            }
+            let idx = SortedIndex::build(Order::Spo, &triples);
+            let got: Vec<u32> = idx.runs1().map(|r| r.len() as u32).collect();
+            assert_eq!(got, lens);
+            let concat: Vec<Triple> = idx.runs1().flatten().copied().collect();
+            assert_eq!(concat, idx.as_slice());
+        }
     }
 
     /// Shards split only at run boundaries, concatenate back to the full

@@ -5,9 +5,12 @@
 //! ## Shape
 //!
 //! A single **event thread** owns every socket. It blocks in
-//! [`polling::poll`] over the nonblocking listener, a loopback wake
-//! socket, and every connection that currently wants I/O; each readiness
-//! event advances that connection's state machine:
+//! [`polling::Poller::wait`] — persistent registrations over `epoll` on
+//! Linux (O(ready) wakeups) or persistent `poll(2)` slots elsewhere and
+//! under `RDFSUM_POLLER=poll`; identical observable semantics either way
+//! — covering the nonblocking listener, a loopback wake socket, and
+//! every connection that currently wants I/O; each readiness event
+//! advances that connection's state machine:
 //!
 //! * **reads** append to a per-connection buffer; a complete
 //!   LF-terminated line is parsed into a [`Request`] and dispatched by
@@ -49,7 +52,7 @@
 //! period, then force-close.
 
 use crate::protocol::{is_fatal, parse_request, ProtocolError, MAX_REQUEST_BYTES};
-use polling::{poll, PollFd, POLLIN, POLLOUT};
+use polling::{Backend, Event, Poller, POLLIN, POLLOUT};
 use rdfsum_core::{Executor, SummaryService};
 use std::collections::HashMap;
 use std::io::{self, ErrorKind, Read, Write};
@@ -125,6 +128,9 @@ struct Conn {
     close_after_flush: bool,
     /// The peer half-closed; buffered complete lines are still served.
     saw_eof: bool,
+    /// The interest set last synced into the [`Poller`] — registrations
+    /// persist across iterations, so only changes issue a syscall.
+    registered: i16,
 }
 
 impl Conn {
@@ -139,6 +145,7 @@ impl Conn {
             draining: None,
             close_after_flush: false,
             saw_eof: false,
+            registered: 0,
         }
     }
 
@@ -191,13 +198,23 @@ pub(crate) struct EventEngine {
 
 /// Starts the event loop thread over an already-bound listener.
 /// `workers` is the executor width — how many requests may execute
-/// concurrently, *not* a connection limit.
+/// concurrently, *not* a connection limit. `backend` picks the readiness
+/// backend explicitly (`None` = platform default / `RDFSUM_POLLER`); the
+/// dual-backend stress suites force it, since environment variables are
+/// racy across parallel tests.
 pub(crate) fn start(
     listener: TcpListener,
     service: Arc<SummaryService>,
     workers: usize,
     stop: Arc<AtomicBool>,
+    backend: Option<Backend>,
 ) -> io::Result<EventEngine> {
+    // Fail in the caller, not the detached thread, when the backend is
+    // unavailable (e.g. requesting epoll off-Linux).
+    let poller = match backend {
+        Some(b) => Poller::with_backend(b)?,
+        None => Poller::new()?,
+    };
     listener.set_nonblocking(true)?;
     // Loopback wake pair: std-only, no pipe(2) FFI needed.
     let rendezvous = TcpListener::bind((Ipv4Addr::LOCALHOST, 0))?;
@@ -218,64 +235,90 @@ pub(crate) fn start(
     };
     let thread = std::thread::Builder::new()
         .name("rdfsum-event-loop".into())
-        .spawn(move || run(listener, rx, ctx, stop))?;
+        .spawn(move || run(listener, rx, ctx, stop, poller))?;
     Ok(EventEngine {
         waker,
         thread: Some(thread),
     })
 }
 
+/// The poller token of the listener (connection tokens count up from 0
+/// and can never reach these).
+const LISTENER_TOKEN: u64 = u64::MAX;
+/// The poller token of the loopback wake socket.
+const WAKER_TOKEN: u64 = u64::MAX - 1;
+
 /// The readiness loop. Returns when shutdown completes.
-fn run(listener: TcpListener, wake_rx: TcpStream, ctx: LoopCtx, stop: Arc<AtomicBool>) {
+fn run(
+    listener: TcpListener,
+    wake_rx: TcpStream,
+    ctx: LoopCtx,
+    stop: Arc<AtomicBool>,
+    mut poller: Poller,
+) {
     let mut listener = Some(listener);
     let mut conns: HashMap<u64, Conn> = HashMap::new();
     let mut next_token = 0u64;
     let mut deadline: Option<Instant> = None;
-    // Parallel arrays: one poll entry per interested fd, plus what it is.
-    let mut pollfds: Vec<PollFd> = Vec::new();
-    let mut targets: Vec<Target> = Vec::new();
+    let mut events: Vec<Event> = Vec::new();
 
-    enum Target {
-        Listener,
-        Waker,
-        Conn(u64),
+    // Permanent registrations. A poller that cannot even register the
+    // listener cannot serve; bail (the process-level spawn already
+    // verified the backend constructs).
+    if let Some(l) = &listener {
+        if poller
+            .interest(l.as_raw_fd(), LISTENER_TOKEN, true, false)
+            .is_err()
+        {
+            return;
+        }
+    }
+    if poller
+        .interest(wake_rx.as_raw_fd(), WAKER_TOKEN, true, false)
+        .is_err()
+    {
+        return;
     }
 
     loop {
         if stop.load(Ordering::SeqCst) && deadline.is_none() {
             deadline = Some(Instant::now() + SHUTDOWN_GRACE);
-            listener = None; // stop accepting
-                             // Idle and error-path connections drop now; busy or
-                             // partially-flushed ones get the grace period.
-            conns.retain(|_, c| (c.busy || !c.flushed()) && c.draining.is_none());
+            if let Some(l) = listener.take() {
+                let _ = poller.remove(l.as_raw_fd()); // stop accepting
+            }
+            // Idle and error-path connections drop now; busy or
+            // partially-flushed ones get the grace period.
+            conns.retain(|_, c| {
+                let keep = (c.busy || !c.flushed()) && c.draining.is_none();
+                if !keep {
+                    let _ = poller.remove(c.stream.as_raw_fd());
+                }
+                keep
+            });
+            // Survivors stop reading under shutdown; re-sync their
+            // narrowed interest.
+            let doomed: Vec<u64> = conns
+                .iter_mut()
+                .filter_map(|(&token, c)| {
+                    (!sync_interest(&mut poller, token, c, true)).then_some(token)
+                })
+                .collect();
+            for token in doomed {
+                drop_conn(&mut poller, &mut conns, token);
+            }
         }
         if let Some(d) = deadline {
             if conns.is_empty() || Instant::now() >= d {
                 break; // dropping `conns` force-closes the stragglers
             }
         }
-
-        pollfds.clear();
-        targets.clear();
-        if let Some(l) = &listener {
-            pollfds.push(PollFd::new(l.as_raw_fd(), POLLIN));
-            targets.push(Target::Listener);
-        }
-        pollfds.push(PollFd::new(wake_rx.as_raw_fd(), POLLIN));
-        targets.push(Target::Waker);
         let shutting_down = deadline.is_some();
-        for (&token, c) in &conns {
-            let ev = c.interest(shutting_down);
-            if ev != 0 {
-                pollfds.push(PollFd::new(c.stream.as_raw_fd(), ev));
-                targets.push(Target::Conn(token));
-            }
-        }
-        // Busy connections keep no poll entry; their completions arrive
-        // via the waker, so blocking indefinitely is safe. Under a grace
-        // deadline, tick so the timeout is observed.
+
+        // Busy connections are parked in the poller; their completions
+        // arrive via the waker, so blocking indefinitely is safe. Under a
+        // grace deadline, tick so the timeout is observed.
         let timeout_ms = if deadline.is_some() { 50 } else { -1 };
-        if poll(&mut pollfds, timeout_ms).is_err() {
+        if poller.wait(&mut events, timeout_ms).is_err() {
             continue; // EINTR is retried inside; anything else: re-derive
         }
 
@@ -306,27 +349,27 @@ fn run(listener: TcpListener, wake_rx: TcpStream, ctx: LoopCtx, stop: Arc<Atomic
                 // readiness event.
                 alive = pump(c, comp.token, &ctx);
             }
-            if !alive || c.done() {
-                conns.remove(&comp.token);
+            if !alive || c.done() || !sync_interest(&mut poller, comp.token, c, shutting_down) {
+                drop_conn(&mut poller, &mut conns, comp.token);
             }
         }
 
-        for (i, fd) in pollfds.iter().enumerate() {
-            match targets[i] {
-                Target::Listener => {
-                    if fd.readable() {
+        for &ev in &events {
+            match ev.token {
+                LISTENER_TOKEN => {
+                    if ev.readable {
                         if let Some(l) = &listener {
-                            accept_ready(l, &mut conns, &mut next_token);
+                            accept_ready(l, &mut conns, &mut next_token, &mut poller);
                         }
                     }
                 }
-                Target::Waker => {} // handled above, every iteration
-                Target::Conn(token) => {
+                WAKER_TOKEN => {} // handled above, every iteration
+                token => {
                     let Some(c) = conns.get_mut(&token) else {
-                        continue;
+                        continue; // dropped earlier in this batch
                     };
                     let mut alive = true;
-                    if fd.writable() && !c.flushed() {
+                    if ev.writable && !c.flushed() {
                         alive = flush_out(c);
                         if alive && !c.busy && c.draining.is_none() && !c.close_after_flush {
                             // Pipelined lines held back by the output
@@ -335,7 +378,7 @@ fn run(listener: TcpListener, wake_rx: TcpStream, ctx: LoopCtx, stop: Arc<Atomic
                             alive = pump(c, token, &ctx);
                         }
                     }
-                    if alive && fd.readable() {
+                    if alive && ev.readable && c.registered & POLLIN != 0 {
                         alive = if c.draining.is_some() {
                             drain_readable(c)
                         } else {
@@ -345,8 +388,8 @@ fn run(listener: TcpListener, wake_rx: TcpStream, ctx: LoopCtx, stop: Arc<Atomic
                             alive = flush_out(c);
                         }
                     }
-                    if !alive || c.done() {
-                        conns.remove(&token);
+                    if !alive || c.done() || !sync_interest(&mut poller, token, c, shutting_down) {
+                        drop_conn(&mut poller, &mut conns, token);
                     }
                 }
             }
@@ -357,6 +400,37 @@ fn run(listener: TcpListener, wake_rx: TcpStream, ctx: LoopCtx, stop: Arc<Atomic
     // a vector nobody reads again).
     drop(conns);
     drop(ctx);
+}
+
+/// Syncs a connection's current interest into the poller, issuing a
+/// syscall only when it changed since the last sync. Returns false when
+/// the poller rejected the registration (the connection must drop).
+fn sync_interest(poller: &mut Poller, token: u64, c: &mut Conn, shutting_down: bool) -> bool {
+    let want = c.interest(shutting_down);
+    if want == c.registered {
+        return true;
+    }
+    let ok = poller
+        .interest(
+            c.stream.as_raw_fd(),
+            token,
+            want & POLLIN != 0,
+            want & POLLOUT != 0,
+        )
+        .is_ok();
+    if ok {
+        c.registered = want;
+    }
+    ok
+}
+
+/// Removes a connection from the poller bookkeeping *before* its socket
+/// drops — the kernel recycles fds aggressively, and a stale
+/// registration must never alias the next accepted connection.
+fn drop_conn(poller: &mut Poller, conns: &mut HashMap<u64, Conn>, token: u64) {
+    if let Some(c) = conns.remove(&token) {
+        let _ = poller.remove(c.stream.as_raw_fd());
+    }
 }
 
 /// Swallows whatever is in the wake socket and re-arms the signal.
@@ -374,8 +448,14 @@ fn drain_wake_socket(rx: &TcpStream, waker: &WakeSignal) {
     waker.pending.store(false, Ordering::SeqCst);
 }
 
-/// Accepts every connection the listener has ready.
-fn accept_ready(listener: &TcpListener, conns: &mut HashMap<u64, Conn>, next_token: &mut u64) {
+/// Accepts every connection the listener has ready, registering each
+/// with the poller (fresh connections want reads).
+fn accept_ready(
+    listener: &TcpListener,
+    conns: &mut HashMap<u64, Conn>,
+    next_token: &mut u64,
+    poller: &mut Poller,
+) {
     loop {
         match listener.accept() {
             Ok((stream, _)) => {
@@ -385,8 +465,13 @@ fn accept_ready(listener: &TcpListener, conns: &mut HashMap<u64, Conn>, next_tok
                 if stream.set_nonblocking(true).is_err() {
                     continue; // can't serve a blocking socket here
                 }
-                conns.insert(*next_token, Conn::new(stream));
+                let token = *next_token;
                 *next_token += 1;
+                let mut conn = Conn::new(stream);
+                if !sync_interest(poller, token, &mut conn, false) {
+                    continue; // unregisterable socket: drop it
+                }
+                conns.insert(token, conn);
             }
             Err(e) if e.kind() == ErrorKind::WouldBlock => break,
             Err(e) if e.kind() == ErrorKind::Interrupted => continue,

@@ -47,5 +47,8 @@ pub mod protocol;
 pub mod server;
 
 pub use client::{Client, Response};
+pub use polling::Backend as PollerBackend;
 pub use protocol::{parse_kind, parse_request, ProtocolError, Request, MAX_REQUEST_BYTES};
-pub use server::{load_graph_file, spawn, spawn_threaded, ServerHandle, QUERY_ROW_LIMIT};
+pub use server::{
+    load_graph_file, spawn, spawn_threaded, spawn_with_backend, ServerHandle, QUERY_ROW_LIMIT,
+};

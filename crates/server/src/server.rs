@@ -428,10 +428,23 @@ pub fn spawn(
     service: Arc<SummaryService>,
     workers: usize,
 ) -> io::Result<ServerHandle> {
+    spawn_with_backend(addr, service, workers, None)
+}
+
+/// [`spawn`] with an explicit readiness backend. `None` is the platform
+/// default (`epoll` on Linux, `poll(2)` elsewhere, overridable via
+/// `RDFSUM_POLLER`); the dual-backend stress suites pass `Some(..)`
+/// because environment variables are racy across parallel tests.
+pub fn spawn_with_backend(
+    addr: impl ToSocketAddrs,
+    service: Arc<SummaryService>,
+    workers: usize,
+    backend: Option<polling::Backend>,
+) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(addr)?;
     let local = listener.local_addr()?;
     let stop = Arc::new(AtomicBool::new(false));
-    let engine = crate::event::start(listener, service, workers, Arc::clone(&stop))?;
+    let engine = crate::event::start(listener, service, workers, Arc::clone(&stop), backend)?;
     Ok(ServerHandle {
         addr: local,
         stop,

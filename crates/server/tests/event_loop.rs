@@ -1,21 +1,49 @@
-//! Event-engine robustness: the poll-loop server under adversarial and
-//! high-concurrency connection patterns — slow-loris drips, clients that
-//! vanish mid-response, a thousand idle keep-alive sockets, pipelined
-//! bursts, and prompt shutdown. Complements `robustness.rs` (malformed
-//! byte streams), which also runs against this engine via the default
-//! `spawn`.
+//! Event-engine robustness: the readiness-loop server under adversarial
+//! and high-concurrency connection patterns — slow-loris drips, clients
+//! that vanish mid-response, a thousand idle keep-alive sockets,
+//! pipelined bursts, and prompt shutdown. Complements `robustness.rs`
+//! (malformed byte streams), which also runs against this engine via the
+//! default `spawn`.
+//!
+//! Every scenario runs under **each available readiness backend**
+//! (`poll(2)` everywhere; `epoll` on Linux): the two backends promise
+//! identical observable semantics, and this suite is the pin. Backends
+//! are selected explicitly through `spawn_with_backend` — an environment
+//! variable would race across the concurrently-running tests.
 
 use rdfsum_core::SummaryService;
-use rdfsum_server::{Client, ServerHandle};
+use rdfsum_server::{Client, PollerBackend, ServerHandle};
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
 use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-fn start(workers: usize) -> (ServerHandle, Arc<SummaryService>) {
+/// Every readiness backend available on this platform.
+fn backends() -> Vec<PollerBackend> {
+    let mut v = vec![PollerBackend::Poll];
+    if cfg!(target_os = "linux") {
+        v.push(PollerBackend::Epoll);
+    }
+    v
+}
+
+/// Runs a scenario once per available backend.
+fn for_each_backend(case: fn(PollerBackend)) {
+    for backend in backends() {
+        case(backend);
+    }
+}
+
+fn start(workers: usize, backend: PollerBackend) -> (ServerHandle, Arc<SummaryService>) {
     let service = Arc::new(SummaryService::new(1));
-    let handle = rdfsum_server::spawn("127.0.0.1:0", Arc::clone(&service), workers).unwrap();
+    let handle = rdfsum_server::spawn_with_backend(
+        "127.0.0.1:0",
+        Arc::clone(&service),
+        workers,
+        Some(backend),
+    )
+    .unwrap();
     (handle, service)
 }
 
@@ -50,7 +78,11 @@ fn big_graph_file(n: usize) -> PathBuf {
 /// the whole time.
 #[test]
 fn slow_loris_drip_is_served_without_blocking_others() {
-    let (handle, _svc) = start(2);
+    for_each_backend(slow_loris_case);
+}
+
+fn slow_loris_case(backend: PollerBackend) {
+    let (handle, _svc) = start(2, backend);
     let addr = handle.addr();
 
     let loris = std::thread::spawn(move || {
@@ -71,7 +103,7 @@ fn slow_loris_drip_is_served_without_blocking_others() {
         assert_eq!(ping(&handle), "OK pong");
         assert!(
             t0.elapsed() < Duration::from_millis(500),
-            "PING stalled behind a slow-loris client"
+            "PING stalled behind a slow-loris client ({backend:?})"
         );
     }
 
@@ -83,7 +115,11 @@ fn slow_loris_drip_is_served_without_blocking_others() {
 /// A longer request dripped in small fragments still parses as one line.
 #[test]
 fn fragmented_request_reassembles_exactly() {
-    let (handle, _svc) = start(2);
+    for_each_backend(fragmented_case);
+}
+
+fn fragmented_case(backend: PollerBackend) {
+    let (handle, _svc) = start(2, backend);
     let mut stream = TcpStream::connect(handle.addr()).unwrap();
     stream.set_nodelay(true).unwrap();
     let request = b"LOAD /no/such/path/anywhere.nt\n";
@@ -95,7 +131,7 @@ fn fragmented_request_reassembles_exactly() {
     BufReader::new(stream).read_line(&mut line).unwrap();
     // The request framed correctly: the error is about the *path*, not
     // about the protocol.
-    assert!(line.starts_with("ERR load:"), "{line}");
+    assert!(line.starts_with("ERR load:"), "{line} ({backend:?})");
     handle.shutdown();
 }
 
@@ -103,7 +139,11 @@ fn fragmented_request_reassembles_exactly() {
 /// only kill their own connection; the server keeps serving.
 #[test]
 fn disconnect_mid_response_leaves_server_healthy() {
-    let (handle, _svc) = start(2);
+    for_each_backend(disconnect_case);
+}
+
+fn disconnect_case(backend: PollerBackend) {
+    let (handle, _svc) = start(2, backend);
     let path = big_graph_file(8_000);
     let name = path.to_str().unwrap();
 
@@ -131,7 +171,7 @@ fn disconnect_mid_response_leaves_server_healthy() {
     let resp = client
         .query(name, "q(?x, ?y) :- ?x <http://example.org/p> ?y")
         .unwrap();
-    assert!(resp.is_ok(), "{}", resp.status);
+    assert!(resp.is_ok(), "{} ({backend:?})", resp.status);
     assert_eq!(resp.field("rows"), Some("8000"));
     assert_eq!(resp.body_str().unwrap().lines().count(), 8_001); // header + rows
     handle.shutdown();
@@ -140,10 +180,16 @@ fn disconnect_mid_response_leaves_server_healthy() {
 
 /// A thousand keep-alive connections can sit idle concurrently and all
 /// remain serviceable — connections are not bounded by the executor
-/// width (2 here).
+/// width (2 here). Under `epoll` this is the O(ready)-wakeup case the
+/// backend exists for; under `poll` it pins the fallback at the same
+/// scale.
 #[test]
 fn thousand_idle_keepalive_connections_all_answer() {
-    let (handle, _svc) = start(2);
+    for_each_backend(thousand_idle_case);
+}
+
+fn thousand_idle_case(backend: PollerBackend) {
+    let (handle, _svc) = start(2, backend);
     let mut conns: Vec<TcpStream> = Vec::with_capacity(1_000);
     for _ in 0..1_000 {
         conns.push(TcpStream::connect(handle.addr()).unwrap());
@@ -175,7 +221,11 @@ fn thousand_idle_keepalive_connections_all_answer() {
 /// A pipelined burst answers strictly in request order on one connection.
 #[test]
 fn pipelined_burst_answers_in_order() {
-    let (handle, _svc) = start(4);
+    for_each_backend(pipelined_burst_case);
+}
+
+fn pipelined_burst_case(backend: PollerBackend) {
+    let (handle, _svc) = start(4, backend);
     let mut stream = TcpStream::connect(handle.addr()).unwrap();
     stream.write_all(b"PING\nSTATS\nPING\nQUIT\n").unwrap();
     let mut reader = BufReader::new(stream);
@@ -209,7 +259,7 @@ fn pipelined_burst_answers_in_order() {
     // QUIT closes: clean EOF, nothing more.
     let mut rest = Vec::new();
     reader.read_to_end(&mut rest).unwrap();
-    assert!(rest.is_empty());
+    assert!(rest.is_empty(), "({backend:?})");
     handle.shutdown();
 }
 
@@ -217,7 +267,11 @@ fn pipelined_burst_answers_in_order() {
 /// sockets are dropped immediately, not waited on.
 #[test]
 fn shutdown_is_prompt_with_idle_connections() {
-    let (handle, _svc) = start(2);
+    for_each_backend(prompt_shutdown_case);
+}
+
+fn prompt_shutdown_case(backend: PollerBackend) {
+    let (handle, _svc) = start(2, backend);
     let mut conns: Vec<TcpStream> = Vec::new();
     for _ in 0..64 {
         let mut s = TcpStream::connect(handle.addr()).unwrap();
@@ -233,7 +287,7 @@ fn shutdown_is_prompt_with_idle_connections() {
     handle.shutdown();
     assert!(
         t0.elapsed() < Duration::from_secs(3),
-        "shutdown waited on idle connections: {:?}",
+        "shutdown waited on idle connections ({backend:?}): {:?}",
         t0.elapsed()
     );
     // The dropped connections observe EOF (or a reset), never a hang.
@@ -253,7 +307,11 @@ fn shutdown_is_prompt_with_idle_connections() {
 /// client reads.
 #[test]
 fn pipelined_large_responses_flush_under_backpressure() {
-    let (handle, _svc) = start(2);
+    for_each_backend(backpressure_case);
+}
+
+fn backpressure_case(backend: PollerBackend) {
+    let (handle, _svc) = start(2, backend);
     let path = big_graph_file(8_000);
     let name = path.to_str().unwrap();
     let mut client = Client::connect(handle.addr()).unwrap();
@@ -269,7 +327,10 @@ fn pipelined_large_responses_flush_under_backpressure() {
     for _ in 0..8 {
         let mut status = String::new();
         reader.read_line(&mut status).unwrap();
-        assert!(status.starts_with("OK query rows=8000 "), "{status}");
+        assert!(
+            status.starts_with("OK query rows=8000 "),
+            "{status} ({backend:?})"
+        );
         let bytes: usize = status
             .trim_end()
             .rsplit(' ')
@@ -293,7 +354,11 @@ fn pipelined_large_responses_flush_under_backpressure() {
 /// still get inline answers promptly.
 #[test]
 fn cold_summarize_does_not_stall_other_connections() {
-    let (handle, _svc) = start(1); // width 1: one cold build occupies the whole executor
+    for_each_backend(cold_summarize_case);
+}
+
+fn cold_summarize_case(backend: PollerBackend) {
+    let (handle, _svc) = start(1, backend); // width 1: one cold build occupies the whole executor
     let path = big_graph_file(150_000);
     let name = path.to_str().unwrap();
 
@@ -313,7 +378,7 @@ fn cold_summarize_does_not_stall_other_connections() {
         assert_eq!(ping(&handle), "OK pong");
         assert!(
             t0.elapsed() < Duration::from_millis(500),
-            "PING stalled behind an offloaded build"
+            "PING stalled behind an offloaded build ({backend:?})"
         );
     }
 

@@ -55,7 +55,7 @@ fn assert_golden(name: &str, g: &rdfsummary::rdf_model::Graph) {
 /// cover the empty-shard edge case.
 fn assert_sharded_matches(name: &str, g: &rdfsummary::rdf_model::Graph) {
     let seq = SummaryContext::new(g);
-    for shards in [2, 3, 7] {
+    for shards in [2, 3, 7, 16] {
         let ctx = SummaryContext::sharded_forced(g, shards);
         for kind in KINDS {
             assert_eq!(
