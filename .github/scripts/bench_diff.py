@@ -5,10 +5,12 @@ Usage: bench_diff.py <captured.jsonl> <baseline.json>
 
 The capture file is the shim-criterion `BENCH_JSON` output: one JSON
 object per finished benchmark. The baseline is the checked-in
-`BENCH_pr*.json` snapshot with a `measurements` array. For every
-(group, bench) pair present in both, a slowdown beyond the threshold
-emits a GitHub Actions `::warning::` annotation. Always exits 0 — CI
-runners are noisy shared machines, so regressions warn, never fail.
+`BENCH_pr*.json` snapshot — either the same JSONL shape (how recent
+baselines are captured) or the older single-document form with a
+`measurements` array. For every (group, bench) pair present in both, a
+slowdown beyond the threshold emits a GitHub Actions `::warning::`
+annotation. Always exits 0 — CI runners are noisy shared machines, so
+regressions warn, never fail.
 """
 
 import json
@@ -17,19 +19,25 @@ import sys
 THRESHOLD = 1.25  # warn when captured mean exceeds baseline by >25%
 
 
+def read_measurements(path):
+    with open(path) as f:
+        text = f.read()
+    try:
+        doc = json.loads(text)
+        if isinstance(doc, dict):
+            return doc["measurements"]
+        return doc
+    except json.JSONDecodeError:
+        return [json.loads(line) for line in text.splitlines() if line.strip()]
+
+
 def main() -> int:
     captured_path, baseline_path = sys.argv[1], sys.argv[2]
-    with open(baseline_path) as f:
-        baseline = {
-            (m["group"], m["bench"]): m["mean_ns"]
-            for m in json.load(f)["measurements"]
-        }
-    captured = []
-    with open(captured_path) as f:
-        for line in f:
-            line = line.strip()
-            if line:
-                captured.append(json.loads(line))
+    baseline = {
+        (m["group"], m["bench"]): m["mean_ns"]
+        for m in read_measurements(baseline_path)
+    }
+    captured = read_measurements(captured_path)
 
     compared = regressions = 0
     for m in captured:

@@ -1,0 +1,102 @@
+//! `persist_restart` group: what `--persist-dir` buys a restarted server.
+//!
+//! The headline pair compares the **restart-warm first `SUMMARIZE`** —
+//! cache cleared every iteration, so the request goes through the
+//! persisted-artifact probe (read + checksum + snapshot decode + index
+//! rebuild) — against the **cold build** the same request costs without a
+//! persist dir. The size rows pin the artifact economics with
+//! `Throughput::Bytes`, so the v2-vs-v1 snapshot sizes of the summary
+//! graph (where v2's symbolic minted keys and varint/delta triples pay
+//! off) land in `BENCH_JSON` next to the timings.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rdfsum_core::{SummaryKind, SummaryService};
+use rdfsum_workloads::BsbmConfig;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_persist_restart(c: &mut Criterion) {
+    {
+        let (label, products) = ("bsbm_30k", 300usize);
+        let g = rdfsum_workloads::generate_bsbm(&BsbmConfig::with_products(products));
+        let triples = g.len() as u64;
+        let dir = std::env::temp_dir().join(format!(
+            "rdfsum_bench_persist_{label}_{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // Prime the on-disk artifact once; `clear_cache` is memory-only,
+        // so each warm iteration models a restarted process: empty cache,
+        // surviving artifact.
+        let persisted = SummaryService::new(1).with_persist_dir(&dir);
+        persisted.load_graph("g", g.clone());
+        let (artifact, _) = persisted.summarize("g", SummaryKind::Weak).unwrap();
+        let cold = SummaryService::new(1);
+        cold.load_graph("g", g.clone());
+
+        let mut group = c.benchmark_group("persist_restart");
+        group.throughput(Throughput::Elements(triples));
+        group.bench_with_input(
+            BenchmarkId::new("restart_warm_first_summarize", label),
+            &persisted,
+            |b, svc| {
+                b.iter(|| {
+                    svc.clear_cache();
+                    let (artifact, hit) = svc.summarize("g", SummaryKind::Weak).unwrap();
+                    assert!(hit, "must be served from the persisted artifact");
+                    black_box(artifact.ntriples.len())
+                })
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("cold_build", label), &cold, |b, svc| {
+            b.iter(|| {
+                svc.clear_cache();
+                let (artifact, hit) = svc.summarize("g", SummaryKind::Weak).unwrap();
+                assert!(!hit);
+                black_box(artifact.ntriples.len())
+            })
+        });
+        group.finish();
+
+        // Size + encode-cost rows over the *summary* graph (minted terms
+        // live there). Throughput::Bytes carries the encoded size into
+        // BENCH_JSON's `bytes` field.
+        let sg = artifact.summary_store.graph();
+        let v2 = rdf_store::snapshot::encode(sg).unwrap();
+        let v1 = rdf_store::snapshot::encode_v1(sg).unwrap();
+        let full = rdfsum_core::persist::encode_artifact(&artifact, &g).unwrap();
+        let mut sizes = c.benchmark_group("persist_artifact_size");
+        sizes.throughput(Throughput::Bytes(v2.len() as u64));
+        sizes.bench_with_input(BenchmarkId::new("snapshot_v2", label), sg, |b, sg| {
+            b.iter(|| black_box(rdf_store::snapshot::encode(sg).unwrap().len()))
+        });
+        sizes.throughput(Throughput::Bytes(v1.len() as u64));
+        sizes.bench_with_input(BenchmarkId::new("snapshot_v1", label), sg, |b, sg| {
+            b.iter(|| black_box(rdf_store::snapshot::encode_v1(sg).unwrap().len()))
+        });
+        sizes.throughput(Throughput::Bytes(full.len() as u64));
+        sizes.bench_with_input(BenchmarkId::new("artifact", label), &artifact, |b, a| {
+            b.iter(|| black_box(rdfsum_core::persist::encode_artifact(a, &g).unwrap().len()))
+        });
+        sizes.finish();
+        assert!(
+            v2.len() < v1.len(),
+            "v2 ({}) must beat v1 ({}) on a minted summary graph",
+            v2.len(),
+            v1.len()
+        );
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    targets = bench_persist_restart
+}
+criterion_main!(benches);

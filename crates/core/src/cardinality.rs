@@ -143,6 +143,33 @@ impl SummaryCardinality {
     pub fn n_properties(&self) -> usize {
         self.props.len()
     }
+
+    /// Reassembles statistics from persisted figures — the inverse of the
+    /// [`Self::iter_properties`]/[`Self::iter_classes`] decomposition,
+    /// used by the summary-artifact persistence codec.
+    pub fn from_parts(
+        kind: SummaryKind,
+        props: FxHashMap<TermId, PropertyCard>,
+        classes: FxHashMap<TermId, usize>,
+        n_data_nodes: usize,
+    ) -> Self {
+        SummaryCardinality {
+            kind,
+            props,
+            classes,
+            n_data_nodes,
+        }
+    }
+
+    /// All per-property figures, in arbitrary order.
+    pub fn iter_properties(&self) -> impl Iterator<Item = (TermId, PropertyCard)> + '_ {
+        self.props.iter().map(|(&p, &card)| (p, card))
+    }
+
+    /// All per-class instance estimates, in arbitrary order.
+    pub fn iter_classes(&self) -> impl Iterator<Item = (TermId, usize)> + '_ {
+        self.classes.iter().map(|(&c, &n)| (c, n))
+    }
 }
 
 /// A [`JoinEstimator`] pairing the summary statistics with the graph's

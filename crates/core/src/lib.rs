@@ -119,6 +119,7 @@ pub mod inflate;
 pub mod iso;
 pub mod naming;
 pub mod parallel;
+pub mod persist;
 pub mod quotient;
 pub mod reference;
 pub mod report;

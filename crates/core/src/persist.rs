@@ -1,0 +1,420 @@
+//! On-disk summary artifacts: the warm-restart persistence codec.
+//!
+//! A [`SummaryArtifact`](crate::service::SummaryArtifact) is exactly the
+//! paper's *build once, serve many times* product, so the service can
+//! write each one to `<persist-dir>/<fingerprint>-<kind>.sum` and a
+//! restarted server can serve its first `SUMMARIZE` without rebuilding.
+//! The codec must round-trip the artifact **byte-identically** (the
+//! served body is pinned to the CLI's `--out` file) and degrade to a
+//! normal cache miss on *any* damage — a corrupt artifact must never
+//! panic, error out to a client, or resurrect a stale body.
+//!
+//! Layout (integers little-endian, varints LEB128):
+//!
+//! ```text
+//! magic  "RDFSUMA1"                        8 bytes
+//! version        u16  (= 1)
+//! kind           u8   (SummaryKind code)
+//! fingerprint    2 × u64 (hi, lo)
+//! input_triples / summary_nodes / summary_edges / n_data_nodes  varints
+//! props:   n varint × { IRI (len varint + UTF-8), triples, subjects,
+//!                       objects varints }          (sorted by IRI)
+//! classes: n varint × { IRI, instances varint }    (sorted by IRI)
+//! summary snapshot: len varint + rdf-store v2 snapshot bytes
+//! checksum       u64 (FNV-1a over every preceding byte)
+//! ```
+//!
+//! The summary graph itself rides as an embedded
+//! [`rdf_store::snapshot`] v2 blob — which preserves term ids, component
+//! insertion order, and minted-term keys, so re-serializing the decoded
+//! graph with [`rdf_io::write_graph`] reproduces the original N-Triples
+//! bytes exactly. Cardinality figures are keyed by the *input graph's*
+//! term ids, which are not stable across restarts by themselves — so
+//! they persist as IRI strings and are re-keyed against the live
+//! dictionary on load (sound: the probe only fires for the entry whose
+//! content fingerprint matches, i.e. for identical content).
+//!
+//! Everything here is `Option`-shaped on the read side: `None` means
+//! "treat as a miss", never an error.
+
+use crate::cardinality::{PropertyCard, SummaryCardinality};
+use crate::service::SummaryArtifact;
+use crate::summary::SummaryKind;
+use rdf_model::{FxHashMap, Term, TermId};
+use rdf_store::{snapshot, Fingerprint, TripleStore};
+
+/// Magic header bytes of a persisted summary artifact.
+pub const MAGIC: &[u8; 8] = b"RDFSUMA1";
+
+/// Artifact format version.
+pub const VERSION: u16 = 1;
+
+/// Every summary kind, for invalidation sweeps over a persist dir.
+pub const ALL_KINDS: [SummaryKind; 6] = [
+    SummaryKind::Weak,
+    SummaryKind::Strong,
+    SummaryKind::TypedWeak,
+    SummaryKind::TypedStrong,
+    SummaryKind::TypeBased,
+    SummaryKind::Bisimulation,
+];
+
+/// Stable one-byte code for a summary kind.
+fn kind_code(kind: SummaryKind) -> u8 {
+    match kind {
+        SummaryKind::Weak => 0,
+        SummaryKind::Strong => 1,
+        SummaryKind::TypedWeak => 2,
+        SummaryKind::TypedStrong => 3,
+        SummaryKind::TypeBased => 4,
+        SummaryKind::Bisimulation => 5,
+    }
+}
+
+/// Lower-cased paper notation — the `<kind>` part of the file name
+/// (matches the server protocol's kind tokens).
+pub fn kind_token(kind: SummaryKind) -> String {
+    kind.notation().to_ascii_lowercase()
+}
+
+/// The artifact's file name inside a persist dir:
+/// `<fingerprint-hex>-<kind>.sum`.
+pub fn artifact_file_name(fingerprint: Fingerprint, kind: SummaryKind) -> String {
+    format!("{fingerprint}-{}.sum", kind_token(kind))
+}
+
+/// FNV-1a over a byte slice — the checksum trailer's hash.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_varint(out, s.len() as u64);
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// Serializes an artifact for `g` — the graph whose dictionary the
+/// cardinality figures are keyed by. Returns `None` when a cardinality
+/// key does not render as an IRI (cannot happen for artifacts the
+/// service builds; checked rather than trusted).
+pub fn encode_artifact(artifact: &SummaryArtifact, g: &rdf_model::Graph) -> Option<Vec<u8>> {
+    let snap = snapshot::encode(artifact.summary_store.graph()).ok()?;
+    let iri_of = |id: TermId| -> Option<&str> { g.dict().decode(id).as_iri() };
+    let mut props: Vec<(&str, PropertyCard)> = artifact
+        .cardinality
+        .iter_properties()
+        .map(|(p, card)| iri_of(p).map(|iri| (iri, card)))
+        .collect::<Option<_>>()?;
+    props.sort_unstable_by_key(|&(iri, _)| iri);
+    let mut classes: Vec<(&str, usize)> = artifact
+        .cardinality
+        .iter_classes()
+        .map(|(c, n)| iri_of(c).map(|iri| (iri, n)))
+        .collect::<Option<_>>()?;
+    classes.sort_unstable_by_key(|&(iri, _)| iri);
+
+    let mut out = Vec::with_capacity(64 + snap.len());
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.push(kind_code(artifact.kind));
+    out.extend_from_slice(&artifact.fingerprint.hi.to_le_bytes());
+    out.extend_from_slice(&artifact.fingerprint.lo.to_le_bytes());
+    put_varint(&mut out, artifact.input_triples as u64);
+    put_varint(&mut out, artifact.summary_nodes as u64);
+    put_varint(&mut out, artifact.summary_edges as u64);
+    put_varint(&mut out, artifact.cardinality.n_data_nodes() as u64);
+    put_varint(&mut out, props.len() as u64);
+    for (iri, card) in props {
+        put_str(&mut out, iri);
+        put_varint(&mut out, card.triples as u64);
+        put_varint(&mut out, card.subjects as u64);
+        put_varint(&mut out, card.objects as u64);
+    }
+    put_varint(&mut out, classes.len() as u64);
+    for (iri, n) in classes {
+        put_str(&mut out, iri);
+        put_varint(&mut out, n as u64);
+    }
+    put_varint(&mut out, snap.len() as u64);
+    out.extend_from_slice(&snap);
+    let checksum = fnv1a64(&out);
+    out.extend_from_slice(&checksum.to_le_bytes());
+    Some(out)
+}
+
+/// Bounds-checked cursor; any structural problem reads as `None`.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        if self.buf.len() - self.pos < n {
+            return None;
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Some(out)
+    }
+
+    fn varint(&mut self) -> Option<u64> {
+        let mut v = 0u64;
+        for shift in (0..64).step_by(7) {
+            let byte = *self.take(1)?.first()?;
+            v |= ((byte & 0x7f) as u64) << shift;
+            if byte & 0x80 == 0 {
+                return Some(v);
+            }
+        }
+        None
+    }
+
+    fn str(&mut self) -> Option<&'a str> {
+        let len = self.varint()? as usize;
+        std::str::from_utf8(self.take(len)?).ok()
+    }
+}
+
+/// Decodes a persisted artifact against the live graph `g`, verifying it
+/// matches the expected `(fingerprint, kind)` slot. Any damage — bad
+/// magic/version/checksum, truncation, a fingerprint or kind mismatch, a
+/// cardinality IRI absent from `g`'s dictionary, a snapshot that fails to
+/// decode — returns `None`: the caller treats it as a plain cache miss.
+pub fn decode_artifact(
+    raw: &[u8],
+    g: &rdf_model::Graph,
+    fingerprint: Fingerprint,
+    kind: SummaryKind,
+) -> Option<SummaryArtifact> {
+    // Header fits + magic + version + checksum before anything else.
+    if raw.len() < 8 + 2 + 1 + 16 + 8 || &raw[..8] != MAGIC {
+        return None;
+    }
+    if u16::from_le_bytes([raw[8], raw[9]]) != VERSION {
+        return None;
+    }
+    let body = &raw[..raw.len() - 8];
+    let stored = u64::from_le_bytes(raw[raw.len() - 8..].try_into().ok()?);
+    if fnv1a64(body) != stored {
+        return None;
+    }
+    if raw[10] != kind_code(kind) {
+        return None;
+    }
+    let hi = u64::from_le_bytes(raw[11..19].try_into().ok()?);
+    let lo = u64::from_le_bytes(raw[19..27].try_into().ok()?);
+    if (Fingerprint { hi, lo }) != fingerprint {
+        return None;
+    }
+    let mut r = Reader { buf: body, pos: 27 };
+    let input_triples = r.varint()? as usize;
+    if input_triples != g.len() {
+        return None;
+    }
+    let summary_nodes = r.varint()? as usize;
+    let summary_edges = r.varint()? as usize;
+    let n_data_nodes = r.varint()? as usize;
+    // Cardinality figures, re-keyed from IRIs to the live dictionary.
+    let lookup = |iri: &str| g.dict().lookup(&Term::iri(iri));
+    let n_props = r.varint()? as usize;
+    if n_props > body.len() {
+        return None;
+    }
+    let mut props: FxHashMap<TermId, PropertyCard> = FxHashMap::default();
+    for _ in 0..n_props {
+        let iri = r.str()?;
+        let card = PropertyCard {
+            triples: r.varint()? as usize,
+            subjects: r.varint()? as usize,
+            objects: r.varint()? as usize,
+        };
+        props.insert(lookup(iri)?, card);
+    }
+    let n_classes = r.varint()? as usize;
+    if n_classes > body.len() {
+        return None;
+    }
+    let mut classes: FxHashMap<TermId, usize> = FxHashMap::default();
+    for _ in 0..n_classes {
+        let iri = r.str()?;
+        let n = r.varint()? as usize;
+        classes.insert(lookup(iri)?, n);
+    }
+    let snap_len = r.varint()? as usize;
+    let snap = r.take(snap_len)?;
+    if r.pos != body.len() {
+        return None;
+    }
+    let summary_graph = snapshot::decode_slice(snap).ok()?;
+    // Snapshots preserve ids and per-component insertion order, so this
+    // re-serialization is byte-identical to the original build's.
+    let ntriples = rdf_io::write_graph(&summary_graph);
+    Some(SummaryArtifact {
+        kind,
+        fingerprint,
+        ntriples,
+        summary_nodes,
+        summary_edges,
+        input_triples,
+        summary_store: TripleStore::new(summary_graph),
+        cardinality: SummaryCardinality::from_parts(kind, props, classes, n_data_nodes),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures;
+    use crate::service::SummaryService;
+
+    fn built(kind: SummaryKind) -> (SummaryService, std::sync::Arc<SummaryArtifact>) {
+        let svc = SummaryService::new(1);
+        svc.load_graph("g", fixtures::book_graph());
+        let (artifact, _) = svc.summarize("g", kind).unwrap();
+        (svc, artifact)
+    }
+
+    /// Round-trips an artifact through the codec against its own graph.
+    fn roundtrip(kind: SummaryKind) -> (std::sync::Arc<SummaryArtifact>, SummaryArtifact) {
+        let svc = SummaryService::new(1);
+        let g = fixtures::book_graph();
+        svc.load_graph("g", g);
+        let (artifact, _) = svc.summarize("g", kind).unwrap();
+        // Re-materialize the graph the service holds for decode keying.
+        let g = fixtures::book_graph();
+        let store = TripleStore::new(g);
+        let raw = encode_artifact(&artifact, store.graph()).unwrap();
+        let back = decode_artifact(&raw, store.graph(), artifact.fingerprint, kind).unwrap();
+        (artifact, back)
+    }
+
+    #[test]
+    fn artifact_roundtrips_byte_identically() {
+        for kind in ALL_KINDS {
+            let (original, back) = roundtrip(kind);
+            assert_eq!(original.ntriples, back.ntriples, "{kind:?} bytes differ");
+            assert_eq!(original.summary_nodes, back.summary_nodes);
+            assert_eq!(original.summary_edges, back.summary_edges);
+            assert_eq!(original.input_triples, back.input_triples);
+            assert_eq!(original.fingerprint, back.fingerprint);
+        }
+    }
+
+    #[test]
+    fn cardinality_figures_survive() {
+        let (original, back) = roundtrip(SummaryKind::TypedWeak);
+        assert_eq!(
+            original.cardinality.n_data_nodes(),
+            back.cardinality.n_data_nodes()
+        );
+        assert_eq!(
+            original.cardinality.n_properties(),
+            back.cardinality.n_properties()
+        );
+        let mut seen = 0;
+        for (p, card) in original.cardinality.iter_properties() {
+            assert_eq!(back.cardinality.property(p), Some(card));
+            seen += 1;
+        }
+        assert!(seen > 0);
+        for (c, n) in original.cardinality.iter_classes() {
+            assert_eq!(back.cardinality.class_instances(c), Some(n));
+        }
+    }
+
+    #[test]
+    fn mismatched_slot_reads_as_none() {
+        let (_svc, artifact) = built(SummaryKind::Weak);
+        let store = TripleStore::new(fixtures::book_graph());
+        let raw = encode_artifact(&artifact, store.graph()).unwrap();
+        // Wrong kind.
+        assert!(decode_artifact(
+            &raw,
+            store.graph(),
+            artifact.fingerprint,
+            SummaryKind::Strong
+        )
+        .is_none());
+        // Wrong fingerprint.
+        let other = Fingerprint {
+            hi: artifact.fingerprint.hi ^ 1,
+            lo: artifact.fingerprint.lo,
+        };
+        assert!(decode_artifact(&raw, store.graph(), other, SummaryKind::Weak).is_none());
+        // Wrong input graph (different content, different dictionary).
+        let other_store = TripleStore::new(fixtures::sample_graph());
+        assert!(decode_artifact(
+            &raw,
+            other_store.graph(),
+            artifact.fingerprint,
+            SummaryKind::Weak
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn damage_reads_as_none_never_panics() {
+        let (_svc, artifact) = built(SummaryKind::Weak);
+        let store = TripleStore::new(fixtures::book_graph());
+        let g = store.graph();
+        let raw = encode_artifact(&artifact, g).unwrap();
+        let fp = artifact.fingerprint;
+        // Empty and truncated files.
+        assert!(decode_artifact(&[], g, fp, SummaryKind::Weak).is_none());
+        for cut in [1, 8, 11, 27, raw.len() / 2, raw.len() - 1] {
+            assert!(
+                decode_artifact(&raw[..cut], g, fp, SummaryKind::Weak).is_none(),
+                "cut at {cut} accepted"
+            );
+        }
+        // Bit flips anywhere in the body are caught by the checksum.
+        for pos in (0..raw.len()).step_by(13) {
+            let mut bad = raw.clone();
+            bad[pos] ^= 0x40;
+            assert!(
+                decode_artifact(&bad, g, fp, SummaryKind::Weak).is_none(),
+                "flip at {pos} accepted"
+            );
+        }
+        // Wrong version, checksum re-stamped so only the gate fires.
+        let mut wrong_ver = raw.clone();
+        wrong_ver[8] = 0x7f;
+        let n = wrong_ver.len();
+        let sum = fnv1a64(&wrong_ver[..n - 8]);
+        wrong_ver[n - 8..].copy_from_slice(&sum.to_le_bytes());
+        assert!(decode_artifact(&wrong_ver, g, fp, SummaryKind::Weak).is_none());
+    }
+
+    #[test]
+    fn file_names_are_slot_unique() {
+        let fp = Fingerprint { hi: 7, lo: 9 };
+        let names: Vec<String> = ALL_KINDS
+            .iter()
+            .map(|&k| artifact_file_name(fp, k))
+            .collect();
+        let mut dedup = names.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len());
+        assert!(names.iter().all(|n| n.ends_with(".sum")));
+        assert_eq!(names[0], format!("{fp}-w.sum"));
+    }
+}

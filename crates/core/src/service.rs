@@ -48,6 +48,7 @@ use rdf_query::{explain_with, parse_query, Evaluator};
 use rdf_store::{Fingerprint, TripleStore};
 use std::collections::HashMap;
 use std::fmt;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, RwLock};
 
@@ -125,6 +126,11 @@ pub struct ServiceStats {
     /// delete). Each one also counts in `builds` — so under any workload
     /// `builds == patch_fallbacks + misses`, the CI liveness seam.
     pub patch_fallbacks: u64,
+    /// Cache misses answered from a persisted on-disk artifact instead of
+    /// a build (each also counts in `hits`, never in `misses`).
+    pub persist_hits: u64,
+    /// Artifacts successfully written to the persist dir.
+    pub persist_writes: u64,
 }
 
 /// Errors a service request can produce.
@@ -263,6 +269,11 @@ pub struct SummaryService {
     cache: Mutex<CacheState>,
     /// Byte budget for Ready cache entries; `None` = unbounded.
     cache_budget: Option<usize>,
+    /// Warm-restart persistence: artifacts are written here and probed on
+    /// cache misses (see [`crate::persist`]). `None` = memory-only.
+    persist_dir: Option<PathBuf>,
+    /// Uniquifies temp-file names for the write-then-rename protocol.
+    persist_seq: AtomicU64,
     /// Signaled whenever a Building slot resolves (or is abandoned).
     slot_done: Condvar,
     prune_verdicts: Mutex<HashMap<PruneKey, bool>>,
@@ -276,6 +287,8 @@ pub struct SummaryService {
     updates: AtomicU64,
     patches: AtomicU64,
     patch_fallbacks: AtomicU64,
+    persist_hits: AtomicU64,
+    persist_writes: AtomicU64,
 }
 
 /// Removes the `Building` marker if the build unwinds, so waiters retry
@@ -319,6 +332,8 @@ impl SummaryService {
             graphs: Mutex::new(HashMap::new()),
             cache: Mutex::new(CacheState::default()),
             cache_budget: cache_bytes,
+            persist_dir: None,
+            persist_seq: AtomicU64::new(0),
             slot_done: Condvar::new(),
             prune_verdicts: Mutex::new(HashMap::new()),
             builds: AtomicU64::new(0),
@@ -331,7 +346,29 @@ impl SummaryService {
             updates: AtomicU64::new(0),
             patches: AtomicU64::new(0),
             patch_fallbacks: AtomicU64::new(0),
+            persist_hits: AtomicU64::new(0),
+            persist_writes: AtomicU64::new(0),
         }
+    }
+
+    /// Enables warm-restart persistence: every artifact the service
+    /// builds (or patches) is written to `dir` as
+    /// `<fingerprint>-<kind>.sum` via temp-file + atomic rename, and a
+    /// cache miss probes the directory before building. A probe that
+    /// fails *in any way* — missing file, bad checksum, wrong version,
+    /// truncation, content mismatch — silently degrades to a normal miss;
+    /// `EVICT` and `UPDATE` invalidation unlink the on-disk slots along
+    /// with the in-memory lines. The directory is created if absent.
+    pub fn with_persist_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        let dir = dir.into();
+        let _ = std::fs::create_dir_all(&dir);
+        self.persist_dir = Some(dir);
+        self
+    }
+
+    /// The persist dir, when warm-restart persistence is enabled.
+    pub fn persist_dir(&self) -> Option<&Path> {
+        self.persist_dir.as_deref()
     }
 
     /// The configured cache byte budget (`None` = unbounded).
@@ -456,32 +493,79 @@ impl SummaryService {
             }
         }
         // This thread won the build; everyone else for this key now waits.
-        self.misses.fetch_add(1, Ordering::Relaxed);
         let mut guard = BuildGuard {
             service: self,
             key,
             armed: true,
         };
-        let artifact = Arc::new(self.build_artifact(entry, kind));
-        {
-            let mut cache = self.cache.lock().unwrap();
-            let bytes = artifact.ntriples.len();
-            cache.clock += 1;
-            let stamp = cache.clock;
-            cache.slots.insert(
-                key,
-                Slot::Ready {
-                    artifact: Arc::clone(&artifact),
-                    bytes,
-                    last_used: stamp,
-                },
-            );
-            cache.total_bytes += bytes;
-            self.enforce_budget(&mut cache);
+        // Warm-restart seam: a persisted artifact for this exact slot is
+        // served as a cache hit — no build, `builds()` untouched. A probe
+        // failure of any sort is just a miss.
+        if let Some(artifact) = self.probe_persisted(entry, kind) {
+            let artifact = Arc::new(artifact);
+            self.install_built(key, &artifact);
+            guard.armed = false;
+            self.slot_done.notify_all();
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.persist_hits.fetch_add(1, Ordering::Relaxed);
+            return (artifact, true);
         }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let artifact = Arc::new(self.build_artifact(entry, kind));
+        self.persist_artifact(&artifact, entry.store.graph());
+        self.install_built(key, &artifact);
         guard.armed = false;
         self.slot_done.notify_all();
         (artifact, false)
+    }
+
+    /// Replaces this key's `Building` marker with the finished artifact
+    /// (the build-winner's installation step).
+    fn install_built(&self, key: (Fingerprint, SummaryKind), artifact: &Arc<SummaryArtifact>) {
+        let mut cache = self.cache.lock().unwrap();
+        let bytes = artifact.ntriples.len();
+        cache.clock += 1;
+        let stamp = cache.clock;
+        cache.slots.insert(
+            key,
+            Slot::Ready {
+                artifact: Arc::clone(artifact),
+                bytes,
+                last_used: stamp,
+            },
+        );
+        cache.total_bytes += bytes;
+        self.enforce_budget(&mut cache);
+    }
+
+    /// Probes the persist dir for this slot's artifact. `None` — missing
+    /// file, damage of any kind, a slot mismatch — means "plain miss".
+    fn probe_persisted(&self, entry: &GraphEntry, kind: SummaryKind) -> Option<SummaryArtifact> {
+        let dir = self.persist_dir.as_ref()?;
+        let path = dir.join(crate::persist::artifact_file_name(entry.fingerprint, kind));
+        let raw = std::fs::read(path).ok()?;
+        crate::persist::decode_artifact(&raw, entry.store.graph(), entry.fingerprint, kind)
+    }
+
+    /// Writes `artifact` to the persist dir via write-to-temp + atomic
+    /// rename, so a concurrent probe (or a crash mid-write) never sees a
+    /// half-written file. Failures are silent: persistence is an
+    /// optimization, never a request error.
+    fn persist_artifact(&self, artifact: &SummaryArtifact, g: &Graph) {
+        let Some(dir) = self.persist_dir.as_ref() else {
+            return;
+        };
+        let Some(bytes) = crate::persist::encode_artifact(artifact, g) else {
+            return;
+        };
+        let name = crate::persist::artifact_file_name(artifact.fingerprint, artifact.kind);
+        let seq = self.persist_seq.fetch_add(1, Ordering::Relaxed);
+        let tmp = dir.join(format!(".{name}.{}.{seq}.tmp", std::process::id()));
+        if std::fs::write(&tmp, &bytes).is_ok() && std::fs::rename(&tmp, dir.join(name)).is_ok() {
+            self.persist_writes.fetch_add(1, Ordering::Relaxed);
+        } else {
+            let _ = std::fs::remove_file(&tmp);
+        }
     }
 
     /// Evicts least-recently-used Ready entries until the cache fits the
@@ -637,6 +721,9 @@ impl SummaryService {
                 self.patch_fallbacks.fetch_add(1, Ordering::Relaxed);
                 Arc::new(self.build_artifact(e, kind))
             };
+            // Re-key the on-disk slot along with the in-memory line (the
+            // old fingerprint's files go with `drop_fingerprint_lines`).
+            self.persist_artifact(&artifact, e.store.graph());
             self.insert_ready((fingerprint, kind), artifact);
         }
         // Release the entry before the sharing scan: fingerprint_shared
@@ -806,13 +893,19 @@ impl SummaryService {
             let ask = ev.ask_ordered(&q, &plan.order());
             (Vec::new(), ask, false)
         } else {
-            let rs = ev.select_limit_ordered(&q, &plan.order(), limit);
+            // Probe one row past the limit: an answer set of *exactly*
+            // `limit` rows is complete, not truncated — only an overflow
+            // row proves the cut. (`usize::MAX` saturates; never cut.)
+            let mut rs = ev.select_limit_ordered(&q, &plan.order(), limit.saturating_add(1));
+            let truncated = rs.rows.len() > limit;
+            if truncated {
+                rs.rows.truncate(limit);
+            }
             let rows: Vec<Vec<String>> = rs
                 .decode(store)
                 .into_iter()
                 .map(|row| row.into_iter().map(|t| t.to_string()).collect())
                 .collect();
-            let truncated = rows.len() >= limit && limit != usize::MAX;
             let ask = !rows.is_empty();
             (rows, ask, truncated)
         };
@@ -878,6 +971,13 @@ impl SummaryService {
     /// (content-addressed), but an unreferenced fingerprint's lines are
     /// dead weight.
     fn drop_fingerprint_lines(&self, fingerprint: Fingerprint) -> usize {
+        if let Some(dir) = self.persist_dir.as_ref() {
+            for kind in crate::persist::ALL_KINDS {
+                let _ = std::fs::remove_file(
+                    dir.join(crate::persist::artifact_file_name(fingerprint, kind)),
+                );
+            }
+        }
         self.prune_verdicts
             .lock()
             .unwrap()
@@ -901,6 +1001,18 @@ impl SummaryService {
             map.clear();
             n
         };
+        // No graph survives, so no persisted slot can ever be probed
+        // again under its fingerprint — sweep them all.
+        if let Some(dir) = self.persist_dir.as_ref() {
+            if let Ok(entries) = std::fs::read_dir(dir) {
+                for ent in entries.flatten() {
+                    let path = ent.path();
+                    if path.extension().is_some_and(|e| e == "sum") {
+                        let _ = std::fs::remove_file(path);
+                    }
+                }
+            }
+        }
         (graphs, self.clear_cache())
     }
 
@@ -952,6 +1064,8 @@ impl SummaryService {
             updates: self.updates.load(Ordering::Relaxed),
             patches: self.patches.load(Ordering::Relaxed),
             patch_fallbacks: self.patch_fallbacks.load(Ordering::Relaxed),
+            persist_hits: self.persist_hits.load(Ordering::Relaxed),
+            persist_writes: self.persist_writes.load(Ordering::Relaxed),
         }
     }
 }
@@ -1587,5 +1701,198 @@ mod tests {
         assert_eq!(svc.builds(), 4, "one build per (fingerprint, kind)");
         let st = svc.stats();
         assert_eq!(st.hits + st.misses, (threads * 4) as u64);
+    }
+
+    #[test]
+    fn query_exactly_limit_rows_is_not_truncated() {
+        let svc = SummaryService::new(1);
+        svc.load_graph("g", fixtures::sample_graph());
+        let text = "q(?x, ?y) :- ?x ?p ?y";
+        let n = svc.query("g", text, None, usize::MAX).unwrap().rows.len();
+        assert!(n > 1, "fixture must yield several rows");
+        // Exactly-full result set: complete, not truncated.
+        let exact = svc.query("g", text, None, n).unwrap();
+        assert_eq!(exact.rows.len(), n);
+        assert!(!exact.truncated, "exact-fit misreported as truncated");
+        // One below: genuinely cut.
+        let cut = svc.query("g", text, None, n - 1).unwrap();
+        assert_eq!(cut.rows.len(), n - 1);
+        assert!(cut.truncated);
+    }
+
+    /// A scratch persist dir, wiped of any previous run's leftovers.
+    fn persist_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("rdfsum_persist_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn persisted_artifact_warms_a_fresh_service() {
+        let dir = persist_dir("warm");
+        let cold = SummaryService::new(1).with_persist_dir(&dir);
+        cold.load_graph("g", fixtures::sample_graph());
+        let (built, hit) = cold.summarize("g", SummaryKind::Weak).unwrap();
+        assert!(!hit);
+        let st = cold.stats();
+        assert_eq!((st.persist_writes, st.persist_hits), (1, 0));
+        drop(cold);
+
+        // A "restarted" service: same dir, fresh cache.
+        let warm = SummaryService::new(1).with_persist_dir(&dir);
+        warm.load_graph("g", fixtures::sample_graph());
+        let (artifact, hit) = warm.summarize("g", SummaryKind::Weak).unwrap();
+        assert!(hit, "persisted artifact must serve as a hit");
+        assert_eq!(warm.builds(), 0, "warm path must not rebuild");
+        assert_eq!(artifact.ntriples, built.ntriples, "bytes must be identical");
+        let st = warm.stats();
+        assert_eq!((st.hits, st.misses, st.persist_hits), (1, 0, 1));
+        assert_eq!(st.builds, st.patch_fallbacks + st.misses);
+        // Second request is an ordinary in-memory hit, not another probe.
+        let (_, hit) = warm.summarize("g", SummaryKind::Weak).unwrap();
+        assert!(hit);
+        assert_eq!(warm.stats().persist_hits, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_persisted_artifacts_degrade_to_plain_misses() {
+        let dir = persist_dir("corrupt");
+        let cold = SummaryService::new(1).with_persist_dir(&dir);
+        let fp = cold.load_graph("g", fixtures::sample_graph()).fingerprint;
+        let (built, _) = cold.summarize("g", SummaryKind::Weak).unwrap();
+        drop(cold);
+        let path = dir.join(crate::persist::artifact_file_name(fp, SummaryKind::Weak));
+        let good = std::fs::read(&path).unwrap();
+
+        let damaged: Vec<(&str, Vec<u8>)> = vec![
+            ("empty", Vec::new()),
+            ("truncated", good[..good.len() / 2].to_vec()),
+            ("bit flip", {
+                let mut v = good.clone();
+                let mid = v.len() / 2;
+                v[mid] ^= 0x20;
+                v
+            }),
+            ("wrong magic", {
+                let mut v = good.clone();
+                v[0] = b'X';
+                v
+            }),
+            ("wrong version", {
+                let mut v = good.clone();
+                v[8] = 0x7f;
+                v
+            }),
+            ("garbage", b"not an artifact at all".to_vec()),
+        ];
+        for (what, bytes) in damaged {
+            std::fs::write(&path, bytes).unwrap();
+            let svc = SummaryService::new(1).with_persist_dir(&dir);
+            svc.load_graph("g", fixtures::sample_graph());
+            let (artifact, hit) = svc.summarize("g", SummaryKind::Weak).unwrap();
+            assert!(!hit, "{what}: corrupt artifact served as a hit");
+            assert_eq!(svc.builds(), 1, "{what}: must fall back to a build");
+            let st = svc.stats();
+            assert_eq!((st.misses, st.persist_hits), (1, 0), "{what}");
+            assert_eq!(artifact.ntriples, built.ntriples, "{what}: wrong bytes");
+            // The rebuild re-persists a good artifact over the damage…
+            assert_eq!(st.persist_writes, 1, "{what}: no write-back");
+        }
+        // …so one more restart comes back warm again.
+        let healed = SummaryService::new(1).with_persist_dir(&dir);
+        healed.load_graph("g", fixtures::sample_graph());
+        let (_, hit) = healed.summarize("g", SummaryKind::Weak).unwrap();
+        assert!(hit);
+        assert_eq!(healed.builds(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn evict_unlinks_persisted_slots() {
+        let dir = persist_dir("evict");
+        let svc = SummaryService::new(1).with_persist_dir(&dir);
+        let fp = svc.load_graph("g", fixtures::sample_graph()).fingerprint;
+        svc.summarize("g", SummaryKind::Weak).unwrap();
+        svc.summarize("g", SummaryKind::Strong).unwrap();
+        let weak = dir.join(crate::persist::artifact_file_name(fp, SummaryKind::Weak));
+        assert!(weak.exists());
+        svc.evict("g").unwrap();
+        assert!(!weak.exists(), "EVICT must unlink the on-disk slots");
+        assert!(!dir
+            .join(crate::persist::artifact_file_name(fp, SummaryKind::Strong))
+            .exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn evict_keeps_persisted_slots_shared_with_another_name() {
+        let dir = persist_dir("evict_shared");
+        let svc = SummaryService::new(1).with_persist_dir(&dir);
+        let fp = svc.load_graph("a", fixtures::sample_graph()).fingerprint;
+        svc.load_graph("b", fixtures::sample_graph());
+        svc.summarize("a", SummaryKind::Weak).unwrap();
+        let path = dir.join(crate::persist::artifact_file_name(fp, SummaryKind::Weak));
+        svc.evict("a").unwrap();
+        assert!(path.exists(), "content still resident under another name");
+        svc.evict("b").unwrap();
+        assert!(!path.exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn update_rekeys_persisted_slots() {
+        let dir = persist_dir("update");
+        let svc = SummaryService::new(1).with_persist_dir(&dir);
+        let old_fp = svc.load_graph("g", fixtures::sample_graph()).fingerprint;
+        svc.summarize("g", SummaryKind::Weak).unwrap();
+        let (s, p, o) = u("http://x/new", "http://x/p", "http://x/target");
+        let out = svc.update("g", true, &[(s, p, o)]).unwrap();
+        assert_ne!(out.fingerprint, old_fp);
+        let old = dir.join(crate::persist::artifact_file_name(
+            old_fp,
+            SummaryKind::Weak,
+        ));
+        let new = dir.join(crate::persist::artifact_file_name(
+            out.fingerprint,
+            SummaryKind::Weak,
+        ));
+        assert!(!old.exists(), "stale slot must be unlinked");
+        assert!(new.exists(), "carried artifact must be re-keyed on disk");
+        // A restarted service on the updated content comes back warm.
+        let mutated = mutated_store(
+            fixtures::sample_graph(),
+            &[(
+                true,
+                vec![u("http://x/new", "http://x/p", "http://x/target")],
+            )],
+        );
+        let warm = SummaryService::new(1).with_persist_dir(&dir);
+        warm.load_graph("g", mutated.graph().clone());
+        let (_, hit) = warm.summarize("g", SummaryKind::Weak).unwrap();
+        assert!(hit);
+        assert_eq!(warm.builds(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn evict_all_sweeps_the_persist_dir() {
+        let dir = persist_dir("evict_all");
+        let svc = SummaryService::new(1).with_persist_dir(&dir);
+        svc.load_graph("g", fixtures::sample_graph());
+        svc.load_graph("h", fixtures::book_graph());
+        svc.summarize("g", SummaryKind::Weak).unwrap();
+        svc.summarize("h", SummaryKind::TypedWeak).unwrap();
+        let n_sum = |dir: &std::path::Path| {
+            std::fs::read_dir(dir)
+                .unwrap()
+                .flatten()
+                .filter(|e| e.path().extension().is_some_and(|x| x == "sum"))
+                .count()
+        };
+        assert_eq!(n_sum(&dir), 2);
+        svc.evict_all();
+        assert_eq!(n_sum(&dir), 0);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -61,6 +61,22 @@ pub enum MintedKey {
     ClassSet(Arc<[SharedTerm]>),
 }
 
+impl MintedKey {
+    /// The key's member slices, for serialization: `(tc, sc)` for a
+    /// property-set node, `(classes, ∅)` for a class set, `(∅, ∅)` for
+    /// `Nτ`. Together with the variant this is the full symbolic key; a
+    /// codec rebuilds an equivalent term via [`MintedTerm::node`] /
+    /// [`MintedTerm::class_set`] / [`MintedTerm::n_tau`] over freshly
+    /// interned member sets.
+    pub fn members(&self) -> (&[SharedTerm], &[SharedTerm]) {
+        match self {
+            MintedKey::NTau => (&[], &[]),
+            MintedKey::PropertySets { tc, sc } => (tc, sc),
+            MintedKey::ClassSet(classes) => (classes, &[]),
+        }
+    }
+}
+
 /// The address/length fingerprint of an interned set, the unit of minted
 /// identity.
 #[inline]
@@ -317,6 +333,22 @@ mod tests {
     fn duplicate_members_collapse_in_rendering() {
         let m = MintedTerm::node(shared(&["http://x/a", "http://x/a"]), shared(&[]));
         assert_eq!(m.uri(), "urn:rdfsummary:n?in=http://x/a&out=");
+    }
+
+    #[test]
+    fn members_exposes_the_symbolic_key() {
+        let tc = shared(&["http://x/a"]);
+        let sc = shared(&["http://x/b", "http://x/c"]);
+        let n = MintedTerm::node(tc.clone(), sc.clone());
+        let (first, second) = n.key().members();
+        assert_eq!(first.len(), 1);
+        assert_eq!(second.len(), 2);
+        assert_eq!(first[0].as_iri(), Some("http://x/a"));
+        let c = MintedTerm::class_set(shared(&["http://x/C"]));
+        let (classes, rest) = c.key().members();
+        assert_eq!(classes.len(), 1);
+        assert!(rest.is_empty());
+        assert_eq!(MintedTerm::n_tau().key().members(), (&[][..], &[][..]));
     }
 
     #[test]

@@ -3,36 +3,65 @@
 //! Re-parsing N-Triples on every run is the dominant cost of experiment
 //! sweeps, so the store can persist a graph in its *encoded* form: the
 //! dictionary (terms in id order) followed by the three component tables
-//! as raw id triples. Loading is a single sequential read with no string
+//! as id triples. Loading is a single sequential read with no string
 //! parsing beyond the dictionary.
 //!
-//! Layout (all integers little-endian):
+//! Two format versions exist. **v2** (the current writer) is
 //!
 //! ```text
-//! magic  "RDFSNAP1"                       8 bytes
-//! n_terms        u64
-//! n_data/n_type/n_schema  3 × u64
-//! terms: n_terms × { tag u8, fields… }    tag 0=IRI 1=blank
-//!                                         2=literal 3=lang 4=typed
-//!   each string field: len u32 + UTF-8 bytes
-//! triples: (n_data+n_type+n_schema) × 3 × u32
+//! magic  "RDFSNAP2"                        8 bytes
+//! version        u16  (= 2)
+//! n_terms / n_data / n_type / n_schema     4 × varint
+//! pool:  n_pool varint, then n_pool × { len varint + UTF-8 bytes }
+//!        — the deduplicated member IRIs of every minted key
+//! terms: n_terms × { tag u8, fields… }     tag 0=IRI 1=blank 2=literal
+//!                                          3=lang 4=typed 5=Nτ
+//!                                          6=N(TC,SC) 7=C(X)
+//!   string fields: len varint + UTF-8 bytes
+//!   minted member sets: count varint + count × pool-index varint
+//! triples: (n_data+n_type+n_schema) × 3 zigzag-varint deltas
+//!          (each of s/p/o is delta-coded against the previous triple)
+//! checksum       u64 (FNV-1a over every preceding byte)
 //! ```
 //!
-//! The format preserves term ids, so snapshots round-trip graphs
+//! v2 preserves minted summary terms *symbolically*: tags 5–7 store the
+//! [`MintedKey`](rdf_model::MintedKey) member sets as pool indices, so a
+//! decoded summary graph holds real [`Term::Minted`] terms (identical key
+//! members, identical rendered URI) instead of the flattened IRI the **v1**
+//! format degraded them to. v1 (`RDFSNAP1`: u64 counts, u32-length
+//! strings, raw u32 triple ids, no checksum) is still read behind the
+//! magic/version gate — minted terms load as plain IRIs, as they always
+//! did — but no longer written.
+//!
+//! Both formats preserve term ids, so snapshots round-trip graphs
 //! *bit-identically* (insertion order of each component included).
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
-use rdf_model::{Graph, LiteralKind, Term, Triple};
+use rdf_model::{Graph, LiteralKind, MintedKey, MintedTerm, SharedTerm, Term, Triple};
 use std::fmt;
+use std::sync::Arc;
 
-/// Magic header bytes.
+/// Magic header bytes of the legacy v1 format.
 pub const MAGIC: &[u8; 8] = b"RDFSNAP1";
 
-/// Errors from snapshot decoding.
+/// Magic header bytes of the current v2 format.
+pub const MAGIC_V2: &[u8; 8] = b"RDFSNAP2";
+
+/// Format version written after [`MAGIC_V2`].
+pub const VERSION: u16 = 2;
+
+/// Longest string a v1 snapshot can hold (u32 length prefix).
+const V1_MAX_STR: usize = u32::MAX as usize;
+
+/// Errors from snapshot encoding/decoding.
 #[derive(Debug)]
 pub enum SnapshotError {
     /// Missing or wrong magic header.
     BadMagic,
+    /// A v2 header with an unsupported format version.
+    BadVersion(u16),
+    /// The checksum trailer does not match the body.
+    BadChecksum,
     /// The buffer ended prematurely or lengths are inconsistent.
     Truncated,
     /// A string field was not valid UTF-8.
@@ -43,6 +72,8 @@ pub enum SnapshotError {
     DanglingId(u32),
     /// A triple was routed to the wrong component table.
     WrongComponent,
+    /// A term too long for the target format's length prefix.
+    TermTooLong,
     /// Underlying I/O failure.
     Io(std::io::Error),
 }
@@ -51,6 +82,8 @@ impl fmt::Display for SnapshotError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SnapshotError::BadMagic => write!(f, "not a graph snapshot (bad magic)"),
+            SnapshotError::BadVersion(v) => write!(f, "unsupported snapshot version {v}"),
+            SnapshotError::BadChecksum => write!(f, "snapshot checksum mismatch"),
             SnapshotError::Truncated => write!(f, "snapshot truncated"),
             SnapshotError::BadUtf8 => write!(f, "snapshot contains invalid UTF-8"),
             SnapshotError::BadTag(t) => write!(f, "unknown term tag {t}"),
@@ -58,6 +91,7 @@ impl fmt::Display for SnapshotError {
             SnapshotError::WrongComponent => {
                 write!(f, "triple stored in the wrong component table")
             }
+            SnapshotError::TermTooLong => write!(f, "term too long for the snapshot format"),
             SnapshotError::Io(e) => write!(f, "I/O error: {e}"),
         }
     }
@@ -71,49 +105,99 @@ impl From<std::io::Error> for SnapshotError {
     }
 }
 
-fn put_str(buf: &mut BytesMut, s: &str) {
-    buf.put_u32_le(u32::try_from(s.len()).expect("string too long for snapshot"));
+/// FNV-1a over a byte slice — the checksum trailer's hash.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// LEB128 unsigned varint.
+fn put_varint(buf: &mut BytesMut, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.put_u8(byte);
+            return;
+        }
+        buf.put_u8(byte | 0x80);
+    }
+}
+
+/// Zigzag-mapped signed varint (deltas can be negative).
+fn put_signed_varint(buf: &mut BytesMut, v: i64) {
+    put_varint(buf, ((v << 1) ^ (v >> 63)) as u64);
+}
+
+fn put_varint_str(buf: &mut BytesMut, s: &str) {
+    put_varint(buf, s.len() as u64);
     buf.put_slice(s.as_bytes());
 }
 
-fn put_term(buf: &mut BytesMut, t: &Term) {
+// ---------------------------------------------------------------------------
+// v1 writer (kept for the compatibility gate and size comparisons)
+// ---------------------------------------------------------------------------
+
+/// Writes a u32-length-prefixed string, rejecting lengths the prefix
+/// cannot represent. The cap is a parameter purely so the error path is
+/// testable without allocating a 4 GiB string.
+fn put_str_capped(buf: &mut BytesMut, s: &str, cap: usize) -> Result<(), SnapshotError> {
+    if s.len() > cap {
+        return Err(SnapshotError::TermTooLong);
+    }
+    buf.put_u32_le(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+    Ok(())
+}
+
+fn put_str(buf: &mut BytesMut, s: &str) -> Result<(), SnapshotError> {
+    put_str_capped(buf, s, V1_MAX_STR)
+}
+
+fn put_term_v1(buf: &mut BytesMut, t: &Term) -> Result<(), SnapshotError> {
     match t {
         Term::Iri(iri) => {
             buf.put_u8(0);
-            put_str(buf, iri);
+            put_str(buf, iri)?;
         }
-        // Minted summary terms persist as their rendered IRI: the snapshot
-        // byte stream is identical to the eager-string era, and decoding
-        // yields a plain `Term::Iri` with the same rendering.
+        // v1 persists minted terms as their rendered IRI — the lossy
+        // legacy encoding (decodes as a plain `Term::Iri`).
         Term::Minted(m) => {
             buf.put_u8(0);
-            put_str(buf, m.uri());
+            put_str(buf, m.uri())?;
         }
         Term::Blank(label) => {
             buf.put_u8(1);
-            put_str(buf, label);
+            put_str(buf, label)?;
         }
         Term::Literal { lexical, kind } => match kind {
             LiteralKind::Simple => {
                 buf.put_u8(2);
-                put_str(buf, lexical);
+                put_str(buf, lexical)?;
             }
             LiteralKind::Lang(tag) => {
                 buf.put_u8(3);
-                put_str(buf, lexical);
-                put_str(buf, tag);
+                put_str(buf, lexical)?;
+                put_str(buf, tag)?;
             }
             LiteralKind::Typed(dt) => {
                 buf.put_u8(4);
-                put_str(buf, lexical);
-                put_str(buf, dt);
+                put_str(buf, lexical)?;
+                put_str(buf, dt)?;
             }
         },
     }
+    Ok(())
 }
 
-/// Serializes a graph into a snapshot buffer.
-pub fn encode(g: &Graph) -> Bytes {
+/// Serializes a graph in the legacy v1 layout (minted terms flattened to
+/// rendered IRIs). Kept so tests can exercise the version gate and the
+/// benches can compare artifact sizes; new snapshots use [`encode`].
+pub fn encode_v1(g: &Graph) -> Result<Bytes, SnapshotError> {
     let mut buf = BytesMut::with_capacity(64 + g.dict().len() * 24 + g.len() * 12);
     buf.put_slice(MAGIC);
     buf.put_u64_le(g.dict().len() as u64);
@@ -121,7 +205,7 @@ pub fn encode(g: &Graph) -> Bytes {
     buf.put_u64_le(g.types().len() as u64);
     buf.put_u64_le(g.schema().len() as u64);
     for (_, term) in g.dict().iter() {
-        put_term(&mut buf, term);
+        put_term_v1(&mut buf, term)?;
     }
     for t in g
         .data()
@@ -133,8 +217,138 @@ pub fn encode(g: &Graph) -> Bytes {
         buf.put_u32_le(t.p.0);
         buf.put_u32_le(t.o.0);
     }
-    buf.freeze()
+    Ok(buf.freeze())
 }
+
+// ---------------------------------------------------------------------------
+// v2 writer
+// ---------------------------------------------------------------------------
+
+/// The deduplicated minted-member string pool, built in one dictionary
+/// pass before the term records are written.
+struct Pool<'a> {
+    strings: Vec<&'a str>,
+    index: std::collections::HashMap<&'a str, u64>,
+}
+
+impl<'a> Pool<'a> {
+    fn build(g: &'a Graph) -> Self {
+        let mut pool = Pool {
+            strings: Vec::new(),
+            index: std::collections::HashMap::new(),
+        };
+        for (_, term) in g.dict().iter() {
+            if let Term::Minted(m) = term {
+                let (first, second) = m.key().members();
+                for member in first.iter().chain(second) {
+                    pool.intern(member);
+                }
+            }
+        }
+        pool
+    }
+
+    fn intern(&mut self, member: &'a SharedTerm) {
+        let iri = member.as_iri().expect("minted keys hold IRI terms");
+        if !self.index.contains_key(iri) {
+            self.index.insert(iri, self.strings.len() as u64);
+            self.strings.push(iri);
+        }
+    }
+
+    fn id(&self, member: &SharedTerm) -> u64 {
+        let iri = member.as_iri().expect("minted keys hold IRI terms");
+        self.index[iri]
+    }
+}
+
+fn put_members(buf: &mut BytesMut, pool: &Pool<'_>, members: &[SharedTerm]) {
+    put_varint(buf, members.len() as u64);
+    for m in members {
+        put_varint(buf, pool.id(m));
+    }
+}
+
+fn put_term_v2(buf: &mut BytesMut, pool: &Pool<'_>, t: &Term) {
+    match t {
+        Term::Iri(iri) => {
+            buf.put_u8(0);
+            put_varint_str(buf, iri);
+        }
+        Term::Blank(label) => {
+            buf.put_u8(1);
+            put_varint_str(buf, label);
+        }
+        Term::Literal { lexical, kind } => match kind {
+            LiteralKind::Simple => {
+                buf.put_u8(2);
+                put_varint_str(buf, lexical);
+            }
+            LiteralKind::Lang(tag) => {
+                buf.put_u8(3);
+                put_varint_str(buf, lexical);
+                put_varint_str(buf, tag);
+            }
+            LiteralKind::Typed(dt) => {
+                buf.put_u8(4);
+                put_varint_str(buf, lexical);
+                put_varint_str(buf, dt);
+            }
+        },
+        Term::Minted(m) => match m.key() {
+            MintedKey::NTau => buf.put_u8(5),
+            MintedKey::PropertySets { tc, sc } => {
+                buf.put_u8(6);
+                put_members(buf, pool, tc);
+                put_members(buf, pool, sc);
+            }
+            MintedKey::ClassSet(classes) => {
+                buf.put_u8(7);
+                put_members(buf, pool, classes);
+            }
+        },
+    }
+}
+
+/// Serializes a graph into a v2 snapshot buffer: symbolic minted keys,
+/// varint/delta-compressed triple ids, FNV-1a checksum trailer.
+pub fn encode(g: &Graph) -> Result<Bytes, SnapshotError> {
+    let mut buf = BytesMut::with_capacity(64 + g.dict().len() * 16 + g.len() * 4);
+    buf.put_slice(MAGIC_V2);
+    buf.put_u16_le(VERSION);
+    put_varint(&mut buf, g.dict().len() as u64);
+    put_varint(&mut buf, g.data().len() as u64);
+    put_varint(&mut buf, g.types().len() as u64);
+    put_varint(&mut buf, g.schema().len() as u64);
+    let pool = Pool::build(g);
+    put_varint(&mut buf, pool.strings.len() as u64);
+    for s in &pool.strings {
+        put_varint_str(&mut buf, s);
+    }
+    for (_, term) in g.dict().iter() {
+        put_term_v2(&mut buf, &pool, term);
+    }
+    let (mut ps, mut pp, mut po) = (0i64, 0i64, 0i64);
+    for t in g
+        .data()
+        .iter()
+        .chain(g.types().iter())
+        .chain(g.schema().iter())
+    {
+        let (s, p, o) = (t.s.0 as i64, t.p.0 as i64, t.o.0 as i64);
+        put_signed_varint(&mut buf, s - ps);
+        put_signed_varint(&mut buf, p - pp);
+        put_signed_varint(&mut buf, o - po);
+        (ps, pp, po) = (s, p, o);
+    }
+    let checksum = fnv1a64(&buf);
+    buf.put_u64_le(checksum);
+    Ok(buf.freeze())
+}
+
+// ---------------------------------------------------------------------------
+// v1 reader
+// ---------------------------------------------------------------------------
 
 fn get_str(buf: &mut Bytes) -> Result<String, SnapshotError> {
     if buf.remaining() < 4 {
@@ -170,13 +384,9 @@ fn get_term(buf: &mut Bytes) -> Result<Term, SnapshotError> {
     }
 }
 
-/// Decodes a snapshot buffer back into a graph.
-///
-/// Term ids are preserved: the decoded graph's dictionary assigns the same
-/// id to the same term as the encoded one did.
-pub fn decode(mut buf: Bytes) -> Result<Graph, SnapshotError> {
-    if buf.remaining() < 8 + 32 || &buf.copy_to_bytes(8)[..] != MAGIC {
-        return Err(SnapshotError::BadMagic);
+fn decode_v1(mut buf: Bytes) -> Result<Graph, SnapshotError> {
+    if buf.remaining() < 32 {
+        return Err(SnapshotError::Truncated);
     }
     let n_terms = buf.get_u64_le() as usize;
     let n_data = buf.get_u64_le() as usize;
@@ -230,12 +440,219 @@ pub fn decode(mut buf: Bytes) -> Result<Graph, SnapshotError> {
     Ok(g)
 }
 
-/// Writes a snapshot to a file.
-pub fn save(g: &Graph, path: impl AsRef<std::path::Path>) -> Result<(), SnapshotError> {
-    std::fs::write(path, encode(g)).map_err(SnapshotError::from)
+// ---------------------------------------------------------------------------
+// v2 reader
+// ---------------------------------------------------------------------------
+
+/// Bounds-checked cursor over the v2 body.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
 }
 
-/// Reads a snapshot from a file.
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
+        if self.buf.len() - self.pos < n {
+            return Err(SnapshotError::Truncated);
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    fn u8(&mut self) -> Result<u8, SnapshotError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn varint(&mut self) -> Result<u64, SnapshotError> {
+        let mut v = 0u64;
+        for shift in (0..64).step_by(7) {
+            let byte = self.u8()?;
+            v |= ((byte & 0x7f) as u64) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(v);
+            }
+        }
+        Err(SnapshotError::Truncated)
+    }
+
+    fn signed_varint(&mut self) -> Result<i64, SnapshotError> {
+        let z = self.varint()?;
+        Ok(((z >> 1) as i64) ^ -((z & 1) as i64))
+    }
+
+    fn str(&mut self) -> Result<String, SnapshotError> {
+        let len = self.varint()? as usize;
+        let raw = self.take(len)?;
+        String::from_utf8(raw.to_vec()).map_err(|_| SnapshotError::BadUtf8)
+    }
+
+    fn members(&mut self, pool: &[SharedTerm]) -> Result<Arc<[SharedTerm]>, SnapshotError> {
+        let n = self.varint()? as usize;
+        // Keys may repeat members, so `n` can exceed the deduplicated
+        // pool — but each index costs at least one byte, which bounds the
+        // allocation soundly.
+        if n > self.buf.len() - self.pos {
+            return Err(SnapshotError::Truncated);
+        }
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            let idx = self.varint()? as usize;
+            let member = pool.get(idx).ok_or(SnapshotError::Truncated)?;
+            out.push(Arc::clone(member));
+        }
+        Ok(out.into())
+    }
+
+    fn term(&mut self, pool: &[SharedTerm]) -> Result<Term, SnapshotError> {
+        match self.u8()? {
+            0 => Ok(Term::Iri(self.str()?)),
+            1 => Ok(Term::Blank(self.str()?)),
+            2 => Ok(Term::literal(self.str()?)),
+            3 => {
+                let lexical = self.str()?;
+                let tag = self.str()?;
+                Ok(Term::lang_literal(lexical, tag))
+            }
+            4 => {
+                let lexical = self.str()?;
+                let dt = self.str()?;
+                Ok(Term::typed_literal(lexical, dt))
+            }
+            5 => Ok(Term::Minted(MintedTerm::n_tau())),
+            6 => {
+                let tc = self.members(pool)?;
+                let sc = self.members(pool)?;
+                Ok(Term::Minted(MintedTerm::node(tc, sc)))
+            }
+            7 => {
+                let classes = self.members(pool)?;
+                if classes.is_empty() {
+                    // `C(∅)` is never minted; an empty set here is corruption.
+                    return Err(SnapshotError::Truncated);
+                }
+                Ok(Term::Minted(MintedTerm::class_set(classes)))
+            }
+            t => Err(SnapshotError::BadTag(t)),
+        }
+    }
+}
+
+fn decode_v2(raw: &[u8]) -> Result<Graph, SnapshotError> {
+    // Header (magic already matched): version, then the checksum trailer
+    // over everything before it.
+    if raw.len() < 8 + 2 + 8 {
+        return Err(SnapshotError::Truncated);
+    }
+    let version = u16::from_le_bytes([raw[8], raw[9]]);
+    if version != VERSION {
+        return Err(SnapshotError::BadVersion(version));
+    }
+    let body = &raw[..raw.len() - 8];
+    let stored = u64::from_le_bytes(raw[raw.len() - 8..].try_into().unwrap());
+    if fnv1a64(body) != stored {
+        return Err(SnapshotError::BadChecksum);
+    }
+    let mut r = Reader { buf: body, pos: 10 };
+    let n_terms = r.varint()? as usize;
+    let n_data = r.varint()? as usize;
+    let n_type = r.varint()? as usize;
+    let n_schema = r.varint()? as usize;
+    let n_pool = r.varint()? as usize;
+    if n_pool > body.len() {
+        return Err(SnapshotError::Truncated);
+    }
+    // Each pool string becomes one shared `Term::Iri`; every minted key
+    // that references it shares the same allocation, as in a live build.
+    let mut pool: Vec<SharedTerm> = Vec::with_capacity(n_pool);
+    for _ in 0..n_pool {
+        pool.push(Arc::new(Term::iri(r.str()?)));
+    }
+    let mut g = Graph::new();
+    if n_terms > body.len() {
+        return Err(SnapshotError::Truncated);
+    }
+    for i in 0..n_terms {
+        let term = r.term(&pool)?;
+        let id = g.dict_mut().encode(term);
+        if id.index() != i {
+            // Duplicate term in snapshot dictionary — corrupt.
+            return Err(SnapshotError::Truncated);
+        }
+    }
+    let n_triples = n_data + n_type + n_schema;
+    if n_triples > body.len() {
+        return Err(SnapshotError::Truncated);
+    }
+    let wk = g.well_known();
+    let (mut ps, mut pp, mut po) = (0i64, 0i64, 0i64);
+    for i in 0..n_triples {
+        ps += r.signed_varint()?;
+        pp += r.signed_varint()?;
+        po += r.signed_varint()?;
+        for v in [ps, pp, po] {
+            if v < 0 || v as usize >= n_terms {
+                return Err(SnapshotError::DanglingId(v as u32));
+            }
+        }
+        let t = Triple::new(
+            rdf_model::TermId(ps as u32),
+            rdf_model::TermId(pp as u32),
+            rdf_model::TermId(po as u32),
+        );
+        let expected = if i < n_data {
+            rdf_model::Component::Data
+        } else if i < n_data + n_type {
+            rdf_model::Component::Type
+        } else {
+            rdf_model::Component::Schema
+        };
+        if wk.component_of(t.p) != expected {
+            return Err(SnapshotError::WrongComponent);
+        }
+        g.insert_encoded(t);
+    }
+    if r.pos != body.len() {
+        // Trailing garbage inside the checksummed body.
+        return Err(SnapshotError::Truncated);
+    }
+    Ok(g)
+}
+
+/// Decodes a snapshot buffer back into a graph, dispatching on the magic:
+/// `RDFSNAP2` decodes with full minted-term fidelity; legacy `RDFSNAP1`
+/// still loads, minted terms degraded to their rendered IRIs.
+///
+/// Term ids are preserved either way: the decoded graph's dictionary
+/// assigns the same id to the same term as the encoded one did.
+pub fn decode(mut buf: Bytes) -> Result<Graph, SnapshotError> {
+    if buf.remaining() < 8 {
+        return Err(SnapshotError::BadMagic);
+    }
+    if buf[..8] == MAGIC_V2[..] {
+        return decode_v2(&buf);
+    }
+    if &buf.copy_to_bytes(8)[..] != MAGIC {
+        return Err(SnapshotError::BadMagic);
+    }
+    decode_v1(buf)
+}
+
+/// [`decode`] over a borrowed byte slice (one copy for the v1 path,
+/// which consumes an owned buffer; v2 decodes in place).
+pub fn decode_slice(raw: &[u8]) -> Result<Graph, SnapshotError> {
+    if raw.len() >= 8 && raw[..8] == MAGIC_V2[..] {
+        return decode_v2(raw);
+    }
+    decode(Bytes::from(raw.to_vec()))
+}
+
+/// Writes a (v2) snapshot to a file.
+pub fn save(g: &Graph, path: impl AsRef<std::path::Path>) -> Result<(), SnapshotError> {
+    std::fs::write(path, encode(g)?).map_err(SnapshotError::from)
+}
+
+/// Reads a snapshot (either version) from a file.
 pub fn load(path: impl AsRef<std::path::Path>) -> Result<Graph, SnapshotError> {
     let raw = std::fs::read(path)?;
     decode(Bytes::from(raw))
@@ -269,28 +686,118 @@ mod tests {
         g
     }
 
-    #[test]
-    fn roundtrip_preserves_everything() {
-        let g = sample();
-        let snap = encode(&g);
-        let g2 = decode(snap).unwrap();
+    fn shared(uris: &[&str]) -> Arc<[SharedTerm]> {
+        uris.iter()
+            .map(|u| Arc::new(Term::iri(*u)))
+            .collect::<Vec<_>>()
+            .into()
+    }
+
+    /// A graph whose dictionary holds every minted variant, as a summary
+    /// graph's would.
+    fn minted_sample() -> Graph {
+        let mut g = Graph::new();
+        let tc = shared(&["http://x/p", "http://x/q"]);
+        let sc = shared(&["http://x/q"]);
+        let node: Term = MintedTerm::node(tc, sc).into();
+        let classes: Term = MintedTerm::class_set(shared(&["http://x/C", "http://x/B"])).into();
+        let ntau: Term = MintedTerm::n_tau().into();
+        g.insert(node.clone(), Term::iri("http://x/q"), ntau.clone())
+            .unwrap();
+        g.insert(
+            node,
+            Term::iri(rdf_model::vocab::RDF_TYPE),
+            Term::iri("http://x/C"),
+        )
+        .unwrap();
+        g.insert(ntau, Term::iri("http://x/p"), classes).unwrap();
+        g
+    }
+
+    fn assert_same_shape(g: &Graph, g2: &Graph) {
         assert_eq!(g.len(), g2.len());
         assert_eq!(g.data().len(), g2.data().len());
         assert_eq!(g.types().len(), g2.types().len());
         assert_eq!(g.schema().len(), g2.schema().len());
         assert_eq!(g.dict().len(), g2.dict().len());
-        // Ids preserved bit-for-bit.
         for t in g.iter() {
             assert!(g2.contains(t));
         }
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let g = sample();
+        let snap = encode(&g).unwrap();
+        let g2 = decode(snap).unwrap();
+        assert_same_shape(&g, &g2);
+        // Ids preserved bit-for-bit.
         for (id, term) in g.dict().iter() {
             assert_eq!(g2.dict().decode(id), term);
         }
     }
 
+    /// Member IRIs of a key slice, in stored order.
+    fn iris(v: &[SharedTerm]) -> Vec<String> {
+        v.iter().map(|t| t.as_iri().unwrap().to_owned()).collect()
+    }
+
+    #[test]
+    fn v2_roundtrip_preserves_mintedness() {
+        let g = minted_sample();
+        let g2 = decode(encode(&g).unwrap()).unwrap();
+        assert_same_shape(&g, &g2);
+        let mut minted = 0;
+        for (id, term) in g.dict().iter() {
+            let restored = g2.dict().decode(id);
+            let Term::Minted(m) = term else {
+                assert_eq!(restored, term);
+                continue;
+            };
+            minted += 1;
+            // Decoded counterpart is a real minted term again…
+            let Term::Minted(m2) = restored else {
+                panic!("minted term {id:?} decoded as {restored:?}");
+            };
+            // …with the identical symbolic key (variant + member IRIs,
+            // order included) and the identical rendered URI.
+            match (m.key(), m2.key()) {
+                (MintedKey::NTau, MintedKey::NTau) => {}
+                (
+                    MintedKey::PropertySets { tc, sc },
+                    MintedKey::PropertySets { tc: tc2, sc: sc2 },
+                ) => {
+                    assert_eq!(iris(tc), iris(tc2));
+                    assert_eq!(iris(sc), iris(sc2));
+                }
+                (MintedKey::ClassSet(a), MintedKey::ClassSet(b)) => {
+                    assert_eq!(iris(a), iris(b));
+                }
+                _ => panic!("key variant changed for {}", m.uri()),
+            }
+            assert_eq!(m.uri(), m2.uri());
+        }
+        assert_eq!(minted, 3);
+    }
+
+    #[test]
+    fn v1_snapshots_still_load_minted_as_iri() {
+        let g = minted_sample();
+        let v1 = encode_v1(&g).unwrap();
+        let g2 = decode(v1).unwrap();
+        assert_same_shape(&g, &g2);
+        // The version gate: every minted term degrades to a plain IRI with
+        // the same rendering — the historical v1 behavior.
+        for (id, term) in g.dict().iter() {
+            if let Term::Minted(m) = term {
+                assert_eq!(g2.dict().decode(id), &Term::iri(m.uri()));
+            }
+        }
+    }
+
     #[test]
     fn rejects_bad_magic() {
-        let mut raw = encode(&sample()).to_vec();
+        let mut raw = encode(&sample()).unwrap().to_vec();
         raw[0] = b'X';
         assert!(matches!(
             decode(Bytes::from(raw)),
@@ -299,9 +806,42 @@ mod tests {
     }
 
     #[test]
+    fn rejects_unknown_version() {
+        let mut raw = encode(&sample()).unwrap().to_vec();
+        raw[8] = 9;
+        assert!(matches!(
+            decode(Bytes::from(raw)),
+            Err(SnapshotError::BadVersion(9))
+        ));
+    }
+
+    #[test]
+    fn rejects_corrupt_body_via_checksum() {
+        let raw = encode(&minted_sample()).unwrap().to_vec();
+        // Flip one bit in every body byte position in turn (sampled) — the
+        // checksum must catch each.
+        for pos in (10..raw.len() - 8).step_by(7) {
+            let mut bad = raw.clone();
+            bad[pos] ^= 0x10;
+            assert!(
+                matches!(decode(Bytes::from(bad)), Err(SnapshotError::BadChecksum)),
+                "bit flip at {pos} not caught"
+            );
+        }
+        // Flipping the trailer itself is also a checksum mismatch.
+        let mut bad = raw.clone();
+        let n = bad.len();
+        bad[n - 1] ^= 1;
+        assert!(matches!(
+            decode(Bytes::from(bad)),
+            Err(SnapshotError::BadChecksum)
+        ));
+    }
+
+    #[test]
     fn rejects_truncation() {
-        let raw = encode(&sample());
-        for cut in [9, 20, raw.len() - 5] {
+        let raw = encode(&sample()).unwrap();
+        for cut in [0, 5, 9, 20, raw.len() - 5] {
             let sliced = raw.slice(0..cut);
             assert!(decode(sliced).is_err(), "cut at {cut} accepted");
         }
@@ -309,16 +849,83 @@ mod tests {
 
     #[test]
     fn rejects_dangling_ids() {
-        let g = sample();
-        let mut raw = encode(&g).to_vec();
-        // Patch the final triple's object id to an out-of-range value.
-        let n = raw.len();
-        raw[n - 4..].copy_from_slice(&u32::MAX.to_le_bytes());
-        let err = decode(Bytes::from(raw)).unwrap_err();
+        // v1 keeps its raw-u32 dangling check: patch the final triple's
+        // object id to an out-of-range value.
+        let mut v1 = encode_v1(&sample()).unwrap().to_vec();
+        let n = v1.len();
+        v1[n - 4..].copy_from_slice(&u32::MAX.to_le_bytes());
+        let err = decode(Bytes::from(v1)).unwrap_err();
         assert!(matches!(
             err,
             SnapshotError::DanglingId(_) | SnapshotError::WrongComponent
         ));
+    }
+
+    #[test]
+    fn v2_rejects_dangling_ids() {
+        // Hand-craft a v2 image with an empty dictionary but one data
+        // triple whose ids point past it, checksum intact — the id check
+        // must fire, not a panic or an out-of-bounds read.
+        let mut buf = BytesMut::new();
+        buf.put_slice(MAGIC_V2);
+        buf.put_u16_le(VERSION);
+        put_varint(&mut buf, 0); // n_terms
+        put_varint(&mut buf, 1); // n_data
+        put_varint(&mut buf, 0); // n_type
+        put_varint(&mut buf, 0); // n_schema
+        put_varint(&mut buf, 0); // pool
+        put_signed_varint(&mut buf, 9);
+        put_signed_varint(&mut buf, 9);
+        put_signed_varint(&mut buf, 9);
+        let sum = fnv1a64(&buf);
+        buf.put_u64_le(sum);
+        let err = decode(buf.freeze()).unwrap_err();
+        assert!(matches!(err, SnapshotError::DanglingId(9)), "{err:?}");
+    }
+
+    #[test]
+    fn v2_rejects_negative_delta_underflow() {
+        // A delta running the id below zero is dangling, not a wrap-around.
+        let mut buf = BytesMut::new();
+        buf.put_slice(MAGIC_V2);
+        buf.put_u16_le(VERSION);
+        put_varint(&mut buf, 0);
+        put_varint(&mut buf, 1);
+        put_varint(&mut buf, 0);
+        put_varint(&mut buf, 0);
+        put_varint(&mut buf, 0);
+        put_signed_varint(&mut buf, -3);
+        put_signed_varint(&mut buf, 0);
+        put_signed_varint(&mut buf, 0);
+        let sum = fnv1a64(&buf);
+        buf.put_u64_le(sum);
+        assert!(matches!(
+            decode(buf.freeze()),
+            Err(SnapshotError::DanglingId(_))
+        ));
+    }
+
+    #[test]
+    fn oversized_term_is_an_error_not_a_panic() {
+        let mut buf = BytesMut::new();
+        assert!(put_str_capped(&mut buf, "hello", 16).is_ok());
+        assert!(matches!(
+            put_str_capped(&mut buf, "0123456789abcdef!", 16),
+            Err(SnapshotError::TermTooLong)
+        ));
+    }
+
+    #[test]
+    fn v2_is_smaller_than_v1_on_minted_graphs() {
+        let g = minted_sample();
+        let v2 = encode(&g).unwrap();
+        let v1 = encode_v1(&g).unwrap();
+        assert!(
+            v2.len() < v1.len(),
+            "v2 {} bytes >= v1 {} bytes",
+            v2.len(),
+            v1.len()
+        );
     }
 
     #[test]
@@ -336,7 +943,7 @@ mod tests {
     #[test]
     fn empty_graph_roundtrips() {
         let g = Graph::new();
-        let g2 = decode(encode(&g)).unwrap();
+        let g2 = decode(encode(&g).unwrap()).unwrap();
         assert!(g2.is_empty());
         // Well-known terms still interned.
         assert_eq!(g2.dict().len(), 5);

@@ -250,7 +250,7 @@ pub(crate) fn dispatch(
                 body.push_str(&format!("{fp} {triples} {name}\n"));
             }
             let fields = format!(
-                "stats graphs={} cached={} hits={} misses={} builds={} queries={} pruned={} prune_hits={} evictions={} cache_bytes={} updates={} patches={} patch_fallbacks={}",
+                "stats graphs={} cached={} hits={} misses={} builds={} queries={} pruned={} prune_hits={} evictions={} cache_bytes={} updates={} patches={} patch_fallbacks={} persist_hits={} persist_writes={}",
                 st.graphs,
                 st.cached_summaries,
                 st.hits,
@@ -263,7 +263,9 @@ pub(crate) fn dispatch(
                 st.cache_bytes,
                 st.updates,
                 st.patches,
-                st.patch_fallbacks
+                st.patch_fallbacks,
+                st.persist_hits,
+                st.persist_writes
             );
             write_ok_body(w, &fields, body.as_bytes())?;
         }

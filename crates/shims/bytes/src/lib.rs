@@ -44,6 +44,9 @@ pub trait BufMut {
     /// Appends one byte.
     fn put_u8(&mut self, v: u8);
 
+    /// Appends a little-endian `u16`.
+    fn put_u16_le(&mut self, v: u16);
+
     /// Appends a little-endian `u32`.
     fn put_u32_le(&mut self, v: u32);
 
@@ -196,6 +199,20 @@ impl BytesMut {
     }
 }
 
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
 impl BufMut for BytesMut {
     fn put_slice(&mut self, src: &[u8]) {
         self.data.extend_from_slice(src);
@@ -203,6 +220,10 @@ impl BufMut for BytesMut {
 
     fn put_u8(&mut self, v: u8) {
         self.data.push(v);
+    }
+
+    fn put_u16_le(&mut self, v: u16) {
+        self.data.extend_from_slice(&v.to_le_bytes());
     }
 
     fn put_u32_le(&mut self, v: u32) {

@@ -10,6 +10,7 @@
 //! rdfsummary snapshot   <graph.nt> --out FILE.snap
 //! rdfsummary serve      [--addr HOST:PORT] [--threads N] [--workers N]
 //!                       [--cache-bytes N] [--engine event|threaded]
+//!                       [--persist-dir DIR]
 //! rdfsummary client     ADDR REQUEST…
 //! ```
 //!
@@ -48,13 +49,16 @@ USAGE:
   rdfsummary snapshot   <graph> --out FILE.snap         binary snapshot
   rdfsummary serve      [--addr HOST:PORT] [--threads N] [--workers N]
                          [--cache-bytes N] [--engine event|threaded]
+                         [--persist-dir DIR]
                          long-running warm-store summary server (default
                          addr 127.0.0.1:7878; caches summaries by graph
                          content fingerprint, LRU-bounded by --cache-bytes;
                          the default event engine multiplexes all clients
                          on one poll loop, answers cheap verbs inline, and
                          --workers sizes the executor for LOAD/cold
-                         SUMMARIZE; see `src/lib.rs` Serving)
+                         SUMMARIZE; --persist-dir keeps built summaries
+                         on disk so a restart comes back warm;
+                         see `src/lib.rs` Serving)
   rdfsummary client     ADDR REQUEST…                   send one protocol
                          request (PING | LOAD <path> | SUMMARIZE <kind>
                          <graph> | QUERY <graph> <query> | UPDATE <graph>
@@ -388,8 +392,10 @@ fn cmd_generate(rest: &[String]) -> Result<(), String> {
 /// `max(threads, 4)`).
 /// `--engine threaded` falls back to the thread-per-connection pool, where
 /// `--workers` *is* the connection cap. `--cache-bytes N` puts an LRU byte
-/// budget on the summary cache (default: unbounded). Runs until the
-/// process is killed.
+/// budget on the summary cache (default: unbounded). `--persist-dir DIR`
+/// writes every built summary to DIR and probes it on cache misses, so a
+/// restarted server answers its first `SUMMARIZE` without rebuilding. Runs
+/// until the process is killed.
 fn cmd_serve(rest: &[String]) -> Result<(), String> {
     let addr = flag_value(rest, "--addr").unwrap_or_else(|| "127.0.0.1:7878".into());
     let threads = thread_count(rest)?;
@@ -410,10 +416,15 @@ fn cmd_serve(rest: &[String]) -> Result<(), String> {
         None => None,
     };
     let engine = flag_value(rest, "--engine").unwrap_or_else(|| "event".into());
-    let service = std::sync::Arc::new(rdfsum_core::SummaryService::with_cache_bytes(
-        threads,
-        cache_bytes,
-    ));
+    let mut service = rdfsum_core::SummaryService::with_cache_bytes(threads, cache_bytes);
+    if let Some(dir) = flag_value(rest, "--persist-dir") {
+        // Fail startup loudly on an unusable directory: once serving, all
+        // persistence errors degrade silently, so this is the one chance
+        // to tell the operator their artifacts aren't going anywhere.
+        std::fs::create_dir_all(&dir).map_err(|e| format!("bad --persist-dir `{dir}`: {e}"))?;
+        service = service.with_persist_dir(dir);
+    }
+    let service = std::sync::Arc::new(service);
     let handle = match engine.as_str() {
         "event" => rdfsummary::rdfsum_server::spawn(addr.as_str(), service, workers),
         "threaded" => rdfsummary::rdfsum_server::spawn_threaded(addr.as_str(), service, workers),

@@ -157,6 +157,27 @@
 //! regime. The body is tab-separated: a column-name header plus one line
 //! per row for SELECT, a bare `true`/`false` for ASK.
 //!
+//! **Warm restarts.** `--persist-dir DIR` makes the summary cache survive
+//! the process: every built (or update-carried) artifact is also written
+//! to `DIR/<fingerprint>-<kind>.sum` — a versioned, checksummed binary
+//! envelope ([`rdfsum_core::persist`]) embedding the summary graph as an
+//! `rdf_store::snapshot` v2 image — via write-to-temp + atomic rename. A
+//! cache miss probes the directory before building; a verified artifact
+//! for the same content fingerprint installs as a **hit** (counted in
+//! `persist_hits` as well as `hits`), so a killed-and-restarted server
+//! answers its first `SUMMARIZE` byte-identical to the cold build with
+//! `builds` still at 0, and the CI-pinned invariant `builds ==
+//! patch_fallbacks + misses` keeps holding. Any decode problem —
+//! truncation, bit flips, wrong version, wrong checksum, an artifact for
+//! other content — degrades to a plain miss: the summary is rebuilt,
+//! re-persisted over the damage, and the client never sees an error.
+//! `EVICT` unlinks the graph's on-disk slots (unless another resident
+//! graph shares the content), `EVICT *` sweeps every `*.sum` file, and
+//! `UPDATE` re-keys the slots to the post-batch fingerprint. `STATS`
+//! reports `persist_hits` and `persist_writes`; snapshot v1 files still
+//! load behind the version gate (minted terms degrade to plain IRIs
+//! there — v2 keeps their symbolic keys).
+//!
 //! `rdfsummary client ADDR REQUEST…` sends one request line and prints
 //! the response (status to stderr, body to stdout) for scripting:
 //!
